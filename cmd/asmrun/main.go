@@ -1,0 +1,182 @@
+// Command asmrun assembles and executes IA-32-subset programs, optionally
+// under the interactive debugger — GDB for the course's machine.
+//
+// Usage:
+//
+//	asmrun prog.s            # assemble and run (program stdin = terminal)
+//	asmrun prog.bin          # run a C31X binary (from asmrun/minicc -o)
+//	asmrun -o prog.bin prog.s  # assemble to a C31X object file
+//	asmrun -dis prog.s       # print the disassembly and exit
+//	asmrun -debug prog.s     # interactive debugger (break/step/regs/x/...)
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"cs31/internal/asm"
+	"cs31/internal/debug"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "asmrun:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	dis := flag.Bool("dis", false, "disassemble and exit")
+	dbg := flag.Bool("debug", false, "run under the interactive debugger")
+	out := flag.String("o", "", "write a C31X object file instead of running")
+	maxSteps := flag.Int64("max", 10_000_000, "instruction budget")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		return fmt.Errorf("usage: asmrun [-dis|-debug|-o out.bin] prog.s|prog.bin")
+	}
+	src, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		return err
+	}
+	var prog *asm.Program
+	if bytes.HasPrefix(src, []byte("C31X")) {
+		prog, err = asm.ReadObject(bytes.NewReader(src))
+	} else {
+		prog, err = asm.Assemble(string(src))
+	}
+	if err != nil {
+		return err
+	}
+	if *out != "" {
+		raw, err := prog.ObjectBytes()
+		if err != nil {
+			return err
+		}
+		return os.WriteFile(*out, raw, 0o644)
+	}
+	if *dis {
+		fmt.Print(prog.Disassemble())
+		return nil
+	}
+	m, err := asm.NewMachine(prog)
+	if err != nil {
+		return err
+	}
+	m.Stdin = os.Stdin
+	m.Stdout = os.Stdout
+
+	if !*dbg {
+		if err := m.Run(*maxSteps); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "\n[exit status %d after %d instructions]\n",
+			m.ExitStatus, m.Steps)
+		return nil
+	}
+	return debugREPL(m)
+}
+
+func debugREPL(m *asm.Machine) error {
+	d := debug.New(m, 0)
+	in := bufio.NewScanner(os.Stdin)
+	fmt.Println("cs31-gdb: break <label> | b <addr> | run/continue | step | next | regs | x <addr> <n> | xs <addr> | dis | bt | quit")
+	fmt.Print("(gdb) ")
+	for in.Scan() {
+		fields := strings.Fields(in.Text())
+		if len(fields) == 0 {
+			fmt.Print("(gdb) ")
+			continue
+		}
+		switch fields[0] {
+		case "q", "quit":
+			return nil
+		case "break", "b":
+			if len(fields) != 2 {
+				fmt.Println("usage: break <label|addr>")
+				break
+			}
+			var err error
+			if v, perr := strconv.ParseUint(fields[1], 0, 32); perr == nil {
+				err = d.BreakAddr(uint32(v))
+			} else {
+				err = d.Break(fields[1])
+			}
+			if err != nil {
+				fmt.Println(err)
+			}
+		case "run", "r", "continue", "c":
+			report(d.Continue())
+		case "step", "s", "stepi", "si":
+			report(d.StepI())
+		case "next", "n":
+			report(d.Next())
+		case "regs", "info":
+			fmt.Print(d.InfoRegisters())
+		case "x":
+			if len(fields) != 3 {
+				fmt.Println("usage: x <addr> <nwords>")
+				break
+			}
+			addr, err1 := strconv.ParseUint(fields[1], 0, 32)
+			n, err2 := strconv.Atoi(fields[2])
+			if err1 != nil || err2 != nil {
+				fmt.Println("bad arguments")
+				break
+			}
+			words, err := d.Examine(uint32(addr), n)
+			if err != nil {
+				fmt.Println(err)
+				break
+			}
+			for i, w := range words {
+				fmt.Printf("%#08x: %#08x %d\n", uint32(addr)+uint32(4*i), w, int32(w))
+			}
+		case "xs":
+			if len(fields) != 2 {
+				fmt.Println("usage: xs <addr>")
+				break
+			}
+			addr, err := strconv.ParseUint(fields[1], 0, 32)
+			if err != nil {
+				fmt.Println("bad address")
+				break
+			}
+			s, err := d.ExamineString(uint32(addr))
+			if err != nil {
+				fmt.Println(err)
+				break
+			}
+			fmt.Printf("%q\n", s)
+		case "dis", "disas":
+			fmt.Print(d.Disassemble(8))
+		case "bt", "backtrace":
+			for i, f := range d.Backtrace(16) {
+				fmt.Printf("#%d  %#08x in %s (fp=%#x)\n", i, f.RetAddr, f.Func, f.FP)
+			}
+		default:
+			fmt.Printf("unknown command %q\n", fields[0])
+		}
+		fmt.Print("(gdb) ")
+	}
+	return in.Err()
+}
+
+func report(s debug.Stop) {
+	switch s.Reason {
+	case debug.StopBreakpoint:
+		fmt.Printf("breakpoint at %#08x\n", s.Addr)
+	case debug.StopWatchpoint:
+		fmt.Printf("watchpoint %#08x: %#x -> %#x\n", s.Watch, s.Old, s.New)
+	case debug.StopStep:
+		fmt.Printf("stopped at %#08x\n", s.Addr)
+	case debug.StopExited:
+		fmt.Println("program exited")
+	case debug.StopError:
+		fmt.Printf("error: %v\n", s.Err)
+	}
+}

@@ -1,0 +1,142 @@
+// Command cachesim is the trace-driven cache simulator for the caching
+// homeworks: configure an organization, feed it a trace (from stdin as
+// "r 0x1234" / "w 0x1238" lines, or a built-in matrix workload), and get
+// the per-access table and summary statistics.
+//
+// Usage:
+//
+//	cachesim -size 1024 -block 16 -assoc 2 < trace.txt
+//	cachesim -workload colmajor -rows 64 -cols 64 -size 1024 -block 64
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"cs31/internal/cache"
+	"cs31/internal/memhier"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "cachesim:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	size := flag.Int("size", 1024, "total cache size in bytes")
+	block := flag.Int("block", 16, "block size in bytes")
+	assoc := flag.Int("assoc", 1, "associativity (1 = direct-mapped)")
+	write := flag.String("write", "back", "write policy: back or through")
+	alloc := flag.String("alloc", "allocate", "write-miss policy: allocate or noallocate")
+	repl := flag.String("repl", "lru", "replacement: lru or fifo")
+	workload := flag.String("workload", "", "built-in workload: rowmajor or colmajor (otherwise read stdin)")
+	rows := flag.Int("rows", 64, "workload matrix rows")
+	cols := flag.Int("cols", 64, "workload matrix columns")
+	table := flag.Int("table", 0, "print the hit/miss table for the first N accesses")
+	flag.Parse()
+
+	cfg := cache.Config{SizeBytes: *size, BlockSize: *block, Assoc: *assoc}
+	switch *write {
+	case "back":
+		cfg.Write = cache.WriteBack
+	case "through":
+		cfg.Write = cache.WriteThrough
+	default:
+		return fmt.Errorf("unknown write policy %q", *write)
+	}
+	switch *alloc {
+	case "allocate":
+		cfg.Alloc = cache.WriteAllocate
+	case "noallocate":
+		cfg.Alloc = cache.NoWriteAllocate
+	default:
+		return fmt.Errorf("unknown alloc policy %q", *alloc)
+	}
+	switch *repl {
+	case "lru":
+		cfg.Repl = cache.LRU
+	case "fifo":
+		cfg.Repl = cache.FIFO
+	default:
+		return fmt.Errorf("unknown replacement policy %q", *repl)
+	}
+
+	var trace []memhier.Access
+	switch *workload {
+	case "rowmajor":
+		trace = memhier.MatrixTraceRowMajor(0, *rows, *cols, 4)
+	case "colmajor":
+		trace = memhier.MatrixTraceColMajor(0, *rows, *cols, 4)
+	case "":
+		var err error
+		trace, err = readTrace(os.Stdin)
+		if err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("unknown workload %q", *workload)
+	}
+
+	fmt.Printf("cache: %d bytes, %d-byte blocks, %d-way, %d sets (%v, %v, %v)\n",
+		cfg.SizeBytes, cfg.BlockSize, cfg.Assoc, cfg.NumSets(), cfg.Write, cfg.Alloc, cfg.Repl)
+	fmt.Printf("address division: %d tag | %d index | %d offset bits\n\n",
+		32-cfg.IndexBits()-cfg.OffsetBits(), cfg.IndexBits(), cfg.OffsetBits())
+
+	if *table > 0 {
+		out, err := cache.TraceTable(cfg, trace, *table)
+		if err != nil {
+			return err
+		}
+		fmt.Println(out)
+	}
+
+	c, err := cache.New(cfg)
+	if err != nil {
+		return err
+	}
+	stats := c.RunTrace(trace)
+	fmt.Printf("accesses   %d\n", stats.Accesses)
+	fmt.Printf("hits       %d (%.2f%%)\n", stats.Hits, 100*stats.HitRate())
+	fmt.Printf("misses     %d (%.2f%%)\n", stats.Misses, 100*stats.MissRate())
+	fmt.Printf("evictions  %d\n", stats.Evictions)
+	fmt.Printf("writebacks %d\n", stats.WriteBacks)
+	fmt.Printf("mem reads  %d\n", stats.MemReads)
+	fmt.Printf("mem writes %d\n", stats.MemWrites)
+	return nil
+}
+
+func readTrace(f *os.File) ([]memhier.Access, error) {
+	var trace []memhier.Access
+	sc := bufio.NewScanner(f)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 2 {
+			return nil, fmt.Errorf("line %d: want 'r|w address', got %q", lineNo, line)
+		}
+		addr, err := strconv.ParseUint(fields[1], 0, 64)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: bad address %q", lineNo, fields[1])
+		}
+		switch strings.ToLower(fields[0]) {
+		case "r", "read", "l", "load":
+			trace = append(trace, memhier.R(addr))
+		case "w", "write", "s", "store":
+			trace = append(trace, memhier.W(addr))
+		default:
+			return nil, fmt.Errorf("line %d: bad op %q", lineNo, fields[0])
+		}
+	}
+	return trace, sc.Err()
+}

@@ -1,0 +1,139 @@
+// Command life runs Conway's Game of Life serially (Lab 6) or in parallel
+// (Lab 10) with ParaVis-style visualization, and can produce the lab's
+// speedup table across thread counts.
+//
+// Usage:
+//
+//	life -rows 64 -cols 64 -iters 100 -threads 4 -visual
+//	life -file oscillator.txt -threads 2
+//	life -rows 512 -cols 512 -iters 50 -bench 16     # speedup table
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"cs31/internal/life"
+	"cs31/internal/paravis"
+	"cs31/internal/pthread"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "life:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	file := flag.String("file", "", "lab-format config file (rows cols iters, then live-cell pairs)")
+	rows := flag.Int("rows", 32, "grid rows (random mode)")
+	cols := flag.Int("cols", 32, "grid columns (random mode)")
+	iters := flag.Int("iters", 20, "generations to run")
+	seed := flag.Int64("seed", 31, "random seed")
+	density := flag.Float64("density", 0.3, "initial live density (random mode)")
+	threads := flag.Int("threads", 1, "worker threads (1 = serial engine)")
+	partition := flag.String("partition", "rows", "parallel partition: rows or cols")
+	visual := flag.Bool("visual", false, "render each generation (ParaVis)")
+	color := flag.Bool("color", true, "color thread regions in visual mode")
+	bench := flag.Int("bench", 0, "measure speedup for 1..N threads and exit")
+	flag.Parse()
+
+	var g *life.Grid
+	var err error
+	if *file != "" {
+		f, err := os.Open(*file)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		cfg, err := life.ParseConfig(f)
+		if err != nil {
+			return err
+		}
+		if cfg.Iters > 0 {
+			*iters = cfg.Iters
+		}
+		g, err = cfg.BuildGrid(life.Torus)
+		if err != nil {
+			return err
+		}
+	} else {
+		g, err = life.NewGrid(*rows, *cols, life.Torus)
+		if err != nil {
+			return err
+		}
+		g.Randomize(*seed, *density)
+	}
+
+	part := life.ByRows
+	if *partition == "cols" {
+		part = life.ByCols
+	} else if *partition != "rows" {
+		return fmt.Errorf("unknown partition %q", *partition)
+	}
+
+	if *bench > 0 {
+		return runBench(g, *iters, *bench, part)
+	}
+
+	vis := paravis.New(*color)
+	if *threads <= 1 {
+		for i := 0; i < *iters; i++ {
+			g.Step()
+			if *visual {
+				fmt.Printf("generation %d (population %d)\n%s\n", g.Generation, g.Population(),
+					vis.Render(g.Bools(), nil))
+			}
+		}
+	} else {
+		pr := &life.ParallelRunner{G: g, Threads: *threads, Partition: part}
+		if *visual {
+			pr.OnRound = func(g *life.Grid) {
+				fmt.Printf("generation %d (population %d)\n%s\n", g.Generation, g.Population(),
+					vis.Render(g.Bools(), pr.Owner))
+			}
+		}
+		stats, err := pr.Run(*iters)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("ran %d rounds on %d threads (%v partition), %d cell updates\n",
+			stats.Rounds, *threads, part, stats.LiveUpdates)
+	}
+	if !*visual {
+		fmt.Printf("final population %d after %d generations\n%s",
+			g.Population(), g.Generation, g.String())
+	}
+	return nil
+}
+
+func runBench(template *life.Grid, iters, maxThreads int, part life.Partition) error {
+	counts := []int{1}
+	for t := 2; t <= maxThreads; t *= 2 {
+		counts = append(counts, t)
+	}
+	fmt.Printf("Game of Life speedup: %dx%d grid, %d iterations, %v partition\n",
+		template.Rows, template.Cols, iters, part)
+	fmt.Printf("%8s %12s %9s %11s\n", "threads", "time", "speedup", "efficiency")
+	points, err := pthread.MeasureScaling(counts, func(threads int) {
+		g := template.Clone()
+		if threads == 1 {
+			g.Run(iters)
+			return
+		}
+		pr := &life.ParallelRunner{G: g, Threads: threads, Partition: part}
+		if _, err := pr.Run(iters); err != nil {
+			panic(err)
+		}
+	})
+	if err != nil {
+		return err
+	}
+	for _, p := range points {
+		fmt.Printf("%8d %12v %9.2f %10.0f%%\n",
+			p.Threads, p.Elapsed.Round(100_000), p.Speedup, 100*p.Efficiency)
+	}
+	return nil
+}

@@ -1,0 +1,131 @@
+// Command logisim exercises the Lab 3 deliverables without a GUI: it
+// builds the gate-level ALU, runs operations on it, verifies it against
+// the functional reference, and prints truth tables for the warm-up
+// circuits (full adder, sign extender, majority-vote synthesis).
+//
+// Usage:
+//
+//	logisim -alu -width 8 -a 0x7f -b 1 -op ADD
+//	logisim -verify -width 4           # exhaustive gate-vs-reference check
+//	logisim -table adder               # warm-up circuit truth tables
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"cs31/internal/circuit"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "logisim:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	alu := flag.Bool("alu", false, "run one ALU operation")
+	verify := flag.Bool("verify", false, "exhaustively verify the gate-level ALU against the reference")
+	table := flag.String("table", "", "print a warm-up truth table: adder or mux")
+	width := flag.Int("width", 8, "ALU bit width")
+	a := flag.Uint64("a", 0, "operand A")
+	b := flag.Uint64("b", 0, "operand B")
+	opName := flag.String("op", "ADD", "ALU operation: ADD SUB AND OR XOR NOT SHL SHR")
+	flag.Parse()
+
+	switch {
+	case *alu:
+		op, err := parseOp(*opName)
+		if err != nil {
+			return err
+		}
+		c := circuit.New()
+		unit := circuit.NewALU(c, *width)
+		res, flags, err := unit.Run(c, op, *a, *b)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%v(%#x, %#x) = %#x\n", op, *a, *b, res)
+		fmt.Printf("flags: zero=%v sign=%v carry=%v overflow=%v equal=%v\n",
+			flags.Zero, flags.Sign, flags.Carry, flags.Overflow, flags.Equal)
+		fmt.Printf("(%d gates, %d nets)\n", c.NumGates(), c.NumNets())
+		return nil
+
+	case *verify:
+		if *width > 6 {
+			return fmt.Errorf("exhaustive verify limited to width <= 6 (got %d)", *width)
+		}
+		c := circuit.New()
+		unit := circuit.NewALU(c, *width)
+		n := uint64(1) << uint(*width)
+		checked := 0
+		for op := circuit.ALUOp(0); op < 8; op++ {
+			for x := uint64(0); x < n; x++ {
+				for y := uint64(0); y < n; y++ {
+					got, gf, err := unit.Run(c, op, x, y)
+					if err != nil {
+						return err
+					}
+					want, wf := circuit.RefALU(op, x, y, *width)
+					if got != want || gf != wf {
+						return fmt.Errorf("MISMATCH %v(%#x, %#x): gate %#x %+v, ref %#x %+v",
+							op, x, y, got, gf, want, wf)
+					}
+					checked++
+				}
+			}
+		}
+		fmt.Printf("gate-level ALU matches reference on all %d cases (width %d, %d gates)\n",
+			checked, *width, c.NumGates())
+		return nil
+
+	case *table != "":
+		return printTable(*table)
+
+	default:
+		return fmt.Errorf("choose one of -alu, -verify, -table")
+	}
+}
+
+func parseOp(name string) (circuit.ALUOp, error) {
+	for op := circuit.ALUOp(0); op < 8; op++ {
+		if strings.EqualFold(op.String(), name) {
+			return op, nil
+		}
+	}
+	return 0, fmt.Errorf("unknown ALU op %q", name)
+}
+
+func printTable(kind string) error {
+	c := circuit.New()
+	switch kind {
+	case "adder":
+		a := c.Input("a")
+		bIn := c.Input("b")
+		cin := c.Input("cin")
+		sum, cout := circuit.FullAdder(c, a, bIn, cin)
+		c.Name("sum", sum)
+		c.Name("cout", cout)
+		tt, err := c.BuildTruthTable([]string{"a", "b", "cin"}, []string{"sum", "cout"})
+		if err != nil {
+			return err
+		}
+		fmt.Print(tt.String())
+	case "mux":
+		sel := c.Input("sel")
+		a := c.Input("a")
+		bIn := c.Input("b")
+		c.Name("out", circuit.Mux2(c, sel, a, bIn))
+		tt, err := c.BuildTruthTable([]string{"sel", "a", "b"}, []string{"out"})
+		if err != nil {
+			return err
+		}
+		fmt.Print(tt.String())
+	default:
+		return fmt.Errorf("unknown table %q (want adder or mux)", kind)
+	}
+	return nil
+}

@@ -1,0 +1,106 @@
+// Command minicc is the course's C compiler driver: it compiles mini-C to
+// the IA-32 subset, optionally runs it, and can produce the full
+// vertical-slice cost report (compile -> execute -> trace -> cache + VM).
+//
+// Usage:
+//
+//	minicc -S prog.c          # print generated assembly
+//	minicc -o prog.bin prog.c # compile to a C31X binary (run with asmrun)
+//	minicc -run prog.c        # compile and execute (stdin passes through)
+//	minicc -cost prog.c       # run the whole vertical slice, print costs
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"cs31/internal/asm"
+	"cs31/internal/core"
+	"cs31/internal/minic"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "minicc:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	emitAsm := flag.Bool("S", false, "emit assembly and exit")
+	out := flag.String("o", "", "write a C31X binary")
+	execute := flag.Bool("run", false, "compile and execute")
+	cost := flag.Bool("cost", false, "run the vertical-slice cost pipeline")
+	check := flag.Bool("memcheck", false, "with -run: print the heap checker's report")
+	maxSteps := flag.Int64("max", 10_000_000, "instruction budget")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		return fmt.Errorf("usage: minicc [-S|-run|-cost] prog.c")
+	}
+	srcBytes, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		return err
+	}
+	src := string(srcBytes)
+
+	switch {
+	case *out != "":
+		prog, err := minic.Build(src)
+		if err != nil {
+			return err
+		}
+		raw, err := prog.ObjectBytes()
+		if err != nil {
+			return err
+		}
+		return os.WriteFile(*out, raw, 0o644)
+
+	case *emitAsm:
+		asmSrc, err := minic.Compile(src)
+		if err != nil {
+			return err
+		}
+		fmt.Print(asmSrc)
+		return nil
+
+	case *cost:
+		stdin, _ := io.ReadAll(os.Stdin)
+		res, err := core.Run(src, core.Config{Stdin: string(stdin), MaxSteps: *maxSteps})
+		if err != nil {
+			return err
+		}
+		fmt.Print(res.Stdout)
+		fmt.Fprintf(os.Stderr, "\n%s[exit status %d]\n", res.CostReport(), res.ExitStatus)
+		return nil
+
+	case *execute:
+		prog, err := minic.Build(src)
+		if err != nil {
+			return err
+		}
+		m, err := asm.NewMachine(prog)
+		if err != nil {
+			return err
+		}
+		m.Stdin = os.Stdin
+		m.Stdout = os.Stdout
+		if err := m.Run(*maxSteps); err != nil {
+			return err
+		}
+		if *check {
+			fmt.Fprint(os.Stderr, "\n"+m.MemcheckReport())
+		}
+		os.Exit(int(m.ExitStatus))
+		return nil
+
+	default:
+		// Default behaviour: type-check and report like "gcc -fsyntax-only".
+		if _, err := minic.Compile(src); err != nil {
+			return err
+		}
+		fmt.Fprintln(os.Stderr, "ok (use -S, -run, or -cost)")
+		return nil
+	}
+}

@@ -1,0 +1,21 @@
+// Command shell is the Lab 9 Unix shell running on the simulated kernel:
+// foreground and background commands (trailing &), job reaping, history
+// with !! and !n, and the built-in simulated binaries (echo, sleep, yes,
+// true, false).
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"cs31/internal/shell"
+)
+
+func main() {
+	s := shell.New(os.Stdout)
+	if err := s.Interact(os.Stdin); err != nil {
+		fmt.Fprintln(os.Stderr, "shell:", err)
+		os.Exit(1)
+	}
+	s.Drain()
+}

@@ -1,0 +1,78 @@
+// Linked list under memcheck: a C program with structs and dynamic memory
+// is compiled through the course's vertical slice and run with its heap
+// checked — first a correct version (clean report), then a buggy version
+// whose leak and use-after-free the checker pins down, exactly the
+// Valgrind workflow CS 31 teaches.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"cs31/internal/minic"
+)
+
+const correct = `
+struct node {
+    int val;
+    struct node *next;
+};
+
+struct node *push(struct node *head, int v) {
+    struct node *n = malloc(sizeof(struct node));
+    n->val = v;
+    n->next = head;
+    return n;
+}
+
+int main() {
+    struct node *head = 0;
+    for (int i = 1; i <= 5; i++) { head = push(head, i * i); }
+    print_str("list: ");
+    for (struct node *c = head; c != 0; c = c->next) {
+        print_int(c->val);
+        print_char(' ');
+    }
+    print_char('\n');
+    while (head != 0) {
+        struct node *next = head->next;
+        free(head);
+        head = next;
+    }
+    return 0;
+}`
+
+const buggy = `
+struct node {
+    int val;
+    struct node *next;
+};
+
+int main() {
+    struct node *a = malloc(sizeof(struct node));
+    a->val = 1;
+    a->next = 0;
+    struct node *b = malloc(sizeof(struct node));
+    b->val = 2;
+    b->next = 0;
+    free(a);
+    int oops = a->val;     // use after free
+    return oops;           // ... and b leaks
+}`
+
+func main() {
+	fmt.Println("correct list program:")
+	res, err := minic.Run(correct, "", 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(res.Stdout)
+	fmt.Println(res.Memcheck)
+
+	fmt.Println("buggy list program:")
+	res2, err := minic.Run(buggy, "", 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(res2.Memcheck)
+}

@@ -1,0 +1,55 @@
+// Producer/consumer: the bounded-buffer exercise that closes the course's
+// synchronization module. Three producers and two consumers share a
+// four-slot buffer guarded by a mutex and two condition variables; every
+// produced value must be consumed exactly once.
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+
+	"cs31/internal/prodcons"
+)
+
+func main() {
+	const (
+		producers = 3
+		consumers = 2
+		perProd   = 20
+		capacity  = 4
+	)
+	buf, err := prodcons.NewBounded(capacity)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%d producers x %d items through a %d-slot bounded buffer, %d consumers\n",
+		producers, perProd, capacity, consumers)
+
+	res, err := prodcons.Run(buf, producers, consumers, perProd)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("produced %d, consumed %d\n", res.Produced, len(res.Consumed))
+	sorted := append([]int(nil), res.Consumed...)
+	sort.Ints(sorted)
+	for i, v := range sorted {
+		if v != i {
+			log.Fatalf("value %d lost or duplicated!", i)
+		}
+	}
+	fmt.Println("every item delivered exactly once — the synchronization is correct")
+
+	// The same workload through Go's native channel for comparison.
+	ch, err := prodcons.NewChan(capacity)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res2, err := prodcons.Run(ch, producers, consumers, perProd)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("channel-based buffer: %d consumed — same contract, different primitive\n",
+		len(res2.Consumed))
+}

@@ -1,0 +1,72 @@
+// Vertical slice: the course's first two themes in one run. A C program
+// is compiled to IA-32 assembly, executed instruction by instruction, and
+// its memory trace replayed through the cache and virtual-memory
+// simulators — then the same program with a transposed loop nest shows the
+// caching module's punchline: loop order changes the hit rate, not the
+// answer.
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"cs31/internal/cache"
+	"cs31/internal/core"
+)
+
+const rowMajor = `
+int main() {
+    int m[1024];
+    int sum = 0;
+    for (int i = 0; i < 32; i++) {
+        for (int j = 0; j < 32; j++) {
+            m[i * 32 + j] = i + j;
+        }
+    }
+    for (int i = 0; i < 32; i++) {
+        for (int j = 0; j < 32; j++) {
+            sum += m[i * 32 + j];
+        }
+    }
+    print_int(sum);
+    return 0;
+}`
+
+func main() {
+	colMajor := strings.ReplaceAll(rowMajor, "m[i * 32 + j]", "m[j * 32 + i]")
+
+	cfg := core.Config{Cache: cache.Config{SizeBytes: 512, BlockSize: 64, Assoc: 1}}
+	rm, err := core.Run(rowMajor, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cm, err := core.Run(colMajor, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("generated assembly (first lines of main):")
+	for i, line := range strings.Split(rm.Assembly, "\n") {
+		if strings.HasPrefix(line, "main:") {
+			for _, l := range strings.Split(rm.Assembly, "\n")[i : i+8] {
+				fmt.Println("   ", l)
+			}
+			break
+		}
+	}
+
+	fmt.Printf("\nboth orders compute the same sum: %q vs %q\n", rm.Stdout, cm.Stdout)
+	fmt.Println("\nrow-major traversal:")
+	fmt.Print(indent(rm.CostReport()))
+	fmt.Println("\ncolumn-major traversal (same program, loops swapped):")
+	fmt.Print(indent(cm.CostReport()))
+
+	fmt.Printf("\ncache hit rate: %.1f%% (row-major) vs %.1f%% (column-major)\n",
+		100*rm.CacheStats.HitRate(), 100*cm.CacheStats.HitRate())
+	fmt.Println("-> the memory hierarchy rewards spatial locality; the code's answer is unchanged")
+}
+
+func indent(s string) string {
+	return "  " + strings.ReplaceAll(strings.TrimRight(s, "\n"), "\n", "\n  ") + "\n"
+}

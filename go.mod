@@ -1,0 +1,3 @@
+module cs31
+
+go 1.22

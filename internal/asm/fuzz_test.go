@@ -1,0 +1,125 @@
+package asm
+
+// Robustness: the machine must never panic, whatever instructions it
+// executes — faults must surface as errors. Random programs are generated
+// from the full instruction set with random (frequently invalid) operands.
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// randomOperand produces a syntactically valid operand, often semantically
+// dangerous (wild addresses, huge immediates).
+func randomOperand(rng *rand.Rand) Operand {
+	switch rng.Intn(4) {
+	case 0:
+		return Imm(int32(rng.Uint32()))
+	case 1:
+		return Reg(Register(rng.Intn(int(NumRegisters))))
+	case 2:
+		base, index := NoReg, NoReg
+		if rng.Intn(2) == 0 {
+			base = Register(rng.Intn(int(NumRegisters)))
+		}
+		if rng.Intn(3) == 0 {
+			index = Register(rng.Intn(int(NumRegisters)))
+		}
+		scales := []int32{1, 2, 4, 8}
+		op := Mem(int32(rng.Intn(1<<16)), base, index, scales[rng.Intn(4)])
+		if base == NoReg && index == NoReg && rng.Intn(2) == 0 {
+			op.Disp = int32(rng.Uint32())
+		}
+		return op
+	default:
+		return Mem(int32(rng.Intn(1<<20)), NoReg, NoReg, 1)
+	}
+}
+
+func TestMachineNeverPanics(t *testing.T) {
+	mnems := []Mnemonic{
+		MOVL, MOVB, MOVZBL, MOVSBL, LEAL, ADDL, SUBL, IMULL, IDIVL, CLTD,
+		ANDL, ORL, XORL, NOTL, NEGL, INCL, DECL, SALL, SARL, SHRL, CMPL,
+		TESTL, PUSHL, POPL, RET, LEAVE, NOP, INT,
+	}
+	for seed := int64(0); seed < 40; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		var src strings.Builder
+		src.WriteString("main:\n")
+		for i := 0; i < 30; i++ {
+			mn := mnems[rng.Intn(len(mnems))]
+			src.WriteString("    " + mn.String())
+			n := operandCounts[mn]
+			for j := 0; j < n; j++ {
+				op := randomOperand(rng)
+				// Destination operands must be writable; keep the last
+				// operand a register or memory so assembly succeeds.
+				if j == n-1 && op.Kind == OpImm && writesLastOperand(mn) {
+					op = Reg(Register(rng.Intn(int(NumRegisters))))
+				}
+				if mn == INT {
+					op = Imm(0x80)
+				}
+				if j == 0 {
+					src.WriteString(" " + op.String())
+				} else {
+					src.WriteString(", " + op.String())
+				}
+			}
+			src.WriteByte('\n')
+		}
+		src.WriteString("    ret\n")
+
+		prog, err := Assemble(src.String())
+		if err != nil {
+			// Some random combinations are rejected at assembly; that is a
+			// legitimate outcome, not a robustness failure.
+			continue
+		}
+		m, err := NewMachine(prog)
+		if err != nil {
+			continue
+		}
+		m.Stdin = strings.NewReader("42 xyz")
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("seed %d: machine panicked: %v\nprogram:\n%s", seed, r, src.String())
+				}
+			}()
+			_ = m.Run(5000) // errors are fine; panics are not
+		}()
+	}
+}
+
+// writesLastOperand reports whether the mnemonic writes its final operand.
+func writesLastOperand(m Mnemonic) bool {
+	switch m {
+	case MOVL, MOVB, MOVZBL, MOVSBL, LEAL, ADDL, SUBL, IMULL, ANDL, ORL,
+		XORL, SALL, SARL, SHRL, POPL, NOTL, NEGL, INCL, DECL:
+		return true
+	}
+	return false
+}
+
+// TestAssemblerNeverPanics lexes random byte soup.
+func TestAssemblerNeverPanics(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	alphabet := "abcdefgh%$(),.:#-0123456789 \n\tmovladsubjmp\"\\*"
+	for i := 0; i < 200; i++ {
+		n := rng.Intn(200)
+		buf := make([]byte, n)
+		for j := range buf {
+			buf[j] = alphabet[rng.Intn(len(alphabet))]
+		}
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("assembler panicked on %q: %v", buf, r)
+				}
+			}()
+			_, _ = Assemble(string(buf))
+		}()
+	}
+}

@@ -1,0 +1,583 @@
+package asm
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+)
+
+func runProgram(t *testing.T, src string, stdin string) (*Machine, string) {
+	t.Helper()
+	p := mustAssemble(t, src)
+	m, err := NewMachine(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	m.Stdin = strings.NewReader(stdin)
+	m.Stdout = &out
+	if err := m.Run(1_000_000); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	return m, out.String()
+}
+
+func TestMachineArithmetic(t *testing.T) {
+	m, _ := runProgram(t, `
+main:
+    movl $6, %eax
+    movl $7, %ebx
+    imull %ebx, %eax      # eax = 42
+    addl $8, %eax         # 50
+    subl $20, %eax        # 30
+    ret
+`, "")
+	if m.Regs[EAX] != 30 {
+		t.Errorf("eax = %d, want 30", m.Regs[EAX])
+	}
+	if m.ExitStatus != 30 {
+		t.Errorf("exit status = %d (ret from main returns eax)", m.ExitStatus)
+	}
+}
+
+func TestMachineDivision(t *testing.T) {
+	m, _ := runProgram(t, `
+main:
+    movl $-17, %eax
+    cltd
+    movl $5, %ebx
+    idivl %ebx
+    ret
+`, "")
+	if int32(m.Regs[EAX]) != -3 || int32(m.Regs[EDX]) != -2 {
+		t.Errorf("-17/5: q=%d r=%d, want -3, -2", int32(m.Regs[EAX]), int32(m.Regs[EDX]))
+	}
+}
+
+func TestMachineDivideByZero(t *testing.T) {
+	p := mustAssemble(t, "main:\n movl $1, %eax\n cltd\n movl $0, %ebx\n idivl %ebx\n ret")
+	m, err := NewMachine(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Run(100); err == nil || !strings.Contains(err.Error(), "divide by zero") {
+		t.Errorf("expected divide-by-zero, got %v", err)
+	}
+}
+
+func TestMachineFunctionCall(t *testing.T) {
+	// double(x) { return 2*x } called with 21, the full IA-32 frame dance.
+	m, _ := runProgram(t, `
+double:
+    pushl %ebp
+    movl %esp, %ebp
+    movl 8(%ebp), %eax
+    addl %eax, %eax
+    leave
+    ret
+main:
+    pushl %ebp
+    movl %esp, %ebp
+    pushl $21
+    call double
+    addl $4, %esp
+    leave
+    ret
+`, "")
+	if m.Regs[EAX] != 42 {
+		t.Errorf("double(21) = %d, want 42", m.Regs[EAX])
+	}
+}
+
+func TestMachineRecursion(t *testing.T) {
+	// Recursive factorial(6) = 720, exercising deep call stacks.
+	m, _ := runProgram(t, `
+fact:
+    pushl %ebp
+    movl %esp, %ebp
+    movl 8(%ebp), %eax
+    cmpl $1, %eax
+    jle base
+    pushl %eax
+    decl %eax
+    pushl %eax
+    call fact
+    addl $4, %esp
+    popl %ebx
+    imull %ebx, %eax
+    leave
+    ret
+base:
+    movl $1, %eax
+    leave
+    ret
+main:
+    pushl $6
+    call fact
+    addl $4, %esp
+    ret
+`, "")
+	if m.Regs[EAX] != 720 {
+		t.Errorf("fact(6) = %d, want 720", m.Regs[EAX])
+	}
+}
+
+func TestMachineArraySum(t *testing.T) {
+	// Sum a 5-element array with scaled index addressing.
+	m, _ := runProgram(t, `
+.data
+arr: .long 10, 20, 30, 40, 50
+.text
+main:
+    movl $0, %eax     # sum
+    movl $0, %ecx     # i
+    movl $arr, %esi
+loop:
+    cmpl $5, %ecx
+    jge done
+    addl (%esi,%ecx,4), %eax
+    incl %ecx
+    jmp loop
+done:
+    ret
+`, "")
+	if m.Regs[EAX] != 150 {
+		t.Errorf("array sum = %d, want 150", m.Regs[EAX])
+	}
+}
+
+func TestMachineConditionCodes(t *testing.T) {
+	// Signed vs unsigned comparisons: -1 < 1 signed, but 0xffffffff > 1
+	// unsigned — the classic homework trap.
+	m, _ := runProgram(t, `
+main:
+    movl $-1, %eax
+    cmpl $1, %eax
+    jl signedLess
+    movl $0, %ebx
+    jmp next
+signedLess:
+    movl $1, %ebx
+next:
+    movl $-1, %eax
+    cmpl $1, %eax
+    ja unsignedAbove
+    movl $0, %ecx
+    jmp out
+unsignedAbove:
+    movl $1, %ecx
+out:
+    ret
+`, "")
+	if m.Regs[EBX] != 1 {
+		t.Error("jl should treat -1 < 1 (signed)")
+	}
+	if m.Regs[ECX] != 1 {
+		t.Error("ja should treat 0xffffffff > 1 (unsigned)")
+	}
+}
+
+func TestMachineFlagDetails(t *testing.T) {
+	p := mustAssemble(t, `
+    movl $5, %eax
+    cmpl $5, %eax
+    nop
+`)
+	m, err := NewMachine(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		if err := m.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !m.Flags.ZF || m.Flags.CF || m.Flags.SF || m.Flags.OF {
+		t.Errorf("5-5 flags: %+v", m.Flags)
+	}
+}
+
+func TestMachineSubBorrowSetsCF(t *testing.T) {
+	p := mustAssemble(t, `
+    movl $3, %eax
+    subl $5, %eax
+    nop
+`)
+	m, _ := NewMachine(p)
+	m.Step()
+	m.Step()
+	if !m.Flags.CF {
+		t.Error("3-5 should set CF (borrow)")
+	}
+	if !m.Flags.SF {
+		t.Error("3-5 should set SF")
+	}
+	if int32(m.Regs[EAX]) != -2 {
+		t.Errorf("3-5 = %d", int32(m.Regs[EAX]))
+	}
+}
+
+func TestMachineIncDecPreserveCF(t *testing.T) {
+	p := mustAssemble(t, `
+    movl $0, %eax
+    subl $1, %eax   # sets CF
+    incl %eax       # must preserve CF
+    nop
+`)
+	m, _ := NewMachine(p)
+	for i := 0; i < 3; i++ {
+		if err := m.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !m.Flags.CF {
+		t.Error("incl must preserve CF")
+	}
+	if !m.Flags.ZF {
+		t.Error("incl of -1 should set ZF")
+	}
+}
+
+func TestMachineShifts(t *testing.T) {
+	m, _ := runProgram(t, `
+main:
+    movl $-8, %eax
+    sarl $1, %eax      # -4 arithmetic
+    movl $-8, %ebx
+    shrl $1, %ebx      # logical: big positive
+    movl $3, %ecx
+    sall $2, %ecx      # 12
+    ret
+`, "")
+	if int32(m.Regs[EAX]) != -4 {
+		t.Errorf("sarl: %d", int32(m.Regs[EAX]))
+	}
+	if m.Regs[EBX] != 0x7ffffffc {
+		t.Errorf("shrl: %#x", m.Regs[EBX])
+	}
+	if m.Regs[ECX] != 12 {
+		t.Errorf("sall: %d", m.Regs[ECX])
+	}
+}
+
+func TestMachineShiftByCL(t *testing.T) {
+	m, _ := runProgram(t, `
+main:
+    movl $3, %ecx
+    movl $1, %eax
+    sall %cl, %eax
+    ret
+`, "")
+	if m.Regs[EAX] != 8 {
+		t.Errorf("1 << cl(3) = %d, want 8", m.Regs[EAX])
+	}
+}
+
+func TestMachineByteOps(t *testing.T) {
+	m, _ := runProgram(t, `
+.data
+s: .asciz "AB"
+.text
+main:
+    movzbl s, %eax       # 'A' = 65
+    movl $s, %esi
+    movsbl 1(%esi), %ebx # 'B' = 66
+    movb $90, s          # overwrite with 'Z'
+    movzbl s, %ecx
+    ret
+`, "")
+	if m.Regs[EAX] != 65 || m.Regs[EBX] != 66 || m.Regs[ECX] != 90 {
+		t.Errorf("byte ops: eax=%d ebx=%d ecx=%d", m.Regs[EAX], m.Regs[EBX], m.Regs[ECX])
+	}
+}
+
+func TestMachineMovsblSignExtends(t *testing.T) {
+	m, _ := runProgram(t, `
+.data
+b: .byte -1
+.text
+main:
+    movsbl b, %eax
+    movzbl b, %ebx
+    ret
+`, "")
+	if int32(m.Regs[EAX]) != -1 {
+		t.Errorf("movsbl -1 = %d", int32(m.Regs[EAX]))
+	}
+	if m.Regs[EBX] != 255 {
+		t.Errorf("movzbl -1 = %d", m.Regs[EBX])
+	}
+}
+
+func TestMachineNotNeg(t *testing.T) {
+	m, _ := runProgram(t, `
+main:
+    movl $5, %eax
+    notl %eax
+    movl $5, %ebx
+    negl %ebx
+    ret
+`, "")
+	if int32(m.Regs[EAX]) != -6 || int32(m.Regs[EBX]) != -5 {
+		t.Errorf("not/neg: %d, %d", int32(m.Regs[EAX]), int32(m.Regs[EBX]))
+	}
+}
+
+func TestMachineSyscallWriteAndExit(t *testing.T) {
+	m, out := runProgram(t, `
+.data
+msg: .asciz "hello\n"
+.text
+main:
+    movl $4, %eax
+    movl $1, %ebx
+    movl $msg, %ecx
+    movl $6, %edx
+    int $0x80
+    movl $1, %eax
+    movl $7, %ebx
+    int $0x80
+`, "")
+	if out != "hello\n" {
+		t.Errorf("stdout = %q", out)
+	}
+	if m.ExitStatus != 7 {
+		t.Errorf("exit status = %d", m.ExitStatus)
+	}
+}
+
+func TestMachineSyscallReadAndPrintInt(t *testing.T) {
+	_, out := runProgram(t, `
+main:
+    movl $6, %eax      # read_int
+    int $0x80
+    movl %eax, %ebx
+    imull $2, %ebx
+    movl $5, %eax      # print_int
+    int $0x80
+    movl $1, %eax
+    movl $0, %ebx
+    int $0x80
+`, "21")
+	if out != "42" {
+		t.Errorf("stdout = %q", out)
+	}
+}
+
+func TestMachineSyscallReadBuffer(t *testing.T) {
+	m, _ := runProgram(t, `
+.data
+buf: .space 16
+.text
+main:
+    movl $3, %eax
+    movl $0, %ebx
+    movl $buf, %ecx
+    movl $5, %edx
+    int $0x80
+    ret
+`, "hello world")
+	if m.Regs[EAX] != 5 {
+		t.Errorf("read returned %d", m.Regs[EAX])
+	}
+	s, err := m.ReadCString(m.Prog.Symbols["buf"], 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s != "hello" {
+		t.Errorf("buffer = %q", s)
+	}
+}
+
+func TestMachineSbrk(t *testing.T) {
+	m, _ := runProgram(t, `
+main:
+    movl $90, %eax
+    movl $64, %ebx
+    int $0x80
+    movl %eax, %esi    # old break
+    movl $90, %eax
+    movl $0, %ebx
+    int $0x80          # current break
+    subl %esi, %eax
+    ret
+`, "")
+	if m.Regs[EAX] != 64 {
+		t.Errorf("sbrk grew by %d, want 64", m.Regs[EAX])
+	}
+}
+
+func TestMachineSegfaults(t *testing.T) {
+	cases := []struct{ name, src string }{
+		{"null read", "main:\n movl 0(%eax), %ebx\n ret"},
+		{"null write", "main:\n movl $0, %eax\n movl %ebx, 4(%eax)\n ret"},
+		{"out of bounds", "main:\n movl $0x7fffffff, %eax\n movl (%eax), %ebx\n ret"},
+		{"text write", "main:\n movl $main, %eax\n movl $0, (%eax)\n ret"},
+	}
+	for _, c := range cases {
+		p := mustAssemble(t, c.src)
+		m, err := NewMachine(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		err = m.Run(100)
+		var sf *SegFault
+		if !errors.As(err, &sf) {
+			t.Errorf("%s: got %v, want SegFault", c.name, err)
+		}
+	}
+}
+
+func TestMachineBadJump(t *testing.T) {
+	p := mustAssemble(t, `
+main:
+    pushl $12345      # garbage "return address"... sort of
+    ret
+`)
+	m, err := NewMachine(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Run(100); err == nil {
+		t.Error("ret to garbage should fail")
+	}
+}
+
+func TestMachineIndirectJump(t *testing.T) {
+	m, _ := runProgram(t, `
+main:
+    movl $target, %eax
+    jmp *%eax
+    movl $0, %ebx
+    ret
+target:
+    movl $99, %ebx
+    ret
+`, "")
+	if m.Regs[EBX] != 99 {
+		t.Errorf("indirect jump: ebx = %d", m.Regs[EBX])
+	}
+}
+
+func TestMachineStepBudget(t *testing.T) {
+	p := mustAssemble(t, "spin: jmp spin")
+	m, err := NewMachine(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Run(100); err == nil {
+		t.Error("expected budget exhaustion")
+	}
+}
+
+func TestMachineStepAfterExit(t *testing.T) {
+	p := mustAssemble(t, "main:\n ret")
+	m, _ := NewMachine(p)
+	if err := m.Run(10); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Step(); !errors.Is(err, ErrExited) {
+		t.Errorf("Step after exit: %v", err)
+	}
+	if _, ok := m.CurrentInstr(); ok && m.PC >= len(p.Instrs) {
+		t.Error("CurrentInstr should respect bounds")
+	}
+}
+
+func TestMachineTraceEvents(t *testing.T) {
+	p := mustAssemble(t, `
+.data
+x: .long 7
+.text
+main:
+    movl x, %eax
+    movl %eax, x
+    ret
+`)
+	m, err := NewMachine(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var events []MemEvent
+	m.Trace = func(e MemEvent) { events = append(events, e) }
+	if err := m.Run(100); err != nil {
+		t.Fatal(err)
+	}
+	// Expect at least: read x, write x, plus stack traffic from ret.
+	xAddr := p.Symbols["x"]
+	var sawRead, sawWrite bool
+	for _, e := range events {
+		if e.Addr == xAddr && !e.Write && e.Size == 4 {
+			sawRead = true
+		}
+		if e.Addr == xAddr && e.Write {
+			sawWrite = true
+		}
+	}
+	if !sawRead || !sawWrite {
+		t.Errorf("trace missing x accesses: %+v", events)
+	}
+}
+
+func TestMachineMemorySizeValidation(t *testing.T) {
+	p := mustAssemble(t, "main:\n ret")
+	if _, err := NewMachineSize(p, 100); err == nil {
+		t.Error("tiny memory should be rejected")
+	}
+	big := mustAssemble(t, ".data\nx: .space 100\n.text\nmain:\n ret")
+	if _, err := NewMachineSize(big, 1<<12); err == nil {
+		t.Error("data past memory end should be rejected")
+	}
+}
+
+func TestMachineUnknownSyscall(t *testing.T) {
+	p := mustAssemble(t, "main:\n movl $999, %eax\n int $0x80\n ret")
+	m, _ := NewMachine(p)
+	if err := m.Run(10); err == nil || !strings.Contains(err.Error(), "unknown syscall") {
+		t.Errorf("got %v", err)
+	}
+}
+
+func TestMachineBadInterrupt(t *testing.T) {
+	p := mustAssemble(t, "main:\n int $3\n ret")
+	m, _ := NewMachine(p)
+	if err := m.Run(10); err == nil {
+		t.Error("int $3 should be unsupported")
+	}
+}
+
+func TestReadCStringUnterminated(t *testing.T) {
+	p := mustAssemble(t, ".data\nb: .byte 65, 66\n.text\nmain:\n ret")
+	m, _ := NewMachine(p)
+	if _, err := m.ReadCString(p.Symbols["b"], 2); err == nil {
+		t.Error("unterminated string should error")
+	}
+}
+
+func BenchmarkMachineArithLoop(b *testing.B) {
+	p, err := Assemble(`
+main:
+    movl $1000, %ecx
+    movl $0, %eax
+loop:
+    addl %ecx, %eax
+    decl %ecx
+    cmpl $0, %ecx
+    jne loop
+    ret
+`)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m, err := NewMachine(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := m.Run(100000); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,221 @@
+package asm
+
+// The C31X object format: a simplified executable file format in the
+// spirit of the course's "C is compiled to binary instructions" story.
+// A Program serializes to a flat little-endian image with a magic header,
+// a text section (one fixed-layout record per instruction), a data
+// section, and a symbol table — and loads back bit-identically, so
+// students really can "disassemble their own binaries".
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// objMagic identifies a C31X object file.
+var objMagic = [4]byte{'C', '3', '1', 'X'}
+
+// objVersion is the current format version.
+const objVersion uint32 = 1
+
+type objHeader struct {
+	Magic    [4]byte
+	Version  uint32
+	TextBase uint32
+	DataBase uint32
+	Entry    uint32
+	NumInstr uint32
+	DataLen  uint32
+	NumSyms  uint32
+}
+
+// objInstr is the fixed-size text record: every operand slot is present
+// whether used or not, keeping the format trivially seekable.
+type objInstr struct {
+	Mn     uint16
+	NumOps uint8
+	_      uint8
+	Line   uint32
+	Ops    [2]objOperand
+}
+
+type objOperand struct {
+	Kind  uint8
+	Reg   int8
+	Base  int8
+	Index int8
+	Scale int32
+	Imm   int32
+	Disp  int32
+}
+
+// WriteObject serializes the program in C31X format.
+func (p *Program) WriteObject(w io.Writer) error {
+	if len(p.Instrs) > 1<<24 {
+		return fmt.Errorf("asm: program too large to serialize")
+	}
+	for i, in := range p.Instrs {
+		if len(in.Ops) > 2 {
+			return fmt.Errorf("asm: instruction %d has %d operands (max 2)", i, len(in.Ops))
+		}
+	}
+	h := objHeader{
+		Magic:    objMagic,
+		Version:  objVersion,
+		TextBase: p.TextBase,
+		DataBase: p.DataBase,
+		Entry:    p.Entry,
+		NumInstr: uint32(len(p.Instrs)),
+		DataLen:  uint32(len(p.Data)),
+		NumSyms:  uint32(len(p.Symbols)),
+	}
+	if err := binary.Write(w, binary.LittleEndian, h); err != nil {
+		return err
+	}
+	for _, in := range p.Instrs {
+		rec := objInstr{Mn: uint16(in.Mn), NumOps: uint8(len(in.Ops)), Line: uint32(in.Line)}
+		for i, op := range in.Ops {
+			rec.Ops[i] = objOperand{
+				Kind: uint8(op.Kind), Reg: int8(op.Reg),
+				Base: int8(op.Base), Index: int8(op.Index),
+				Scale: op.Scale, Imm: op.Imm, Disp: op.Disp,
+			}
+		}
+		if err := binary.Write(w, binary.LittleEndian, rec); err != nil {
+			return err
+		}
+	}
+	if _, err := w.Write(p.Data); err != nil {
+		return err
+	}
+	// Symbol table: length-prefixed names, sorted for determinism.
+	names := make([]string, 0, len(p.Symbols))
+	for name := range p.Symbols {
+		names = append(names, name)
+	}
+	sortStrings(names)
+	for _, name := range names {
+		if len(name) > 255 {
+			return fmt.Errorf("asm: symbol %q too long", name)
+		}
+		if err := binary.Write(w, binary.LittleEndian, uint8(len(name))); err != nil {
+			return err
+		}
+		if _, err := io.WriteString(w, name); err != nil {
+			return err
+		}
+		if err := binary.Write(w, binary.LittleEndian, p.Symbols[name]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// sortStrings is an insertion sort, avoiding a sort import for one call.
+func sortStrings(s []string) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}
+
+// ReadObject loads a C31X object file into a Program, validating the
+// header, every instruction record, and internal consistency (operand
+// kinds, register numbers, label targets).
+func ReadObject(r io.Reader) (*Program, error) {
+	var h objHeader
+	if err := binary.Read(r, binary.LittleEndian, &h); err != nil {
+		return nil, fmt.Errorf("asm: bad object header: %w", err)
+	}
+	if h.Magic != objMagic {
+		return nil, fmt.Errorf("asm: not a C31X object (magic %q)", h.Magic[:])
+	}
+	if h.Version != objVersion {
+		return nil, fmt.Errorf("asm: unsupported object version %d", h.Version)
+	}
+	if h.NumInstr > 1<<24 || h.DataLen > 1<<28 || h.NumSyms > 1<<20 {
+		return nil, fmt.Errorf("asm: object header sizes implausible")
+	}
+	p := &Program{
+		TextBase: h.TextBase,
+		DataBase: h.DataBase,
+		Entry:    h.Entry,
+		Symbols:  make(map[string]uint32, h.NumSyms),
+	}
+	for i := uint32(0); i < h.NumInstr; i++ {
+		var rec objInstr
+		if err := binary.Read(r, binary.LittleEndian, &rec); err != nil {
+			return nil, fmt.Errorf("asm: truncated text section: %w", err)
+		}
+		if Mnemonic(rec.Mn) >= numMnemonics {
+			return nil, fmt.Errorf("asm: instruction %d: bad mnemonic %d", i, rec.Mn)
+		}
+		if rec.NumOps > 2 {
+			return nil, fmt.Errorf("asm: instruction %d: %d operands", i, rec.NumOps)
+		}
+		in := Instruction{
+			Mn:   Mnemonic(rec.Mn),
+			Line: int(rec.Line),
+			Addr: h.TextBase + i*InstrBytes,
+		}
+		for j := uint8(0); j < rec.NumOps; j++ {
+			o := rec.Ops[j]
+			if OperandKind(o.Kind) > OpLabel {
+				return nil, fmt.Errorf("asm: instruction %d: bad operand kind %d", i, o.Kind)
+			}
+			checkReg := func(r int8) error {
+				if r != int8(NoReg) && (r < 0 || Register(r) >= NumRegisters) {
+					return fmt.Errorf("asm: instruction %d: bad register %d", i, r)
+				}
+				return nil
+			}
+			for _, reg := range []int8{o.Reg, o.Base, o.Index} {
+				if err := checkReg(reg); err != nil {
+					return nil, err
+				}
+			}
+			in.Ops = append(in.Ops, Operand{
+				Kind: OperandKind(o.Kind), Reg: Register(o.Reg),
+				Base: Register(o.Base), Index: Register(o.Index),
+				Scale: o.Scale, Imm: o.Imm, Disp: o.Disp,
+			})
+		}
+		if want := operandCounts[in.Mn]; len(in.Ops) != want {
+			return nil, fmt.Errorf("asm: instruction %d: %s needs %d operands, has %d",
+				i, in.Mn, want, len(in.Ops))
+		}
+		p.Instrs = append(p.Instrs, in)
+	}
+	p.Data = make([]byte, h.DataLen)
+	if _, err := io.ReadFull(r, p.Data); err != nil {
+		return nil, fmt.Errorf("asm: truncated data section: %w", err)
+	}
+	for i := uint32(0); i < h.NumSyms; i++ {
+		var n uint8
+		if err := binary.Read(r, binary.LittleEndian, &n); err != nil {
+			return nil, fmt.Errorf("asm: truncated symbol table: %w", err)
+		}
+		nameBuf := make([]byte, n)
+		if _, err := io.ReadFull(r, nameBuf); err != nil {
+			return nil, fmt.Errorf("asm: truncated symbol name: %w", err)
+		}
+		var addr uint32
+		if err := binary.Read(r, binary.LittleEndian, &addr); err != nil {
+			return nil, fmt.Errorf("asm: truncated symbol address: %w", err)
+		}
+		p.Symbols[string(nameBuf)] = addr
+	}
+	return p, nil
+}
+
+// ObjectBytes serializes to a byte slice.
+func (p *Program) ObjectBytes() ([]byte, error) {
+	var buf bytes.Buffer
+	if err := p.WriteObject(&buf); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}

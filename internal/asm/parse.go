@@ -1,0 +1,496 @@
+package asm
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Default segment layout for assembled programs. The machine's memory is a
+// flat byte array, so these are small offsets rather than the classic
+// 0x08048000 bases; the first page is left unmapped to catch NULL
+// dereferences.
+const (
+	DefaultTextBase = 0x00001000
+	DefaultDataBase = 0x00010000
+)
+
+// SyntaxError reports an assembly error with its source line.
+type SyntaxError struct {
+	Line int
+	Msg  string
+}
+
+func (e *SyntaxError) Error() string {
+	return fmt.Sprintf("asm: line %d: %s", e.Line, e.Msg)
+}
+
+func errf(line int, format string, args ...interface{}) error {
+	return &SyntaxError{Line: line, Msg: fmt.Sprintf(format, args...)}
+}
+
+// operandCounts maps each mnemonic to its required operand count.
+var operandCounts = map[Mnemonic]int{
+	MOVL: 2, MOVB: 2, MOVZBL: 2, MOVSBL: 2, LEAL: 2, ADDL: 2, SUBL: 2,
+	IMULL: 2, IDIVL: 1, CLTD: 0, ANDL: 2, ORL: 2, XORL: 2, NOTL: 1,
+	NEGL: 1, INCL: 1, DECL: 1, SALL: 2, SARL: 2, SHRL: 2, CMPL: 2,
+	TESTL: 2, PUSHL: 1, POPL: 1, CALL: 1, RET: 0, LEAVE: 0, JMP: 1,
+	JE: 1, JNE: 1, JL: 1, JLE: 1, JG: 1, JGE: 1, JB: 1, JBE: 1, JA: 1,
+	JAE: 1, JS: 1, JNS: 1, NOP: 0, INT: 1,
+}
+
+// isJumpOrCall reports whether the mnemonic's operand is a code label.
+func isJumpOrCall(m Mnemonic) bool {
+	switch m {
+	case CALL, JMP, JE, JNE, JL, JLE, JG, JGE, JB, JBE, JA, JAE, JS, JNS:
+		return true
+	}
+	return false
+}
+
+// Assemble parses AT&T-syntax source into a Program using the default
+// segment bases. Supported directives: .text, .data, .globl (ignored),
+// .long, .byte, .asciz/.string, .space. Comments run from '#' to end of
+// line. A label "main" becomes the entry point.
+func Assemble(src string) (*Program, error) {
+	return AssembleAt(src, DefaultTextBase, DefaultDataBase)
+}
+
+// AssembleAt assembles with explicit text and data segment bases.
+func AssembleAt(src string, textBase, dataBase uint32) (*Program, error) {
+	p := &Program{
+		Symbols:  make(map[string]uint32),
+		TextBase: textBase,
+		DataBase: dataBase,
+	}
+
+	type pending struct {
+		instrIdx int
+		opIdx    int
+		sym      string
+		line     int
+		imm      bool // $sym immediate reference
+	}
+	var fixups []pending
+
+	inData := false
+	lines := strings.Split(src, "\n")
+	for lineNo, raw := range lines {
+		line := stripComment(raw)
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		ln := lineNo + 1
+
+		// Labels (possibly several, possibly followed by code on the line).
+		for {
+			i := strings.IndexByte(line, ':')
+			if i < 0 {
+				break
+			}
+			name := strings.TrimSpace(line[:i])
+			if !isIdent(name) {
+				// Not a label (e.g. a ':' inside a string literal); let the
+				// directive/instruction parser handle the line.
+				break
+			}
+			if _, dup := p.Symbols[name]; dup {
+				return nil, errf(ln, "duplicate label %q", name)
+			}
+			if inData {
+				p.Symbols[name] = dataBase + uint32(len(p.Data))
+			} else {
+				p.Symbols[name] = textBase + uint32(len(p.Instrs))*InstrBytes
+			}
+			line = strings.TrimSpace(line[i+1:])
+			if line == "" {
+				break
+			}
+		}
+		if line == "" {
+			continue
+		}
+
+		// Directives.
+		if strings.HasPrefix(line, ".") {
+			if err := parseDirective(p, line, ln, &inData); err != nil {
+				return nil, err
+			}
+			continue
+		}
+
+		if inData {
+			return nil, errf(ln, "instruction %q in .data section", line)
+		}
+
+		// Instruction.
+		fields := strings.SplitN(line, " ", 2)
+		mnName := strings.TrimSpace(fields[0])
+		mn, ok := MnemonicByName(strings.ToLower(mnName))
+		if !ok {
+			return nil, errf(ln, "unknown instruction %q", mnName)
+		}
+		var rest string
+		if len(fields) == 2 {
+			rest = strings.TrimSpace(fields[1])
+		}
+		ops, syms, err := parseOperands(mn, rest, ln)
+		if err != nil {
+			return nil, err
+		}
+		want := operandCounts[mn]
+		if len(ops) != want {
+			return nil, errf(ln, "%s takes %d operand(s), got %d", mn, want, len(ops))
+		}
+		idx := len(p.Instrs)
+		p.Instrs = append(p.Instrs, Instruction{
+			Mn: mn, Ops: ops,
+			Addr: textBase + uint32(idx)*InstrBytes,
+			Line: ln,
+		})
+		for _, s := range syms {
+			fixups = append(fixups, pending{
+				instrIdx: idx, opIdx: s.opIdx, sym: s.sym, line: ln, imm: s.imm,
+			})
+		}
+	}
+
+	// Second pass: resolve symbol references.
+	for _, f := range fixups {
+		addr, ok := p.Symbols[f.sym]
+		if !ok {
+			return nil, errf(f.line, "undefined symbol %q", f.sym)
+		}
+		op := &p.Instrs[f.instrIdx].Ops[f.opIdx]
+		switch {
+		case f.imm, op.Kind == OpLabel:
+			op.Imm = int32(addr)
+		case op.Kind == OpMem:
+			op.Disp += int32(addr)
+		}
+	}
+
+	if main, ok := p.Symbols["main"]; ok {
+		p.Entry = main
+	} else {
+		p.Entry = textBase
+	}
+	return p, nil
+}
+
+func parseDirective(p *Program, line string, ln int, inData *bool) error {
+	fields := strings.SplitN(line, " ", 2)
+	dir := fields[0]
+	var arg string
+	if len(fields) == 2 {
+		arg = strings.TrimSpace(fields[1])
+	}
+	switch dir {
+	case ".text":
+		*inData = false
+	case ".data":
+		*inData = true
+	case ".globl", ".global", ".align", ".type", ".size", ".section":
+		// accepted and ignored, so compiler output assembles unchanged
+	case ".long", ".word", ".int":
+		if !*inData {
+			return errf(ln, "%s outside .data", dir)
+		}
+		for _, tok := range strings.Split(arg, ",") {
+			v, err := parseInt(strings.TrimSpace(tok))
+			if err != nil {
+				return errf(ln, "bad %s value %q", dir, tok)
+			}
+			p.Data = append(p.Data,
+				byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+		}
+	case ".byte":
+		if !*inData {
+			return errf(ln, ".byte outside .data")
+		}
+		for _, tok := range strings.Split(arg, ",") {
+			v, err := parseInt(strings.TrimSpace(tok))
+			if err != nil {
+				return errf(ln, "bad .byte value %q", tok)
+			}
+			if v < -128 || v > 255 {
+				return errf(ln, ".byte value %d out of range", v)
+			}
+			p.Data = append(p.Data, byte(v))
+		}
+	case ".asciz", ".string", ".ascii":
+		s, err := strconv.Unquote(arg)
+		if err != nil {
+			return errf(ln, "bad string literal %s", arg)
+		}
+		p.Data = append(p.Data, []byte(s)...)
+		if dir != ".ascii" {
+			p.Data = append(p.Data, 0)
+		}
+	case ".space", ".zero", ".skip":
+		n, err := parseInt(arg)
+		if err != nil || n < 0 {
+			return errf(ln, "bad %s size %q", dir, arg)
+		}
+		p.Data = append(p.Data, make([]byte, n)...)
+	default:
+		return errf(ln, "unknown directive %q", dir)
+	}
+	return nil
+}
+
+type symRef struct {
+	opIdx int
+	sym   string
+	imm   bool
+}
+
+// parseOperands splits and parses the comma-separated operand list,
+// returning any symbol references needing second-pass resolution.
+func parseOperands(mn Mnemonic, s string, ln int) ([]Operand, []symRef, error) {
+	if s == "" {
+		return nil, nil, nil
+	}
+	parts := splitOperands(s)
+	ops := make([]Operand, 0, len(parts))
+	var syms []symRef
+	for i, part := range parts {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			return nil, nil, errf(ln, "empty operand %d", i+1)
+		}
+		op, sym, err := parseOperand(mn, part, ln)
+		if err != nil {
+			return nil, nil, err
+		}
+		if sym != nil {
+			sym.opIdx = i
+			syms = append(syms, *sym)
+		}
+		ops = append(ops, op)
+	}
+	return ops, syms, nil
+}
+
+// splitOperands splits on commas that are not inside parentheses (memory
+// operands contain commas).
+func splitOperands(s string) []string {
+	var parts []string
+	depth := 0
+	start := 0
+	for i, r := range s {
+		switch r {
+		case '(':
+			depth++
+		case ')':
+			depth--
+		case ',':
+			if depth == 0 {
+				parts = append(parts, s[start:i])
+				start = i + 1
+			}
+		}
+	}
+	parts = append(parts, s[start:])
+	return parts
+}
+
+func parseOperand(mn Mnemonic, s string, ln int) (Operand, *symRef, error) {
+	switch {
+	case strings.HasPrefix(s, "$"):
+		body := s[1:]
+		if v, err := parseInt(body); err == nil {
+			return Imm(int32(v)), nil, nil
+		}
+		if isIdent(body) {
+			op := Imm(0)
+			op.Sym = body
+			return op, &symRef{sym: body, imm: true}, nil
+		}
+		return Operand{}, nil, errf(ln, "bad immediate %q", s)
+
+	case strings.HasPrefix(s, "%"):
+		r, ok := RegisterByName(strings.ToLower(s[1:]))
+		if !ok {
+			// Accept %cl as an alias for the low byte of ecx in shift counts.
+			if strings.ToLower(s[1:]) == "cl" {
+				return Reg(ECX), nil, nil
+			}
+			return Operand{}, nil, errf(ln, "unknown register %q", s)
+		}
+		return Reg(r), nil, nil
+
+	case strings.Contains(s, "("):
+		return parseMemOperand(s, ln)
+
+	default:
+		// Bare token: label target for jumps/calls, direct memory reference
+		// otherwise, or a bare integer address.
+		if isJumpOrCall(mn) {
+			if strings.HasPrefix(s, "*") {
+				// Indirect jump through register: *%eax.
+				r, ok := RegisterByName(strings.ToLower(strings.TrimPrefix(s, "*%")))
+				if !ok {
+					return Operand{}, nil, errf(ln, "bad indirect target %q", s)
+				}
+				return Reg(r), nil, nil
+			}
+			if v, err := parseInt(s); err == nil {
+				op := Label("")
+				op.Imm = int32(v)
+				return op, nil, nil
+			}
+			if !isIdent(s) {
+				return Operand{}, nil, errf(ln, "bad jump target %q", s)
+			}
+			return Label(s), &symRef{sym: s}, nil
+		}
+		if v, err := parseInt(s); err == nil {
+			return Mem(int32(v), NoReg, NoReg, 1), nil, nil
+		}
+		if isIdent(s) {
+			op := Mem(0, NoReg, NoReg, 1)
+			op.Sym = s
+			return op, &symRef{sym: s}, nil
+		}
+		return Operand{}, nil, errf(ln, "bad operand %q", s)
+	}
+}
+
+// parseMemOperand parses disp(base,index,scale) forms, including
+// sym(%reg) and (%base,%index,scale).
+func parseMemOperand(s string, ln int) (Operand, *symRef, error) {
+	open := strings.IndexByte(s, '(')
+	closeIdx := strings.LastIndexByte(s, ')')
+	if closeIdx != len(s)-1 {
+		return Operand{}, nil, errf(ln, "bad memory operand %q", s)
+	}
+	dispStr := strings.TrimSpace(s[:open])
+	inner := s[open+1 : closeIdx]
+
+	op := Mem(0, NoReg, NoReg, 1)
+	var ref *symRef
+	if dispStr != "" {
+		if v, err := parseInt(dispStr); err == nil {
+			op.Disp = int32(v)
+		} else if isIdent(dispStr) {
+			op.Sym = dispStr
+			ref = &symRef{sym: dispStr}
+		} else {
+			return Operand{}, nil, errf(ln, "bad displacement %q", dispStr)
+		}
+	}
+
+	parts := strings.Split(inner, ",")
+	if len(parts) > 3 {
+		return Operand{}, nil, errf(ln, "bad memory operand %q", s)
+	}
+	parseReg := func(t string) (Register, error) {
+		t = strings.TrimSpace(t)
+		if t == "" {
+			return NoReg, nil
+		}
+		if !strings.HasPrefix(t, "%") {
+			return NoReg, errf(ln, "expected register, got %q", t)
+		}
+		r, ok := RegisterByName(strings.ToLower(t[1:]))
+		if !ok {
+			return NoReg, errf(ln, "unknown register %q", t)
+		}
+		return r, nil
+	}
+	var err error
+	if op.Base, err = parseReg(parts[0]); err != nil {
+		return Operand{}, nil, err
+	}
+	if len(parts) >= 2 {
+		if op.Index, err = parseReg(parts[1]); err != nil {
+			return Operand{}, nil, err
+		}
+	}
+	if len(parts) == 3 {
+		sc, err := parseInt(strings.TrimSpace(parts[2]))
+		if err != nil || (sc != 1 && sc != 2 && sc != 4 && sc != 8) {
+			return Operand{}, nil, errf(ln, "bad scale %q", parts[2])
+		}
+		op.Scale = int32(sc)
+	}
+	if op.Base == NoReg && op.Index == NoReg && op.Sym == "" && dispStr == "" {
+		return Operand{}, nil, errf(ln, "empty memory operand %q", s)
+	}
+	return op, ref, nil
+}
+
+func parseInt(s string) (int64, error) {
+	if s == "" {
+		return 0, fmt.Errorf("empty")
+	}
+	neg := false
+	if s[0] == '-' {
+		neg = true
+		s = s[1:]
+	} else if s[0] == '+' {
+		s = s[1:]
+	}
+	if len(s) >= 3 && s[0] == '\'' && s[len(s)-1] == '\'' {
+		body, err := strconv.Unquote(s)
+		if err != nil || len(body) != 1 {
+			return 0, fmt.Errorf("bad char literal")
+		}
+		v := int64(body[0])
+		if neg {
+			v = -v
+		}
+		return v, nil
+	}
+	v, err := strconv.ParseInt(s, 0, 64)
+	if err != nil {
+		return 0, err
+	}
+	if v > 1<<32-1 || v < -(1<<31) {
+		return 0, fmt.Errorf("out of 32-bit range")
+	}
+	if neg {
+		v = -v
+	}
+	return v, nil
+}
+
+// stripComment removes a '#' comment, ignoring '#' inside double-quoted
+// string literals (with backslash escapes).
+func stripComment(line string) string {
+	inStr := false
+	for i := 0; i < len(line); i++ {
+		switch line[i] {
+		case '\\':
+			if inStr {
+				i++ // skip escaped char
+			}
+		case '"':
+			inStr = !inStr
+		case '#':
+			if !inStr {
+				return line[:i]
+			}
+		}
+	}
+	return line
+}
+
+func isIdent(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		isAlpha := r == '_' || r == '.' || (r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z')
+		isDigit := r >= '0' && r <= '9'
+		if i == 0 && !isAlpha {
+			return false
+		}
+		if !isAlpha && !isDigit {
+			return false
+		}
+	}
+	return true
+}

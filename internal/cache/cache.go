@@ -1,0 +1,368 @@
+// Package cache is the trace-driven cache simulator behind CS 31's caching
+// module and the direct-mapped / set-associative homeworks: tag/index/offset
+// address division, direct-mapped and N-way set-associative organizations,
+// LRU and FIFO replacement, and write-through/write-back with
+// write-allocate/no-allocate policies, with full hit/miss/eviction/traffic
+// statistics.
+package cache
+
+import (
+	"fmt"
+	"math/bits"
+	"strings"
+
+	"cs31/internal/memhier"
+)
+
+// WritePolicy selects how writes propagate to memory.
+type WritePolicy int
+
+// Write policies.
+const (
+	WriteBack    WritePolicy = iota // dirty lines written back on eviction
+	WriteThrough                    // every store also writes memory
+)
+
+func (p WritePolicy) String() string {
+	if p == WriteBack {
+		return "write-back"
+	}
+	return "write-through"
+}
+
+// AllocPolicy selects what happens on a write miss.
+type AllocPolicy int
+
+// Allocation policies.
+const (
+	WriteAllocate   AllocPolicy = iota // write misses fill the cache
+	NoWriteAllocate                    // write misses go straight to memory
+)
+
+func (p AllocPolicy) String() string {
+	if p == WriteAllocate {
+		return "write-allocate"
+	}
+	return "no-write-allocate"
+}
+
+// ReplPolicy selects the victim within a set.
+type ReplPolicy int
+
+// Replacement policies.
+const (
+	LRU ReplPolicy = iota
+	FIFO
+)
+
+func (p ReplPolicy) String() string {
+	if p == LRU {
+		return "LRU"
+	}
+	return "FIFO"
+}
+
+// Config describes a cache organization the way the homework does: total
+// size, block size, and associativity (1 = direct-mapped).
+type Config struct {
+	SizeBytes int // total data capacity
+	BlockSize int // bytes per line
+	Assoc     int // ways per set; 1 = direct-mapped
+	Write     WritePolicy
+	Alloc     AllocPolicy
+	Repl      ReplPolicy
+}
+
+// Validate checks the power-of-two structure address division requires.
+func (c Config) Validate() error {
+	if c.SizeBytes <= 0 || c.BlockSize <= 0 || c.Assoc <= 0 {
+		return fmt.Errorf("cache: size, block size, and associativity must be positive")
+	}
+	if c.BlockSize&(c.BlockSize-1) != 0 {
+		return fmt.Errorf("cache: block size %d is not a power of two", c.BlockSize)
+	}
+	if c.SizeBytes%(c.BlockSize*c.Assoc) != 0 {
+		return fmt.Errorf("cache: size %d not divisible by block*assoc %d",
+			c.SizeBytes, c.BlockSize*c.Assoc)
+	}
+	sets := c.NumSets()
+	if sets&(sets-1) != 0 {
+		return fmt.Errorf("cache: set count %d is not a power of two", sets)
+	}
+	return nil
+}
+
+// NumSets is the number of sets: size / (blockSize * assoc).
+func (c Config) NumSets() int { return c.SizeBytes / (c.BlockSize * c.Assoc) }
+
+// OffsetBits is the number of block-offset bits in an address.
+func (c Config) OffsetBits() int { return bits.TrailingZeros64(uint64(c.BlockSize)) }
+
+// IndexBits is the number of set-index bits in an address.
+func (c Config) IndexBits() int { return bits.TrailingZeros64(uint64(c.NumSets())) }
+
+// AddressParts is the tag/index/offset division of one address — the
+// homework's core skill.
+type AddressParts struct {
+	Tag    uint64
+	Index  uint64
+	Offset uint64
+}
+
+// Split divides an address into tag, index, and offset fields.
+func (c Config) Split(addr uint64) AddressParts {
+	ob := uint(c.OffsetBits())
+	ib := uint(c.IndexBits())
+	return AddressParts{
+		Offset: addr & (uint64(c.BlockSize) - 1),
+		Index:  (addr >> ob) & (uint64(c.NumSets()) - 1),
+		Tag:    addr >> (ob + ib),
+	}
+}
+
+// Join reassembles an address from its parts (inverse of Split).
+func (c Config) Join(p AddressParts) uint64 {
+	ob := uint(c.OffsetBits())
+	ib := uint(c.IndexBits())
+	return p.Tag<<(ob+ib) | p.Index<<ob | p.Offset
+}
+
+// line is one cache line's metadata.
+type line struct {
+	valid bool
+	dirty bool
+	tag   uint64
+	// lastUse is the logical time of the last access (LRU) or of the fill
+	// (FIFO).
+	lastUse int64
+}
+
+// Stats counts the events the homework has students tabulate.
+type Stats struct {
+	Accesses   int64
+	Hits       int64
+	Misses     int64
+	Evictions  int64
+	WriteBacks int64 // dirty lines written back to memory
+	MemReads   int64 // block fills from memory
+	MemWrites  int64 // word writes to memory (write-through / no-allocate)
+}
+
+// HitRate is Hits / Accesses.
+func (s Stats) HitRate() float64 {
+	if s.Accesses == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(s.Accesses)
+}
+
+// MissRate is 1 - HitRate for non-empty traces.
+func (s Stats) MissRate() float64 {
+	if s.Accesses == 0 {
+		return 0
+	}
+	return float64(s.Misses) / float64(s.Accesses)
+}
+
+// Result describes a single access's outcome, for the step-by-step tracing
+// exercises.
+type Result struct {
+	Hit         bool
+	Parts       AddressParts
+	Evicted     bool
+	EvictedTag  uint64
+	WroteBack   bool
+	FilledBlock bool
+}
+
+// Cache is a simulated cache.
+type Cache struct {
+	cfg   Config
+	sets  [][]line
+	stats Stats
+	clock int64
+}
+
+// New builds a cache from a validated config.
+func New(cfg Config) (*Cache, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	sets := make([][]line, cfg.NumSets())
+	for i := range sets {
+		sets[i] = make([]line, cfg.Assoc)
+	}
+	return &Cache{cfg: cfg, sets: sets}, nil
+}
+
+// Config returns the cache's configuration.
+func (c *Cache) Config() Config { return c.cfg }
+
+// Stats returns the accumulated statistics.
+func (c *Cache) Stats() Stats { return c.stats }
+
+// Access simulates one reference and returns its outcome.
+func (c *Cache) Access(addr uint64, write bool) Result {
+	c.clock++
+	c.stats.Accesses++
+	parts := c.cfg.Split(addr)
+	set := c.sets[parts.Index]
+	res := Result{Parts: parts}
+
+	// Hit?
+	for i := range set {
+		if set[i].valid && set[i].tag == parts.Tag {
+			c.stats.Hits++
+			res.Hit = true
+			if c.cfg.Repl == LRU {
+				set[i].lastUse = c.clock
+			}
+			if write {
+				if c.cfg.Write == WriteBack {
+					set[i].dirty = true
+				} else {
+					c.stats.MemWrites++
+				}
+			}
+			return res
+		}
+	}
+
+	// Miss.
+	c.stats.Misses++
+	if write && c.cfg.Alloc == NoWriteAllocate {
+		c.stats.MemWrites++
+		return res
+	}
+
+	// Choose a victim: first invalid way, else oldest by policy clock.
+	victim := -1
+	for i := range set {
+		if !set[i].valid {
+			victim = i
+			break
+		}
+	}
+	if victim < 0 {
+		victim = 0
+		for i := 1; i < len(set); i++ {
+			if set[i].lastUse < set[victim].lastUse {
+				victim = i
+			}
+		}
+		c.stats.Evictions++
+		res.Evicted = true
+		res.EvictedTag = set[victim].tag
+		if set[victim].dirty {
+			c.stats.WriteBacks++
+			res.WroteBack = true
+		}
+	}
+
+	// Fill.
+	c.stats.MemReads++
+	res.FilledBlock = true
+	set[victim] = line{valid: true, tag: parts.Tag, lastUse: c.clock}
+	if write {
+		if c.cfg.Write == WriteBack {
+			set[victim].dirty = true
+		} else {
+			c.stats.MemWrites++
+		}
+	}
+	return res
+}
+
+// Contains reports whether the block holding addr is resident — used by the
+// property tests for the "most recent access is cached" invariant.
+func (c *Cache) Contains(addr uint64) bool {
+	parts := c.cfg.Split(addr)
+	for _, l := range c.sets[parts.Index] {
+		if l.valid && l.tag == parts.Tag {
+			return true
+		}
+	}
+	return false
+}
+
+// DirtyLines counts resident dirty lines (write-back only).
+func (c *Cache) DirtyLines() int {
+	n := 0
+	for _, set := range c.sets {
+		for _, l := range set {
+			if l.valid && l.dirty {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// ValidLines counts resident lines.
+func (c *Cache) ValidLines() int {
+	n := 0
+	for _, set := range c.sets {
+		for _, l := range set {
+			if l.valid {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// Flush writes back all dirty lines and invalidates the cache.
+func (c *Cache) Flush() {
+	for i := range c.sets {
+		for j := range c.sets[i] {
+			if c.sets[i][j].valid && c.sets[i][j].dirty {
+				c.stats.WriteBacks++
+			}
+			c.sets[i][j] = line{}
+		}
+	}
+}
+
+// RunTrace replays a trace and returns the final statistics.
+func (c *Cache) RunTrace(trace []memhier.Access) Stats {
+	for _, a := range trace {
+		c.Access(a.Addr, a.Write)
+	}
+	return c.stats
+}
+
+// TraceTable renders the first n accesses of a trace as the hit/miss table
+// students fill in on the caching homework.
+func TraceTable(cfg Config, trace []memhier.Access, n int) (string, error) {
+	c, err := New(cfg)
+	if err != nil {
+		return "", err
+	}
+	if n > len(trace) {
+		n = len(trace)
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-12s %-6s %-8s %-8s %-8s %s\n",
+		"address", "rw", "tag", "index", "offset", "result")
+	for _, a := range trace[:n] {
+		res := c.Access(a.Addr, a.Write)
+		rw := "read"
+		if a.Write {
+			rw = "write"
+		}
+		outcome := "MISS"
+		if res.Hit {
+			outcome = "hit"
+		}
+		if res.Evicted {
+			outcome += fmt.Sprintf(" (evict tag %#x", res.EvictedTag)
+			if res.WroteBack {
+				outcome += ", write back"
+			}
+			outcome += ")"
+		}
+		fmt.Fprintf(&sb, "%#-12x %-6s %#-8x %#-8x %#-8x %s\n",
+			a.Addr, rw, res.Parts.Tag, res.Parts.Index, res.Parts.Offset, outcome)
+	}
+	return sb.String(), nil
+}

@@ -1,0 +1,162 @@
+package cache
+
+// Model-based testing: the cache is checked against an independent,
+// obviously-correct reference model (per-set slices with explicit
+// recency/insertion order) over long random access sequences. Any
+// divergence in hit/miss classification or eviction choice fails.
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// refCache is the reference model: one slice of tags per set, most
+// recently used (or most recently inserted, for FIFO) last.
+type refCache struct {
+	cfg  Config
+	sets [][]uint64
+}
+
+func newRef(cfg Config) *refCache {
+	return &refCache{cfg: cfg, sets: make([][]uint64, cfg.NumSets())}
+}
+
+// access returns whether the reference model hits, applying the same
+// policies by construction.
+func (r *refCache) access(addr uint64) bool {
+	p := r.cfg.Split(addr)
+	set := r.sets[p.Index]
+	for i, tag := range set {
+		if tag == p.Tag {
+			if r.cfg.Repl == LRU {
+				// Move to the MRU end.
+				set = append(append(set[:i:i], set[i+1:]...), tag)
+				r.sets[p.Index] = set
+			}
+			return true
+		}
+	}
+	// Miss: evict the front (LRU or FIFO order) if full.
+	if len(set) == r.cfg.Assoc {
+		set = set[1:]
+	}
+	r.sets[p.Index] = append(set, p.Tag)
+	return false
+}
+
+func TestCacheMatchesReferenceModel(t *testing.T) {
+	configs := []Config{
+		{SizeBytes: 256, BlockSize: 16, Assoc: 1},
+		{SizeBytes: 256, BlockSize: 16, Assoc: 2},
+		{SizeBytes: 512, BlockSize: 32, Assoc: 4},
+		{SizeBytes: 128, BlockSize: 16, Assoc: 8}, // fully associative
+		{SizeBytes: 256, BlockSize: 16, Assoc: 2, Repl: FIFO},
+		{SizeBytes: 512, BlockSize: 64, Assoc: 4, Repl: FIFO},
+	}
+	for _, cfg := range configs {
+		c, err := New(cfg)
+		if err != nil {
+			t.Fatalf("%+v: %v", cfg, err)
+		}
+		ref := newRef(cfg)
+		rng := rand.New(rand.NewSource(31))
+		for i := 0; i < 20000; i++ {
+			// Skewed address distribution to get plenty of hits AND
+			// evictions.
+			addr := uint64(rng.Intn(2048))
+			if rng.Intn(4) == 0 {
+				addr = uint64(rng.Intn(64)) // hot region
+			}
+			got := c.Access(addr, rng.Intn(3) == 0).Hit
+			want := ref.access(addr)
+			if got != want {
+				t.Fatalf("%+v: access %d (addr %#x): sim hit=%v, model hit=%v",
+					cfg, i, addr, got, want)
+			}
+		}
+		// Final stats sanity.
+		s := c.Stats()
+		if s.Hits+s.Misses != s.Accesses || s.Accesses != 20000 {
+			t.Errorf("%+v: stats inconsistent: %+v", cfg, s)
+		}
+	}
+}
+
+// TestWriteBackTrafficConservation: with write-back + write-allocate,
+// every memory write is a prior dirty fill, so writebacks never exceed
+// write accesses, and flushing accounts for every remaining dirty line.
+func TestWriteBackTrafficConservation(t *testing.T) {
+	cfg := Config{SizeBytes: 256, BlockSize: 16, Assoc: 2}
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(99))
+	writes := int64(0)
+	for i := 0; i < 10000; i++ {
+		w := rng.Intn(2) == 0
+		if w {
+			writes++
+		}
+		c.Access(uint64(rng.Intn(4096)), w)
+	}
+	preFlush := c.Stats().WriteBacks
+	dirty := int64(c.DirtyLines())
+	c.Flush()
+	if got := c.Stats().WriteBacks; got != preFlush+dirty {
+		t.Errorf("flush wrote back %d, expected %d", got-preFlush, dirty)
+	}
+	if c.Stats().WriteBacks > writes {
+		t.Errorf("writebacks %d exceed total writes %d", c.Stats().WriteBacks, writes)
+	}
+}
+
+func BenchmarkCacheLRUvsFIFO(b *testing.B) {
+	trace := make([]uint64, 4096)
+	rng := rand.New(rand.NewSource(7))
+	for i := range trace {
+		trace[i] = uint64(rng.Intn(1 << 14))
+	}
+	for _, repl := range []ReplPolicy{LRU, FIFO} {
+		repl := repl
+		b.Run(repl.String(), func(b *testing.B) {
+			var rate float64
+			for i := 0; i < b.N; i++ {
+				c, err := New(Config{SizeBytes: 4096, BlockSize: 64, Assoc: 4, Repl: repl})
+				if err != nil {
+					b.Fatal(err)
+				}
+				for _, a := range trace {
+					c.Access(a, false)
+				}
+				rate = c.Stats().HitRate()
+			}
+			b.ReportMetric(rate*100, "hit-%")
+		})
+	}
+}
+
+func BenchmarkCacheWritePolicies(b *testing.B) {
+	for _, wp := range []WritePolicy{WriteBack, WriteThrough} {
+		wp := wp
+		b.Run(wp.String(), func(b *testing.B) {
+			var memWrites int64
+			for i := 0; i < b.N; i++ {
+				c, err := New(Config{SizeBytes: 1024, BlockSize: 64, Assoc: 2, Write: wp})
+				if err != nil {
+					b.Fatal(err)
+				}
+				// Write-heavy loop over a resident working set: write-back
+				// coalesces, write-through pays per store.
+				for round := 0; round < 16; round++ {
+					for addr := uint64(0); addr < 512; addr += 4 {
+						c.Access(addr, true)
+					}
+				}
+				c.Flush()
+				memWrites = c.Stats().MemWrites + c.Stats().WriteBacks
+			}
+			b.ReportMetric(float64(memWrites), "mem-writes")
+		})
+	}
+}

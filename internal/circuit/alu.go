@@ -1,0 +1,203 @@
+package circuit
+
+import "fmt"
+
+// ALUOp selects one of the eight operations the Lab 3 ALU supports.
+type ALUOp int
+
+// The eight ALU operations, in opcode order (the 3-bit select input).
+const (
+	OpAdd  ALUOp = iota // A + B
+	OpSub               // A - B (via A + ~B + 1)
+	OpAnd               // A & B
+	OpOr                // A | B
+	OpXor               // A ^ B
+	OpNotA              // ~A
+	OpShl               // A << 1
+	OpShr               // A >> 1 (logical)
+)
+
+var aluOpNames = [...]string{"ADD", "SUB", "AND", "OR", "XOR", "NOT", "SHL", "SHR"}
+
+func (op ALUOp) String() string {
+	if op >= 0 && int(op) < len(aluOpNames) {
+		return aluOpNames[op]
+	}
+	return fmt.Sprintf("ALUOp(%d)", int(op))
+}
+
+// Flags are the five ALU status outputs the lab requires.
+type Flags struct {
+	Zero     bool // result is all zeros
+	Sign     bool // top bit of result (negative if signed)
+	Carry    bool // carry out of adder, or bit shifted out
+	Overflow bool // signed overflow (adder ops only)
+	Equal    bool // A == B bitwise
+}
+
+// ALU is a gate-level arithmetic-logic unit: two input buses, a 3-bit
+// operation select, a result bus, and five flag nets. Every output is
+// computed by gates; the op select muxes between the units' results.
+type ALU struct {
+	A, B   []NetID // operand input pins, LSB first
+	Op     []NetID // 3-bit op select input pins, LSB first
+	Result []NetID // result bus
+
+	ZeroFlag, SignFlag, CarryFlag, OverflowFlag, EqualFlag NetID
+
+	width int
+}
+
+// NewALU builds a width-bit ALU into c. All operand and select nets are
+// fresh input pins.
+func NewALU(c *Circuit, width int) *ALU {
+	if width < 1 || width > 64 {
+		panic(fmt.Sprintf("circuit: ALU width %d out of range", width))
+	}
+	alu := &ALU{
+		A:     c.Inputs("a", width),
+		B:     c.Inputs("b", width),
+		Op:    c.Inputs("op", 3),
+		width: width,
+	}
+	zero := c.Constant(false)
+	one := c.Constant(true)
+
+	// Adder/subtractor: SUB inverts B and injects carry-in 1. The op-select
+	// bit pattern for SUB is 001, so "isSub" is decoded from the op bus.
+	nop2 := c.Gate(NOT, alu.Op[2])
+	nop1 := c.Gate(NOT, alu.Op[1])
+	isSub := c.Gate(AND, nop2, nop1, alu.Op[0]) // op == 001
+	bMux := make([]NetID, width)
+	for i := range bMux {
+		bMux[i] = Mux2(c, isSub, alu.B[i], c.Gate(NOT, alu.B[i]))
+	}
+	cin := Mux2(c, isSub, zero, one)
+	sumBus, cout, cinTop := RippleCarryAdder(c, alu.A, bMux, cin)
+	addOverflow := c.Gate(XOR, cout, cinTop)
+
+	// Logic units.
+	andBus := BitwiseGate(c, AND, alu.A, alu.B)
+	orBus := BitwiseGate(c, OR, alu.A, alu.B)
+	xorBus := BitwiseGate(c, XOR, alu.A, alu.B)
+	notBus := BitwiseNot(c, alu.A)
+
+	// Shifters.
+	shlBus, shlOut := ShiftLeft1(c, alu.A)
+	shrBus, shrOut := ShiftRight1(c, alu.A)
+
+	// Result mux: opcode order ADD, SUB, AND, OR, XOR, NOT, SHL, SHR.
+	alu.Result = MuxBusN(c, alu.Op,
+		sumBus, sumBus, andBus, orBus, xorBus, notBus, shlBus, shrBus)
+
+	// Carry: adder carry for ADD/SUB, shifted-out bit for shifts, else 0.
+	alu.CarryFlag = MuxN(c, alu.Op, []NetID{
+		cout, cout, zero, zero, zero, zero, shlOut, shrOut})
+
+	// Overflow is meaningful for ADD/SUB only.
+	alu.OverflowFlag = MuxN(c, alu.Op, []NetID{
+		addOverflow, addOverflow, zero, zero, zero, zero, zero, zero})
+
+	alu.ZeroFlag = IsZero(c, alu.Result)
+	alu.SignFlag = c.Gate(BUF, alu.Result[width-1])
+	alu.EqualFlag = EqualComparator(c, alu.A, alu.B)
+
+	c.Name("result0", alu.Result[0])
+	c.Name("zf", alu.ZeroFlag)
+	c.Name("sf", alu.SignFlag)
+	c.Name("cf", alu.CarryFlag)
+	c.Name("of", alu.OverflowFlag)
+	c.Name("eq", alu.EqualFlag)
+	return alu
+}
+
+// Width reports the ALU's operand width in bits.
+func (alu *ALU) Width() int { return alu.width }
+
+// Run drives the operand and op-select pins, settles the netlist, and
+// returns the result and flags.
+func (alu *ALU) Run(c *Circuit, op ALUOp, a, b uint64) (uint64, Flags, error) {
+	if op < 0 || op > 7 {
+		return 0, Flags{}, fmt.Errorf("circuit: invalid ALU op %d", int(op))
+	}
+	if err := c.SetBus(alu.A, a); err != nil {
+		return 0, Flags{}, err
+	}
+	if err := c.SetBus(alu.B, b); err != nil {
+		return 0, Flags{}, err
+	}
+	if err := c.SetBus(alu.Op, uint64(op)); err != nil {
+		return 0, Flags{}, err
+	}
+	if err := c.Settle(); err != nil {
+		return 0, Flags{}, err
+	}
+	return c.GetBus(alu.Result), Flags{
+		Zero:     c.Get(alu.ZeroFlag),
+		Sign:     c.Get(alu.SignFlag),
+		Carry:    c.Get(alu.CarryFlag),
+		Overflow: c.Get(alu.OverflowFlag),
+		Equal:    c.Get(alu.EqualFlag),
+	}, nil
+}
+
+// RefALU computes the same operation and flags functionally; it is the
+// specification the gate-level ALU is tested against, and it serves the
+// rest of the repository (the CPU and asm machine) as a fast ALU.
+func RefALU(op ALUOp, a, b uint64, width int) (uint64, Flags) {
+	if width < 1 || width > 64 {
+		panic(fmt.Sprintf("circuit: ALU width %d out of range", width))
+	}
+	var m uint64
+	if width == 64 {
+		m = ^uint64(0)
+	} else {
+		m = (uint64(1) << uint(width)) - 1
+	}
+	a &= m
+	b &= m
+	signBit := uint64(1) << uint(width-1)
+	var res uint64
+	var f Flags
+	switch op {
+	case OpAdd:
+		wide := a + b
+		res = wide & m
+		if width == 64 {
+			f.Carry = wide < a
+		} else {
+			f.Carry = wide > m
+		}
+		f.Overflow = (a&signBit) == (b&signBit) && (res&signBit) != (a&signBit)
+	case OpSub:
+		nb := (^b) & m
+		wide := a + nb + 1
+		res = wide & m
+		if width == 64 {
+			f.Carry = a >= b
+		} else {
+			f.Carry = wide > m
+		}
+		f.Overflow = (a&signBit) != (b&signBit) && (res&signBit) == (b&signBit)
+	case OpAnd:
+		res = a & b
+	case OpOr:
+		res = a | b
+	case OpXor:
+		res = a ^ b
+	case OpNotA:
+		res = (^a) & m
+	case OpShl:
+		res = (a << 1) & m
+		f.Carry = a&signBit != 0
+	case OpShr:
+		res = a >> 1
+		f.Carry = a&1 != 0
+	default:
+		panic(fmt.Sprintf("circuit: invalid ALU op %d", int(op)))
+	}
+	f.Zero = res == 0
+	f.Sign = res&signBit != 0
+	f.Equal = a == b
+	return res, f
+}

@@ -1,0 +1,155 @@
+package circuit
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestALUKnownCases(t *testing.T) {
+	c := New()
+	alu := NewALU(c, 8)
+	if alu.Width() != 8 {
+		t.Fatalf("width = %d", alu.Width())
+	}
+	cases := []struct {
+		op       ALUOp
+		a, b     uint64
+		want     uint64
+		zero     bool
+		sign     bool
+		carry    bool
+		overflow bool
+		equal    bool
+	}{
+		{OpAdd, 1, 2, 3, false, false, false, false, false},
+		{OpAdd, 0xff, 1, 0, true, false, true, false, false},
+		{OpAdd, 0x7f, 1, 0x80, false, true, false, true, false},
+		{OpSub, 5, 5, 0, true, false, true, false, true},
+		{OpSub, 3, 5, 0xfe, false, true, false, false, false},
+		{OpSub, 0x80, 1, 0x7f, false, false, true, true, false},
+		{OpAnd, 0xcc, 0xaa, 0x88, false, true, false, false, false},
+		{OpOr, 0xc0, 0x0c, 0xcc, false, true, false, false, false},
+		{OpXor, 0xff, 0xff, 0, true, false, false, false, true},
+		{OpNotA, 0x0f, 0, 0xf0, false, true, false, false, false},
+		{OpShl, 0x81, 0, 0x02, false, false, true, false, false},
+		{OpShr, 0x81, 0, 0x40, false, false, true, false, false},
+	}
+	for _, tc := range cases {
+		got, flags, err := alu.Run(c, tc.op, tc.a, tc.b)
+		if err != nil {
+			t.Fatalf("%v(%#x, %#x): %v", tc.op, tc.a, tc.b, err)
+		}
+		if got != tc.want {
+			t.Errorf("%v(%#x, %#x) = %#x, want %#x", tc.op, tc.a, tc.b, got, tc.want)
+		}
+		wantFlags := Flags{Zero: tc.zero, Sign: tc.sign, Carry: tc.carry,
+			Overflow: tc.overflow, Equal: tc.equal}
+		if flags != wantFlags {
+			t.Errorf("%v(%#x, %#x) flags = %+v, want %+v", tc.op, tc.a, tc.b, flags, wantFlags)
+		}
+	}
+}
+
+func TestALUInvalidOp(t *testing.T) {
+	c := New()
+	alu := NewALU(c, 4)
+	if _, _, err := alu.Run(c, ALUOp(8), 0, 0); err == nil {
+		t.Error("op 8 should be rejected")
+	}
+	if _, _, err := alu.Run(c, ALUOp(-1), 0, 0); err == nil {
+		t.Error("op -1 should be rejected")
+	}
+}
+
+func TestNewALUWidthPanics(t *testing.T) {
+	mustPanic(t, "width 0", func() { NewALU(New(), 0) })
+	mustPanic(t, "width 65", func() { NewALU(New(), 65) })
+	mustPanic(t, "RefALU width", func() { RefALU(OpAdd, 0, 0, 0) })
+	mustPanic(t, "RefALU op", func() { RefALU(ALUOp(9), 0, 0, 8) })
+}
+
+// The lab's central deliverable check: the gate-level ALU agrees with the
+// functional specification on every op for random operands.
+func TestALUMatchesReference(t *testing.T) {
+	c := New()
+	const width = 8
+	alu := NewALU(c, width)
+	f := func(a, b uint8, opRaw uint8) bool {
+		op := ALUOp(opRaw % 8)
+		got, gotFlags, err := alu.Run(c, op, uint64(a), uint64(b))
+		if err != nil {
+			return false
+		}
+		want, wantFlags := RefALU(op, uint64(a), uint64(b), width)
+		return got == want && gotFlags == wantFlags
+	}
+	cfg := &quick.Config{MaxCount: 400}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// Exhaustive agreement at width 4: all 8 ops x 16 x 16 operand pairs.
+func TestALUExhaustiveWidth4(t *testing.T) {
+	c := New()
+	alu := NewALU(c, 4)
+	for op := ALUOp(0); op < 8; op++ {
+		for a := uint64(0); a < 16; a++ {
+			for b := uint64(0); b < 16; b++ {
+				got, gotFlags, err := alu.Run(c, op, a, b)
+				if err != nil {
+					t.Fatal(err)
+				}
+				want, wantFlags := RefALU(op, a, b, 4)
+				if got != want || gotFlags != wantFlags {
+					t.Fatalf("%v(%#x, %#x) = %#x %+v, want %#x %+v",
+						op, a, b, got, gotFlags, want, wantFlags)
+				}
+			}
+		}
+	}
+}
+
+func TestRefALU64BitEdges(t *testing.T) {
+	res, f := RefALU(OpAdd, ^uint64(0), 1, 64)
+	if res != 0 || !f.Carry || !f.Zero {
+		t.Errorf("max+1 at 64 bits: res=%d flags=%+v", res, f)
+	}
+	res, f = RefALU(OpSub, 0, 1, 64)
+	if res != ^uint64(0) || f.Carry {
+		t.Errorf("0-1 at 64 bits: res=%d flags=%+v", res, f)
+	}
+	res, f = RefALU(OpSub, 5, 3, 64)
+	if res != 2 || !f.Carry {
+		t.Errorf("5-3 at 64 bits: res=%d flags=%+v", res, f)
+	}
+}
+
+func TestALUOpString(t *testing.T) {
+	if OpAdd.String() != "ADD" || OpShr.String() != "SHR" {
+		t.Error("ALUOp names wrong")
+	}
+	if ALUOp(42).String() != "ALUOp(42)" {
+		t.Error("out-of-range op name wrong")
+	}
+	if AND.String() != "AND" || GateKind(99).String() != "GateKind(99)" {
+		t.Error("GateKind names wrong")
+	}
+}
+
+func BenchmarkALUGateLevel(b *testing.B) {
+	c := New()
+	alu := NewALU(c, 8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := alu.Run(c, ALUOp(i%8), uint64(i), uint64(i>>3)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkALUReference(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		RefALU(ALUOp(i%8), uint64(i), uint64(i>>3), 8)
+	}
+}

@@ -1,0 +1,394 @@
+// Package circuit is a gate-level digital logic simulator standing in for
+// Logisim in CS 31's Lab 3 and the circuits homework. Circuits are netlists
+// of primitive gates (AND, OR, NOT, ...) connected by single-bit nets.
+// Evaluation runs to a fixed point, so feedback circuits such as the
+// cross-coupled R-S latch and the gated D latch work exactly as they do on
+// the Logisim canvas. Builders compose the lab's deliverables from gates:
+// one-bit adders, ripple-carry adders, sign extenders, multiplexers,
+// decoders, latches, registers, and the 8-operation ALU with five status
+// flags.
+package circuit
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// NetID identifies a single-bit net (wire) within a Circuit.
+type NetID int
+
+// ErrUnstable is returned by Settle when the circuit oscillates instead of
+// reaching a fixed point (e.g., a NOT gate feeding itself).
+var ErrUnstable = errors.New("circuit: did not settle (oscillation)")
+
+// GateKind enumerates the primitive gate types.
+type GateKind int
+
+// Primitive gates available on the canvas.
+const (
+	AND GateKind = iota
+	OR
+	NOT
+	NAND
+	NOR
+	XOR
+	XNOR
+	BUF // buffer: output follows single input
+)
+
+var gateNames = map[GateKind]string{
+	AND: "AND", OR: "OR", NOT: "NOT", NAND: "NAND",
+	NOR: "NOR", XOR: "XOR", XNOR: "XNOR", BUF: "BUF",
+}
+
+func (k GateKind) String() string {
+	if n, ok := gateNames[k]; ok {
+		return n
+	}
+	return fmt.Sprintf("GateKind(%d)", int(k))
+}
+
+// gate is one primitive component: a kind, input nets, and one output net.
+type gate struct {
+	kind GateKind
+	in   []NetID
+	out  NetID
+}
+
+func (g gate) eval(vals []bool) bool {
+	switch g.kind {
+	case AND, NAND:
+		v := true
+		for _, in := range g.in {
+			v = v && vals[in]
+		}
+		if g.kind == NAND {
+			return !v
+		}
+		return v
+	case OR, NOR:
+		v := false
+		for _, in := range g.in {
+			v = v || vals[in]
+		}
+		if g.kind == NOR {
+			return !v
+		}
+		return v
+	case XOR, XNOR:
+		v := false
+		for _, in := range g.in {
+			v = v != vals[in]
+		}
+		if g.kind == XNOR {
+			return !v
+		}
+		return v
+	case NOT:
+		return !vals[g.in[0]]
+	case BUF:
+		return vals[g.in[0]]
+	default:
+		panic("circuit: unknown gate kind")
+	}
+}
+
+// Circuit is a mutable netlist under construction and simulation.
+type Circuit struct {
+	gates  []gate
+	vals   []bool
+	names  map[string]NetID
+	inputs map[NetID]bool // nets driven externally, not by a gate
+	driven map[NetID]bool // nets driven by a gate output
+}
+
+// New returns an empty circuit.
+func New() *Circuit {
+	return &Circuit{
+		names:  make(map[string]NetID),
+		inputs: make(map[NetID]bool),
+		driven: make(map[NetID]bool),
+	}
+}
+
+// NewNet allocates an anonymous net, initially false.
+func (c *Circuit) NewNet() NetID {
+	id := NetID(len(c.vals))
+	c.vals = append(c.vals, false)
+	return id
+}
+
+// Input allocates a named externally-driven net (an input pin).
+func (c *Circuit) Input(name string) NetID {
+	id := c.NewNet()
+	c.inputs[id] = true
+	if name != "" {
+		c.names[name] = id
+	}
+	return id
+}
+
+// Inputs allocates n input pins named prefix0..prefix{n-1} (bit 0 is least
+// significant) and returns them in ascending bit order.
+func (c *Circuit) Inputs(prefix string, n int) []NetID {
+	ids := make([]NetID, n)
+	for i := range ids {
+		ids[i] = c.Input(fmt.Sprintf("%s%d", prefix, i))
+	}
+	return ids
+}
+
+// Name attaches a label to an existing net (e.g., to mark an output pin).
+func (c *Circuit) Name(name string, id NetID) {
+	c.names[name] = id
+}
+
+// Net looks up a net by name.
+func (c *Circuit) Net(name string) (NetID, bool) {
+	id, ok := c.names[name]
+	return id, ok
+}
+
+// Gate adds a primitive gate driving a fresh net and returns that net.
+func (c *Circuit) Gate(kind GateKind, in ...NetID) NetID {
+	if kind == NOT || kind == BUF {
+		if len(in) != 1 {
+			panic(fmt.Sprintf("circuit: %v takes exactly 1 input, got %d", kind, len(in)))
+		}
+	} else if len(in) < 2 {
+		panic(fmt.Sprintf("circuit: %v needs at least 2 inputs, got %d", kind, len(in)))
+	}
+	out := c.NewNet()
+	c.gates = append(c.gates, gate{kind: kind, in: in, out: out})
+	c.driven[out] = true
+	return out
+}
+
+// GateInto adds a primitive gate driving an existing net. It is used to
+// close feedback loops (latches). A net may have only one driver.
+func (c *Circuit) GateInto(out NetID, kind GateKind, in ...NetID) {
+	if c.driven[out] {
+		panic(fmt.Sprintf("circuit: net %d already has a driver", out))
+	}
+	c.gates = append(c.gates, gate{kind: kind, in: in, out: out})
+	c.driven[out] = true
+}
+
+// Constant returns a net held at the given value. It is implemented as an
+// input pin set once, so Settle never overwrites it.
+func (c *Circuit) Constant(v bool) NetID {
+	id := c.NewNet()
+	c.inputs[id] = true
+	c.vals[id] = v
+	return id
+}
+
+// Set drives an input net to a value. Setting a gate-driven net is an error.
+func (c *Circuit) Set(id NetID, v bool) error {
+	if c.driven[id] {
+		return fmt.Errorf("circuit: net %d is gate-driven; cannot set externally", id)
+	}
+	c.vals[id] = v
+	return nil
+}
+
+// SetByName drives a named input net.
+func (c *Circuit) SetByName(name string, v bool) error {
+	id, ok := c.names[name]
+	if !ok {
+		return fmt.Errorf("circuit: no net named %q", name)
+	}
+	return c.Set(id, v)
+}
+
+// Get reads a net's current value.
+func (c *Circuit) Get(id NetID) bool { return c.vals[id] }
+
+// GetByName reads a named net's current value.
+func (c *Circuit) GetByName(name string) (bool, error) {
+	id, ok := c.names[name]
+	if !ok {
+		return false, fmt.Errorf("circuit: no net named %q", name)
+	}
+	return c.vals[id], nil
+}
+
+// SetBus drives a slice of nets (bit 0 first) from the low bits of v.
+func (c *Circuit) SetBus(bus []NetID, v uint64) error {
+	for i, id := range bus {
+		if err := c.Set(id, v&(1<<uint(i)) != 0); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// GetBus reads a slice of nets (bit 0 first) into an integer.
+func (c *Circuit) GetBus(bus []NetID) uint64 {
+	var v uint64
+	for i, id := range bus {
+		if c.vals[id] {
+			v |= 1 << uint(i)
+		}
+	}
+	return v
+}
+
+// NumGates reports the number of primitive gates, the "cost" metric the lab
+// uses to compare designs.
+func (c *Circuit) NumGates() int { return len(c.gates) }
+
+// NumNets reports the number of nets.
+func (c *Circuit) NumNets() int { return len(c.vals) }
+
+// maxSettleIterations bounds fixed-point iteration; each pass evaluates all
+// gates once, so any settling circuit converges within #nets passes.
+const maxSettleIterations = 10000
+
+// Settle propagates values through the netlist until no net changes,
+// returning ErrUnstable if the circuit oscillates. Gates are evaluated in
+// insertion order, which gives latches deterministic (last-written-wins)
+// resolution exactly like Logisim's propagation.
+func (c *Circuit) Settle() error {
+	limit := len(c.vals) + 2
+	if limit > maxSettleIterations {
+		limit = maxSettleIterations
+	}
+	for iter := 0; iter < limit; iter++ {
+		changed := false
+		for _, g := range c.gates {
+			v := g.eval(c.vals)
+			if c.vals[g.out] != v {
+				c.vals[g.out] = v
+				changed = true
+			}
+		}
+		if !changed {
+			return nil
+		}
+	}
+	return ErrUnstable
+}
+
+// Eval sets the named inputs, settles, and reads the named outputs — the
+// one-shot "poke and probe" workflow of the circuits homework.
+func (c *Circuit) Eval(inputs map[string]bool, outputs ...string) (map[string]bool, error) {
+	for name, v := range inputs {
+		if err := c.SetByName(name, v); err != nil {
+			return nil, err
+		}
+	}
+	if err := c.Settle(); err != nil {
+		return nil, err
+	}
+	res := make(map[string]bool, len(outputs))
+	for _, name := range outputs {
+		v, err := c.GetByName(name)
+		if err != nil {
+			return nil, err
+		}
+		res[name] = v
+	}
+	return res, nil
+}
+
+// TruthTable enumerates all assignments of the given input nets (first input
+// is the most significant column, matching how tables are written on the
+// homework) and records the value of each output net after settling.
+// It restores nothing: the circuit is left at the final row's state.
+type TruthTable struct {
+	Inputs  []string
+	Outputs []string
+	Rows    []TruthRow
+}
+
+// TruthRow is one line of a truth table.
+type TruthRow struct {
+	In  []bool
+	Out []bool
+}
+
+// BuildTruthTable produces the truth table of a combinational circuit over
+// the named inputs and outputs. Sequential circuits return ErrUnstable only
+// if they oscillate; latches simply show their settled state.
+func (c *Circuit) BuildTruthTable(inputs, outputs []string) (*TruthTable, error) {
+	if len(inputs) > 16 {
+		return nil, fmt.Errorf("circuit: truth table over %d inputs is too large", len(inputs))
+	}
+	tt := &TruthTable{Inputs: inputs, Outputs: outputs}
+	n := len(inputs)
+	for row := 0; row < 1<<uint(n); row++ {
+		assign := make(map[string]bool, n)
+		inVals := make([]bool, n)
+		for i, name := range inputs {
+			// Leftmost input is the high-order bit of the row index.
+			bit := row&(1<<uint(n-1-i)) != 0
+			assign[name] = bit
+			inVals[i] = bit
+		}
+		outMap, err := c.Eval(assign, outputs...)
+		if err != nil {
+			return nil, err
+		}
+		outVals := make([]bool, len(outputs))
+		for i, name := range outputs {
+			outVals[i] = outMap[name]
+		}
+		tt.Rows = append(tt.Rows, TruthRow{In: inVals, Out: outVals})
+	}
+	return tt, nil
+}
+
+// String renders the table in the homework's column format.
+func (tt *TruthTable) String() string {
+	var sb strings.Builder
+	sb.WriteString(strings.Join(tt.Inputs, " "))
+	sb.WriteString(" | ")
+	sb.WriteString(strings.Join(tt.Outputs, " "))
+	sb.WriteByte('\n')
+	for _, r := range tt.Rows {
+		for i, v := range r.In {
+			if i > 0 {
+				sb.WriteByte(' ')
+			}
+			sb.WriteString(pad(bitChar(v), len(tt.Inputs[i])))
+		}
+		sb.WriteString(" | ")
+		for i, v := range r.Out {
+			if i > 0 {
+				sb.WriteByte(' ')
+			}
+			sb.WriteString(pad(bitChar(v), len(tt.Outputs[i])))
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+func bitChar(v bool) string {
+	if v {
+		return "1"
+	}
+	return "0"
+}
+
+func pad(s string, w int) string {
+	for len(s) < w {
+		s += " "
+	}
+	return s
+}
+
+// InputNames returns the sorted names of all named externally-driven nets.
+func (c *Circuit) InputNames() []string {
+	var out []string
+	for name, id := range c.names {
+		if c.inputs[id] && !c.driven[id] {
+			out = append(out, name)
+		}
+	}
+	sort.Strings(out)
+	return out
+}

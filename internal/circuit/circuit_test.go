@@ -1,0 +1,200 @@
+package circuit
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestPrimitiveGates(t *testing.T) {
+	cases := []struct {
+		kind GateKind
+		a, b bool
+		want bool
+	}{
+		{AND, true, true, true}, {AND, true, false, false},
+		{OR, false, false, false}, {OR, true, false, true},
+		{NAND, true, true, false}, {NAND, false, true, true},
+		{NOR, false, false, true}, {NOR, true, false, false},
+		{XOR, true, false, true}, {XOR, true, true, false},
+		{XNOR, true, true, true}, {XNOR, true, false, false},
+	}
+	for _, tc := range cases {
+		c := New()
+		a := c.Input("a")
+		b := c.Input("b")
+		out := c.Gate(tc.kind, a, b)
+		c.Set(a, tc.a)
+		c.Set(b, tc.b)
+		if err := c.Settle(); err != nil {
+			t.Fatal(err)
+		}
+		if got := c.Get(out); got != tc.want {
+			t.Errorf("%v(%v, %v) = %v, want %v", tc.kind, tc.a, tc.b, got, tc.want)
+		}
+	}
+}
+
+func TestNotAndBuf(t *testing.T) {
+	c := New()
+	a := c.Input("a")
+	n := c.Gate(NOT, a)
+	buf := c.Gate(BUF, a)
+	for _, v := range []bool{false, true} {
+		c.Set(a, v)
+		if err := c.Settle(); err != nil {
+			t.Fatal(err)
+		}
+		if c.Get(n) != !v || c.Get(buf) != v {
+			t.Errorf("v=%v: NOT=%v BUF=%v", v, c.Get(n), c.Get(buf))
+		}
+	}
+}
+
+func TestMultiInputGates(t *testing.T) {
+	c := New()
+	ins := c.Inputs("x", 3)
+	and3 := c.Gate(AND, ins...)
+	or3 := c.Gate(OR, ins...)
+	xor3 := c.Gate(XOR, ins...)
+	for v := uint64(0); v < 8; v++ {
+		c.SetBus(ins, v)
+		if err := c.Settle(); err != nil {
+			t.Fatal(err)
+		}
+		wantAnd := v == 7
+		wantOr := v != 0
+		wantXor := (v&1)^(v>>1&1)^(v>>2&1) == 1
+		if c.Get(and3) != wantAnd || c.Get(or3) != wantOr || c.Get(xor3) != wantXor {
+			t.Errorf("v=%03b: and=%v or=%v xor=%v", v, c.Get(and3), c.Get(or3), c.Get(xor3))
+		}
+	}
+}
+
+func TestGatePanics(t *testing.T) {
+	c := New()
+	a := c.Input("a")
+	mustPanic(t, "NOT with 2 inputs", func() { c.Gate(NOT, a, a) })
+	mustPanic(t, "AND with 1 input", func() { c.Gate(AND, a) })
+	out := c.Gate(BUF, a)
+	mustPanic(t, "double driver", func() { c.GateInto(out, BUF, a) })
+}
+
+func mustPanic(t *testing.T, name string, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Errorf("%s: expected panic", name)
+		}
+	}()
+	f()
+}
+
+func TestSetGateDrivenNet(t *testing.T) {
+	c := New()
+	a := c.Input("a")
+	out := c.Gate(NOT, a)
+	if err := c.Set(out, true); err == nil {
+		t.Error("setting gate-driven net should fail")
+	}
+	if err := c.SetByName("missing", true); err == nil {
+		t.Error("setting unknown name should fail")
+	}
+	if _, err := c.GetByName("missing"); err == nil {
+		t.Error("getting unknown name should fail")
+	}
+}
+
+func TestOscillationDetected(t *testing.T) {
+	c := New()
+	loop := c.NewNet()
+	c.GateInto(loop, NOT, loop) // inverter feeding itself
+	if err := c.Settle(); err == nil {
+		t.Error("self-inverting loop should not settle")
+	}
+}
+
+func TestConstant(t *testing.T) {
+	c := New()
+	one := c.Constant(true)
+	zero := c.Constant(false)
+	if err := c.Settle(); err != nil {
+		t.Fatal(err)
+	}
+	if !c.Get(one) || c.Get(zero) {
+		t.Error("constants lost their values after Settle")
+	}
+}
+
+func TestEvalAndNames(t *testing.T) {
+	c := New()
+	a := c.Input("a")
+	b := c.Input("b")
+	c.Name("y", c.Gate(AND, a, b))
+	got, err := c.Eval(map[string]bool{"a": true, "b": true}, "y")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got["y"] {
+		t.Error("a AND b with both true should be true")
+	}
+	if _, err := c.Eval(map[string]bool{"nope": true}); err == nil {
+		t.Error("unknown input name should error")
+	}
+	if _, err := c.Eval(nil, "nope"); err == nil {
+		t.Error("unknown output name should error")
+	}
+	names := c.InputNames()
+	if len(names) != 2 || names[0] != "a" || names[1] != "b" {
+		t.Errorf("InputNames = %v", names)
+	}
+}
+
+func TestBuildTruthTableXor(t *testing.T) {
+	c := New()
+	a := c.Input("a")
+	b := c.Input("b")
+	c.Name("y", c.Gate(XOR, a, b))
+	tt, err := c.BuildTruthTable([]string{"a", "b"}, []string{"y"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tt.Rows) != 4 {
+		t.Fatalf("expected 4 rows, got %d", len(tt.Rows))
+	}
+	want := []bool{false, true, true, false}
+	for i, row := range tt.Rows {
+		if row.Out[0] != want[i] {
+			t.Errorf("row %d: out=%v want %v", i, row.Out[0], want[i])
+		}
+	}
+	s := tt.String()
+	if !strings.HasPrefix(s, "a b | y") {
+		t.Errorf("table header: %q", s)
+	}
+}
+
+func TestBuildTruthTableTooWide(t *testing.T) {
+	c := New()
+	names := make([]string, 17)
+	for i := range names {
+		names[i] = string(rune('a' + i))
+		c.Input(names[i])
+	}
+	if _, err := c.BuildTruthTable(names, nil); err == nil {
+		t.Error("17-input table should be rejected")
+	}
+}
+
+func TestBusHelpers(t *testing.T) {
+	c := New()
+	bus := c.Inputs("d", 8)
+	if err := c.SetBus(bus, 0xa5); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.GetBus(bus); got != 0xa5 {
+		t.Errorf("GetBus = %#x", got)
+	}
+	if c.NumNets() != 8 || c.NumGates() != 0 {
+		t.Errorf("nets=%d gates=%d", c.NumNets(), c.NumGates())
+	}
+}

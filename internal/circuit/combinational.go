@@ -1,0 +1,202 @@
+package circuit
+
+import "fmt"
+
+// HalfAdder wires a half adder from an XOR and an AND gate, returning the
+// sum and carry nets.
+func HalfAdder(c *Circuit, a, b NetID) (sum, carry NetID) {
+	return c.Gate(XOR, a, b), c.Gate(AND, a, b)
+}
+
+// FullAdder wires a one-bit full adder (the Lab 3 warm-up circuit) from two
+// half adders and an OR gate.
+func FullAdder(c *Circuit, a, b, cin NetID) (sum, cout NetID) {
+	s1, c1 := HalfAdder(c, a, b)
+	s2, c2 := HalfAdder(c, s1, cin)
+	return s2, c.Gate(OR, c1, c2)
+}
+
+// RippleCarryAdder chains full adders to add two n-bit buses, returning the
+// sum bus, the final carry out, and the carry into the top bit (needed for
+// the ALU's overflow flag: OF = carryIntoTop XOR carryOut).
+func RippleCarryAdder(c *Circuit, a, b []NetID, cin NetID) (sum []NetID, cout, cinTop NetID) {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("circuit: adder bus widths differ: %d vs %d", len(a), len(b)))
+	}
+	if len(a) == 0 {
+		panic("circuit: adder needs at least one bit")
+	}
+	carry := cin
+	sum = make([]NetID, len(a))
+	for i := range a {
+		cinTop = carry
+		sum[i], carry = FullAdder(c, a[i], b[i], carry)
+	}
+	return sum, carry, cinTop
+}
+
+// SignExtender widens bus from to extra bits by replicating its top bit
+// (the other Lab 3 warm-up circuit). The result reuses the original nets
+// for the low bits and buffers the sign bit into the new high bits.
+func SignExtender(c *Circuit, bus []NetID, to int) []NetID {
+	if len(bus) == 0 {
+		panic("circuit: sign extender needs at least one input bit")
+	}
+	if to < len(bus) {
+		panic(fmt.Sprintf("circuit: cannot sign-extend %d bits to %d", len(bus), to))
+	}
+	out := make([]NetID, to)
+	copy(out, bus)
+	sign := bus[len(bus)-1]
+	for i := len(bus); i < to; i++ {
+		out[i] = c.Gate(BUF, sign)
+	}
+	return out
+}
+
+// Mux2 selects between a (sel=0) and b (sel=1) with AND/OR/NOT gates.
+func Mux2(c *Circuit, sel, a, b NetID) NetID {
+	nsel := c.Gate(NOT, sel)
+	return c.Gate(OR, c.Gate(AND, nsel, a), c.Gate(AND, sel, b))
+}
+
+// MuxN selects inputs[sel] using a tree of Mux2 gates. The number of inputs
+// must be a power of two and sel supplies the select bits, LSB first.
+func MuxN(c *Circuit, sel []NetID, inputs []NetID) NetID {
+	if len(inputs) != 1<<uint(len(sel)) {
+		panic(fmt.Sprintf("circuit: MuxN needs %d inputs for %d select bits, got %d",
+			1<<uint(len(sel)), len(sel), len(inputs)))
+	}
+	if len(sel) == 0 {
+		return inputs[0]
+	}
+	// Recurse on the high select bit last: pair inputs on the low bit.
+	lower := make([]NetID, 0, len(inputs)/2)
+	for i := 0; i < len(inputs); i += 2 {
+		lower = append(lower, Mux2(c, sel[0], inputs[i], inputs[i+1]))
+	}
+	return MuxN(c, sel[1:], lower)
+}
+
+// MuxBusN selects one of several equal-width buses.
+func MuxBusN(c *Circuit, sel []NetID, buses ...[]NetID) []NetID {
+	if len(buses) == 0 {
+		panic("circuit: MuxBusN needs at least one bus")
+	}
+	width := len(buses[0])
+	for _, b := range buses {
+		if len(b) != width {
+			panic("circuit: MuxBusN buses must share a width")
+		}
+	}
+	out := make([]NetID, width)
+	for bit := 0; bit < width; bit++ {
+		column := make([]NetID, len(buses))
+		for i, b := range buses {
+			column[i] = b[bit]
+		}
+		out[bit] = MuxN(c, sel, column)
+	}
+	return out
+}
+
+// Decoder produces 2^n one-hot outputs from an n-bit select bus (LSB first),
+// the building block for the register file's write enable.
+func Decoder(c *Circuit, sel []NetID) []NetID {
+	n := len(sel)
+	outs := make([]NetID, 1<<uint(n))
+	nsel := make([]NetID, n)
+	for i, s := range sel {
+		nsel[i] = c.Gate(NOT, s)
+	}
+	for v := range outs {
+		terms := make([]NetID, n)
+		for i := 0; i < n; i++ {
+			if v&(1<<uint(i)) != 0 {
+				terms[i] = sel[i]
+			} else {
+				terms[i] = nsel[i]
+			}
+		}
+		if n == 1 {
+			outs[v] = c.Gate(BUF, terms[0])
+		} else {
+			outs[v] = c.Gate(AND, terms...)
+		}
+	}
+	return outs
+}
+
+// EqualComparator outputs 1 when two buses carry identical bit patterns,
+// built from XNOR gates feeding an AND.
+func EqualComparator(c *Circuit, a, b []NetID) NetID {
+	if len(a) != len(b) {
+		panic("circuit: comparator bus widths differ")
+	}
+	if len(a) == 0 {
+		panic("circuit: comparator needs at least one bit")
+	}
+	eqs := make([]NetID, len(a))
+	for i := range a {
+		eqs[i] = c.Gate(XNOR, a[i], b[i])
+	}
+	if len(eqs) == 1 {
+		return eqs[0]
+	}
+	return c.Gate(AND, eqs...)
+}
+
+// IsZero outputs 1 when every bit of the bus is 0 (a NOR reduction); it
+// drives the ALU's zero flag.
+func IsZero(c *Circuit, bus []NetID) NetID {
+	if len(bus) == 0 {
+		panic("circuit: IsZero needs at least one bit")
+	}
+	if len(bus) == 1 {
+		return c.Gate(NOT, bus[0])
+	}
+	return c.Gate(NOR, bus...)
+}
+
+// ShiftLeft1 returns bus shifted left by one bit: out[0] = 0, out[i] =
+// in[i-1]; the shifted-out top bit is returned separately for the carry flag.
+func ShiftLeft1(c *Circuit, bus []NetID) (out []NetID, shiftedOut NetID) {
+	out = make([]NetID, len(bus))
+	out[0] = c.Constant(false)
+	for i := 1; i < len(bus); i++ {
+		out[i] = c.Gate(BUF, bus[i-1])
+	}
+	return out, c.Gate(BUF, bus[len(bus)-1])
+}
+
+// ShiftRight1 returns bus logically shifted right by one bit; the shifted-out
+// bit 0 is returned separately for the carry flag.
+func ShiftRight1(c *Circuit, bus []NetID) (out []NetID, shiftedOut NetID) {
+	out = make([]NetID, len(bus))
+	for i := 0; i < len(bus)-1; i++ {
+		out[i] = c.Gate(BUF, bus[i+1])
+	}
+	out[len(bus)-1] = c.Constant(false)
+	return out, c.Gate(BUF, bus[0])
+}
+
+// BitwiseGate applies a two-input gate bit by bit across two buses.
+func BitwiseGate(c *Circuit, kind GateKind, a, b []NetID) []NetID {
+	if len(a) != len(b) {
+		panic("circuit: bitwise bus widths differ")
+	}
+	out := make([]NetID, len(a))
+	for i := range a {
+		out[i] = c.Gate(kind, a[i], b[i])
+	}
+	return out
+}
+
+// BitwiseNot inverts every bit of a bus.
+func BitwiseNot(c *Circuit, a []NetID) []NetID {
+	out := make([]NetID, len(a))
+	for i := range a {
+		out[i] = c.Gate(NOT, a[i])
+	}
+	return out
+}

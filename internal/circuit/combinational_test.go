@@ -1,0 +1,231 @@
+package circuit
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestFullAdderTable(t *testing.T) {
+	c := New()
+	a := c.Input("a")
+	b := c.Input("b")
+	cin := c.Input("cin")
+	sum, cout := FullAdder(c, a, b, cin)
+	for v := 0; v < 8; v++ {
+		c.Set(a, v&4 != 0)
+		c.Set(b, v&2 != 0)
+		c.Set(cin, v&1 != 0)
+		if err := c.Settle(); err != nil {
+			t.Fatal(err)
+		}
+		ones := v&4>>2 + v&2>>1 + v&1
+		if c.Get(sum) != (ones%2 == 1) || c.Get(cout) != (ones >= 2) {
+			t.Errorf("inputs %03b: sum=%v cout=%v", v, c.Get(sum), c.Get(cout))
+		}
+	}
+}
+
+// Property: the gate-level ripple-carry adder matches native addition at
+// width 16, including carry out.
+func TestRippleCarryAdderProperty(t *testing.T) {
+	c := New()
+	a := c.Inputs("a", 16)
+	b := c.Inputs("b", 16)
+	cin := c.Input("cin")
+	sum, cout, _ := RippleCarryAdder(c, a, b, cin)
+	f := func(x, y uint16, carry bool) bool {
+		c.SetBus(a, uint64(x))
+		c.SetBus(b, uint64(y))
+		c.Set(cin, carry)
+		if err := c.Settle(); err != nil {
+			return false
+		}
+		wide := uint64(x) + uint64(y)
+		if carry {
+			wide++
+		}
+		return c.GetBus(sum) == wide&0xffff && c.Get(cout) == (wide > 0xffff)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRippleCarryAdderPanics(t *testing.T) {
+	c := New()
+	mustPanic(t, "width mismatch", func() {
+		RippleCarryAdder(c, c.Inputs("a", 2), c.Inputs("b", 3), c.Input("cin"))
+	})
+	mustPanic(t, "empty", func() {
+		RippleCarryAdder(c, nil, nil, c.Input("c2"))
+	})
+}
+
+func TestSignExtender(t *testing.T) {
+	c := New()
+	in := c.Inputs("in", 4)
+	out := SignExtender(c, in, 8)
+	cases := []struct{ in, want uint64 }{
+		{0x7, 0x07}, {0x8, 0xf8}, {0xf, 0xff}, {0x0, 0x00},
+	}
+	for _, tc := range cases {
+		c.SetBus(in, tc.in)
+		if err := c.Settle(); err != nil {
+			t.Fatal(err)
+		}
+		if got := c.GetBus(out); got != tc.want {
+			t.Errorf("SignExtend(%#x) = %#x, want %#x", tc.in, got, tc.want)
+		}
+	}
+	mustPanic(t, "narrowing", func() { SignExtender(c, in, 2) })
+	mustPanic(t, "empty", func() { SignExtender(c, nil, 4) })
+}
+
+func TestMux2AndMuxN(t *testing.T) {
+	c := New()
+	sel := c.Inputs("s", 2)
+	ins := c.Inputs("i", 4)
+	out := MuxN(c, sel, ins)
+	c.SetBus(ins, 0b0110) // i1 and i2 high
+	for s := uint64(0); s < 4; s++ {
+		c.SetBus(sel, s)
+		if err := c.Settle(); err != nil {
+			t.Fatal(err)
+		}
+		want := 0b0110&(1<<s) != 0
+		if c.Get(out) != want {
+			t.Errorf("sel=%d: got %v want %v", s, c.Get(out), want)
+		}
+	}
+	mustPanic(t, "input count", func() { MuxN(c, sel, ins[:3]) })
+}
+
+func TestMuxBusN(t *testing.T) {
+	c := New()
+	sel := c.Inputs("s", 1)
+	a := c.Inputs("a", 4)
+	b := c.Inputs("b", 4)
+	out := MuxBusN(c, sel, a, b)
+	c.SetBus(a, 0x3)
+	c.SetBus(b, 0xc)
+	c.SetBus(sel, 0)
+	if err := c.Settle(); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.GetBus(out); got != 0x3 {
+		t.Errorf("sel=0: %#x", got)
+	}
+	c.SetBus(sel, 1)
+	if err := c.Settle(); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.GetBus(out); got != 0xc {
+		t.Errorf("sel=1: %#x", got)
+	}
+	mustPanic(t, "no buses", func() { MuxBusN(c, sel) })
+	mustPanic(t, "width mismatch", func() { MuxBusN(c, sel, a, b[:2]) })
+}
+
+func TestDecoder(t *testing.T) {
+	c := New()
+	sel := c.Inputs("s", 3)
+	outs := Decoder(c, sel)
+	if len(outs) != 8 {
+		t.Fatalf("decoder outputs = %d", len(outs))
+	}
+	for v := uint64(0); v < 8; v++ {
+		c.SetBus(sel, v)
+		if err := c.Settle(); err != nil {
+			t.Fatal(err)
+		}
+		for i, o := range outs {
+			want := uint64(i) == v
+			if c.Get(o) != want {
+				t.Errorf("sel=%d out[%d]=%v", v, i, c.Get(o))
+			}
+		}
+	}
+}
+
+func TestDecoder1Bit(t *testing.T) {
+	c := New()
+	sel := c.Inputs("s", 1)
+	outs := Decoder(c, sel)
+	c.SetBus(sel, 1)
+	if err := c.Settle(); err != nil {
+		t.Fatal(err)
+	}
+	if c.Get(outs[0]) || !c.Get(outs[1]) {
+		t.Error("1-bit decoder wrong")
+	}
+}
+
+func TestEqualComparatorAndIsZero(t *testing.T) {
+	c := New()
+	a := c.Inputs("a", 8)
+	b := c.Inputs("b", 8)
+	eq := EqualComparator(c, a, b)
+	z := IsZero(c, a)
+	cases := []struct {
+		x, y       uint64
+		equal, zer bool
+	}{
+		{5, 5, true, false}, {5, 6, false, false}, {0, 0, true, true}, {0, 1, false, true},
+	}
+	for _, tc := range cases {
+		c.SetBus(a, tc.x)
+		c.SetBus(b, tc.y)
+		if err := c.Settle(); err != nil {
+			t.Fatal(err)
+		}
+		if c.Get(eq) != tc.equal || c.Get(z) != tc.zer {
+			t.Errorf("a=%d b=%d: eq=%v zero=%v", tc.x, tc.y, c.Get(eq), c.Get(z))
+		}
+	}
+	mustPanic(t, "cmp width", func() { EqualComparator(c, a, b[:3]) })
+	mustPanic(t, "cmp empty", func() { EqualComparator(c, nil, nil) })
+	mustPanic(t, "zero empty", func() { IsZero(c, nil) })
+}
+
+func TestShifters(t *testing.T) {
+	c := New()
+	in := c.Inputs("in", 8)
+	shl, shlOut := ShiftLeft1(c, in)
+	shr, shrOut := ShiftRight1(c, in)
+	c.SetBus(in, 0x81)
+	if err := c.Settle(); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.GetBus(shl); got != 0x02 {
+		t.Errorf("0x81 << 1 = %#x", got)
+	}
+	if !c.Get(shlOut) {
+		t.Error("shl should shift out the top bit")
+	}
+	if got := c.GetBus(shr); got != 0x40 {
+		t.Errorf("0x81 >> 1 = %#x", got)
+	}
+	if !c.Get(shrOut) {
+		t.Error("shr should shift out bit 0")
+	}
+}
+
+func TestBitwiseHelpers(t *testing.T) {
+	c := New()
+	a := c.Inputs("a", 4)
+	b := c.Inputs("b", 4)
+	andB := BitwiseGate(c, AND, a, b)
+	notB := BitwiseNot(c, a)
+	c.SetBus(a, 0xc)
+	c.SetBus(b, 0xa)
+	if err := c.Settle(); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.GetBus(andB); got != 0x8 {
+		t.Errorf("0xc AND 0xa = %#x", got)
+	}
+	if got := c.GetBus(notB); got != 0x3 {
+		t.Errorf("NOT 0xc = %#x", got)
+	}
+	mustPanic(t, "bitwise width", func() { BitwiseGate(c, AND, a, b[:1]) })
+}

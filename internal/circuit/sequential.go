@@ -1,0 +1,114 @@
+package circuit
+
+// Sequential storage elements built the way the course presents them:
+// an R-S latch from cross-coupled NOR gates, a gated D latch from the R-S
+// latch plus steering logic, and multi-bit registers from D latches.
+
+// RSLatch wires a cross-coupled NOR R-S latch and returns the Q and notQ
+// nets. Driving R resets Q to 0; driving S sets Q to 1; R=S=1 is the
+// forbidden input (both outputs 0); R=S=0 holds state.
+func RSLatch(c *Circuit, r, s NetID) (q, notQ NetID) {
+	q = c.NewNet()
+	notQ = c.NewNet()
+	c.GateInto(q, NOR, r, notQ)
+	c.GateInto(notQ, NOR, s, q)
+	return q, notQ
+}
+
+// DLatch wires a gated D latch: when enable (the clock gate) is high, Q
+// follows D; when enable is low, Q holds. Built from an R-S latch with
+// steering ANDs, exactly as drawn in the textbook.
+func DLatch(c *Circuit, d, enable NetID) (q, notQ NetID) {
+	nd := c.Gate(NOT, d)
+	s := c.Gate(AND, d, enable)
+	r := c.Gate(AND, nd, enable)
+	return RSLatch(c, r, s)
+}
+
+// Register wires an n-bit register from gated D latches sharing one write
+// enable, returning the Q bus (bit 0 first).
+func Register(c *Circuit, d []NetID, writeEnable NetID) []NetID {
+	q := make([]NetID, len(d))
+	for i := range d {
+		q[i], _ = DLatch(c, d[i], writeEnable)
+	}
+	return q
+}
+
+// RegisterFile wires 2^selBits registers of the given width with one write
+// port and one read port, from a decoder, per-register D latches, and an
+// output mux — the datapath core of the lab CPU.
+type RegisterFile struct {
+	WriteSel    []NetID // write register select, LSB first
+	WriteData   []NetID // data to write
+	WriteEnable NetID   // global write enable
+	ReadSel     []NetID // read register select, LSB first
+	ReadData    []NetID // selected register contents
+
+	registers [][]NetID // Q buses, indexed by register number
+}
+
+// NewRegisterFile builds a register file with 2^selBits registers of width
+// bits each. All control nets are fresh input pins owned by the caller.
+func NewRegisterFile(c *Circuit, selBits, width int) *RegisterFile {
+	rf := &RegisterFile{
+		WriteSel:    make([]NetID, selBits),
+		WriteData:   make([]NetID, width),
+		ReadSel:     make([]NetID, selBits),
+		WriteEnable: c.Input(""),
+	}
+	for i := range rf.WriteSel {
+		rf.WriteSel[i] = c.Input("")
+	}
+	for i := range rf.ReadSel {
+		rf.ReadSel[i] = c.Input("")
+	}
+	for i := range rf.WriteData {
+		rf.WriteData[i] = c.Input("")
+	}
+	oneHot := Decoder(c, rf.WriteSel)
+	n := 1 << uint(selBits)
+	rf.registers = make([][]NetID, n)
+	for r := 0; r < n; r++ {
+		we := c.Gate(AND, rf.WriteEnable, oneHot[r])
+		rf.registers[r] = Register(c, rf.WriteData, we)
+	}
+	rf.ReadData = MuxBusN(c, rf.ReadSel, rf.registers...)
+	return rf
+}
+
+// Write drives the write port and pulses the enable: set, settle, clear,
+// settle — the two-phase clocking discipline the lab teaches.
+func (rf *RegisterFile) Write(c *Circuit, reg int, value uint64) error {
+	for i, id := range rf.WriteSel {
+		if err := c.Set(id, reg&(1<<uint(i)) != 0); err != nil {
+			return err
+		}
+	}
+	if err := c.SetBus(rf.WriteData, value); err != nil {
+		return err
+	}
+	if err := c.Set(rf.WriteEnable, true); err != nil {
+		return err
+	}
+	if err := c.Settle(); err != nil {
+		return err
+	}
+	if err := c.Set(rf.WriteEnable, false); err != nil {
+		return err
+	}
+	return c.Settle()
+}
+
+// Read drives the read select and returns the selected register's value.
+func (rf *RegisterFile) Read(c *Circuit, reg int) (uint64, error) {
+	for i, id := range rf.ReadSel {
+		if err := c.Set(id, reg&(1<<uint(i)) != 0); err != nil {
+			return 0, err
+		}
+	}
+	if err := c.Settle(); err != nil {
+		return 0, err
+	}
+	return c.GetBus(rf.ReadData), nil
+}

@@ -1,0 +1,149 @@
+package circuit
+
+import "testing"
+
+func TestRSLatch(t *testing.T) {
+	c := New()
+	r := c.Input("r")
+	s := c.Input("s")
+	q, notQ := RSLatch(c, r, s)
+
+	// Set.
+	c.Set(s, true)
+	if err := c.Settle(); err != nil {
+		t.Fatal(err)
+	}
+	c.Set(s, false)
+	if err := c.Settle(); err != nil {
+		t.Fatal(err)
+	}
+	if !c.Get(q) || c.Get(notQ) {
+		t.Errorf("after set: q=%v notQ=%v", c.Get(q), c.Get(notQ))
+	}
+
+	// Hold (R=S=0): q stays 1.
+	if err := c.Settle(); err != nil {
+		t.Fatal(err)
+	}
+	if !c.Get(q) {
+		t.Error("latch lost state on hold")
+	}
+
+	// Reset.
+	c.Set(r, true)
+	if err := c.Settle(); err != nil {
+		t.Fatal(err)
+	}
+	c.Set(r, false)
+	if err := c.Settle(); err != nil {
+		t.Fatal(err)
+	}
+	if c.Get(q) || !c.Get(notQ) {
+		t.Errorf("after reset: q=%v notQ=%v", c.Get(q), c.Get(notQ))
+	}
+
+	// Forbidden input R=S=1: both outputs low (NOR latch behaviour).
+	c.Set(r, true)
+	c.Set(s, true)
+	if err := c.Settle(); err != nil {
+		t.Fatal(err)
+	}
+	if c.Get(q) || c.Get(notQ) {
+		t.Errorf("forbidden input: q=%v notQ=%v", c.Get(q), c.Get(notQ))
+	}
+}
+
+func TestDLatch(t *testing.T) {
+	c := New()
+	d := c.Input("d")
+	en := c.Input("en")
+	q, notQ := DLatch(c, d, en)
+
+	// Enabled: q follows d.
+	c.Set(en, true)
+	for _, v := range []bool{true, false, true} {
+		c.Set(d, v)
+		if err := c.Settle(); err != nil {
+			t.Fatal(err)
+		}
+		if c.Get(q) != v || c.Get(notQ) != !v {
+			t.Errorf("enabled d=%v: q=%v", v, c.Get(q))
+		}
+	}
+
+	// Disabled: q holds while d changes.
+	c.Set(en, false)
+	if err := c.Settle(); err != nil {
+		t.Fatal(err)
+	}
+	held := c.Get(q)
+	c.Set(d, !held)
+	if err := c.Settle(); err != nil {
+		t.Fatal(err)
+	}
+	if c.Get(q) != held {
+		t.Error("disabled latch did not hold")
+	}
+}
+
+func TestRegister(t *testing.T) {
+	c := New()
+	d := c.Inputs("d", 8)
+	we := c.Input("we")
+	q := Register(c, d, we)
+
+	c.SetBus(d, 0x5a)
+	c.Set(we, true)
+	if err := c.Settle(); err != nil {
+		t.Fatal(err)
+	}
+	c.Set(we, false)
+	if err := c.Settle(); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.GetBus(q); got != 0x5a {
+		t.Fatalf("register holds %#x, want 0x5a", got)
+	}
+
+	// With write enable low, changing D must not disturb the register.
+	c.SetBus(d, 0xff)
+	if err := c.Settle(); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.GetBus(q); got != 0x5a {
+		t.Errorf("register overwritten while disabled: %#x", got)
+	}
+}
+
+func TestRegisterFile(t *testing.T) {
+	c := New()
+	rf := NewRegisterFile(c, 2, 8) // 4 registers x 8 bits
+	values := []uint64{0x11, 0x22, 0x33, 0x44}
+	for r, v := range values {
+		if err := rf.Write(c, r, v); err != nil {
+			t.Fatalf("write r%d: %v", r, err)
+		}
+	}
+	for r, want := range values {
+		got, err := rf.Read(c, r)
+		if err != nil {
+			t.Fatalf("read r%d: %v", r, err)
+		}
+		if got != want {
+			t.Errorf("r%d = %#x, want %#x", r, got, want)
+		}
+	}
+	// Overwrite one register; the others must be untouched.
+	if err := rf.Write(c, 2, 0xee); err != nil {
+		t.Fatal(err)
+	}
+	for r, want := range []uint64{0x11, 0x22, 0xee, 0x44} {
+		got, err := rf.Read(c, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Errorf("after overwrite, r%d = %#x, want %#x", r, got, want)
+		}
+	}
+}

@@ -1,0 +1,64 @@
+package circuit
+
+import "fmt"
+
+// Synthesis from truth tables — the second half of the circuits homework
+// ("creating a circuit given a logic table") — via sum-of-products: one AND
+// minterm per true row, ORed together.
+
+// SynthesizeSoP builds a sum-of-products circuit computing the given truth
+// table column over fresh input pins named in0..in{n-1} (in0 is the
+// leftmost/most-significant table column, matching BuildTruthTable's row
+// order). rows must have length 2^n for some n <= 16; rows[i] is the output
+// for the input assignment whose bits spell i (in0 the high bit). The output
+// net is named "out".
+func SynthesizeSoP(c *Circuit, numInputs int, rows []bool) ([]NetID, NetID, error) {
+	if numInputs < 1 || numInputs > 16 {
+		return nil, 0, fmt.Errorf("circuit: SoP over %d inputs unsupported", numInputs)
+	}
+	if len(rows) != 1<<uint(numInputs) {
+		return nil, 0, fmt.Errorf("circuit: need %d rows for %d inputs, got %d",
+			1<<uint(numInputs), numInputs, len(rows))
+	}
+	ins := make([]NetID, numInputs)
+	for i := range ins {
+		ins[i] = c.Input(fmt.Sprintf("in%d", i))
+	}
+	negs := make([]NetID, numInputs)
+	for i, in := range ins {
+		negs[i] = c.Gate(NOT, in)
+	}
+	var minterms []NetID
+	for rowIdx, v := range rows {
+		if !v {
+			continue
+		}
+		terms := make([]NetID, numInputs)
+		for i := 0; i < numInputs; i++ {
+			// in0 is the high-order bit of the row index.
+			if rowIdx&(1<<uint(numInputs-1-i)) != 0 {
+				terms[i] = ins[i]
+			} else {
+				terms[i] = negs[i]
+			}
+		}
+		var mt NetID
+		if numInputs == 1 {
+			mt = c.Gate(BUF, terms[0])
+		} else {
+			mt = c.Gate(AND, terms...)
+		}
+		minterms = append(minterms, mt)
+	}
+	var out NetID
+	switch len(minterms) {
+	case 0:
+		out = c.Constant(false)
+	case 1:
+		out = c.Gate(BUF, minterms[0])
+	default:
+		out = c.Gate(OR, minterms...)
+	}
+	c.Name("out", out)
+	return ins, out, nil
+}

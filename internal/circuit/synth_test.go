@@ -1,0 +1,124 @@
+package circuit
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestSynthesizeSoPMajority(t *testing.T) {
+	// 3-input majority function.
+	rows := make([]bool, 8)
+	for v := 0; v < 8; v++ {
+		ones := v&4>>2 + v&2>>1 + v&1
+		rows[v] = ones >= 2
+	}
+	c := New()
+	ins, out, err := SynthesizeSoP(c, 3, rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := 0; v < 8; v++ {
+		for i := range ins {
+			c.Set(ins[i], v&(1<<uint(len(ins)-1-i)) != 0)
+		}
+		if err := c.Settle(); err != nil {
+			t.Fatal(err)
+		}
+		if c.Get(out) != rows[v] {
+			t.Errorf("majority(%03b) = %v, want %v", v, c.Get(out), rows[v])
+		}
+	}
+}
+
+func TestSynthesizeSoPConstants(t *testing.T) {
+	// All-false table yields constant 0.
+	c := New()
+	_, out, err := SynthesizeSoP(c, 2, []bool{false, false, false, false})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Settle(); err != nil {
+		t.Fatal(err)
+	}
+	if c.Get(out) {
+		t.Error("all-false table should synthesize constant 0")
+	}
+	// Single-minterm table.
+	c2 := New()
+	ins, out2, err := SynthesizeSoP(c2, 2, []bool{false, false, true, false})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2.Set(ins[0], true)
+	c2.Set(ins[1], false)
+	if err := c2.Settle(); err != nil {
+		t.Fatal(err)
+	}
+	if !c2.Get(out2) {
+		t.Error("minterm 10 should fire on inputs 1,0")
+	}
+}
+
+func TestSynthesizeSoPOneInput(t *testing.T) {
+	c := New()
+	ins, out, err := SynthesizeSoP(c, 1, []bool{true, false}) // NOT
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Set(ins[0], false)
+	if err := c.Settle(); err != nil {
+		t.Fatal(err)
+	}
+	if !c.Get(out) {
+		t.Error("NOT(0) should be 1")
+	}
+	c.Set(ins[0], true)
+	if err := c.Settle(); err != nil {
+		t.Fatal(err)
+	}
+	if c.Get(out) {
+		t.Error("NOT(1) should be 0")
+	}
+}
+
+func TestSynthesizeSoPErrors(t *testing.T) {
+	if _, _, err := SynthesizeSoP(New(), 0, nil); err == nil {
+		t.Error("0 inputs should fail")
+	}
+	if _, _, err := SynthesizeSoP(New(), 17, nil); err == nil {
+		t.Error("17 inputs should fail")
+	}
+	if _, _, err := SynthesizeSoP(New(), 2, []bool{true}); err == nil {
+		t.Error("wrong row count should fail")
+	}
+}
+
+// Property: synthesize a random 3-input truth table, then extract the truth
+// table of the synthesized circuit and verify it matches the specification
+// (round-trip through synthesis and analysis, the two homework directions).
+func TestSynthesisRoundTrip(t *testing.T) {
+	f := func(spec uint8) bool {
+		rows := make([]bool, 8)
+		for i := range rows {
+			rows[i] = spec&(1<<uint(i)) != 0
+		}
+		c := New()
+		_, _, err := SynthesizeSoP(c, 3, rows)
+		if err != nil {
+			return false
+		}
+		tt, err := c.BuildTruthTable([]string{"in0", "in1", "in2"}, []string{"out"})
+		if err != nil {
+			return false
+		}
+		for i, row := range tt.Rows {
+			if row.Out[0] != rows[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 64}); err != nil {
+		t.Error(err)
+	}
+}

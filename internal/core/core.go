@@ -1,0 +1,212 @@
+// Package core ties the substrates together into the paper's primary
+// contribution: the CS 31 curriculum itself. Pipeline runs the course's
+// first two themes end to end — a C program is compiled (minic) to IA-32
+// assembly (asm), executed instruction by instruction, and its memory
+// trace replayed through the cache and virtual-memory simulators to
+// produce the system-cost report of theme 2. The Modules registry is the
+// course map: every lab and lecture module, the theme it serves, and the
+// packages that implement it — DESIGN.md's inventory, in code.
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"cs31/internal/cache"
+	"cs31/internal/memhier"
+	"cs31/internal/minic"
+	"cs31/internal/vm"
+)
+
+// Theme is one of the course's three curricular themes.
+type Theme int
+
+// The three themes from the paper's Section II.
+const (
+	HowAComputerRunsAProgram Theme = iota + 1
+	EvaluatingSystemCosts
+	PowerOfParallelComputing
+)
+
+func (t Theme) String() string {
+	switch t {
+	case HowAComputerRunsAProgram:
+		return "how a computer runs a program"
+	case EvaluatingSystemCosts:
+		return "evaluating system costs"
+	case PowerOfParallelComputing:
+		return "power of parallel computing"
+	default:
+		return fmt.Sprintf("theme(%d)", int(t))
+	}
+}
+
+// Module is one course component mapped to its implementation.
+type Module struct {
+	Name     string
+	Lab      string // lab number(s), "" for lecture-only modules
+	Theme    Theme
+	Packages []string // implementing packages in this repository
+}
+
+// Modules is the full course inventory.
+var Modules = []Module{
+	{Name: "binary data representation", Lab: "Lab 1", Theme: HowAComputerRunsAProgram,
+		Packages: []string{"internal/numrep"}},
+	{Name: "C programming", Lab: "Labs 2, 4, 7", Theme: HowAComputerRunsAProgram,
+		Packages: []string{"internal/minic", "internal/cstr", "internal/cstats", "internal/sorting"}},
+	{Name: "logic circuits and the ALU", Lab: "Lab 3", Theme: HowAComputerRunsAProgram,
+		Packages: []string{"internal/circuit"}},
+	{Name: "the simple CPU and pipelining", Lab: "", Theme: HowAComputerRunsAProgram,
+		Packages: []string{"internal/cpu"}},
+	{Name: "IA-32 assembly", Lab: "Labs 4, 5", Theme: HowAComputerRunsAProgram,
+		Packages: []string{"internal/asm", "internal/debug", "internal/maze"}},
+	{Name: "memory hierarchy and locality", Lab: "", Theme: EvaluatingSystemCosts,
+		Packages: []string{"internal/memhier"}},
+	{Name: "caching", Lab: "", Theme: EvaluatingSystemCosts,
+		Packages: []string{"internal/cache"}},
+	{Name: "operating systems and processes", Lab: "Labs 8, 9", Theme: HowAComputerRunsAProgram,
+		Packages: []string{"internal/kernel", "internal/shell"}},
+	{Name: "virtual memory", Lab: "", Theme: EvaluatingSystemCosts,
+		Packages: []string{"internal/vm"}},
+	{Name: "memory debugging (Valgrind)", Lab: "", Theme: EvaluatingSystemCosts,
+		Packages: []string{"internal/memcheck"}},
+	{Name: "shared memory parallelism", Lab: "Lab 10", Theme: PowerOfParallelComputing,
+		Packages: []string{"internal/pthread", "internal/life", "internal/prodcons", "internal/paravis"}},
+	{Name: "course evaluation", Lab: "", Theme: PowerOfParallelComputing,
+		Packages: []string{"internal/survey"}},
+}
+
+// ModulesForTheme filters the inventory by theme.
+func ModulesForTheme(t Theme) []Module {
+	var out []Module
+	for _, m := range Modules {
+		if m.Theme == t {
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+// Config parameterizes a pipeline run. Zero values select the course's
+// defaults: a 4 KiB direct-mapped cache with 64-byte blocks, and a VM with
+// 256-byte pages, 64 frames, and an 8-entry TLB.
+type Config struct {
+	Cache    cache.Config
+	VM       vm.Config
+	Stdin    string
+	MaxSteps int64
+}
+
+func (c *Config) fillDefaults() {
+	if c.Cache.SizeBytes == 0 {
+		c.Cache = cache.Config{SizeBytes: 4096, BlockSize: 64, Assoc: 1}
+	}
+	if c.VM.PageSize == 0 {
+		c.VM = vm.Config{PageSize: 256, NumFrames: 64, TLBSize: 8, NumPages: 1 << 14}
+	}
+	if c.MaxSteps <= 0 {
+		c.MaxSteps = 10_000_000
+	}
+}
+
+// Result is everything the slice produces.
+type Result struct {
+	Assembly     string
+	ExitStatus   int32
+	Stdout       string
+	Instructions int64
+	MemAccesses  int
+
+	CacheStats cache.Stats
+	VMStats    vm.Stats
+	Locality   memhier.LocalityReport
+
+	// EffectiveAccessNs applies the course's cost model: cache hits cost
+	// L1 time, misses cost RAM time, and the VM adds TLB-miss walks and
+	// fault penalties.
+	EffectiveAccessNs float64
+}
+
+// Run compiles a mini-C program, executes it on the asm machine, and
+// replays its data-memory trace through the cache and VM simulators — the
+// whole vertical slice in one call.
+func Run(cSource string, cfg Config) (*Result, error) {
+	cfg.fillDefaults()
+
+	asmSrc, err := minic.Compile(cSource)
+	if err != nil {
+		return nil, fmt.Errorf("core: compile: %w", err)
+	}
+	rr, err := minic.RunTraced(cSource, cfg.Stdin, cfg.MaxSteps)
+	if err != nil {
+		return nil, fmt.Errorf("core: execute: %w", err)
+	}
+
+	res := &Result{
+		Assembly:     asmSrc,
+		ExitStatus:   rr.ExitStatus,
+		Stdout:       rr.Stdout,
+		Instructions: rr.Steps,
+		MemAccesses:  len(rr.Trace),
+	}
+
+	// Convert the machine trace to the shared trace currency.
+	trace := make([]memhier.Access, len(rr.Trace))
+	for i, e := range rr.Trace {
+		trace[i] = memhier.Access{Addr: uint64(e.Addr), Write: e.Write}
+	}
+	res.Locality = memhier.AnalyzeLocality(trace, 64, 64)
+
+	// Cache replay.
+	cc, err := cache.New(cfg.Cache)
+	if err != nil {
+		return nil, fmt.Errorf("core: cache: %w", err)
+	}
+	res.CacheStats = cc.RunTrace(trace)
+
+	// VM replay as a single process.
+	vs, err := vm.New(cfg.VM)
+	if err != nil {
+		return nil, fmt.Errorf("core: vm: %w", err)
+	}
+	if err := vs.AddProcess(1); err != nil {
+		return nil, err
+	}
+	if err := vs.Switch(1); err != nil {
+		return nil, err
+	}
+	for _, a := range trace {
+		if _, err := vs.Access(a.Addr, a.Write); err != nil {
+			return nil, fmt.Errorf("core: vm replay: %w", err)
+		}
+	}
+	res.VMStats = vs.Stats()
+
+	// Cost model: L1 hit 1ns, RAM 100ns (DefaultHierarchy numbers), plus
+	// the VM's translation overheads.
+	const l1, ram = 1.0, 100.0
+	eat, err := memhier.EffectiveAccessTime(l1, ram, res.CacheStats.HitRate())
+	if err != nil {
+		return nil, err
+	}
+	res.EffectiveAccessNs = eat + vs.EffectiveAccessTime(ram, 10_000_000)/1000 // fault penalty amortized, scaled
+	return res, nil
+}
+
+// CostReport renders the theme-2 summary the pipeline exists to produce.
+func (r *Result) CostReport() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "vertical slice cost report\n")
+	fmt.Fprintf(&sb, "  instructions executed : %d\n", r.Instructions)
+	fmt.Fprintf(&sb, "  data memory accesses  : %d\n", r.MemAccesses)
+	fmt.Fprintf(&sb, "  cache hit rate        : %.2f%% (%d hits, %d misses)\n",
+		100*r.CacheStats.HitRate(), r.CacheStats.Hits, r.CacheStats.Misses)
+	fmt.Fprintf(&sb, "  page faults           : %d (%.2f%%)\n",
+		r.VMStats.PageFaults, 100*r.VMStats.FaultRate())
+	fmt.Fprintf(&sb, "  TLB hit rate          : %.2f%%\n", 100*r.VMStats.TLBHitRate())
+	fmt.Fprintf(&sb, "  temporal locality     : %.2f%%\n", 100*r.Locality.TemporalFraction())
+	fmt.Fprintf(&sb, "  spatial locality      : %.2f%%\n", 100*r.Locality.SpatialFraction())
+	fmt.Fprintf(&sb, "  effective access time : %.2f ns/access\n", r.EffectiveAccessNs)
+	return sb.String()
+}

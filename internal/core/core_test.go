@@ -1,0 +1,148 @@
+package core
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"cs31/internal/cache"
+)
+
+const sumProgram = `
+int main() {
+    int a[64];
+    int sum = 0;
+    for (int i = 0; i < 64; i++) { a[i] = i; }
+    for (int i = 0; i < 64; i++) { sum += a[i]; }
+    print_int(sum);
+    return 0;
+}`
+
+func TestPipelineEndToEnd(t *testing.T) {
+	res, err := Run(sumProgram, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stdout != "2016" {
+		t.Errorf("stdout = %q", res.Stdout)
+	}
+	if res.ExitStatus != 0 {
+		t.Errorf("exit = %d", res.ExitStatus)
+	}
+	if res.Instructions == 0 || res.MemAccesses == 0 {
+		t.Errorf("counts: instrs=%d mem=%d", res.Instructions, res.MemAccesses)
+	}
+	if !strings.Contains(res.Assembly, "main:") {
+		t.Error("assembly missing main")
+	}
+	// A tight array loop through a 64-byte-block cache hits often.
+	if res.CacheStats.HitRate() < 0.5 {
+		t.Errorf("hit rate %v implausibly low", res.CacheStats.HitRate())
+	}
+	if res.VMStats.Accesses == 0 || res.VMStats.PageFaults == 0 {
+		t.Errorf("vm stats: %+v", res.VMStats)
+	}
+	if res.EffectiveAccessNs <= 0 {
+		t.Errorf("EAT = %v", res.EffectiveAccessNs)
+	}
+	report := res.CostReport()
+	for _, want := range []string{"cache hit rate", "page faults", "TLB", "effective access time"} {
+		if !strings.Contains(report, want) {
+			t.Errorf("report missing %q:\n%s", want, report)
+		}
+	}
+}
+
+func TestPipelineStrideContrast(t *testing.T) {
+	// The cache exercise through the whole stack: row-major vs column-major
+	// traversal of the same matrix, compiled from C. Row-major must hit
+	// more.
+	rowMajor := `
+int main() {
+    int m[1024];
+    int sum = 0;
+    for (int i = 0; i < 32; i++) {
+        for (int j = 0; j < 32; j++) { sum += m[i * 32 + j]; }
+    }
+    return 0;
+}`
+	colMajor := `
+int main() {
+    int m[1024];
+    int sum = 0;
+    for (int j = 0; j < 32; j++) {
+        for (int i = 0; i < 32; i++) { sum += m[i * 32 + j]; }
+    }
+    return 0;
+}`
+	// Use a small cache so the 4 KiB matrix cannot fit entirely.
+	cfg := Config{Cache: cache.Config{SizeBytes: 512, BlockSize: 64, Assoc: 1}}
+	rm, err := Run(rowMajor, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cm, err := Run(colMajor, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rm.CacheStats.HitRate() <= cm.CacheStats.HitRate() {
+		t.Errorf("row-major hit rate %.3f should beat column-major %.3f",
+			rm.CacheStats.HitRate(), cm.CacheStats.HitRate())
+	}
+}
+
+func TestPipelineErrors(t *testing.T) {
+	if _, err := Run("int main() { return x; }", Config{}); err == nil {
+		t.Error("compile error should surface")
+	}
+	if _, err := Run("int main() { while (1) {} return 0; }", Config{MaxSteps: 1000}); err == nil {
+		t.Error("runaway program should surface")
+	}
+	bad := Config{Cache: cache.Config{SizeBytes: 100, BlockSize: 3, Assoc: 1}}
+	if _, err := Run("int main() { return 0; }", bad); err == nil {
+		t.Error("bad cache config should surface")
+	}
+}
+
+func TestModulesInventory(t *testing.T) {
+	if len(Modules) < 10 {
+		t.Errorf("inventory too small: %d modules", len(Modules))
+	}
+	themes := map[Theme]int{}
+	for _, m := range Modules {
+		if m.Name == "" || len(m.Packages) == 0 {
+			t.Errorf("incomplete module: %+v", m)
+		}
+		themes[m.Theme]++
+	}
+	for _, th := range []Theme{HowAComputerRunsAProgram, EvaluatingSystemCosts, PowerOfParallelComputing} {
+		if themes[th] == 0 {
+			t.Errorf("theme %v has no modules", th)
+		}
+		if len(ModulesForTheme(th)) != themes[th] {
+			t.Errorf("ModulesForTheme(%v) inconsistent", th)
+		}
+	}
+}
+
+func TestThemeStrings(t *testing.T) {
+	if !strings.Contains(HowAComputerRunsAProgram.String(), "runs a program") {
+		t.Error("theme 1 name")
+	}
+	if !strings.Contains(Theme(9).String(), "9") {
+		t.Error("unknown theme name")
+	}
+}
+
+// The Modules registry is DESIGN.md's inventory in code; every package it
+// names must exist in the repository.
+func TestModulePackagesExist(t *testing.T) {
+	for _, m := range Modules {
+		for _, pkg := range m.Packages {
+			if _, err := os.Stat(filepath.Join("..", "..", pkg)); err != nil {
+				t.Errorf("module %q names missing package %s: %v", m.Name, pkg, err)
+			}
+		}
+	}
+}

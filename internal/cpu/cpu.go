@@ -1,0 +1,360 @@
+// Package cpu implements the simple CPU that CS 31 builds on top of the
+// Lab 3 ALU: a register file, program counter, instruction register, and
+// control circuitry that execute a small 16-bit instruction set through the
+// fetch, decode, execute, store cycle, one clock phase at a time. It also
+// provides the analytic pipelining model the course uses to show how
+// pipelining improves instructions per cycle.
+//
+// Instruction word layout (16 bits):
+//
+//	op[15:12] rd[11:9] rs[8:6] rt[5:3] unused[2:0]   (register form)
+//	op[15:12] rd[11:9] imm9[8:0]                      (immediate form)
+//	op[15:12] target12[11:0]                          (jump form)
+//
+// The ALU operations reuse the exact opcode ordering of the Lab 3 ALU so
+// the control unit can pass op[2:0] straight to the ALU select lines.
+package cpu
+
+import (
+	"errors"
+	"fmt"
+
+	"cs31/internal/circuit"
+)
+
+// NumRegs is the number of general-purpose registers (r0..r7).
+const NumRegs = 8
+
+// MemWords is the size of instruction/data memory in 16-bit words.
+const MemWords = 4096
+
+// Opcode identifies one machine instruction.
+type Opcode uint16
+
+// The instruction set. The first eight opcodes are the ALU operations in
+// Lab 3's opcode order, so Opcode&7 is the ALU select for those.
+const (
+	OpAdd   Opcode = iota // rd = rs + rt
+	OpSub                 // rd = rs - rt
+	OpAnd                 // rd = rs & rt
+	OpOr                  // rd = rs | rt
+	OpXor                 // rd = rs ^ rt
+	OpNot                 // rd = ~rs
+	OpShl                 // rd = rs << 1
+	OpShr                 // rd = rs >> 1
+	OpLoadI               // rd = signext(imm9)
+	OpLoad                // rd = mem[rs]
+	OpStore               // mem[rs] = rd
+	OpBeqz                // if rd == 0 { pc += signext(imm9) }
+	OpJmp                 // pc = target12
+	OpHalt                // stop the clock
+)
+
+var opcodeNames = [...]string{
+	"ADD", "SUB", "AND", "OR", "XOR", "NOT", "SHL", "SHR",
+	"LOADI", "LOAD", "STORE", "BEQZ", "JMP", "HALT",
+}
+
+func (op Opcode) String() string {
+	if int(op) < len(opcodeNames) {
+		return opcodeNames[op]
+	}
+	return fmt.Sprintf("Opcode(%d)", uint16(op))
+}
+
+// Instr is a decoded instruction.
+type Instr struct {
+	Op         Opcode
+	Rd, Rs, Rt int
+	Imm        int16  // sign-extended 9-bit immediate
+	Target     uint16 // 12-bit jump target
+}
+
+// Encode packs an instruction into a 16-bit word.
+func Encode(in Instr) (uint16, error) {
+	if in.Op > OpHalt {
+		return 0, fmt.Errorf("cpu: invalid opcode %d", in.Op)
+	}
+	checkReg := func(r int) error {
+		if r < 0 || r >= NumRegs {
+			return fmt.Errorf("cpu: register r%d out of range", r)
+		}
+		return nil
+	}
+	w := uint16(in.Op) << 12
+	switch in.Op {
+	case OpJmp:
+		if in.Target >= 1<<12 {
+			return 0, fmt.Errorf("cpu: jump target %d out of range", in.Target)
+		}
+		return w | in.Target, nil
+	case OpLoadI, OpBeqz:
+		if err := checkReg(in.Rd); err != nil {
+			return 0, err
+		}
+		if in.Imm < -256 || in.Imm > 255 {
+			return 0, fmt.Errorf("cpu: immediate %d out of 9-bit range", in.Imm)
+		}
+		return w | uint16(in.Rd)<<9 | uint16(in.Imm)&0x1ff, nil
+	case OpHalt:
+		return w, nil
+	default: // register form
+		for _, r := range []int{in.Rd, in.Rs, in.Rt} {
+			if err := checkReg(r); err != nil {
+				return 0, err
+			}
+		}
+		return w | uint16(in.Rd)<<9 | uint16(in.Rs)<<6 | uint16(in.Rt)<<3, nil
+	}
+}
+
+// Decode unpacks a 16-bit word into an instruction.
+func Decode(w uint16) (Instr, error) {
+	op := Opcode(w >> 12)
+	if op > OpHalt {
+		return Instr{}, fmt.Errorf("cpu: invalid opcode %d in word %#04x", op, w)
+	}
+	in := Instr{Op: op}
+	switch op {
+	case OpJmp:
+		in.Target = w & 0xfff
+	case OpLoadI, OpBeqz:
+		in.Rd = int(w >> 9 & 7)
+		imm := w & 0x1ff
+		if imm&0x100 != 0 { // sign-extend 9 bits
+			in.Imm = int16(imm) - 512
+		} else {
+			in.Imm = int16(imm)
+		}
+	case OpHalt:
+	default:
+		in.Rd = int(w >> 9 & 7)
+		in.Rs = int(w >> 6 & 7)
+		in.Rt = int(w >> 3 & 7)
+	}
+	return in, nil
+}
+
+// String renders the instruction in assembly form.
+func (in Instr) String() string {
+	switch in.Op {
+	case OpJmp:
+		return fmt.Sprintf("JMP %d", in.Target)
+	case OpLoadI:
+		return fmt.Sprintf("LOADI r%d, %d", in.Rd, in.Imm)
+	case OpBeqz:
+		return fmt.Sprintf("BEQZ r%d, %d", in.Rd, in.Imm)
+	case OpHalt:
+		return "HALT"
+	case OpNot, OpShl, OpShr:
+		return fmt.Sprintf("%s r%d, r%d", in.Op, in.Rd, in.Rs)
+	case OpLoad, OpStore:
+		return fmt.Sprintf("%s r%d, r%d", in.Op, in.Rd, in.Rs)
+	default:
+		return fmt.Sprintf("%s r%d, r%d, r%d", in.Op, in.Rd, in.Rs, in.Rt)
+	}
+}
+
+// Stage is one of the four instruction execution stages the course teaches.
+type Stage int
+
+// The four stages of the instruction execution cycle.
+const (
+	Fetch Stage = iota
+	DecodeStage
+	Execute
+	Store
+)
+
+func (s Stage) String() string {
+	return [...]string{"Fetch", "Decode", "Execute", "Store"}[s]
+}
+
+// ErrHalted is returned by Step once the CPU has executed HALT.
+var ErrHalted = errors.New("cpu: halted")
+
+// Machine is the simple CPU: registers, PC, IR, memory, and a clock that
+// drives the four-stage execution cycle. When GateALU is true the execute
+// stage routes arithmetic through the gate-level circuit ALU instead of the
+// functional reference — slower, but it demonstrates that the Lab 3 circuit
+// really is the datapath.
+type Machine struct {
+	Regs  [NumRegs]uint16
+	PC    uint16
+	IR    uint16
+	Mem   [MemWords]uint16
+	Flags circuit.Flags
+
+	Cycles  int64 // clock cycles consumed (4 per instruction)
+	Retired int64 // instructions completed
+	Halted  bool
+
+	GateALU bool
+
+	gateCkt *circuit.Circuit
+	gateALU *circuit.ALU
+
+	stage   Stage
+	current Instr
+	aluOut  uint16
+	memOut  uint16
+	nextPC  uint16
+}
+
+// New returns a machine with zeroed state.
+func New() *Machine { return &Machine{} }
+
+// EnableGateALU switches the execute stage onto a gate-level 16-bit ALU.
+func (m *Machine) EnableGateALU() {
+	m.gateCkt = circuit.New()
+	m.gateALU = circuit.NewALU(m.gateCkt, 16)
+	m.GateALU = true
+}
+
+// LoadProgram encodes and writes a program into memory starting at word 0
+// and resets the PC.
+func (m *Machine) LoadProgram(prog []Instr) error {
+	if len(prog) > MemWords {
+		return fmt.Errorf("cpu: program of %d words exceeds memory", len(prog))
+	}
+	for i, in := range prog {
+		w, err := Encode(in)
+		if err != nil {
+			return fmt.Errorf("cpu: instruction %d (%v): %w", i, in, err)
+		}
+		m.Mem[i] = w
+	}
+	m.PC = 0
+	m.Halted = false
+	m.stage = Fetch
+	return nil
+}
+
+// alu dispatches to the gate-level or reference ALU.
+func (m *Machine) alu(op circuit.ALUOp, a, b uint16) (uint16, circuit.Flags, error) {
+	if m.GateALU {
+		res, f, err := m.gateALU.Run(m.gateCkt, op, uint64(a), uint64(b))
+		return uint16(res), f, err
+	}
+	res, f := circuit.RefALU(op, uint64(a), uint64(b), 16)
+	return uint16(res), f, nil
+}
+
+// Tick advances the clock one cycle, performing the current stage of the
+// current instruction. Four ticks complete one instruction.
+func (m *Machine) Tick() error {
+	if m.Halted {
+		return ErrHalted
+	}
+	m.Cycles++
+	switch m.stage {
+	case Fetch:
+		m.IR = m.Mem[m.PC%MemWords]
+		m.nextPC = m.PC + 1
+		m.stage = DecodeStage
+	case DecodeStage:
+		in, err := Decode(m.IR)
+		if err != nil {
+			m.Halted = true
+			return err
+		}
+		m.current = in
+		m.stage = Execute
+	case Execute:
+		if err := m.execute(); err != nil {
+			m.Halted = true
+			return err
+		}
+		m.stage = Store
+	case Store:
+		m.store()
+		m.PC = m.nextPC
+		m.Retired++
+		m.stage = Fetch
+		if m.Halted {
+			return ErrHalted
+		}
+	}
+	return nil
+}
+
+func (m *Machine) execute() error {
+	in := m.current
+	switch in.Op {
+	case OpAdd, OpSub, OpAnd, OpOr, OpXor, OpNot, OpShl, OpShr:
+		a := m.Regs[in.Rs]
+		b := m.Regs[in.Rt]
+		out, f, err := m.alu(circuit.ALUOp(in.Op&7), a, b)
+		if err != nil {
+			return err
+		}
+		m.aluOut = out
+		m.Flags = f
+	case OpLoadI:
+		m.aluOut = uint16(in.Imm)
+	case OpLoad:
+		m.memOut = m.Mem[m.Regs[in.Rs]%MemWords]
+	case OpStore:
+		// effective address computed here; write happens in store stage
+	case OpBeqz:
+		if m.Regs[in.Rd] == 0 {
+			m.nextPC = uint16(int32(m.nextPC) + int32(in.Imm))
+		}
+	case OpJmp:
+		m.nextPC = in.Target
+	case OpHalt:
+	}
+	return nil
+}
+
+func (m *Machine) store() {
+	in := m.current
+	switch in.Op {
+	case OpAdd, OpSub, OpAnd, OpOr, OpXor, OpNot, OpShl, OpShr, OpLoadI:
+		m.Regs[in.Rd] = m.aluOut
+	case OpLoad:
+		m.Regs[in.Rd] = m.memOut
+	case OpStore:
+		m.Mem[m.Regs[in.Rs]%MemWords] = m.Regs[in.Rd]
+	case OpHalt:
+		m.Halted = true
+	}
+	// r0 is hardwired to zero, like many teaching ISAs.
+	m.Regs[0] = 0
+}
+
+// StepInstr runs the four clock phases of one complete instruction.
+func (m *Machine) StepInstr() error {
+	for i := 0; i < 4; i++ {
+		if err := m.Tick(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Run executes until HALT or the instruction budget is exhausted.
+func (m *Machine) Run(maxInstrs int64) error {
+	for i := int64(0); i < maxInstrs; i++ {
+		if err := m.StepInstr(); err != nil {
+			if errors.Is(err, ErrHalted) {
+				return nil
+			}
+			return err
+		}
+	}
+	if !m.Halted {
+		return fmt.Errorf("cpu: exceeded budget of %d instructions", maxInstrs)
+	}
+	return nil
+}
+
+// IPC reports retired instructions per clock cycle — 0.25 for this
+// unpipelined four-stage machine, the number the pipelining discussion
+// starts from.
+func (m *Machine) IPC() float64 {
+	if m.Cycles == 0 {
+		return 0
+	}
+	return float64(m.Retired) / float64(m.Cycles)
+}

@@ -1,0 +1,278 @@
+package cpu
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	cases := []Instr{
+		{Op: OpAdd, Rd: 1, Rs: 2, Rt: 3},
+		{Op: OpSub, Rd: 7, Rs: 0, Rt: 7},
+		{Op: OpNot, Rd: 4, Rs: 5},
+		{Op: OpLoadI, Rd: 3, Imm: -256},
+		{Op: OpLoadI, Rd: 3, Imm: 255},
+		{Op: OpBeqz, Rd: 2, Imm: -4},
+		{Op: OpJmp, Target: 4095},
+		{Op: OpHalt},
+		{Op: OpLoad, Rd: 1, Rs: 2},
+		{Op: OpStore, Rd: 1, Rs: 2},
+	}
+	for _, in := range cases {
+		w, err := Encode(in)
+		if err != nil {
+			t.Fatalf("Encode(%v): %v", in, err)
+		}
+		got, err := Decode(w)
+		if err != nil {
+			t.Fatalf("Decode(%#04x): %v", w, err)
+		}
+		if got != in {
+			t.Errorf("round trip %v -> %#04x -> %v", in, w, got)
+		}
+	}
+}
+
+func TestEncodeErrors(t *testing.T) {
+	cases := []Instr{
+		{Op: Opcode(15)},
+		{Op: OpAdd, Rd: 8},
+		{Op: OpAdd, Rs: -1},
+		{Op: OpLoadI, Rd: 0, Imm: 256},
+		{Op: OpLoadI, Rd: 0, Imm: -257},
+		{Op: OpJmp, Target: 4096},
+		{Op: OpBeqz, Rd: 9},
+	}
+	for _, in := range cases {
+		if _, err := Encode(in); err == nil {
+			t.Errorf("Encode(%+v): expected error", in)
+		}
+	}
+	if _, err := Decode(0xf000); err == nil {
+		t.Error("Decode(0xf000): expected invalid opcode error")
+	}
+}
+
+// Property: every valid register-form instruction round-trips.
+func TestEncodeDecodeProperty(t *testing.T) {
+	f := func(opRaw, rd, rs, rt uint8) bool {
+		in := Instr{
+			Op: Opcode(opRaw % 8),
+			Rd: int(rd % 8), Rs: int(rs % 8), Rt: int(rt % 8),
+		}
+		w, err := Encode(in)
+		if err != nil {
+			return false
+		}
+		got, err := Decode(w)
+		return err == nil && got == in
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestInstrString(t *testing.T) {
+	cases := []struct {
+		in   Instr
+		want string
+	}{
+		{Instr{Op: OpAdd, Rd: 1, Rs: 2, Rt: 3}, "ADD r1, r2, r3"},
+		{Instr{Op: OpLoadI, Rd: 2, Imm: -5}, "LOADI r2, -5"},
+		{Instr{Op: OpJmp, Target: 10}, "JMP 10"},
+		{Instr{Op: OpHalt}, "HALT"},
+		{Instr{Op: OpNot, Rd: 1, Rs: 2}, "NOT r1, r2"},
+		{Instr{Op: OpLoad, Rd: 1, Rs: 2}, "LOAD r1, r2"},
+		{Instr{Op: OpBeqz, Rd: 3, Imm: 7}, "BEQZ r3, 7"},
+	}
+	for _, c := range cases {
+		if got := c.in.String(); got != c.want {
+			t.Errorf("String() = %q, want %q", got, c.want)
+		}
+	}
+	if !strings.Contains(Opcode(99).String(), "99") {
+		t.Error("unknown opcode String")
+	}
+}
+
+// sumProgram computes 1+2+...+n in r1 using a loop.
+func sumProgram(n int16) []Instr {
+	return []Instr{
+		{Op: OpLoadI, Rd: 1, Imm: 0}, // r1 = acc
+		{Op: OpLoadI, Rd: 2, Imm: n}, // r2 = counter
+		{Op: OpLoadI, Rd: 3, Imm: 1}, // r3 = 1
+		// loop:
+		{Op: OpBeqz, Rd: 2, Imm: 3},      // if r2 == 0 -> done
+		{Op: OpAdd, Rd: 1, Rs: 1, Rt: 2}, // acc += counter
+		{Op: OpSub, Rd: 2, Rs: 2, Rt: 3}, // counter--
+		{Op: OpJmp, Target: 3},           // goto loop
+		{Op: OpHalt},                     // done
+	}
+}
+
+func TestMachineSumLoop(t *testing.T) {
+	m := New()
+	if err := m.LoadProgram(sumProgram(10)); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Run(1000); err != nil {
+		t.Fatal(err)
+	}
+	if m.Regs[1] != 55 {
+		t.Errorf("sum 1..10 = %d, want 55", m.Regs[1])
+	}
+	if !m.Halted {
+		t.Error("machine should be halted")
+	}
+	if m.Cycles != 4*m.Retired {
+		t.Errorf("cycles=%d retired=%d: expected 4 cycles per instruction", m.Cycles, m.Retired)
+	}
+	if ipc := m.IPC(); ipc != 0.25 {
+		t.Errorf("unpipelined IPC = %v, want 0.25", ipc)
+	}
+}
+
+func TestMachineLoadStore(t *testing.T) {
+	prog := []Instr{
+		{Op: OpLoadI, Rd: 1, Imm: 100}, // address
+		{Op: OpLoadI, Rd: 2, Imm: 42},  // value
+		{Op: OpStore, Rd: 2, Rs: 1},    // mem[100] = 42
+		{Op: OpLoad, Rd: 3, Rs: 1},     // r3 = mem[100]
+		{Op: OpHalt},
+	}
+	m := New()
+	if err := m.LoadProgram(prog); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Run(100); err != nil {
+		t.Fatal(err)
+	}
+	if m.Mem[100] != 42 || m.Regs[3] != 42 {
+		t.Errorf("mem[100]=%d r3=%d, want 42, 42", m.Mem[100], m.Regs[3])
+	}
+}
+
+func TestMachineR0Hardwired(t *testing.T) {
+	prog := []Instr{
+		{Op: OpLoadI, Rd: 0, Imm: 99},
+		{Op: OpHalt},
+	}
+	m := New()
+	if err := m.LoadProgram(prog); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Run(10); err != nil {
+		t.Fatal(err)
+	}
+	if m.Regs[0] != 0 {
+		t.Errorf("r0 = %d, want 0 (hardwired)", m.Regs[0])
+	}
+}
+
+func TestMachineALUFlagsAndOps(t *testing.T) {
+	prog := []Instr{
+		{Op: OpLoadI, Rd: 1, Imm: 5},
+		{Op: OpLoadI, Rd: 2, Imm: 5},
+		{Op: OpSub, Rd: 3, Rs: 1, Rt: 2}, // 0 -> zero flag
+		{Op: OpHalt},
+	}
+	m := New()
+	if err := m.LoadProgram(prog); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Run(10); err != nil {
+		t.Fatal(err)
+	}
+	if !m.Flags.Zero || !m.Flags.Equal {
+		t.Errorf("flags after 5-5: %+v", m.Flags)
+	}
+}
+
+func TestMachineHaltThenTick(t *testing.T) {
+	m := New()
+	if err := m.LoadProgram([]Instr{{Op: OpHalt}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Run(10); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Tick(); !errors.Is(err, ErrHalted) {
+		t.Errorf("Tick after halt: %v", err)
+	}
+}
+
+func TestMachineBudgetExceeded(t *testing.T) {
+	m := New()
+	// Infinite loop.
+	if err := m.LoadProgram([]Instr{{Op: OpJmp, Target: 0}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Run(10); err == nil {
+		t.Error("expected budget error")
+	}
+}
+
+func TestMachineInvalidOpcodeInMemory(t *testing.T) {
+	m := New()
+	m.Mem[0] = 0xf000 // opcode 15
+	m.PC = 0
+	err := m.Run(10)
+	if err == nil {
+		t.Error("expected decode error")
+	}
+}
+
+func TestLoadProgramTooLarge(t *testing.T) {
+	m := New()
+	if err := m.LoadProgram(make([]Instr, MemWords+1)); err == nil {
+		t.Error("oversize program should fail")
+	}
+	if err := m.LoadProgram([]Instr{{Op: Opcode(14)}}); err == nil {
+		t.Error("bad instruction should fail at load")
+	}
+}
+
+// The gate-level datapath check: the same program produces the same result
+// whether the execute stage uses the circuit ALU or the functional one.
+func TestMachineGateALUAgreement(t *testing.T) {
+	progs := [][]Instr{
+		sumProgram(7),
+		{
+			{Op: OpLoadI, Rd: 1, Imm: 0xff},
+			{Op: OpLoadI, Rd: 2, Imm: 0x0f},
+			{Op: OpAnd, Rd: 3, Rs: 1, Rt: 2},
+			{Op: OpOr, Rd: 4, Rs: 1, Rt: 2},
+			{Op: OpXor, Rd: 5, Rs: 1, Rt: 2},
+			{Op: OpNot, Rd: 6, Rs: 1},
+			{Op: OpShl, Rd: 7, Rs: 1},
+			{Op: OpHalt},
+		},
+	}
+	for pi, prog := range progs {
+		ref := New()
+		gate := New()
+		gate.EnableGateALU()
+		for _, m := range []*Machine{ref, gate} {
+			if err := m.LoadProgram(prog); err != nil {
+				t.Fatal(err)
+			}
+			if err := m.Run(1000); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if ref.Regs != gate.Regs {
+			t.Errorf("program %d: reference regs %v != gate-level regs %v", pi, ref.Regs, gate.Regs)
+		}
+		if ref.Flags != gate.Flags {
+			t.Errorf("program %d: flags %+v != %+v", pi, ref.Flags, gate.Flags)
+		}
+	}
+}
+
+func TestIPCZeroCycles(t *testing.T) {
+	if New().IPC() != 0 {
+		t.Error("IPC with no cycles should be 0")
+	}
+}

@@ -1,0 +1,96 @@
+package cpu
+
+import (
+	"fmt"
+
+	"cs31/internal/circuit"
+)
+
+// Datapath is the Lab 3 endpoint: the register file AND the ALU built
+// entirely from gates, wired the way the lab's Logisim canvas wires them.
+// Executing an R-type instruction reads both operands from the gate-level
+// register file, runs them through the gate-level ALU, and writes the
+// result back through the register file's decoder and write port — every
+// bit of state lives in gated D latches.
+type Datapath struct {
+	ckt *circuit.Circuit
+	rf  *circuit.RegisterFile
+	alu *circuit.ALU
+
+	width int
+	flags circuit.Flags
+}
+
+// NewDatapath builds a gate-level datapath with 2^selBits registers of the
+// given width (the lab uses 8 registers of 16 bits).
+func NewDatapath(selBits, width int) (*Datapath, error) {
+	if selBits < 1 || selBits > 4 {
+		return nil, fmt.Errorf("cpu: register select bits %d out of range", selBits)
+	}
+	if width < 1 || width > 32 {
+		return nil, fmt.Errorf("cpu: datapath width %d out of range", width)
+	}
+	ckt := circuit.New()
+	d := &Datapath{
+		ckt:   ckt,
+		rf:    circuit.NewRegisterFile(ckt, selBits, width),
+		alu:   circuit.NewALU(ckt, width),
+		width: width,
+	}
+	return d, nil
+}
+
+// NumGates reports the total gate count — the "cost" of the lab design.
+func (d *Datapath) NumGates() int { return d.ckt.NumGates() }
+
+// WriteReg loads a value into a register through the gate-level write port.
+func (d *Datapath) WriteReg(reg int, v uint64) error {
+	return d.rf.Write(d.ckt, reg, v)
+}
+
+// ReadReg reads a register through the gate-level read port.
+func (d *Datapath) ReadReg(reg int) (uint64, error) {
+	return d.rf.Read(d.ckt, reg)
+}
+
+// Flags returns the ALU flags latched by the last Execute.
+func (d *Datapath) Flags() circuit.Flags { return d.flags }
+
+// Execute runs rd = rs OP rt through the gates: two register-file reads,
+// one ALU evaluation, one register-file write.
+func (d *Datapath) Execute(op circuit.ALUOp, rd, rs, rt int) error {
+	a, err := d.rf.Read(d.ckt, rs)
+	if err != nil {
+		return err
+	}
+	b, err := d.rf.Read(d.ckt, rt)
+	if err != nil {
+		return err
+	}
+	res, flags, err := d.alu.Run(d.ckt, op, a, b)
+	if err != nil {
+		return err
+	}
+	d.flags = flags
+	return d.rf.Write(d.ckt, rd, res)
+}
+
+// RunRType executes a sequence of register-form instructions (the ALU
+// subset of the cpu ISA) entirely on the gate-level datapath.
+func (d *Datapath) RunRType(prog []Instr) error {
+	for i, in := range prog {
+		switch in.Op {
+		case OpAdd, OpSub, OpAnd, OpOr, OpXor, OpNot, OpShl, OpShr:
+			if err := d.Execute(circuit.ALUOp(in.Op&7), in.Rd, in.Rs, in.Rt); err != nil {
+				return fmt.Errorf("cpu: instruction %d (%v): %w", i, in, err)
+			}
+		case OpLoadI:
+			if err := d.WriteReg(in.Rd, uint64(uint16(in.Imm))); err != nil {
+				return fmt.Errorf("cpu: instruction %d (%v): %w", i, in, err)
+			}
+		default:
+			return fmt.Errorf("cpu: instruction %d (%v) is not datapath-executable", i, in)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,89 @@
+package cpu
+
+import "fmt"
+
+// PipelineModel is the analytic model CS 31 uses to show how pipelining
+// improves instruction throughput: a laundry-style pipeline of equal-length
+// stages. An unpipelined machine takes Stages cycles per instruction; a
+// pipelined one retires (ideally) one instruction per cycle after filling,
+// minus stall cycles for hazards.
+type PipelineModel struct {
+	Stages        int     // pipeline depth (e.g., 4 for fetch/decode/execute/store)
+	BranchFreq    float64 // fraction of instructions that are taken branches
+	BranchPenalty int     // cycles lost per taken branch (flushed stages)
+	MemStallFreq  float64 // fraction of instructions that stall for memory
+	MemStallCost  int     // cycles lost per memory stall
+}
+
+// Validate reports whether the model's parameters are sensible.
+func (p PipelineModel) Validate() error {
+	if p.Stages < 1 {
+		return fmt.Errorf("cpu: pipeline needs at least 1 stage, got %d", p.Stages)
+	}
+	if p.BranchFreq < 0 || p.BranchFreq > 1 || p.MemStallFreq < 0 || p.MemStallFreq > 1 {
+		return fmt.Errorf("cpu: frequencies must be in [0,1]")
+	}
+	if p.BranchPenalty < 0 || p.MemStallCost < 0 {
+		return fmt.Errorf("cpu: penalties must be non-negative")
+	}
+	return nil
+}
+
+// UnpipelinedCycles is the cycle count to run n instructions with no
+// overlap: every instruction occupies all stages serially.
+func (p PipelineModel) UnpipelinedCycles(n int64) int64 {
+	return int64(p.Stages) * n
+}
+
+// PipelinedCycles is the cycle count with full overlap: fill latency of
+// (Stages-1) cycles, then one instruction per cycle, plus expected hazard
+// stalls.
+func (p PipelineModel) PipelinedCycles(n int64) int64 {
+	if n == 0 {
+		return 0
+	}
+	base := int64(p.Stages-1) + n
+	stalls := float64(n) * (p.BranchFreq*float64(p.BranchPenalty) +
+		p.MemStallFreq*float64(p.MemStallCost))
+	return base + int64(stalls+0.5)
+}
+
+// IPC is the pipelined instructions-per-cycle for a run of n instructions.
+func (p PipelineModel) IPC(n int64) float64 {
+	c := p.PipelinedCycles(n)
+	if c == 0 {
+		return 0
+	}
+	return float64(n) / float64(c)
+}
+
+// Speedup is the ratio of unpipelined to pipelined cycles for n
+// instructions; it approaches Stages as n grows and hazards vanish.
+func (p PipelineModel) Speedup(n int64) float64 {
+	pc := p.PipelinedCycles(n)
+	if pc == 0 {
+		return 0
+	}
+	return float64(p.UnpipelinedCycles(n)) / float64(pc)
+}
+
+// CorePart is one CPU component in the multicore duplication discussion.
+type CorePart struct {
+	Name       string
+	PerCore    bool // duplicated in every core
+	SharedNote string
+}
+
+// MulticoreParts is the course's inventory of which CPU components each
+// core duplicates and which the cores share.
+var MulticoreParts = []CorePart{
+	{Name: "ALU", PerCore: true},
+	{Name: "register file", PerCore: true},
+	{Name: "program counter", PerCore: true},
+	{Name: "instruction register", PerCore: true},
+	{Name: "control unit", PerCore: true},
+	{Name: "L1 cache", PerCore: true},
+	{Name: "L2/L3 cache", PerCore: false, SharedNote: "shared last-level cache"},
+	{Name: "memory bus", PerCore: false, SharedNote: "shared path to RAM"},
+	{Name: "RAM", PerCore: false, SharedNote: "single shared physical memory"},
+}

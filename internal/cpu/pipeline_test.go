@@ -1,0 +1,123 @@
+package cpu
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestPipelineValidate(t *testing.T) {
+	good := PipelineModel{Stages: 4}
+	if err := good.Validate(); err != nil {
+		t.Errorf("valid model rejected: %v", err)
+	}
+	bad := []PipelineModel{
+		{Stages: 0},
+		{Stages: 4, BranchFreq: -0.1},
+		{Stages: 4, BranchFreq: 1.1},
+		{Stages: 4, MemStallFreq: 2},
+		{Stages: 4, BranchPenalty: -1},
+		{Stages: 4, MemStallCost: -1},
+	}
+	for _, m := range bad {
+		if err := m.Validate(); err == nil {
+			t.Errorf("model %+v should be invalid", m)
+		}
+	}
+}
+
+func TestPipelineIdealCounts(t *testing.T) {
+	p := PipelineModel{Stages: 4}
+	if got := p.UnpipelinedCycles(100); got != 400 {
+		t.Errorf("unpipelined = %d, want 400", got)
+	}
+	if got := p.PipelinedCycles(100); got != 103 {
+		t.Errorf("pipelined = %d, want 103", got)
+	}
+	if got := p.PipelinedCycles(0); got != 0 {
+		t.Errorf("0 instructions = %d cycles", got)
+	}
+	if s := p.Speedup(0); s != 0 {
+		t.Errorf("speedup at 0 = %v", s)
+	}
+}
+
+func TestPipelineIPCApproachesOne(t *testing.T) {
+	p := PipelineModel{Stages: 4}
+	ipc := p.IPC(1_000_000)
+	if ipc < 0.999 || ipc > 1.0 {
+		t.Errorf("ideal IPC for long run = %v, want ~1", ipc)
+	}
+	if p.IPC(0) != 0 {
+		t.Error("IPC(0) should be 0")
+	}
+}
+
+func TestPipelineSpeedupApproachesDepth(t *testing.T) {
+	for _, stages := range []int{2, 3, 4, 5} {
+		p := PipelineModel{Stages: stages}
+		s := p.Speedup(1_000_000)
+		if math.Abs(s-float64(stages)) > 0.01 {
+			t.Errorf("depth %d: asymptotic speedup %v, want ~%d", stages, s, stages)
+		}
+	}
+}
+
+func TestPipelineHazardsReduceIPC(t *testing.T) {
+	ideal := PipelineModel{Stages: 4}
+	hazard := PipelineModel{Stages: 4, BranchFreq: 0.2, BranchPenalty: 3}
+	n := int64(100000)
+	if hazard.IPC(n) >= ideal.IPC(n) {
+		t.Errorf("hazards should reduce IPC: %v >= %v", hazard.IPC(n), ideal.IPC(n))
+	}
+	// Expected IPC with 20% branches costing 3 cycles: 1/(1+0.6) ~ 0.625.
+	got := hazard.IPC(n)
+	if math.Abs(got-0.625) > 0.01 {
+		t.Errorf("hazard IPC = %v, want ~0.625", got)
+	}
+}
+
+// Property: pipelining never slows a run down, and speedup never exceeds the
+// pipeline depth.
+func TestPipelineSpeedupBounds(t *testing.T) {
+	f := func(stagesRaw uint8, nRaw uint16, bf, mf float64) bool {
+		stages := int(stagesRaw%8) + 1
+		n := int64(nRaw) + 1
+		p := PipelineModel{
+			Stages:        stages,
+			BranchFreq:    math.Abs(math.Mod(bf, 1)),
+			BranchPenalty: stages - 1,
+			MemStallFreq:  math.Abs(math.Mod(mf, 1)),
+			MemStallCost:  2,
+		}
+		s := p.Speedup(n)
+		// Hazard stalls can make a 1-stage "pipeline" slower than serial, but
+		// penalties are bounded by stages-1 flushes plus memory stalls, and
+		// speedup can never exceed depth.
+		return s <= float64(stages)+1e-9 && s > 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMulticorePartsInventory(t *testing.T) {
+	perCore := 0
+	shared := 0
+	for _, part := range MulticoreParts {
+		if part.PerCore {
+			perCore++
+			if part.SharedNote != "" {
+				t.Errorf("%s: per-core part with shared note", part.Name)
+			}
+		} else {
+			shared++
+			if part.SharedNote == "" {
+				t.Errorf("%s: shared part missing note", part.Name)
+			}
+		}
+	}
+	if perCore < 4 || shared < 2 {
+		t.Errorf("inventory too small: %d per-core, %d shared", perCore, shared)
+	}
+}

@@ -1,0 +1,163 @@
+package cpu
+
+import "fmt"
+
+// Trace-driven pipeline timing simulation: the functional machine executes
+// a program and emits its dynamic instruction stream; PipeSim then replays
+// that stream through an in-order pipeline cycle by cycle, modeling RAW
+// hazards (with or without forwarding) and taken-branch flushes. Where
+// PipelineModel is the lecture's analytic formula, PipeSim is the
+// measurement it approximates.
+
+// TraceEntry is one retired instruction with the facts timing needs.
+type TraceEntry struct {
+	Op     Opcode
+	Reads  []int // register numbers read
+	Writes int   // register written, -1 if none
+	Taken  bool  // taken control transfer
+	IsLoad bool  // memory load (for load-use hazards)
+}
+
+// CollectTrace runs prog on a fresh machine and returns its dynamic
+// instruction stream.
+func CollectTrace(prog []Instr, maxInstrs int64) ([]TraceEntry, error) {
+	m := New()
+	if err := m.LoadProgram(prog); err != nil {
+		return nil, err
+	}
+	var trace []TraceEntry
+	for i := int64(0); i < maxInstrs && !m.Halted; i++ {
+		in, err := Decode(m.Mem[m.PC%MemWords])
+		if err != nil {
+			return nil, err
+		}
+		prevPC := m.PC
+		if err := m.StepInstr(); err != nil && !m.Halted {
+			return nil, err
+		}
+		e := classify(in)
+		// A control transfer is "taken" when the next PC is not the
+		// fall-through.
+		if in.Op == OpJmp || in.Op == OpBeqz {
+			e.Taken = m.PC != prevPC+1
+		}
+		trace = append(trace, e)
+		if in.Op == OpHalt {
+			break
+		}
+	}
+	if !m.Halted {
+		return nil, fmt.Errorf("cpu: trace collection exceeded %d instructions", maxInstrs)
+	}
+	return trace, nil
+}
+
+// classify extracts register usage from a decoded instruction.
+func classify(in Instr) TraceEntry {
+	e := TraceEntry{Op: in.Op, Writes: -1}
+	switch in.Op {
+	case OpAdd, OpSub, OpAnd, OpOr, OpXor:
+		e.Reads = []int{in.Rs, in.Rt}
+		e.Writes = in.Rd
+	case OpNot, OpShl, OpShr:
+		e.Reads = []int{in.Rs}
+		e.Writes = in.Rd
+	case OpLoadI:
+		e.Writes = in.Rd
+	case OpLoad:
+		e.Reads = []int{in.Rs}
+		e.Writes = in.Rd
+		e.IsLoad = true
+	case OpStore:
+		e.Reads = []int{in.Rd, in.Rs}
+	case OpBeqz:
+		e.Reads = []int{in.Rd}
+	}
+	return e
+}
+
+// PipeSim is a four-stage in-order pipeline timing model (fetch, decode,
+// execute, store) replaying a dynamic trace.
+type PipeSim struct {
+	// Forwarding bypasses results from execute/store back to decode,
+	// reducing RAW stalls to the single load-use bubble.
+	Forwarding bool
+	// BranchPenalty is the number of fetched-wrong-path cycles squashed on
+	// a taken branch (resolved in execute: 2 for this pipeline).
+	BranchPenalty int
+}
+
+// PipeResult reports the simulated timing.
+type PipeResult struct {
+	Instructions int64
+	Cycles       int64
+	StallCycles  int64 // RAW hazard bubbles
+	FlushCycles  int64 // squashed fetches after taken branches
+}
+
+// IPC is instructions per cycle.
+func (r PipeResult) IPC() float64 {
+	if r.Cycles == 0 {
+		return 0
+	}
+	return float64(r.Instructions) / float64(r.Cycles)
+}
+
+// Run replays the trace through the pipeline.
+//
+// Timing rules for the 4-stage pipeline, issuing at most one instruction
+// per cycle:
+//   - Without forwarding, an instruction that reads a register written by
+//     either of the two preceding instructions stalls until the writer has
+//     left the store stage (2 bubbles behind the writer, 1 behind the one
+//     before).
+//   - With forwarding, only a load followed immediately by a consumer
+//     stalls, for one bubble (the classic load-use hazard).
+//   - A taken branch squashes BranchPenalty fetch slots.
+func (p *PipeSim) Run(trace []TraceEntry) PipeResult {
+	penalty := p.BranchPenalty
+	if penalty <= 0 {
+		penalty = 2
+	}
+	res := PipeResult{Instructions: int64(len(trace))}
+	if len(trace) == 0 {
+		return res
+	}
+	// issueCycle[i]: cycle instruction i enters execute. Completion
+	// (register write visible without forwarding) is issueCycle+2 (store
+	// stage done); with forwarding the value is available at issueCycle+1.
+	cycle := int64(0)
+	writerReady := map[int]int64{} // register -> cycle its value is readable
+	for _, e := range trace {
+		issue := cycle
+		// Hazards: delay issue until operands are ready.
+		for _, r := range e.Reads {
+			if ready, ok := writerReady[r]; ok && ready > issue {
+				issue = ready
+			}
+		}
+		res.StallCycles += issue - cycle
+		cycle = issue + 1 // next instruction can issue the following cycle
+
+		if e.Writes >= 0 {
+			var ready int64
+			if p.Forwarding {
+				ready = issue + 1 // bypass from execute
+				if e.IsLoad {
+					ready = issue + 2 // load data arrives a stage later
+				}
+			} else {
+				ready = issue + 3 // wait for write-back through store
+			}
+			writerReady[e.Writes] = ready
+		}
+		if e.Taken {
+			res.FlushCycles += int64(penalty)
+			cycle += int64(penalty)
+		}
+	}
+	// Drain: the last instruction still needs to traverse the remaining 3
+	// stages after issue.
+	res.Cycles = cycle + 3
+	return res
+}

@@ -1,0 +1,94 @@
+// Package cstats implements Lab 4 part 1: computing basic statistics
+// (count, mean, median, min, max) over input files holding a number of
+// values unknown until read — the exercise that teaches dynamic allocation
+// and growing arrays.
+package cstats
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Stats summarizes a dataset.
+type Stats struct {
+	Count  int
+	Mean   float64
+	Median float64
+	Min    float64
+	Max    float64
+}
+
+// ReadValues reads whitespace-separated numbers from r, growing the slice
+// as it goes (the dynamic-allocation lesson of the lab).
+func ReadValues(r io.Reader) ([]float64, error) {
+	sc := bufio.NewScanner(r)
+	sc.Split(bufio.ScanWords)
+	var vals []float64
+	for sc.Scan() {
+		tok := sc.Text()
+		v, err := strconv.ParseFloat(tok, 64)
+		if err != nil {
+			return nil, fmt.Errorf("cstats: bad value %q", tok)
+		}
+		vals = append(vals, v)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("cstats: read: %w", err)
+	}
+	return vals, nil
+}
+
+// Compute calculates the lab's statistics. The input is not modified.
+func Compute(vals []float64) (Stats, error) {
+	if len(vals) == 0 {
+		return Stats{}, fmt.Errorf("cstats: no values")
+	}
+	s := Stats{Count: len(vals), Min: vals[0], Max: vals[0]}
+	sum := 0.0
+	for _, v := range vals {
+		sum += v
+		if v < s.Min {
+			s.Min = v
+		}
+		if v > s.Max {
+			s.Max = v
+		}
+	}
+	s.Mean = sum / float64(len(vals))
+	s.Median = Median(vals)
+	return s, nil
+}
+
+// Median returns the median (average of middle two for even counts)
+// without modifying the input.
+func Median(vals []float64) float64 {
+	if len(vals) == 0 {
+		return 0
+	}
+	sorted := append([]float64(nil), vals...)
+	sort.Float64s(sorted)
+	mid := len(sorted) / 2
+	if len(sorted)%2 == 1 {
+		return sorted[mid]
+	}
+	return (sorted[mid-1] + sorted[mid]) / 2
+}
+
+// FromString is ReadValues plus Compute over a string, for convenience.
+func FromString(s string) (Stats, error) {
+	vals, err := ReadValues(strings.NewReader(s))
+	if err != nil {
+		return Stats{}, err
+	}
+	return Compute(vals)
+}
+
+// String renders the stats the way the lab's reference binary prints them.
+func (s Stats) String() string {
+	return fmt.Sprintf("n=%d mean=%.4g median=%.4g min=%.4g max=%.4g",
+		s.Count, s.Mean, s.Median, s.Min, s.Max)
+}

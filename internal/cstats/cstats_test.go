@@ -1,0 +1,135 @@
+package cstats
+
+import (
+	"math"
+	"sort"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestComputeKnown(t *testing.T) {
+	s, err := FromString("1 2 3 4 5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Count != 5 || s.Mean != 3 || s.Median != 3 || s.Min != 1 || s.Max != 5 {
+		t.Errorf("stats: %+v", s)
+	}
+}
+
+func TestEvenMedian(t *testing.T) {
+	s, err := FromString("4 1 3 2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Median != 2.5 {
+		t.Errorf("median = %v", s.Median)
+	}
+}
+
+func TestNegativeAndFloatValues(t *testing.T) {
+	s, err := FromString("-1.5 2.5 0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Min != -1.5 || s.Max != 2.5 || math.Abs(s.Mean-1.0/3.0) > 1e-12 {
+		t.Errorf("stats: %+v", s)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	if _, err := FromString(""); err == nil {
+		t.Error("empty input should fail")
+	}
+	if _, err := FromString("1 two 3"); err == nil {
+		t.Error("bad token should fail")
+	}
+	if _, err := Compute(nil); err == nil {
+		t.Error("empty slice should fail")
+	}
+}
+
+func TestMedianDoesNotMutate(t *testing.T) {
+	in := []float64{3, 1, 2}
+	Median(in)
+	if in[0] != 3 || in[1] != 1 || in[2] != 2 {
+		t.Error("Median mutated its input")
+	}
+	if Median(nil) != 0 {
+		t.Error("empty median should be 0")
+	}
+}
+
+func TestReadValuesWhitespaceForms(t *testing.T) {
+	vals, err := ReadValues(strings.NewReader("1\n2\t3   4\r\n5"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vals) != 5 {
+		t.Errorf("vals = %v", vals)
+	}
+}
+
+func TestStringFormat(t *testing.T) {
+	s, _ := FromString("1 2 3")
+	out := s.String()
+	for _, want := range []string{"n=3", "mean=2", "median=2", "min=1", "max=3"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("String() = %q missing %q", out, want)
+		}
+	}
+}
+
+// Property: min <= median <= max and min <= mean <= max.
+func TestStatsOrderingProperty(t *testing.T) {
+	f := func(in []float64) bool {
+		clean := in[:0:0]
+		for _, v := range in {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) && math.Abs(v) < 1e12 {
+				clean = append(clean, v)
+			}
+		}
+		if len(clean) == 0 {
+			return true
+		}
+		s, err := Compute(clean)
+		if err != nil {
+			return false
+		}
+		return s.Min <= s.Median && s.Median <= s.Max &&
+			s.Min <= s.Mean+1e-9 && s.Mean <= s.Max+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: median matches the sorted middle element.
+func TestMedianMatchesSort(t *testing.T) {
+	f := func(in []float64) bool {
+		clean := in[:0:0]
+		for _, v := range in {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) {
+				clean = append(clean, v)
+			}
+		}
+		if len(clean) == 0 {
+			return true
+		}
+		got := Median(clean)
+		sorted := append([]float64(nil), clean...)
+		sort.Float64s(sorted)
+		mid := len(sorted) / 2
+		var want float64
+		if len(sorted)%2 == 1 {
+			want = sorted[mid]
+		} else {
+			want = (sorted[mid-1] + sorted[mid]) / 2
+		}
+		return got == want || (math.IsNaN(got) && math.IsNaN(want))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

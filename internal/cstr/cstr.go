@@ -1,0 +1,222 @@
+// Package cstr reimplements the C string library functions of Lab 7 with C
+// semantics: strings are NUL-terminated byte sequences inside fixed-size
+// buffers, and the caller is responsible for capacity — the package
+// faithfully reports the overflow and missing-terminator errors that make
+// the lab instructive (where C would silently corrupt memory, these
+// functions return errors).
+package cstr
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Errors mirroring the C failure modes the lab teaches.
+var (
+	ErrNoTerminator = errors.New("cstr: no NUL terminator in buffer (unterminated string)")
+	ErrOverflow     = errors.New("cstr: destination buffer too small (buffer overflow)")
+	ErrNilBuffer    = errors.New("cstr: nil buffer (NULL pointer)")
+)
+
+// Strlen returns the length of the NUL-terminated string in buf.
+func Strlen(buf []byte) (int, error) {
+	if buf == nil {
+		return 0, ErrNilBuffer
+	}
+	for i, b := range buf {
+		if b == 0 {
+			return i, nil
+		}
+	}
+	return 0, ErrNoTerminator
+}
+
+// Strcpy copies src (a Go string) into dst as a NUL-terminated C string.
+func Strcpy(dst []byte, src string) error {
+	if dst == nil {
+		return ErrNilBuffer
+	}
+	if len(src)+1 > len(dst) {
+		return ErrOverflow
+	}
+	copy(dst, src)
+	dst[len(src)] = 0
+	return nil
+}
+
+// Strncpy copies at most n bytes of src into dst. Like the C function it
+// does NOT terminate dst when src is at least n bytes long — the sharp edge
+// the lab warns about — but it does check that n fits in dst.
+func Strncpy(dst []byte, src string, n int) error {
+	if dst == nil {
+		return ErrNilBuffer
+	}
+	if n < 0 || n > len(dst) {
+		return ErrOverflow
+	}
+	i := 0
+	for ; i < n && i < len(src); i++ {
+		dst[i] = src[i]
+	}
+	// C semantics: pad with NULs up to n (and only up to n).
+	for ; i < n; i++ {
+		dst[i] = 0
+	}
+	return nil
+}
+
+// Strcat appends src to the NUL-terminated string already in dst.
+func Strcat(dst []byte, src string) error {
+	if dst == nil {
+		return ErrNilBuffer
+	}
+	n, err := Strlen(dst)
+	if err != nil {
+		return err
+	}
+	if n+len(src)+1 > len(dst) {
+		return ErrOverflow
+	}
+	copy(dst[n:], src)
+	dst[n+len(src)] = 0
+	return nil
+}
+
+// Strcmp compares two NUL-terminated strings like C strcmp: negative, zero,
+// or positive as a sorts before, equal to, or after b.
+func Strcmp(a, b []byte) (int, error) {
+	if a == nil || b == nil {
+		return 0, ErrNilBuffer
+	}
+	for i := 0; ; i++ {
+		if i >= len(a) || i >= len(b) {
+			return 0, ErrNoTerminator
+		}
+		ca, cb := a[i], b[i]
+		if ca != cb {
+			return int(ca) - int(cb), nil
+		}
+		if ca == 0 {
+			return 0, nil
+		}
+	}
+}
+
+// Strchr returns the index of the first occurrence of c in the
+// NUL-terminated string, or -1. Searching for 0 finds the terminator.
+func Strchr(buf []byte, c byte) (int, error) {
+	if buf == nil {
+		return 0, ErrNilBuffer
+	}
+	for i := 0; i < len(buf); i++ {
+		if buf[i] == c {
+			return i, nil
+		}
+		if buf[i] == 0 {
+			return -1, nil
+		}
+	}
+	return 0, ErrNoTerminator
+}
+
+// Strstr returns the index of the first occurrence of needle in the
+// NUL-terminated string, or -1.
+func Strstr(buf []byte, needle string) (int, error) {
+	n, err := Strlen(buf)
+	if err != nil {
+		return 0, err
+	}
+	if len(needle) == 0 {
+		return 0, nil
+	}
+	for i := 0; i+len(needle) <= n; i++ {
+		if string(buf[i:i+len(needle)]) == needle {
+			return i, nil
+		}
+	}
+	return -1, nil
+}
+
+// ToGo extracts the Go string from a NUL-terminated buffer.
+func ToGo(buf []byte) (string, error) {
+	n, err := Strlen(buf)
+	if err != nil {
+		return "", err
+	}
+	return string(buf[:n]), nil
+}
+
+// FromGo allocates a C-string buffer holding s (capacity exactly len(s)+1).
+func FromGo(s string) []byte {
+	buf := make([]byte, len(s)+1)
+	copy(buf, s)
+	return buf
+}
+
+// Tokenizer is strtok with the state made explicit (the lab discusses why
+// C's hidden static state is a design mistake).
+type Tokenizer struct {
+	buf   []byte
+	pos   int
+	delim func(byte) bool
+}
+
+// NewTokenizer tokenizes the NUL-terminated string using the delimiter set.
+func NewTokenizer(buf []byte, delims string) (*Tokenizer, error) {
+	if _, err := Strlen(buf); err != nil {
+		return nil, err
+	}
+	set := [256]bool{}
+	for i := 0; i < len(delims); i++ {
+		set[delims[i]] = true
+	}
+	return &Tokenizer{buf: buf, delim: func(b byte) bool { return set[b] }}, nil
+}
+
+// Next returns the next token, or ok=false at the end of the string.
+func (t *Tokenizer) Next() (string, bool) {
+	for t.pos < len(t.buf) && t.buf[t.pos] != 0 && t.delim(t.buf[t.pos]) {
+		t.pos++
+	}
+	if t.pos >= len(t.buf) || t.buf[t.pos] == 0 {
+		return "", false
+	}
+	start := t.pos
+	for t.pos < len(t.buf) && t.buf[t.pos] != 0 && !t.delim(t.buf[t.pos]) {
+		t.pos++
+	}
+	return string(t.buf[start:t.pos]), true
+}
+
+// Atoi parses a leading optional-sign decimal integer like C atoi: it stops
+// at the first non-digit and returns 0 for no digits.
+func Atoi(buf []byte) (int, error) {
+	n, err := Strlen(buf)
+	if err != nil {
+		return 0, err
+	}
+	s := buf[:n]
+	i := 0
+	for i < len(s) && (s[i] == ' ' || s[i] == '\t') {
+		i++
+	}
+	sign := 1
+	if i < len(s) && (s[i] == '+' || s[i] == '-') {
+		if s[i] == '-' {
+			sign = -1
+		}
+		i++
+	}
+	v := 0
+	for i < len(s) && s[i] >= '0' && s[i] <= '9' {
+		v = v*10 + int(s[i]-'0')
+		i++
+	}
+	return sign * v, nil
+}
+
+// Itoa renders v into dst as a NUL-terminated decimal string.
+func Itoa(dst []byte, v int) error {
+	s := fmt.Sprintf("%d", v)
+	return Strcpy(dst, s)
+}

@@ -1,0 +1,294 @@
+package cstr
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestStrlen(t *testing.T) {
+	if n, err := Strlen(FromGo("hello")); err != nil || n != 5 {
+		t.Errorf("Strlen = %d, %v", n, err)
+	}
+	if n, err := Strlen(FromGo("")); err != nil || n != 0 {
+		t.Errorf("empty Strlen = %d, %v", n, err)
+	}
+	if _, err := Strlen([]byte{'a', 'b'}); !errors.Is(err, ErrNoTerminator) {
+		t.Errorf("unterminated: %v", err)
+	}
+	if _, err := Strlen(nil); !errors.Is(err, ErrNilBuffer) {
+		t.Errorf("nil: %v", err)
+	}
+}
+
+func TestStrcpy(t *testing.T) {
+	buf := make([]byte, 8)
+	if err := Strcpy(buf, "hi"); err != nil {
+		t.Fatal(err)
+	}
+	if s, _ := ToGo(buf); s != "hi" {
+		t.Errorf("buf = %q", s)
+	}
+	if err := Strcpy(make([]byte, 2), "hi"); !errors.Is(err, ErrOverflow) {
+		t.Errorf("overflow: %v", err)
+	}
+	if err := Strcpy(make([]byte, 3), "hi"); err != nil {
+		t.Errorf("exact fit should work: %v", err)
+	}
+	if err := Strcpy(nil, "x"); !errors.Is(err, ErrNilBuffer) {
+		t.Errorf("nil: %v", err)
+	}
+}
+
+func TestStrncpyNoTerminatorSharpEdge(t *testing.T) {
+	buf := []byte{0xff, 0xff, 0xff, 0xff}
+	if err := Strncpy(buf, "abcd", 4); err != nil {
+		t.Fatal(err)
+	}
+	// Like C: no NUL was written.
+	if _, err := Strlen(buf); !errors.Is(err, ErrNoTerminator) {
+		t.Error("strncpy of exactly n bytes must not terminate")
+	}
+	// Shorter source pads with NULs.
+	buf2 := []byte{0xff, 0xff, 0xff, 0xff}
+	if err := Strncpy(buf2, "a", 4); err != nil {
+		t.Fatal(err)
+	}
+	if buf2[1] != 0 || buf2[2] != 0 || buf2[3] != 0 {
+		t.Errorf("padding: %v", buf2)
+	}
+	if err := Strncpy(buf2, "x", 8); !errors.Is(err, ErrOverflow) {
+		t.Errorf("n > len(dst): %v", err)
+	}
+	if err := Strncpy(buf2, "x", -1); !errors.Is(err, ErrOverflow) {
+		t.Errorf("negative n: %v", err)
+	}
+}
+
+func TestStrcat(t *testing.T) {
+	buf := make([]byte, 12)
+	Strcpy(buf, "foo")
+	if err := Strcat(buf, "bar"); err != nil {
+		t.Fatal(err)
+	}
+	if s, _ := ToGo(buf); s != "foobar" {
+		t.Errorf("buf = %q", s)
+	}
+	small := make([]byte, 7)
+	Strcpy(small, "foo")
+	if err := Strcat(small, "barx"); !errors.Is(err, ErrOverflow) {
+		t.Errorf("overflow: %v", err)
+	}
+	if err := Strcat([]byte{1, 2}, "x"); !errors.Is(err, ErrNoTerminator) {
+		t.Errorf("unterminated dst: %v", err)
+	}
+}
+
+func TestStrcmp(t *testing.T) {
+	cases := []struct {
+		a, b string
+		sign int
+	}{
+		{"abc", "abc", 0},
+		{"abc", "abd", -1},
+		{"abd", "abc", 1},
+		{"ab", "abc", -1},
+		{"abc", "ab", 1},
+		{"", "", 0},
+		{"", "a", -1},
+	}
+	for _, c := range cases {
+		got, err := Strcmp(FromGo(c.a), FromGo(c.b))
+		if err != nil {
+			t.Fatal(err)
+		}
+		sign := 0
+		if got > 0 {
+			sign = 1
+		} else if got < 0 {
+			sign = -1
+		}
+		if sign != c.sign {
+			t.Errorf("Strcmp(%q, %q) = %d, want sign %d", c.a, c.b, got, c.sign)
+		}
+	}
+	if _, err := Strcmp([]byte{1}, []byte{1}); !errors.Is(err, ErrNoTerminator) {
+		t.Errorf("unterminated: %v", err)
+	}
+	if _, err := Strcmp(nil, FromGo("a")); !errors.Is(err, ErrNilBuffer) {
+		t.Errorf("nil: %v", err)
+	}
+}
+
+// Property: Strcmp agrees in sign with Go's strings.Compare.
+func TestStrcmpMatchesGo(t *testing.T) {
+	f := func(a, b string) bool {
+		a = strings.ReplaceAll(a, "\x00", "x")
+		b = strings.ReplaceAll(b, "\x00", "x")
+		got, err := Strcmp(FromGo(a), FromGo(b))
+		if err != nil {
+			return false
+		}
+		want := strings.Compare(a, b)
+		return (got == 0) == (want == 0) && (got < 0) == (want < 0)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStrchr(t *testing.T) {
+	buf := FromGo("hello")
+	if i, _ := Strchr(buf, 'l'); i != 2 {
+		t.Errorf("Strchr l = %d", i)
+	}
+	if i, _ := Strchr(buf, 'z'); i != -1 {
+		t.Errorf("Strchr z = %d", i)
+	}
+	if i, _ := Strchr(buf, 0); i != 5 {
+		t.Errorf("Strchr NUL = %d", i)
+	}
+	if _, err := Strchr([]byte{1}, 'x'); !errors.Is(err, ErrNoTerminator) {
+		t.Errorf("unterminated: %v", err)
+	}
+	if _, err := Strchr(nil, 'x'); !errors.Is(err, ErrNilBuffer) {
+		t.Errorf("nil: %v", err)
+	}
+}
+
+func TestStrstr(t *testing.T) {
+	buf := FromGo("the parallel course")
+	if i, _ := Strstr(buf, "parallel"); i != 4 {
+		t.Errorf("Strstr = %d", i)
+	}
+	if i, _ := Strstr(buf, "nope"); i != -1 {
+		t.Errorf("missing needle = %d", i)
+	}
+	if i, _ := Strstr(buf, ""); i != 0 {
+		t.Errorf("empty needle = %d", i)
+	}
+	if _, err := Strstr([]byte{1}, "x"); err == nil {
+		t.Error("unterminated haystack should fail")
+	}
+}
+
+// Property: Strstr agrees with strings.Index.
+func TestStrstrMatchesGo(t *testing.T) {
+	f := func(hay, needle string) bool {
+		hay = strings.ReplaceAll(hay, "\x00", "x")
+		needle = strings.ReplaceAll(needle, "\x00", "x")
+		if len(needle) > 8 {
+			needle = needle[:8]
+		}
+		got, err := Strstr(FromGo(hay), needle)
+		return err == nil && got == strings.Index(hay, needle)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTokenizer(t *testing.T) {
+	tok, err := NewTokenizer(FromGo("  ls -l   /tmp "), " ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []string
+	for {
+		s, ok := tok.Next()
+		if !ok {
+			break
+		}
+		got = append(got, s)
+	}
+	want := []string{"ls", "-l", "/tmp"}
+	if len(got) != len(want) {
+		t.Fatalf("tokens = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("token %d = %q", i, got[i])
+		}
+	}
+	if _, err := NewTokenizer([]byte{1}, " "); err == nil {
+		t.Error("unterminated buffer should fail")
+	}
+}
+
+func TestTokenizerMultipleDelims(t *testing.T) {
+	tok, err := NewTokenizer(FromGo("a,b;;c"), ",;")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []string
+	for {
+		s, ok := tok.Next()
+		if !ok {
+			break
+		}
+		got = append(got, s)
+	}
+	if len(got) != 3 || got[0] != "a" || got[1] != "b" || got[2] != "c" {
+		t.Errorf("tokens = %v", got)
+	}
+}
+
+func TestAtoiItoa(t *testing.T) {
+	cases := []struct {
+		in   string
+		want int
+	}{
+		{"42", 42}, {"-17", -17}, {"+5", 5}, {"  99", 99},
+		{"12ab", 12}, {"abc", 0}, {"", 0}, {"-", 0},
+	}
+	for _, c := range cases {
+		got, err := Atoi(FromGo(c.in))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != c.want {
+			t.Errorf("Atoi(%q) = %d, want %d", c.in, got, c.want)
+		}
+	}
+	buf := make([]byte, 16)
+	if err := Itoa(buf, -123); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := Atoi(buf); v != -123 {
+		t.Errorf("Itoa/Atoi round trip = %d", v)
+	}
+	if err := Itoa(make([]byte, 2), 12345); !errors.Is(err, ErrOverflow) {
+		t.Errorf("Itoa overflow: %v", err)
+	}
+	if _, err := Atoi([]byte{1}); err == nil {
+		t.Error("unterminated Atoi should fail")
+	}
+}
+
+// Property: Strcpy then Strlen round-trips length; Strcat length adds.
+func TestCopyCatLengthProperty(t *testing.T) {
+	f := func(a, b string) bool {
+		a = strings.ReplaceAll(a, "\x00", "x")
+		b = strings.ReplaceAll(b, "\x00", "x")
+		if len(a)+len(b) > 200 {
+			return true
+		}
+		buf := make([]byte, len(a)+len(b)+1)
+		if err := Strcpy(buf, a); err != nil {
+			return false
+		}
+		if err := Strcat(buf, b); err != nil {
+			return false
+		}
+		n, err := Strlen(buf)
+		if err != nil {
+			return false
+		}
+		s, err := ToGo(buf)
+		return err == nil && n == len(a)+len(b) && s == a+b
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,292 @@
+// Package debug is the course's GDB stand-in: a machine-level debugger for
+// asm programs supporting breakpoints, single-stepping, stepping over calls,
+// watchpoints, register and memory inspection, and backtraces through saved
+// frame pointers. Lab 5 (the binary maze) is solved with exactly these
+// operations.
+package debug
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+
+	"cs31/internal/asm"
+)
+
+// StopReason explains why control returned to the debugger.
+type StopReason int
+
+// Reasons execution stopped.
+const (
+	StopNone       StopReason = iota
+	StopBreakpoint            // hit a breakpoint
+	StopWatchpoint            // a watched word changed
+	StopStep                  // single step completed
+	StopExited                // program exited
+	StopError                 // runtime fault
+)
+
+func (r StopReason) String() string {
+	return [...]string{"none", "breakpoint", "watchpoint", "step", "exited", "error"}[r]
+}
+
+// Stop describes a debugger stop event.
+type Stop struct {
+	Reason StopReason
+	Addr   uint32 // PC address at the stop
+	Watch  uint32 // watchpoint address, if Reason == StopWatchpoint
+	Old    uint32 // watched word's previous value
+	New    uint32 // watched word's new value
+	Err    error  // fault, if Reason == StopError
+}
+
+// Debugger drives an asm.Machine under breakpoint control.
+type Debugger struct {
+	M *asm.Machine
+
+	breakpoints map[uint32]bool
+	watchpoints map[uint32]uint32 // addr -> last seen value
+	stepBudget  int64
+}
+
+// New attaches a debugger to a machine. stepBudget bounds every Continue
+// (0 means the default of 10 million steps).
+func New(m *asm.Machine, stepBudget int64) *Debugger {
+	if stepBudget <= 0 {
+		stepBudget = 10_000_000
+	}
+	return &Debugger{
+		M:           m,
+		breakpoints: make(map[uint32]bool),
+		watchpoints: make(map[uint32]uint32),
+		stepBudget:  stepBudget,
+	}
+}
+
+// BreakAddr sets a breakpoint at a text address.
+func (d *Debugger) BreakAddr(addr uint32) error {
+	if _, err := d.M.Prog.InstrAt(addr); err != nil {
+		return err
+	}
+	d.breakpoints[addr] = true
+	return nil
+}
+
+// Break sets a breakpoint at a label ("break main").
+func (d *Debugger) Break(label string) error {
+	addr, ok := d.M.Prog.Symbols[label]
+	if !ok {
+		return fmt.Errorf("debug: no symbol %q", label)
+	}
+	return d.BreakAddr(addr)
+}
+
+// ClearBreak removes a breakpoint by label or leaves silently if absent.
+func (d *Debugger) ClearBreak(label string) error {
+	addr, ok := d.M.Prog.Symbols[label]
+	if !ok {
+		return fmt.Errorf("debug: no symbol %q", label)
+	}
+	delete(d.breakpoints, addr)
+	return nil
+}
+
+// Breakpoints lists the active breakpoint addresses in ascending order.
+func (d *Debugger) Breakpoints() []uint32 {
+	out := make([]uint32, 0, len(d.breakpoints))
+	for a := range d.breakpoints {
+		out = append(out, a)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Watch sets a watchpoint on a 32-bit word of memory.
+func (d *Debugger) Watch(addr uint32) error {
+	v, err := d.M.Load32(addr)
+	if err != nil {
+		return err
+	}
+	d.watchpoints[addr] = v
+	return nil
+}
+
+// Unwatch removes a watchpoint.
+func (d *Debugger) Unwatch(addr uint32) { delete(d.watchpoints, addr) }
+
+// pc returns the current PC address.
+func (d *Debugger) pc() uint32 {
+	if in, ok := d.M.CurrentInstr(); ok {
+		return in.Addr
+	}
+	return 0
+}
+
+func (d *Debugger) checkWatch() (Stop, bool) {
+	for addr, old := range d.watchpoints {
+		v, err := d.M.Load32(addr)
+		if err != nil {
+			continue
+		}
+		if v != old {
+			d.watchpoints[addr] = v
+			return Stop{Reason: StopWatchpoint, Addr: d.pc(), Watch: addr, Old: old, New: v}, true
+		}
+	}
+	return Stop{}, false
+}
+
+// StepI executes exactly one instruction ("stepi").
+func (d *Debugger) StepI() Stop {
+	err := d.M.Step()
+	switch {
+	case err != nil && !errors.Is(err, asm.ErrExited):
+		return Stop{Reason: StopError, Addr: d.pc(), Err: err}
+	case err != nil || d.M.Exited:
+		return Stop{Reason: StopExited, Addr: d.pc()}
+	}
+	if s, hit := d.checkWatch(); hit {
+		return s
+	}
+	return Stop{Reason: StopStep, Addr: d.pc()}
+}
+
+// Next executes one instruction, stepping over calls: if the instruction is
+// a call, it runs until the matching return ("nexti").
+func (d *Debugger) Next() Stop {
+	in, ok := d.M.CurrentInstr()
+	if !ok {
+		return Stop{Reason: StopExited}
+	}
+	if in.Mn != asm.CALL {
+		return d.StepI()
+	}
+	retAddr := in.Addr + asm.InstrBytes
+	s := d.StepI()
+	if s.Reason != StopStep {
+		return s
+	}
+	for i := int64(0); i < d.stepBudget; i++ {
+		if d.pc() == retAddr {
+			return Stop{Reason: StopStep, Addr: retAddr}
+		}
+		s = d.StepI()
+		if s.Reason != StopStep && s.Reason != StopBreakpoint {
+			return s
+		}
+	}
+	return Stop{Reason: StopError, Err: fmt.Errorf("debug: next exceeded step budget")}
+}
+
+// Continue runs until a breakpoint, watchpoint, exit, or fault.
+func (d *Debugger) Continue() Stop {
+	for i := int64(0); i < d.stepBudget; i++ {
+		s := d.StepI()
+		if s.Reason != StopStep {
+			return s
+		}
+		if d.breakpoints[d.pc()] {
+			return Stop{Reason: StopBreakpoint, Addr: d.pc()}
+		}
+	}
+	return Stop{Reason: StopError, Err: fmt.Errorf("debug: continue exceeded step budget")}
+}
+
+// Reg reads a register by name ("eax").
+func (d *Debugger) Reg(name string) (uint32, error) {
+	r, ok := asm.RegisterByName(name)
+	if !ok {
+		return 0, fmt.Errorf("debug: unknown register %q", name)
+	}
+	return d.M.Regs[r], nil
+}
+
+// InfoRegisters renders all registers and flags, GDB "info registers" style.
+func (d *Debugger) InfoRegisters() string {
+	var sb strings.Builder
+	names := []string{"eax", "ebx", "ecx", "edx", "esi", "edi", "ebp", "esp"}
+	for _, n := range names {
+		r, _ := asm.RegisterByName(n)
+		fmt.Fprintf(&sb, "%-4s 0x%08x %12d\n", n, d.M.Regs[r], int32(d.M.Regs[r]))
+	}
+	f := d.M.Flags
+	fmt.Fprintf(&sb, "eflags [ZF=%v SF=%v CF=%v OF=%v]\n", f.ZF, f.SF, f.CF, f.OF)
+	return sb.String()
+}
+
+// Examine reads n 32-bit words starting at addr ("x/Nw addr").
+func (d *Debugger) Examine(addr uint32, n int) ([]uint32, error) {
+	out := make([]uint32, n)
+	for i := 0; i < n; i++ {
+		v, err := d.M.Load32(addr + uint32(4*i))
+		if err != nil {
+			return nil, err
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
+// ExamineString reads a NUL-terminated string ("x/s addr").
+func (d *Debugger) ExamineString(addr uint32) (string, error) {
+	return d.M.ReadCString(addr, 4096)
+}
+
+// Disassemble renders count instructions starting at the PC, marking the
+// current one — what students see around a breakpoint.
+func (d *Debugger) Disassemble(count int) string {
+	var sb strings.Builder
+	for i := 0; i < count; i++ {
+		idx := d.M.PC + i
+		if idx < 0 || idx >= len(d.M.Prog.Instrs) {
+			break
+		}
+		in := d.M.Prog.Instrs[idx]
+		marker := "   "
+		if i == 0 {
+			marker = "=> "
+		}
+		fmt.Fprintf(&sb, "%s0x%08x:\t%s\n", marker, in.Addr, in.String())
+	}
+	return sb.String()
+}
+
+// Frame is one stack frame found by walking saved %ebp links.
+type Frame struct {
+	FP      uint32 // frame pointer (%ebp) for the frame
+	RetAddr uint32 // saved return address (0 for the outermost frame)
+	Func    string // nearest preceding text symbol for the return site
+}
+
+// Backtrace walks the saved-%ebp chain, the way students draw stack diagrams.
+// It requires the conventional prologue (pushl %ebp; movl %esp, %ebp).
+func (d *Debugger) Backtrace(max int) []Frame {
+	var frames []Frame
+	fp := d.M.Regs[asm.EBP]
+	for i := 0; i < max && fp != 0; i++ {
+		ret, err := d.M.Load32(fp + 4)
+		if err != nil {
+			break
+		}
+		frames = append(frames, Frame{FP: fp, RetAddr: ret, Func: d.funcFor(ret)})
+		next, err := d.M.Load32(fp)
+		if err != nil || next <= fp {
+			break
+		}
+		fp = next
+	}
+	return frames
+}
+
+// funcFor finds the nearest text symbol at or below addr.
+func (d *Debugger) funcFor(addr uint32) string {
+	best := ""
+	var bestAddr uint32
+	for name, a := range d.M.Prog.Symbols {
+		if a <= addr && a >= d.M.Prog.TextBase && a < d.M.Prog.TextEnd() && (best == "" || a > bestAddr) {
+			best, bestAddr = name, a
+		}
+	}
+	return best
+}

@@ -1,0 +1,282 @@
+package debug
+
+import (
+	"strings"
+	"testing"
+
+	"cs31/internal/asm"
+)
+
+const testProg = `
+.data
+counter: .long 0
+.text
+helper:
+    pushl %ebp
+    movl %esp, %ebp
+    movl 8(%ebp), %eax
+    addl $1, %eax
+    movl %eax, counter
+    leave
+    ret
+main:
+    pushl %ebp
+    movl %esp, %ebp
+    movl $41, %eax
+    pushl %eax
+    call helper
+    addl $4, %esp
+    leave
+    ret
+`
+
+func attach(t *testing.T) *Debugger {
+	t.Helper()
+	p, err := asm.Assemble(testProg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := asm.NewMachine(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return New(m, 0)
+}
+
+func TestBreakpointAndContinue(t *testing.T) {
+	d := attach(t)
+	if err := d.Break("helper"); err != nil {
+		t.Fatal(err)
+	}
+	s := d.Continue()
+	if s.Reason != StopBreakpoint {
+		t.Fatalf("stop: %+v", s)
+	}
+	if s.Addr != d.M.Prog.Symbols["helper"] {
+		t.Errorf("stopped at %#x, want helper %#x", s.Addr, d.M.Prog.Symbols["helper"])
+	}
+	// At the breakpoint the argument 41 is on the stack above the return
+	// address.
+	arg, err := d.Examine(d.M.Regs[asm.ESP]+4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if arg[0] != 41 {
+		t.Errorf("stack argument = %d, want 41", arg[0])
+	}
+	s = d.Continue()
+	if s.Reason != StopExited {
+		t.Fatalf("second continue: %+v", s)
+	}
+	if d.M.Regs[asm.EAX] != 42 {
+		t.Errorf("helper result = %d", d.M.Regs[asm.EAX])
+	}
+}
+
+func TestBreakErrors(t *testing.T) {
+	d := attach(t)
+	if err := d.Break("nonexistent"); err == nil {
+		t.Error("break on missing symbol should fail")
+	}
+	if err := d.BreakAddr(3); err == nil {
+		t.Error("break on non-instruction address should fail")
+	}
+	if err := d.ClearBreak("nonexistent"); err == nil {
+		t.Error("clear of missing symbol should fail")
+	}
+	if err := d.Break("main"); err != nil {
+		t.Fatal(err)
+	}
+	if got := d.Breakpoints(); len(got) != 1 {
+		t.Errorf("breakpoints: %v", got)
+	}
+	if err := d.ClearBreak("main"); err != nil {
+		t.Fatal(err)
+	}
+	if got := d.Breakpoints(); len(got) != 0 {
+		t.Errorf("after clear: %v", got)
+	}
+}
+
+func TestStepI(t *testing.T) {
+	d := attach(t)
+	s := d.StepI()
+	if s.Reason != StopStep {
+		t.Fatalf("step: %+v", s)
+	}
+	// After "pushl %ebp" at main, esp dropped by 4.
+	if d.M.Steps != 1 {
+		t.Errorf("steps = %d", d.M.Steps)
+	}
+}
+
+func TestNextStepsOverCall(t *testing.T) {
+	d := attach(t)
+	// Step to the call instruction.
+	callAddr := uint32(0)
+	for i, in := range d.M.Prog.Instrs {
+		if in.Mn == asm.CALL {
+			callAddr = d.M.Prog.TextBase + uint32(i)*asm.InstrBytes
+		}
+	}
+	if err := d.BreakAddr(callAddr); err != nil {
+		t.Fatal(err)
+	}
+	if s := d.Continue(); s.Reason != StopBreakpoint {
+		t.Fatalf("continue to call: %+v", s)
+	}
+	s := d.Next()
+	if s.Reason != StopStep {
+		t.Fatalf("next: %+v", s)
+	}
+	if s.Addr != callAddr+asm.InstrBytes {
+		t.Errorf("next stopped at %#x, want %#x", s.Addr, callAddr+asm.InstrBytes)
+	}
+	// helper already ran: eax holds 42.
+	if d.M.Regs[asm.EAX] != 42 {
+		t.Errorf("after next, eax = %d", d.M.Regs[asm.EAX])
+	}
+}
+
+func TestWatchpoint(t *testing.T) {
+	d := attach(t)
+	addr := d.M.Prog.Symbols["counter"]
+	if err := d.Watch(addr); err != nil {
+		t.Fatal(err)
+	}
+	s := d.Continue()
+	if s.Reason != StopWatchpoint {
+		t.Fatalf("stop: %+v", s)
+	}
+	if s.Watch != addr || s.Old != 0 || s.New != 42 {
+		t.Errorf("watch event: %+v", s)
+	}
+	d.Unwatch(addr)
+	if s := d.Continue(); s.Reason != StopExited {
+		t.Errorf("after unwatch: %+v", s)
+	}
+}
+
+func TestWatchBadAddress(t *testing.T) {
+	d := attach(t)
+	if err := d.Watch(0); err == nil {
+		t.Error("watch on NULL should fail")
+	}
+}
+
+func TestRegAndInfoRegisters(t *testing.T) {
+	d := attach(t)
+	d.Continue()
+	v, err := d.Reg("eax")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 42 {
+		t.Errorf("eax = %d", v)
+	}
+	if _, err := d.Reg("xyz"); err == nil {
+		t.Error("bad register name should fail")
+	}
+	info := d.InfoRegisters()
+	if !strings.Contains(info, "eax  0x0000002a") || !strings.Contains(info, "eflags") {
+		t.Errorf("info registers:\n%s", info)
+	}
+}
+
+func TestDisassembleView(t *testing.T) {
+	d := attach(t)
+	out := d.Disassemble(3)
+	if !strings.HasPrefix(out, "=> ") {
+		t.Errorf("disassembly should mark current instruction:\n%s", out)
+	}
+	if len(strings.Split(strings.TrimSpace(out), "\n")) != 3 {
+		t.Errorf("want 3 lines:\n%s", out)
+	}
+}
+
+func TestBacktrace(t *testing.T) {
+	d := attach(t)
+	if err := d.Break("helper"); err != nil {
+		t.Fatal(err)
+	}
+	if s := d.Continue(); s.Reason != StopBreakpoint {
+		t.Fatal("did not reach helper")
+	}
+	// Step through the prologue so the frame is established.
+	d.StepI()
+	d.StepI()
+	frames := d.Backtrace(10)
+	if len(frames) < 2 {
+		t.Fatalf("backtrace: %+v", frames)
+	}
+	if frames[0].Func != "main" {
+		// Innermost return site is inside main.
+		t.Errorf("frame 0 func %q, want main (frames %+v)", frames[0].Func, frames)
+	}
+}
+
+func TestExamineString(t *testing.T) {
+	p, err := asm.Assemble(`
+.data
+msg: .asciz "hi there"
+.text
+main:
+    ret
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := asm.NewMachine(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := New(m, 0)
+	s, err := d.ExamineString(p.Symbols["msg"])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s != "hi there" {
+		t.Errorf("string = %q", s)
+	}
+	if _, err := d.Examine(0, 1); err == nil {
+		t.Error("examine NULL should fail")
+	}
+}
+
+func TestContinueBudget(t *testing.T) {
+	p, err := asm.Assemble("spin: jmp spin")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := asm.NewMachine(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := New(m, 100)
+	s := d.Continue()
+	if s.Reason != StopError {
+		t.Errorf("infinite loop: %+v", s)
+	}
+}
+
+func TestStopOnRuntimeError(t *testing.T) {
+	p, err := asm.Assemble("main:\n movl 0(%eax), %ebx\n ret")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := asm.NewMachine(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := New(m, 0)
+	s := d.Continue()
+	if s.Reason != StopError || s.Err == nil {
+		t.Errorf("fault stop: %+v", s)
+	}
+}
+
+func TestStopReasonString(t *testing.T) {
+	if StopBreakpoint.String() != "breakpoint" || StopExited.String() != "exited" {
+		t.Error("StopReason names")
+	}
+}

@@ -1,0 +1,178 @@
+package kernel
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// This file answers the processes homework's signature question: "list all
+// possible outputs of this fork program". It explores every scheduler
+// interleaving of a program by depth-first search over nondeterministic
+// single-op steps, deduplicating identical intermediate states.
+
+// clone deep-copies the kernel state for search branching. Op slices are
+// immutable and shared; per-process mutable state is copied.
+func (k *Kernel) clone() *Kernel {
+	nk := &Kernel{
+		procs:   make(map[PID]*Process, len(k.procs)),
+		nextPID: k.nextPID,
+		Quantum: k.Quantum,
+		lastRun: k.lastRun,
+	}
+	nk.output.WriteString(k.output.String())
+	for pid, p := range k.procs {
+		np := &Process{
+			PID: p.PID, Parent: p.Parent, State: p.State, ExitCode: p.ExitCode,
+			ops: p.ops, ip: p.ip, compute: p.compute,
+			handlers: make(map[Signal][]Op, len(p.handlers)),
+			pending:  append([]Signal(nil), p.pending...),
+			children: append([]PID(nil), p.children...),
+		}
+		for s, h := range p.handlers {
+			np.handlers[s] = h
+		}
+		nk.procs[pid] = np
+	}
+	nk.ready = append([]PID(nil), k.ready...)
+	return nk
+}
+
+// runnablePIDs lists processes that can take a step right now: ready or
+// running processes, plus blocked waiters with a zombie child or a pending
+// signal.
+func (k *Kernel) runnablePIDs() []PID {
+	var out []PID
+	for pid, p := range k.procs {
+		if pid == InitPID {
+			continue
+		}
+		switch p.State {
+		case Ready, Running:
+			out = append(out, pid)
+		case Blocked:
+			if k.hasZombieChild(p) || len(p.pending) > 0 {
+				out = append(out, pid)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// stepPID runs exactly one op of the given process.
+func (k *Kernel) stepPID(pid PID) error {
+	p, ok := k.procs[pid]
+	if !ok {
+		return fmt.Errorf("kernel: no process %d", pid)
+	}
+	if p.State == Blocked {
+		// A blocked waiter steps by retrying its Wait (or handling a
+		// signal); mark it runnable first.
+		p.State = Running
+	} else if p.State != Ready && p.State != Running {
+		return fmt.Errorf("kernel: process %d not runnable (%v)", pid, p.State)
+	}
+	p.State = Running
+	k.step(p)
+	if p.State == Running {
+		p.State = Ready
+	}
+	return nil
+}
+
+// key encodes the scheduling-relevant state for deduplication.
+func (k *Kernel) key() string {
+	var sb strings.Builder
+	sb.WriteString(k.output.String())
+	sb.WriteByte('|')
+	pids := make([]PID, 0, len(k.procs))
+	for pid := range k.procs {
+		pids = append(pids, pid)
+	}
+	sort.Slice(pids, func(i, j int) bool { return pids[i] < pids[j] })
+	for _, pid := range pids {
+		p := k.procs[pid]
+		fmt.Fprintf(&sb, "%d:%d:%d:%d:%d:%v;", pid, p.Parent, p.State, p.ip, p.compute, p.pending)
+	}
+	return sb.String()
+}
+
+// EnumerateResult reports the exploration outcome.
+type EnumerateResult struct {
+	Outputs  []string // every distinct final output, sorted
+	States   int      // distinct states explored
+	Deadlock bool     // some interleaving ends with blocked processes
+}
+
+// EnumerateOutputs explores all interleavings of prog (spawned as one
+// process under init) and returns every possible final output. stateCap
+// bounds the search (0 means 100000 states).
+func EnumerateOutputs(prog []Op, stateCap int) (*EnumerateResult, error) {
+	if stateCap <= 0 {
+		stateCap = 100000
+	}
+	k0 := New()
+	k0.Spawn(prog)
+
+	res := &EnumerateResult{}
+	outputs := make(map[string]bool)
+	seen := make(map[string]bool)
+
+	var dfs func(k *Kernel) error
+	dfs = func(k *Kernel) error {
+		k.reapInitZombies()
+		key := k.key()
+		if seen[key] {
+			return nil
+		}
+		seen[key] = true
+		if len(seen) > stateCap {
+			return fmt.Errorf("kernel: interleaving search exceeded %d states", stateCap)
+		}
+		runnable := k.runnablePIDs()
+		if len(runnable) == 0 {
+			if k.liveCount() == 0 {
+				outputs[k.Output()] = true
+			} else {
+				res.Deadlock = true
+			}
+			return nil
+		}
+		for _, pid := range runnable {
+			branch := k.clone()
+			if err := branch.stepPID(pid); err != nil {
+				return err
+			}
+			if err := dfs(branch); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := dfs(k0); err != nil {
+		return nil, err
+	}
+	for o := range outputs {
+		res.Outputs = append(res.Outputs, o)
+	}
+	sort.Strings(res.Outputs)
+	res.States = len(seen)
+	return res, nil
+}
+
+// RunnablePIDs is the exported form of runnablePIDs, for cooperating
+// drivers such as the shell that interleave processes themselves. Init's
+// zombies are reaped first, as they would be by a running init.
+func (k *Kernel) RunnablePIDs() []PID {
+	k.reapInitZombies()
+	return k.runnablePIDs()
+}
+
+// StepPID is the exported form of stepPID: run exactly one op of pid, then
+// let init reap any of its newly dead children.
+func (k *Kernel) StepPID(pid PID) error {
+	err := k.stepPID(pid)
+	k.reapInitZombies()
+	return err
+}

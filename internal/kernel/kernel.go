@@ -1,0 +1,476 @@
+// Package kernel simulates the operating system mechanisms CS 31 teaches:
+// the process abstraction with fork/exec/wait/exit, the process hierarchy
+// with zombies and orphan reparenting, asynchronous signals with handlers
+// (SIGCHLD above all), and round-robin timesharing with context switches.
+// Programs are small op lists — Print, Fork, Wait, Exit, Compute, ... — the
+// exact shape of the course's "trace this fork program" homework problems,
+// and the enumerate half of the package exhaustively explores scheduler
+// interleavings to answer "which outputs are possible?".
+package kernel
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// PID identifies a process. PID 1 is init.
+type PID int
+
+// InitPID is the init process, the ancestor that adopts orphans.
+const InitPID PID = 1
+
+// Signal is an asynchronous signal number.
+type Signal int
+
+// The signals the course discusses.
+const (
+	SIGCHLD Signal = iota
+	SIGTERM
+	SIGINT
+	SIGUSR1
+)
+
+func (s Signal) String() string {
+	names := [...]string{"SIGCHLD", "SIGTERM", "SIGINT", "SIGUSR1"}
+	if int(s) < len(names) {
+		return names[s]
+	}
+	return fmt.Sprintf("signal(%d)", int(s))
+}
+
+// State is a process's lifecycle state.
+type State int
+
+// Process states.
+const (
+	Ready State = iota
+	Running
+	Blocked // waiting in wait()
+	Zombie  // exited, not yet reaped
+	Reaped  // fully gone
+)
+
+func (s State) String() string {
+	return [...]string{"ready", "running", "blocked", "zombie", "reaped"}[s]
+}
+
+// Op is one step of a simulated program.
+type Op interface{ opNode() }
+
+// Print emits text to the shared output.
+type Print struct{ Text string }
+
+// Fork creates a child running the Child ops (the child exits implicitly
+// when it finishes them); the parent continues with the next op.
+type Fork struct{ Child []Op }
+
+// Exec replaces the process's program with Prog, resetting signal handlers
+// — the fork-then-exec idiom of the shell lab.
+type Exec struct{ Prog []Op }
+
+// Exit terminates the process with a status, leaving a zombie until the
+// parent reaps it.
+type Exit struct{ Status int }
+
+// Wait blocks until some child exits, then reaps it. With no children it
+// returns immediately (like wait(2) returning -1).
+type Wait struct{}
+
+// Compute burns n scheduler steps of CPU, for quantum/context-switch
+// demonstrations.
+type Compute struct{ N int }
+
+// Install registers handler ops for a signal.
+type Install struct {
+	Sig     Signal
+	Handler []Op
+}
+
+// SignalOp sends a signal to a target process.
+type SignalOp struct {
+	Sig      Signal
+	ToParent bool // send to parent instead of Target
+	Target   PID
+}
+
+func (Print) opNode()    {}
+func (Fork) opNode()     {}
+func (Exec) opNode()     {}
+func (Exit) opNode()     {}
+func (Wait) opNode()     {}
+func (Compute) opNode()  {}
+func (Install) opNode()  {}
+func (SignalOp) opNode() {}
+
+// Process is one simulated process.
+type Process struct {
+	PID      PID
+	Parent   PID
+	State    State
+	ExitCode int
+
+	ops      []Op
+	ip       int
+	compute  int // remaining Compute steps for the current op
+	handlers map[Signal][]Op
+	pending  []Signal
+	children []PID
+}
+
+// Kernel is the simulated OS: a process table, ready queue, and round-robin
+// scheduler.
+type Kernel struct {
+	procs   map[PID]*Process
+	ready   []PID
+	nextPID PID
+	output  strings.Builder
+
+	// Quantum is the number of ops a process runs before preemption.
+	Quantum int
+	// ContextSwitches counts scheduler switches between distinct processes.
+	ContextSwitches int64
+	lastRun         PID
+
+	// Trace, when non-nil, receives one line per kernel event.
+	Trace func(string)
+}
+
+// New creates a kernel with an init process (PID 1) that has an empty
+// program; init never exits and adopts orphans.
+func New() *Kernel {
+	k := &Kernel{
+		procs:   make(map[PID]*Process),
+		nextPID: 2,
+		Quantum: 2,
+		lastRun: -1,
+	}
+	k.procs[InitPID] = &Process{
+		PID: InitPID, Parent: 0, State: Blocked, // init sits in wait()
+		handlers: make(map[Signal][]Op),
+	}
+	return k
+}
+
+func (k *Kernel) trace(format string, args ...interface{}) {
+	if k.Trace != nil {
+		k.Trace(fmt.Sprintf(format, args...))
+	}
+}
+
+// Spawn creates a new top-level process (child of init) running prog.
+func (k *Kernel) Spawn(prog []Op) PID {
+	pid := k.allocProc(InitPID, prog)
+	init := k.procs[InitPID]
+	init.children = append(init.children, pid)
+	return pid
+}
+
+func (k *Kernel) allocProc(parent PID, prog []Op) PID {
+	pid := k.nextPID
+	k.nextPID++
+	p := &Process{
+		PID: pid, Parent: parent, State: Ready,
+		ops: prog, handlers: make(map[Signal][]Op),
+	}
+	k.procs[pid] = p
+	k.ready = append(k.ready, pid)
+	k.trace("create pid %d (parent %d)", pid, parent)
+	return pid
+}
+
+// Output returns everything printed so far.
+func (k *Kernel) Output() string { return k.output.String() }
+
+// Proc looks up a process (including zombies).
+func (k *Kernel) Proc(pid PID) (*Process, bool) {
+	p, ok := k.procs[pid]
+	if ok && p.State == Reaped {
+		return nil, false
+	}
+	return p, ok
+}
+
+// Processes returns the live PIDs in ascending order.
+func (k *Kernel) Processes() []PID {
+	var out []PID
+	for pid, p := range k.procs {
+		if p.State != Reaped {
+			out = append(out, pid)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// ErrDeadlock is returned by Run when no process can make progress but
+// non-init processes remain.
+var ErrDeadlock = errors.New("kernel: all processes blocked")
+
+// Run schedules round-robin until every spawned process has exited (or
+// maxSteps ops have executed). Zombies of init are auto-reaped.
+func (k *Kernel) Run(maxSteps int) error {
+	steps := 0
+	for {
+		k.reapInitZombies()
+		pid, ok := k.pickNext()
+		if !ok {
+			if k.liveCount() == 0 {
+				return nil
+			}
+			return ErrDeadlock
+		}
+		if pid != k.lastRun && k.lastRun != -1 {
+			k.ContextSwitches++
+		}
+		k.lastRun = pid
+		p := k.procs[pid]
+		p.State = Running
+		for q := 0; q < k.Quantum && p.State == Running; q++ {
+			if steps >= maxSteps {
+				return fmt.Errorf("kernel: exceeded %d steps", maxSteps)
+			}
+			steps++
+			k.step(p)
+		}
+		if p.State == Running {
+			p.State = Ready
+			k.ready = append(k.ready, pid)
+		}
+	}
+}
+
+// liveCount counts non-init processes that are not reaped.
+func (k *Kernel) liveCount() int {
+	n := 0
+	for pid, p := range k.procs {
+		if pid != InitPID && p.State != Reaped {
+			n++
+		}
+	}
+	return n
+}
+
+// pickNext pops the next ready process, retrying blocked-wait processes
+// whose children have since exited.
+func (k *Kernel) pickNext() (PID, bool) {
+	// First unblock any waiting parents with zombie children.
+	for pid, p := range k.procs {
+		if p.State == Blocked && pid != InitPID && k.hasZombieChild(p) {
+			p.State = Ready
+			k.ready = append(k.ready, pid)
+		}
+	}
+	for len(k.ready) > 0 {
+		pid := k.ready[0]
+		k.ready = k.ready[1:]
+		if p, ok := k.procs[pid]; ok && p.State == Ready {
+			return pid, true
+		}
+	}
+	return 0, false
+}
+
+func (k *Kernel) hasZombieChild(p *Process) bool {
+	for _, c := range p.children {
+		if k.procs[c].State == Zombie {
+			return true
+		}
+	}
+	return false
+}
+
+// step executes one op (or pending signal handler) of p.
+func (k *Kernel) step(p *Process) {
+	// Deliver pending signals first: run the handler ops synchronously, the
+	// "handler interrupts the program" model from lecture.
+	if len(p.pending) > 0 {
+		sig := p.pending[0]
+		p.pending = p.pending[1:]
+		if handler, ok := p.handlers[sig]; ok {
+			k.trace("pid %d handles %v", p.PID, sig)
+			for _, op := range handler {
+				k.execSimpleOp(p, op)
+				if p.State != Running {
+					return
+				}
+			}
+			return
+		}
+		// Default dispositions.
+		switch sig {
+		case SIGTERM, SIGINT:
+			k.trace("pid %d killed by %v", p.PID, sig)
+			k.exit(p, 128+int(sig))
+			return
+		default: // SIGCHLD and SIGUSR1 ignored by default
+		}
+		return
+	}
+
+	if p.ip >= len(p.ops) {
+		k.exit(p, 0) // falling off the end is exit(0)
+		return
+	}
+	op := p.ops[p.ip]
+	switch o := op.(type) {
+	case Compute:
+		if p.compute == 0 {
+			p.compute = o.N
+		}
+		p.compute--
+		if p.compute <= 0 {
+			p.ip++
+		}
+	case Fork:
+		child := k.allocProc(p.PID, o.Child)
+		p.children = append(p.children, child)
+		p.ip++
+		k.trace("pid %d forks %d", p.PID, child)
+	case Exec:
+		p.ops = o.Prog
+		p.ip = 0
+		p.handlers = make(map[Signal][]Op)
+		k.trace("pid %d execs new program", p.PID)
+	case Wait:
+		reaped := false
+		for _, c := range p.children {
+			cp := k.procs[c]
+			if cp.State == Zombie {
+				cp.State = Reaped
+				k.removeChild(p, c)
+				k.trace("pid %d reaps %d (status %d)", p.PID, c, cp.ExitCode)
+				reaped = true
+				break
+			}
+		}
+		switch {
+		case reaped:
+			p.ip++
+		case len(p.children) == 0:
+			p.ip++ // wait() with no children returns immediately
+		default:
+			p.State = Blocked
+			k.trace("pid %d blocks in wait()", p.PID)
+		}
+	case Exit:
+		k.exit(p, o.Status)
+	default:
+		k.execSimpleOp(p, op)
+		if p.State == Running {
+			p.ip++
+		}
+	}
+}
+
+// execSimpleOp handles ops legal inside signal handlers (no ip change).
+func (k *Kernel) execSimpleOp(p *Process, op Op) {
+	switch o := op.(type) {
+	case Print:
+		k.output.WriteString(o.Text)
+		k.trace("pid %d prints %q", p.PID, o.Text)
+	case Install:
+		p.handlers[o.Sig] = o.Handler
+		k.trace("pid %d installs handler for %v", p.PID, o.Sig)
+	case SignalOp:
+		target := o.Target
+		if o.ToParent {
+			target = p.Parent
+		}
+		k.deliver(target, o.Sig)
+	case Exit:
+		k.exit(p, o.Status)
+	default:
+		// Fork/Wait/Exec/Compute inside a handler are unsupported; treat as
+		// a no-op so handlers stay simple, as in the course examples.
+	}
+}
+
+// deliver queues a signal for a process.
+func (k *Kernel) deliver(pid PID, sig Signal) {
+	p, ok := k.procs[pid]
+	if !ok || p.State == Zombie || p.State == Reaped {
+		return
+	}
+	p.pending = append(p.pending, sig)
+	k.trace("deliver %v to pid %d", sig, pid)
+	// Signals wake blocked processes (EINTR semantics simplified: the wait
+	// resumes and re-checks).
+	if p.State == Blocked && pid != InitPID {
+		p.State = Ready
+		k.ready = append(k.ready, pid)
+	}
+}
+
+// exit terminates p: zombie until reaped, orphans reparented to init,
+// SIGCHLD to the parent.
+func (k *Kernel) exit(p *Process, status int) {
+	p.State = Zombie
+	p.ExitCode = status
+	k.trace("pid %d exits (status %d)", p.PID, status)
+	// Orphans go to init.
+	for _, c := range p.children {
+		cp := k.procs[c]
+		cp.Parent = InitPID
+		init := k.procs[InitPID]
+		init.children = append(init.children, c)
+		k.trace("pid %d orphaned, adopted by init", c)
+	}
+	p.children = nil
+	k.deliver(p.Parent, SIGCHLD)
+}
+
+func (k *Kernel) removeChild(p *Process, c PID) {
+	for i, x := range p.children {
+		if x == c {
+			p.children = append(p.children[:i], p.children[i+1:]...)
+			return
+		}
+	}
+}
+
+// reapInitZombies lets init collect its dead children.
+func (k *Kernel) reapInitZombies() {
+	init := k.procs[InitPID]
+	kept := init.children[:0]
+	for _, c := range init.children {
+		if k.procs[c].State == Zombie {
+			k.procs[c].State = Reaped
+			k.trace("init reaps %d", c)
+		} else {
+			kept = append(kept, c)
+		}
+	}
+	init.children = kept
+	init.pending = nil
+}
+
+// Kill delivers a signal to a process from outside the simulation (the
+// shell's kill builtin).
+func (k *Kernel) Kill(pid PID, sig Signal) error {
+	p, ok := k.procs[pid]
+	if !ok || p.State == Reaped || p.State == Zombie {
+		return fmt.Errorf("kernel: no such process %d", pid)
+	}
+	k.deliver(pid, sig)
+	return nil
+}
+
+// Tree renders the process hierarchy, the diagram students draw for the
+// processes homework.
+func (k *Kernel) Tree() string {
+	var sb strings.Builder
+	var walk func(pid PID, depth int)
+	walk = func(pid PID, depth int) {
+		p := k.procs[pid]
+		fmt.Fprintf(&sb, "%s%d [%s]\n", strings.Repeat("  ", depth), pid, p.State)
+		kids := append([]PID(nil), p.children...)
+		sort.Slice(kids, func(i, j int) bool { return kids[i] < kids[j] })
+		for _, c := range kids {
+			walk(c, depth+1)
+		}
+	}
+	walk(InitPID, 0)
+	return sb.String()
+}

@@ -1,0 +1,398 @@
+package kernel
+
+import (
+	"sort"
+	"strings"
+	"testing"
+)
+
+func run(t *testing.T, prog []Op) *Kernel {
+	t.Helper()
+	k := New()
+	k.Spawn(prog)
+	if err := k.Run(10000); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	return k
+}
+
+func TestSimplePrintExit(t *testing.T) {
+	k := run(t, []Op{Print{"hello "}, Print{"world"}, Exit{0}})
+	if k.Output() != "hello world" {
+		t.Errorf("output = %q", k.Output())
+	}
+}
+
+func TestImplicitExit(t *testing.T) {
+	k := run(t, []Op{Print{"x"}})
+	if k.Output() != "x" {
+		t.Errorf("output = %q", k.Output())
+	}
+	if k.liveCount() != 0 {
+		t.Error("process should be fully gone")
+	}
+}
+
+func TestForkParentAndChildBothRun(t *testing.T) {
+	k := run(t, []Op{
+		Print{"A"},
+		Fork{Child: []Op{Print{"B"}}},
+		Print{"C"},
+		Wait{},
+	})
+	out := k.Output()
+	if !strings.HasPrefix(out, "A") {
+		t.Errorf("A must print first: %q", out)
+	}
+	if !strings.Contains(out, "B") || !strings.Contains(out, "C") {
+		t.Errorf("both B and C must print: %q", out)
+	}
+}
+
+func TestWaitReapsZombie(t *testing.T) {
+	k := New()
+	parent := k.Spawn([]Op{
+		Fork{Child: []Op{Exit{7}}},
+		Wait{},
+		Print{"done"},
+	})
+	if err := k.Run(1000); err != nil {
+		t.Fatal(err)
+	}
+	if k.Output() != "done" {
+		t.Errorf("output = %q", k.Output())
+	}
+	if _, ok := k.Proc(parent); ok {
+		t.Error("parent should be reaped by init at the end")
+	}
+}
+
+func TestZombieVisibleBeforeReap(t *testing.T) {
+	k := New()
+	k.Spawn([]Op{
+		Fork{Child: []Op{Exit{3}}},
+		Compute{5}, // don't wait yet
+		Wait{},
+	})
+	// Step manually until the child exits but before the parent waits.
+	sawZombie := false
+	for i := 0; i < 50; i++ {
+		pids := k.runnablePIDs()
+		if len(pids) == 0 {
+			break
+		}
+		if err := k.stepPID(pids[len(pids)-1]); err != nil { // prefer child
+			t.Fatal(err)
+		}
+		for _, pid := range k.Processes() {
+			if p, ok := k.Proc(pid); ok && p.State == Zombie {
+				sawZombie = true
+				if p.ExitCode != 3 {
+					t.Errorf("zombie exit code %d", p.ExitCode)
+				}
+			}
+		}
+		if sawZombie {
+			break
+		}
+	}
+	if !sawZombie {
+		t.Error("child should linger as a zombie until reaped")
+	}
+}
+
+func TestOrphanAdoptedByInit(t *testing.T) {
+	var traceLines []string
+	k := New()
+	k.Trace = func(s string) { traceLines = append(traceLines, s) }
+	k.Spawn([]Op{
+		// Parent exits immediately; child keeps computing, becoming an
+		// orphan that init adopts and eventually reaps.
+		Fork{Child: []Op{Compute{5}, Print{"orphan done"}}},
+		Exit{0},
+	})
+	if err := k.Run(1000); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(k.Output(), "orphan done") {
+		t.Errorf("orphan should finish: %q", k.Output())
+	}
+	joined := strings.Join(traceLines, "\n")
+	if !strings.Contains(joined, "adopted by init") {
+		t.Errorf("trace missing adoption:\n%s", joined)
+	}
+	if !strings.Contains(joined, "init reaps") {
+		t.Errorf("trace missing init reap:\n%s", joined)
+	}
+}
+
+func TestSIGCHLDHandler(t *testing.T) {
+	k := run(t, []Op{
+		Install{Sig: SIGCHLD, Handler: []Op{Print{"[chld]"}}},
+		Fork{Child: []Op{Exit{0}}},
+		Compute{10},
+		Wait{},
+		Print{"end"},
+	})
+	out := k.Output()
+	if !strings.Contains(out, "[chld]") {
+		t.Errorf("handler did not run: %q", out)
+	}
+	if !strings.HasSuffix(out, "end") {
+		t.Errorf("main program did not finish: %q", out)
+	}
+}
+
+func TestSIGTERMDefaultKills(t *testing.T) {
+	k := New()
+	victim := k.Spawn([]Op{Compute{100}, Print{"never"}})
+	k.Spawn([]Op{SignalOp{Sig: SIGTERM, Target: victim}})
+	if err := k.Run(10000); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(k.Output(), "never") {
+		t.Error("SIGTERM default action should kill the victim")
+	}
+}
+
+func TestSIGUSR1HandlerAcrossProcesses(t *testing.T) {
+	k := New()
+	receiver := k.Spawn([]Op{
+		Install{Sig: SIGUSR1, Handler: []Op{Print{"got it"}}},
+		Compute{20},
+	})
+	k.Spawn([]Op{Compute{3}, SignalOp{Sig: SIGUSR1, Target: receiver}})
+	if err := k.Run(10000); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(k.Output(), "got it") {
+		t.Errorf("handler output missing: %q", k.Output())
+	}
+}
+
+func TestExecReplacesProgram(t *testing.T) {
+	k := run(t, []Op{
+		Print{"before "},
+		Exec{Prog: []Op{Print{"after"}}},
+		Print{"unreachable"},
+	})
+	if k.Output() != "before after" {
+		t.Errorf("output = %q", k.Output())
+	}
+}
+
+func TestForkThenExecIdiom(t *testing.T) {
+	// The shell's core: fork a child, exec the command, wait for it.
+	k := run(t, []Op{
+		Fork{Child: []Op{Exec{Prog: []Op{Print{"ls output\n"}}}}},
+		Wait{},
+		Print{"prompt$ "},
+	})
+	out := k.Output()
+	if !strings.Contains(out, "ls output") {
+		t.Errorf("command did not run: %q", out)
+	}
+	if !strings.HasSuffix(out, "prompt$ ") {
+		t.Errorf("shell should print prompt after reaping: %q", out)
+	}
+}
+
+func TestWaitWithNoChildren(t *testing.T) {
+	k := run(t, []Op{Wait{}, Print{"ok"}})
+	if k.Output() != "ok" {
+		t.Errorf("wait with no children should not block: %q", k.Output())
+	}
+}
+
+func TestContextSwitchesCounted(t *testing.T) {
+	k := New()
+	k.Quantum = 1
+	k.Spawn([]Op{Compute{5}})
+	k.Spawn([]Op{Compute{5}})
+	if err := k.Run(1000); err != nil {
+		t.Fatal(err)
+	}
+	if k.ContextSwitches < 5 {
+		t.Errorf("two compute-bound processes at quantum 1 should switch often: %d", k.ContextSwitches)
+	}
+}
+
+func TestLargerQuantumFewerSwitches(t *testing.T) {
+	count := func(q int) int64 {
+		k := New()
+		k.Quantum = q
+		k.Spawn([]Op{Compute{20}})
+		k.Spawn([]Op{Compute{20}})
+		if err := k.Run(10000); err != nil {
+			t.Fatal(err)
+		}
+		return k.ContextSwitches
+	}
+	if count(10) >= count(1) {
+		t.Errorf("larger quantum should reduce context switches: q10=%d q1=%d", count(10), count(1))
+	}
+}
+
+func TestProcessTreeRendering(t *testing.T) {
+	k := New()
+	k.Spawn([]Op{
+		Fork{Child: []Op{Compute{50}}},
+		Fork{Child: []Op{Compute{50}}},
+		Compute{50},
+	})
+	// Run a few steps so the forks happen.
+	for i := 0; i < 6; i++ {
+		pids := k.runnablePIDs()
+		if len(pids) == 0 {
+			break
+		}
+		if err := k.stepPID(pids[0]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	tree := k.Tree()
+	if !strings.HasPrefix(tree, "1 [") {
+		t.Errorf("tree should root at init:\n%s", tree)
+	}
+	if strings.Count(tree, "\n") < 4 {
+		t.Errorf("tree should show init, parent, two children:\n%s", tree)
+	}
+}
+
+func TestRunStepBudget(t *testing.T) {
+	k := New()
+	k.Spawn([]Op{Compute{1 << 30}})
+	if err := k.Run(100); err == nil {
+		t.Error("expected step budget error")
+	}
+}
+
+func TestSignalToDeadProcessIgnored(t *testing.T) {
+	k := New()
+	dead := k.Spawn([]Op{Exit{0}})
+	k.Spawn([]Op{Compute{5}, SignalOp{Sig: SIGTERM, Target: dead}, Print{"ok"}})
+	if err := k.Run(1000); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(k.Output(), "ok") {
+		t.Errorf("output: %q", k.Output())
+	}
+}
+
+func TestStateAndSignalStrings(t *testing.T) {
+	if Zombie.String() != "zombie" || Ready.String() != "ready" {
+		t.Error("state names")
+	}
+	if SIGCHLD.String() != "SIGCHLD" || Signal(9).String() != "signal(9)" {
+		t.Error("signal names")
+	}
+}
+
+func TestEnumerateSimpleForkOutputs(t *testing.T) {
+	// printf("A"); if (fork()==0) { printf("B"); } else { printf("C"); }
+	// Modeled: A, fork{B}, C. Possible outputs: ABC, ACB.
+	res, err := EnumerateOutputs([]Op{
+		Print{"A"},
+		Fork{Child: []Op{Print{"B"}}},
+		Print{"C"},
+		Wait{},
+	}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"ABC", "ACB"}
+	if !equalStrings(res.Outputs, want) {
+		t.Errorf("outputs = %v, want %v", res.Outputs, want)
+	}
+	if res.Deadlock {
+		t.Error("no deadlock expected")
+	}
+}
+
+func TestEnumerateWaitOrdersOutput(t *testing.T) {
+	// Parent waits before printing C, so C is always last.
+	res, err := EnumerateOutputs([]Op{
+		Print{"A"},
+		Fork{Child: []Op{Print{"B"}}},
+		Wait{},
+		Print{"C"},
+	}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"ABC"}
+	if !equalStrings(res.Outputs, want) {
+		t.Errorf("outputs = %v, want %v", res.Outputs, want)
+	}
+}
+
+func TestEnumerateTwoChildren(t *testing.T) {
+	// Two children print X and Y concurrently with the parent's Z.
+	res, err := EnumerateOutputs([]Op{
+		Fork{Child: []Op{Print{"X"}}},
+		Fork{Child: []Op{Print{"Y"}}},
+		Print{"Z"},
+		Wait{},
+		Wait{},
+	}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// X always can come before or after Y and Z in any order, except
+	// constraints: X's fork precedes Y's fork, but prints interleave
+	// freely: all 3! = 6 orders are possible except those where Y prints
+	// before its fork happens... every permutation is actually reachable.
+	want := []string{"XYZ", "XZY", "YXZ", "YZX", "ZXY", "ZYX"}
+	sort.Strings(want)
+	if !equalStrings(res.Outputs, want) {
+		t.Errorf("outputs = %v, want %v", res.Outputs, want)
+	}
+}
+
+func TestEnumerateNestedFork(t *testing.T) {
+	// fork inside the child: grandchild prints G.
+	res, err := EnumerateOutputs([]Op{
+		Fork{Child: []Op{
+			Fork{Child: []Op{Print{"G"}}},
+			Print{"C"},
+			Wait{},
+		}},
+		Print{"P"},
+		Wait{},
+	}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, o := range res.Outputs {
+		if len(o) != 3 || !strings.Contains(o, "G") ||
+			!strings.Contains(o, "C") || !strings.Contains(o, "P") {
+			t.Errorf("malformed output %q", o)
+		}
+	}
+	if len(res.Outputs) < 3 {
+		t.Errorf("expected several interleavings, got %v", res.Outputs)
+	}
+}
+
+func TestEnumerateStateCap(t *testing.T) {
+	// A big program with a tiny cap errors out.
+	prog := []Op{}
+	for i := 0; i < 6; i++ {
+		prog = append(prog, Fork{Child: []Op{Print{"x"}, Print{"y"}}})
+	}
+	if _, err := EnumerateOutputs(prog, 10); err == nil {
+		t.Error("expected state-cap error")
+	}
+}
+
+func equalStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

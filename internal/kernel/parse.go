@@ -1,0 +1,160 @@
+package kernel
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ParseProgram reads the small process-program DSL used by the interleave
+// tool, which mirrors the fork-trace homework problems:
+//
+//	print A          # print the text "A"
+//	fork {           # child runs the block, then exits
+//	    print B
+//	}
+//	compute 3        # burn 3 scheduler steps
+//	wait             # reap one child (blocks until one exits)
+//	exit 0           # exit with a status
+//	install SIGCHLD {  # run a handler block on the signal
+//	    print !
+//	}
+//
+// '#' starts a comment. Indentation is free-form; blocks are brace
+// delimited with '{' ending a line and '}' alone on a line.
+func ParseProgram(src string) ([]Op, error) {
+	lines := strings.Split(src, "\n")
+	ops, rest, err := parseBlock(lines, 0)
+	if err != nil {
+		return nil, err
+	}
+	for _, l := range lines[rest:] {
+		if strings.TrimSpace(stripLineComment(l)) != "" {
+			return nil, fmt.Errorf("kernel: unexpected %q after program end", strings.TrimSpace(l))
+		}
+	}
+	return ops, nil
+}
+
+func stripLineComment(l string) string {
+	if i := strings.IndexByte(l, '#'); i >= 0 {
+		return l[:i]
+	}
+	return l
+}
+
+// parseBlock parses ops until a lone '}' or end of input, returning the
+// next unconsumed line index.
+func parseBlock(lines []string, start int) ([]Op, int, error) {
+	var ops []Op
+	i := start
+	for i < len(lines) {
+		line := strings.TrimSpace(stripLineComment(lines[i]))
+		lineNo := i + 1
+		i++
+		if line == "" {
+			continue
+		}
+		if line == "}" {
+			return ops, i, nil
+		}
+		fields := strings.Fields(line)
+		switch fields[0] {
+		case "print":
+			text := strings.TrimSpace(strings.TrimPrefix(line, "print"))
+			if text == "" {
+				return nil, 0, fmt.Errorf("kernel: line %d: print needs text", lineNo)
+			}
+			ops = append(ops, Print{Text: text})
+		case "fork", "exec":
+			if len(fields) != 2 || fields[1] != "{" {
+				return nil, 0, fmt.Errorf("kernel: line %d: %s must be followed by '{'", lineNo, fields[0])
+			}
+			body, next, err := parseBlock(lines, i)
+			if err != nil {
+				return nil, 0, err
+			}
+			if next > len(lines) {
+				return nil, 0, fmt.Errorf("kernel: line %d: unterminated block", lineNo)
+			}
+			i = next
+			if fields[0] == "fork" {
+				ops = append(ops, Fork{Child: body})
+			} else {
+				ops = append(ops, Exec{Prog: body})
+			}
+		case "wait":
+			ops = append(ops, Wait{})
+		case "exit":
+			status := 0
+			if len(fields) == 2 {
+				v, err := strconv.Atoi(fields[1])
+				if err != nil {
+					return nil, 0, fmt.Errorf("kernel: line %d: bad exit status %q", lineNo, fields[1])
+				}
+				status = v
+			}
+			ops = append(ops, Exit{Status: status})
+		case "compute":
+			if len(fields) != 2 {
+				return nil, 0, fmt.Errorf("kernel: line %d: compute needs a count", lineNo)
+			}
+			n, err := strconv.Atoi(fields[1])
+			if err != nil || n < 1 {
+				return nil, 0, fmt.Errorf("kernel: line %d: bad compute count %q", lineNo, fields[1])
+			}
+			ops = append(ops, Compute{N: n})
+		case "install":
+			if len(fields) != 3 || fields[2] != "{" {
+				return nil, 0, fmt.Errorf("kernel: line %d: install <signal> {", lineNo)
+			}
+			sig, err := parseSignal(fields[1])
+			if err != nil {
+				return nil, 0, fmt.Errorf("kernel: line %d: %v", lineNo, err)
+			}
+			body, next, err := parseBlock(lines, i)
+			if err != nil {
+				return nil, 0, err
+			}
+			i = next
+			ops = append(ops, Install{Sig: sig, Handler: body})
+		case "signal":
+			if len(fields) != 3 {
+				return nil, 0, fmt.Errorf("kernel: line %d: signal <signal> parent|<pid>", lineNo)
+			}
+			sig, err := parseSignal(fields[1])
+			if err != nil {
+				return nil, 0, fmt.Errorf("kernel: line %d: %v", lineNo, err)
+			}
+			op := SignalOp{Sig: sig}
+			if fields[2] == "parent" {
+				op.ToParent = true
+			} else {
+				pid, err := strconv.Atoi(fields[2])
+				if err != nil {
+					return nil, 0, fmt.Errorf("kernel: line %d: bad target %q", lineNo, fields[2])
+				}
+				op.Target = PID(pid)
+			}
+			ops = append(ops, op)
+		default:
+			return nil, 0, fmt.Errorf("kernel: line %d: unknown op %q", lineNo, fields[0])
+		}
+	}
+	return ops, i, nil
+}
+
+func parseSignal(name string) (Signal, error) {
+	switch strings.ToUpper(name) {
+	case "SIGCHLD":
+		return SIGCHLD, nil
+	case "SIGTERM":
+		return SIGTERM, nil
+	case "SIGINT":
+		return SIGINT, nil
+	case "SIGUSR1":
+		return SIGUSR1, nil
+	default:
+		return 0, fmt.Errorf("unknown signal %q", name)
+	}
+}

@@ -1,0 +1,142 @@
+package kernel
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseProgramBasic(t *testing.T) {
+	ops, err := ParseProgram(`
+# a comment
+print A
+fork {
+    print B
+    exit 1
+}
+compute 2
+wait
+exit 0
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ops) != 5 {
+		t.Fatalf("ops: %#v", ops)
+	}
+	if p, ok := ops[0].(Print); !ok || p.Text != "A" {
+		t.Errorf("op 0: %#v", ops[0])
+	}
+	f, ok := ops[1].(Fork)
+	if !ok || len(f.Child) != 2 {
+		t.Fatalf("op 1: %#v", ops[1])
+	}
+	if e, ok := f.Child[1].(Exit); !ok || e.Status != 1 {
+		t.Errorf("child exit: %#v", f.Child[1])
+	}
+	if c, ok := ops[2].(Compute); !ok || c.N != 2 {
+		t.Errorf("compute: %#v", ops[2])
+	}
+	if _, ok := ops[3].(Wait); !ok {
+		t.Errorf("wait: %#v", ops[3])
+	}
+	if e, ok := ops[4].(Exit); !ok || e.Status != 0 {
+		t.Errorf("exit: %#v", ops[4])
+	}
+}
+
+func TestParseProgramNestedAndSignals(t *testing.T) {
+	ops, err := ParseProgram(`
+install SIGCHLD {
+    print got-child
+}
+fork {
+    fork {
+        print deep
+    }
+    wait
+}
+signal SIGUSR1 parent
+signal SIGTERM 3
+exec {
+    print replaced
+}
+wait
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst, ok := ops[0].(Install)
+	if !ok || inst.Sig != SIGCHLD || len(inst.Handler) != 1 {
+		t.Fatalf("install: %#v", ops[0])
+	}
+	outer, ok := ops[1].(Fork)
+	if !ok {
+		t.Fatalf("fork: %#v", ops[1])
+	}
+	if _, ok := outer.Child[0].(Fork); !ok {
+		t.Errorf("nested fork: %#v", outer.Child[0])
+	}
+	sp, ok := ops[2].(SignalOp)
+	if !ok || !sp.ToParent || sp.Sig != SIGUSR1 {
+		t.Errorf("signal parent: %#v", ops[2])
+	}
+	st, ok := ops[3].(SignalOp)
+	if !ok || st.Target != 3 || st.Sig != SIGTERM {
+		t.Errorf("signal pid: %#v", ops[3])
+	}
+	if ex, ok := ops[4].(Exec); !ok || len(ex.Prog) != 1 {
+		t.Errorf("exec: %#v", ops[4])
+	}
+}
+
+func TestParseProgramErrors(t *testing.T) {
+	cases := []struct{ name, src string }{
+		{"unknown op", "frobnicate"},
+		{"print empty", "print"},
+		{"fork no brace", "fork"},
+		{"bad exit", "exit x"},
+		{"bad compute", "compute zero"},
+		{"compute negative", "compute -1"},
+		{"install bad signal", "install SIGWHAT {\n}"},
+		{"signal bad target", "signal SIGTERM someone"},
+		{"signal arity", "signal SIGTERM"},
+		{"stray close", "print A\n}\nprint B"},
+	}
+	for _, c := range cases {
+		if _, err := ParseProgram(c.src); err == nil {
+			t.Errorf("%s: expected error for %q", c.name, c.src)
+		}
+	}
+}
+
+func TestParsedProgramRunsAndEnumerates(t *testing.T) {
+	ops, err := ParseProgram(`
+print A
+fork {
+    print B
+}
+print C
+wait
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := EnumerateOutputs(ops, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Print texts carry through verbatim; the homework answer ABC/ACB.
+	want := []string{"ABC", "ACB"}
+	if len(res.Outputs) != 2 || res.Outputs[0] != want[0] || res.Outputs[1] != want[1] {
+		t.Errorf("outputs: %v", res.Outputs)
+	}
+	k := New()
+	k.Spawn(ops)
+	if err := k.Run(10000); err != nil {
+		t.Fatal(err)
+	}
+	out := k.Output()
+	if !strings.Contains(out, "A") || len(out) != 3 {
+		t.Errorf("single run output: %q", out)
+	}
+}

@@ -1,0 +1,402 @@
+// Package life implements Conway's Game of Life exactly as CS 31's Labs 6
+// and 10 assign it: a serial engine over a 2D grid loaded from the lab's
+// file format, and a parallel engine that partitions the grid by rows or
+// columns across pthread-style threads, synchronizing each round with a
+// barrier and protecting shared statistics with a mutex. The parallel
+// engine is the course's flagship demonstration of near-linear speedup on
+// multicore hardware.
+package life
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"strings"
+
+	"cs31/internal/pthread"
+)
+
+// EdgeMode selects boundary behaviour.
+type EdgeMode int
+
+// Boundary modes: the lab uses a torus; dead edges are the simpler variant
+// students sometimes build first.
+const (
+	Torus EdgeMode = iota
+	DeadEdges
+)
+
+func (m EdgeMode) String() string {
+	if m == Torus {
+		return "torus"
+	}
+	return "dead-edges"
+}
+
+// Partition selects how the parallel engine splits the grid (the lab asks
+// for both and has students compare).
+type Partition int
+
+// Grid partitioning strategies.
+const (
+	ByRows Partition = iota
+	ByCols
+)
+
+func (p Partition) String() string {
+	if p == ByRows {
+		return "rows"
+	}
+	return "columns"
+}
+
+// Grid is a Game of Life board with double buffering.
+type Grid struct {
+	Rows, Cols int
+	Mode       EdgeMode
+	cells      []uint8 // current generation
+	next       []uint8 // scratch for the next generation
+	Generation int
+}
+
+// NewGrid allocates an empty grid.
+func NewGrid(rows, cols int, mode EdgeMode) (*Grid, error) {
+	if rows < 1 || cols < 1 {
+		return nil, fmt.Errorf("life: grid %dx%d invalid", rows, cols)
+	}
+	return &Grid{
+		Rows: rows, Cols: cols, Mode: mode,
+		cells: make([]uint8, rows*cols),
+		next:  make([]uint8, rows*cols),
+	}, nil
+}
+
+// Set makes cell (r, c) alive or dead.
+func (g *Grid) Set(r, c int, alive bool) error {
+	if r < 0 || r >= g.Rows || c < 0 || c >= g.Cols {
+		return fmt.Errorf("life: cell (%d,%d) outside %dx%d grid", r, c, g.Rows, g.Cols)
+	}
+	if alive {
+		g.cells[r*g.Cols+c] = 1
+	} else {
+		g.cells[r*g.Cols+c] = 0
+	}
+	return nil
+}
+
+// Alive reports whether cell (r, c) is live.
+func (g *Grid) Alive(r, c int) bool {
+	return g.cells[r*g.Cols+c] == 1
+}
+
+// Population counts live cells.
+func (g *Grid) Population() int {
+	n := 0
+	for _, v := range g.cells {
+		n += int(v)
+	}
+	return n
+}
+
+// Clone deep-copies the grid.
+func (g *Grid) Clone() *Grid {
+	ng := &Grid{
+		Rows: g.Rows, Cols: g.Cols, Mode: g.Mode, Generation: g.Generation,
+		cells: append([]uint8(nil), g.cells...),
+		next:  make([]uint8, len(g.next)),
+	}
+	return ng
+}
+
+// Equal compares live-cell patterns.
+func (g *Grid) Equal(o *Grid) bool {
+	if g.Rows != o.Rows || g.Cols != o.Cols {
+		return false
+	}
+	for i := range g.cells {
+		if g.cells[i] != o.cells[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Randomize fills the grid from a seeded RNG with the given live density.
+func (g *Grid) Randomize(seed int64, density float64) {
+	rng := rand.New(rand.NewSource(seed))
+	for i := range g.cells {
+		if rng.Float64() < density {
+			g.cells[i] = 1
+		} else {
+			g.cells[i] = 0
+		}
+	}
+}
+
+// neighbors counts the live neighbors of (r, c) under the edge mode.
+func (g *Grid) neighbors(r, c int) int {
+	n := 0
+	for dr := -1; dr <= 1; dr++ {
+		for dc := -1; dc <= 1; dc++ {
+			if dr == 0 && dc == 0 {
+				continue
+			}
+			rr, cc := r+dr, c+dc
+			if g.Mode == Torus {
+				rr = (rr + g.Rows) % g.Rows
+				cc = (cc + g.Cols) % g.Cols
+			} else if rr < 0 || rr >= g.Rows || cc < 0 || cc >= g.Cols {
+				continue
+			}
+			n += int(g.cells[rr*g.Cols+cc])
+		}
+	}
+	return n
+}
+
+// stepCell computes the next state of one cell into the scratch buffer.
+func (g *Grid) stepCell(r, c int) {
+	n := g.neighbors(r, c)
+	idx := r*g.Cols + c
+	switch {
+	case g.cells[idx] == 1 && (n == 2 || n == 3):
+		g.next[idx] = 1
+	case g.cells[idx] == 0 && n == 3:
+		g.next[idx] = 1
+	default:
+		g.next[idx] = 0
+	}
+}
+
+// swap promotes the scratch buffer to current.
+func (g *Grid) swap() {
+	g.cells, g.next = g.next, g.cells
+	g.Generation++
+}
+
+// Step advances one generation serially (Lab 6).
+func (g *Grid) Step() {
+	for r := 0; r < g.Rows; r++ {
+		for c := 0; c < g.Cols; c++ {
+			g.stepCell(r, c)
+		}
+	}
+	g.swap()
+}
+
+// Run advances n generations serially.
+func (g *Grid) Run(n int) {
+	for i := 0; i < n; i++ {
+		g.Step()
+	}
+}
+
+// Bools returns the grid as [][]bool for the visualizer.
+func (g *Grid) Bools() [][]bool {
+	out := make([][]bool, g.Rows)
+	for r := range out {
+		out[r] = make([]bool, g.Cols)
+		for c := range out[r] {
+			out[r][c] = g.Alive(r, c)
+		}
+	}
+	return out
+}
+
+// String renders the grid in the lab's console format.
+func (g *Grid) String() string {
+	var sb strings.Builder
+	for r := 0; r < g.Rows; r++ {
+		for c := 0; c < g.Cols; c++ {
+			if g.Alive(r, c) {
+				sb.WriteByte('@')
+			} else {
+				sb.WriteByte('.')
+			}
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// Config is the lab's input file contents.
+type Config struct {
+	Rows, Cols, Iters int
+	Live              [][2]int
+}
+
+// ParseConfig reads the Lab 6 file format: three header integers (rows,
+// cols, iterations), then "row col" pairs of initially live cells.
+func ParseConfig(r io.Reader) (*Config, error) {
+	var cfg Config
+	if _, err := fmt.Fscan(r, &cfg.Rows, &cfg.Cols, &cfg.Iters); err != nil {
+		return nil, fmt.Errorf("life: bad config header: %w", err)
+	}
+	if cfg.Rows < 1 || cfg.Cols < 1 || cfg.Iters < 0 {
+		return nil, fmt.Errorf("life: invalid config %dx%d iters %d", cfg.Rows, cfg.Cols, cfg.Iters)
+	}
+	for {
+		var rr, cc int
+		_, err := fmt.Fscan(r, &rr, &cc)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("life: bad live-cell pair: %w", err)
+		}
+		if rr < 0 || rr >= cfg.Rows || cc < 0 || cc >= cfg.Cols {
+			return nil, fmt.Errorf("life: live cell (%d,%d) outside grid", rr, cc)
+		}
+		cfg.Live = append(cfg.Live, [2]int{rr, cc})
+	}
+	return &cfg, nil
+}
+
+// BuildGrid makes a grid from a parsed config.
+func (cfg *Config) BuildGrid(mode EdgeMode) (*Grid, error) {
+	g, err := NewGrid(cfg.Rows, cfg.Cols, mode)
+	if err != nil {
+		return nil, err
+	}
+	for _, rc := range cfg.Live {
+		if err := g.Set(rc[0], rc[1], true); err != nil {
+			return nil, err
+		}
+	}
+	return g, nil
+}
+
+// Oscillator returns the classic blinker config used in the lab handout.
+func Oscillator() *Config {
+	return &Config{
+		Rows: 5, Cols: 5, Iters: 4,
+		Live: [][2]int{{2, 1}, {2, 2}, {2, 3}},
+	}
+}
+
+// RunStats is the shared state the parallel workers update under a mutex,
+// as the lab requires.
+type RunStats struct {
+	LiveUpdates int64 // cells that changed state, summed across threads
+	Rounds      int
+}
+
+// ParallelRunner advances a grid with worker threads (Lab 10).
+type ParallelRunner struct {
+	G         *Grid
+	Threads   int
+	Partition Partition
+
+	// OnRound, if non-nil, is called by the serial thread after each round
+	// with the freshly computed generation (used for visualization).
+	OnRound func(g *Grid)
+}
+
+// Run advances n generations in parallel: each thread owns a block of rows
+// (or columns), a barrier separates compute and swap phases each round, and
+// the round statistics are merged under a mutex.
+func (pr *ParallelRunner) Run(n int) (*RunStats, error) {
+	if pr.Threads < 1 {
+		return nil, fmt.Errorf("life: need at least 1 thread")
+	}
+	if pr.Threads > pr.G.Rows*pr.G.Cols {
+		pr.Threads = pr.G.Rows * pr.G.Cols
+	}
+	g := pr.G
+	barrier, err := pthread.NewBarrier(pr.Threads)
+	if err != nil {
+		return nil, err
+	}
+	statsMu := pthread.NewMutex("life-stats")
+	stats := &RunStats{}
+
+	extent := g.Rows
+	if pr.Partition == ByCols {
+		extent = g.Cols
+	}
+
+	worker := func(id int) interface{} {
+		lo, hi := pthread.BlockRange(id, pr.Threads, extent)
+		for round := 0; round < n; round++ {
+			changed := int64(0)
+			if pr.Partition == ByRows {
+				for r := lo; r < hi; r++ {
+					for c := 0; c < g.Cols; c++ {
+						g.stepCell(r, c)
+						if g.next[r*g.Cols+c] != g.cells[r*g.Cols+c] {
+							changed++
+						}
+					}
+				}
+			} else {
+				for c := lo; c < hi; c++ {
+					for r := 0; r < g.Rows; r++ {
+						g.stepCell(r, c)
+						if g.next[r*g.Cols+c] != g.cells[r*g.Cols+c] {
+							changed++
+						}
+					}
+				}
+			}
+			// Merge per-round stats under the mutex (the lab's shared
+			// state).
+			if err := statsMu.Lock(); err != nil {
+				return err
+			}
+			stats.LiveUpdates += changed
+			if err := statsMu.Unlock(); err != nil {
+				return err
+			}
+			// Wait for every thread to finish computing before swapping;
+			// the serial thread performs the swap, then a second barrier
+			// releases the next round.
+			if barrier.Wait() {
+				g.swap()
+				stats.Rounds++
+				if pr.OnRound != nil {
+					pr.OnRound(g)
+				}
+			}
+			barrier.Wait()
+		}
+		return nil
+	}
+
+	threads := make([]*pthread.Thread, pr.Threads)
+	for id := 0; id < pr.Threads; id++ {
+		id := id
+		threads[id] = pthread.Create(func() interface{} { return worker(id) })
+	}
+	for _, t := range threads {
+		v, err := t.Join()
+		if err != nil {
+			return nil, err
+		}
+		if e, ok := v.(error); ok && e != nil {
+			return nil, e
+		}
+	}
+	return stats, nil
+}
+
+// Owner reports which thread owns cell (r, c) under the runner's
+// partitioning — used by paravis to color regions.
+func (pr *ParallelRunner) Owner(r, c int) int {
+	extent := pr.G.Rows
+	pos := r
+	if pr.Partition == ByCols {
+		extent = pr.G.Cols
+		pos = c
+	}
+	threads := pr.Threads
+	if threads > extent {
+		threads = extent
+	}
+	for id := 0; id < threads; id++ {
+		lo, hi := pthread.BlockRange(id, threads, extent)
+		if pos >= lo && pos < hi {
+			return id
+		}
+	}
+	return 0
+}

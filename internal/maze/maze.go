@@ -1,0 +1,247 @@
+// Package maze generates Lab 5's "binary maze": an assembly program of
+// successive floors, each demanding a specific input on stdin. Students (or
+// the test suite) escape by disassembling the floors and tracing them with
+// the debug package, exactly as the lab has students do with GDB on the
+// binary bomb-style maze. Each maze is generated deterministically from a
+// seed, and the generator knows the expected inputs so tests can verify
+// both escape and failure paths.
+package maze
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"cs31/internal/asm"
+)
+
+// FloorKind enumerates the challenge types, in increasing difficulty.
+type FloorKind int
+
+// The floor kinds, mirroring the lab's progression from direct comparison
+// to arithmetic, loops, and string obfuscation.
+const (
+	FloorConstant   FloorKind = iota // enter a constant stored in .data
+	FloorArithmetic                  // enter x with a*x + b == target
+	FloorSum                         // enter x equal to the sum of an array
+	FloorXorString                   // enter the string stored XOR-encoded
+)
+
+func (k FloorKind) String() string {
+	return [...]string{"constant", "arithmetic", "array-sum", "xor-string"}[k]
+}
+
+// Floor is one challenge with its secret answer.
+type Floor struct {
+	Kind   FloorKind
+	Answer string // the exact line of input that passes the floor
+}
+
+// Maze is a generated maze: the assembly source, the assembled program, and
+// the per-floor answers.
+type Maze struct {
+	Floors []Floor
+	Source string
+	Prog   *asm.Program
+}
+
+// Exit statuses reported by the maze program.
+const (
+	ExitEscaped = 0  // all floors passed
+	ExitTrapped = 13 // wrong input
+)
+
+// Generate builds a maze with the given number of floors (1..8) from a
+// deterministic seed.
+func Generate(seed int64, floors int) (*Maze, error) {
+	if floors < 1 || floors > 8 {
+		return nil, fmt.Errorf("maze: floor count %d out of range [1,8]", floors)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	m := &Maze{}
+	var data, text strings.Builder
+
+	data.WriteString(".data\n")
+	data.WriteString("welcome: .asciz \"maze: enter inputs to escape\\n\"\n")
+	data.WriteString("goodmsg: .asciz \"floor passed\\n\"\n")
+	data.WriteString("badmsg:  .asciz \"BOOM: wrong turn\\n\"\n")
+	data.WriteString("strbuf:  .space 64\n")
+
+	text.WriteString(".text\n")
+	text.WriteString("main:\n")
+	emitWrite(&text, "welcome", 29)
+
+	for i := 0; i < floors; i++ {
+		kind := FloorKind(i % 4)
+		floor, err := emitFloor(&data, &text, rng, i, kind)
+		if err != nil {
+			return nil, err
+		}
+		m.Floors = append(m.Floors, floor)
+		emitWrite(&text, "goodmsg", 13)
+	}
+
+	// Escape: exit(0).
+	text.WriteString("    movl $1, %eax\n    movl $0, %ebx\n    int $0x80\n")
+	// Trap: print BOOM, exit(13).
+	text.WriteString("trap:\n")
+	emitWrite(&text, "badmsg", 17)
+	fmt.Fprintf(&text, "    movl $1, %%eax\n    movl $%d, %%ebx\n    int $0x80\n", ExitTrapped)
+	// Shared helper: read a newline-terminated string into strbuf,
+	// NUL-terminating it (reads one byte at a time).
+	text.WriteString(`readline:
+    pushl %ebp
+    movl %esp, %ebp
+    movl $strbuf, %esi
+rl_loop:
+    movl $3, %eax
+    movl $0, %ebx
+    movl %esi, %ecx
+    movl $1, %edx
+    int $0x80
+    cmpl $1, %eax
+    jne rl_done
+    movzbl (%esi), %eax
+    cmpl $10, %eax
+    jne rl_store
+    cmpl $strbuf, %esi    # leading newline left over from read_int? skip it
+    je rl_loop
+    jmp rl_done
+rl_store:
+    incl %esi
+    movl $strbuf, %eax
+    addl $63, %eax
+    cmpl %eax, %esi
+    jb rl_loop
+rl_done:
+    movb $0, (%esi)
+    leave
+    ret
+`)
+
+	m.Source = data.String() + text.String()
+	p, err := asm.Assemble(m.Source)
+	if err != nil {
+		return nil, fmt.Errorf("maze: generated source failed to assemble: %w", err)
+	}
+	m.Prog = p
+	return m, nil
+}
+
+func emitWrite(text *strings.Builder, sym string, n int) {
+	fmt.Fprintf(text, "    movl $4, %%eax\n    movl $1, %%ebx\n    movl $%s, %%ecx\n    movl $%d, %%edx\n    int $0x80\n", sym, n)
+}
+
+func emitFloor(data, text *strings.Builder, rng *rand.Rand, idx int, kind FloorKind) (Floor, error) {
+	f := Floor{Kind: kind}
+	fmt.Fprintf(text, "floor_%d:\n", idx)
+	switch kind {
+	case FloorConstant:
+		secret := rng.Intn(9000) + 1000
+		fmt.Fprintf(data, "secret_%d: .long %d\n", idx, secret)
+		f.Answer = fmt.Sprintf("%d", secret)
+		fmt.Fprintf(text, `    movl $6, %%eax
+    int $0x80
+    cmpl secret_%d, %%eax
+    jne trap
+`, idx)
+
+	case FloorArithmetic:
+		a := rng.Intn(9) + 2
+		x := rng.Intn(500) + 1
+		b := rng.Intn(100)
+		target := a*x + b
+		f.Answer = fmt.Sprintf("%d", x)
+		fmt.Fprintf(text, `    movl $6, %%eax
+    int $0x80
+    imull $%d, %%eax
+    addl $%d, %%eax
+    cmpl $%d, %%eax
+    jne trap
+`, a, b, target)
+
+	case FloorSum:
+		n := rng.Intn(4) + 3
+		sum := 0
+		vals := make([]string, n)
+		for i := range vals {
+			v := rng.Intn(100) + 1
+			sum += v
+			vals[i] = fmt.Sprintf("%d", v)
+		}
+		fmt.Fprintf(data, "arr_%d: .long %s\n", idx, strings.Join(vals, ", "))
+		f.Answer = fmt.Sprintf("%d", sum)
+		fmt.Fprintf(text, `    movl $6, %%eax
+    int $0x80
+    movl %%eax, %%edi
+    movl $0, %%eax
+    movl $0, %%ecx
+sumloop_%d:
+    cmpl $%d, %%ecx
+    jge sumdone_%d
+    movl $arr_%d, %%esi
+    addl (%%esi,%%ecx,4), %%eax
+    incl %%ecx
+    jmp sumloop_%d
+sumdone_%d:
+    cmpl %%edi, %%eax
+    jne trap
+`, idx, n, idx, idx, idx, idx)
+
+	case FloorXorString:
+		words := []string{"parallel", "pthread", "barrier", "mutex", "speedup", "deadlock"}
+		secret := words[rng.Intn(len(words))]
+		key := byte(rng.Intn(200) + 20)
+		enc := make([]string, len(secret)+1)
+		for i := 0; i < len(secret); i++ {
+			enc[i] = fmt.Sprintf("%d", secret[i]^key)
+		}
+		enc[len(secret)] = fmt.Sprintf("%d", key) // terminator encodes to key^key=0... store key^0=key
+		fmt.Fprintf(data, "enc_%d: .byte %s\n", idx, strings.Join(enc, ", "))
+		f.Answer = secret
+		// Decode loop: compare strbuf[i] against enc[i]^key until the
+		// decoded NUL.
+		fmt.Fprintf(text, `    call readline
+    movl $strbuf, %%esi
+    movl $enc_%d, %%edi
+cmp_%d:
+    movzbl (%%edi), %%eax
+    xorl $%d, %%eax
+    movzbl (%%esi), %%ebx
+    cmpl %%ebx, %%eax
+    jne trap
+    cmpl $0, %%eax
+    je cmpdone_%d
+    incl %%esi
+    incl %%edi
+    jmp cmp_%d
+cmpdone_%d:
+`, idx, idx, key, idx, idx, idx)
+	}
+	return f, nil
+}
+
+// Answers returns the newline-joined input that escapes the maze.
+func (m *Maze) Answers() string {
+	parts := make([]string, len(m.Floors))
+	for i, f := range m.Floors {
+		parts[i] = f.Answer
+	}
+	return strings.Join(parts, "\n") + "\n"
+}
+
+// Run executes the maze with the given stdin text and returns the exit
+// status (ExitEscaped or ExitTrapped) and the program's output.
+func (m *Maze) Run(input string) (int32, string, error) {
+	mach, err := asm.NewMachine(m.Prog)
+	if err != nil {
+		return 0, "", err
+	}
+	var out strings.Builder
+	mach.Stdin = strings.NewReader(input)
+	mach.Stdout = &out
+	if err := mach.Run(5_000_000); err != nil {
+		return 0, out.String(), err
+	}
+	return mach.ExitStatus, out.String(), nil
+}

@@ -1,0 +1,163 @@
+package maze
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+
+	"cs31/internal/asm"
+	"cs31/internal/debug"
+)
+
+func TestGenerateAndEscape(t *testing.T) {
+	for seed := int64(1); seed <= 5; seed++ {
+		m, err := Generate(seed, 4)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if len(m.Floors) != 4 {
+			t.Fatalf("seed %d: %d floors", seed, len(m.Floors))
+		}
+		status, out, err := m.Run(m.Answers())
+		if err != nil {
+			t.Fatalf("seed %d: run: %v\noutput: %s", seed, err, out)
+		}
+		if status != ExitEscaped {
+			t.Errorf("seed %d: status %d with correct answers\noutput: %s", seed, status, out)
+		}
+		if got := strings.Count(out, "floor passed"); got != 4 {
+			t.Errorf("seed %d: %d floors passed in output %q", seed, got, out)
+		}
+	}
+}
+
+func TestWrongAnswerTraps(t *testing.T) {
+	m, err := Generate(7, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	status, out, err := m.Run("0\n0\n0\nwrong\n")
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if status != ExitTrapped {
+		t.Errorf("status %d, want %d (trapped)\noutput: %s", status, ExitTrapped, out)
+	}
+	if !strings.Contains(out, "BOOM") {
+		t.Errorf("output missing BOOM: %q", out)
+	}
+}
+
+func TestPartialProgressThenTrap(t *testing.T) {
+	m, err := Generate(11, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// First two answers right, third wrong.
+	input := m.Floors[0].Answer + "\n" + m.Floors[1].Answer + "\n999999\nx\n"
+	status, out, err := m.Run(input)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if status != ExitTrapped {
+		t.Errorf("status = %d", status)
+	}
+	if got := strings.Count(out, "floor passed"); got != 2 {
+		t.Errorf("passed %d floors, want 2: %q", got, out)
+	}
+}
+
+func TestGenerateValidation(t *testing.T) {
+	if _, err := Generate(1, 0); err == nil {
+		t.Error("0 floors should fail")
+	}
+	if _, err := Generate(1, 9); err == nil {
+		t.Error("9 floors should fail")
+	}
+}
+
+func TestDeterministicGeneration(t *testing.T) {
+	a, err := Generate(42, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(42, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Source != b.Source {
+		t.Error("same seed should generate identical mazes")
+	}
+	if a.Answers() != b.Answers() {
+		t.Error("same seed should have identical answers")
+	}
+	c, err := Generate(43, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Source == c.Source {
+		t.Error("different seeds should differ")
+	}
+}
+
+func TestAllFloorKinds(t *testing.T) {
+	m, err := Generate(3, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := make(map[FloorKind]bool)
+	for _, f := range m.Floors {
+		seen[f.Kind] = true
+		if f.Answer == "" {
+			t.Errorf("floor %v has empty answer", f.Kind)
+		}
+	}
+	for k := FloorConstant; k <= FloorXorString; k++ {
+		if !seen[k] {
+			t.Errorf("kind %v not generated in 8 floors", k)
+		}
+	}
+	status, out, err := m.Run(m.Answers())
+	if err != nil {
+		t.Fatalf("8-floor run: %v\n%s", err, out)
+	}
+	if status != ExitEscaped {
+		t.Errorf("8-floor escape failed: status %d\n%s", status, out)
+	}
+}
+
+// The lab's actual workflow: solve a floor by inspecting memory with the
+// debugger instead of being told the answer.
+func TestSolveConstantFloorWithDebugger(t *testing.T) {
+	m, err := Generate(99, 1) // floor 0 is always FloorConstant
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Floors[0].Kind != FloorConstant {
+		t.Fatalf("floor 0 kind %v", m.Floors[0].Kind)
+	}
+	mach, err := asm.NewMachine(m.Prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := debug.New(mach, 0)
+	// "x/1w &secret_0" reveals the answer without running anything.
+	words, err := d.Examine(m.Prog.Symbols["secret_0"], 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	discovered := words[0]
+	status, _, err := m.Run(strconv.Itoa(int(discovered)) + "\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if status != ExitEscaped {
+		t.Errorf("debugger-discovered answer %d did not escape", discovered)
+	}
+}
+
+func TestFloorKindString(t *testing.T) {
+	if FloorConstant.String() != "constant" || FloorXorString.String() != "xor-string" {
+		t.Error("FloorKind names")
+	}
+}

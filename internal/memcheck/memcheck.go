@@ -1,0 +1,252 @@
+// Package memcheck is the course's Valgrind stand-in: a simulated heap
+// allocator whose Malloc/Free/Read/Write operations detect the memory
+// errors CS 31 teaches students to find — leaks, double frees, frees of
+// non-heap pointers, use after free, and out-of-bounds access caught by
+// red zones around every block. A final Report lists everything, like
+// "valgrind --leak-check=full".
+package memcheck
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// ErrorKind classifies a detected memory error.
+type ErrorKind int
+
+// The detectable error kinds.
+const (
+	Leak ErrorKind = iota
+	DoubleFree
+	InvalidFree
+	UseAfterFree
+	OutOfBounds
+	UninitializedRead
+)
+
+func (k ErrorKind) String() string {
+	return [...]string{
+		"definitely lost (leak)", "double free", "invalid free",
+		"use after free", "out-of-bounds access", "uninitialized read",
+	}[k]
+}
+
+// MemError is one detected error.
+type MemError struct {
+	Kind  ErrorKind
+	Addr  uint32
+	Size  uint32
+	Label string // allocation site label
+}
+
+func (e MemError) String() string {
+	return fmt.Sprintf("%v: address %#x (%d bytes, allocated at %q)",
+		e.Kind, e.Addr, e.Size, e.Label)
+}
+
+// redZone is the guard band around each allocation.
+const redZone = 16
+
+// block is one heap allocation's metadata.
+type block struct {
+	addr  uint32 // address of the user region
+	size  uint32
+	label string
+	freed bool
+	init  []bool // per-byte initialized flags
+}
+
+// Heap is the simulated checked heap.
+type Heap struct {
+	brk    uint32
+	limit  uint32
+	blocks map[uint32]*block // by user address
+	order  []uint32          // allocation order for reporting
+	errs   []MemError
+
+	Allocs int64
+	Frees  int64
+	Bytes  int64 // bytes currently allocated
+	Peak   int64
+}
+
+// NewHeap creates a heap of the given capacity in bytes, with addresses
+// starting near zero.
+func NewHeap(capacity uint32) *Heap {
+	return NewHeapRange(0, capacity)
+}
+
+// NewHeapRange creates a heap managing the address range [base, limit) —
+// used by the asm machine to check its own heap segment, so that reported
+// addresses are real machine addresses.
+func NewHeapRange(base, limit uint32) *Heap {
+	return &Heap{
+		brk:    base + redZone,
+		limit:  limit,
+		blocks: make(map[uint32]*block),
+	}
+}
+
+// record logs an error.
+func (h *Heap) record(kind ErrorKind, addr, size uint32, label string) {
+	h.errs = append(h.errs, MemError{Kind: kind, Addr: addr, Size: size, Label: label})
+}
+
+// Malloc allocates size bytes tagged with a label (the "file:line" of the
+// allocation site). The memory is uninitialized, and reads before writes
+// are reported.
+func (h *Heap) Malloc(size uint32, label string) (uint32, error) {
+	if size == 0 {
+		size = 1 // C malloc(0) returns a unique pointer
+	}
+	aligned := (size + 7) &^ 7
+	if h.brk+aligned+redZone > h.limit || h.brk+aligned+redZone < h.brk {
+		return 0, fmt.Errorf("memcheck: out of memory (%d bytes requested)", size)
+	}
+	addr := h.brk
+	h.brk += aligned + redZone
+	b := &block{addr: addr, size: size, label: label, init: make([]bool, size)}
+	h.blocks[addr] = b
+	h.order = append(h.order, addr)
+	h.Allocs++
+	h.Bytes += int64(size)
+	if h.Bytes > h.Peak {
+		h.Peak = h.Bytes
+	}
+	return addr, nil
+}
+
+// Calloc is Malloc plus zero initialization.
+func (h *Heap) Calloc(n, size uint32, label string) (uint32, error) {
+	total := n * size
+	if n != 0 && total/n != size {
+		return 0, fmt.Errorf("memcheck: calloc overflow")
+	}
+	addr, err := h.Malloc(total, label)
+	if err != nil {
+		return 0, err
+	}
+	b := h.blocks[addr]
+	for i := range b.init {
+		b.init[i] = true // zeroed = initialized
+	}
+	return addr, nil
+}
+
+// Free releases an allocation, reporting double frees and invalid frees.
+func (h *Heap) Free(addr uint32) {
+	b, ok := h.blocks[addr]
+	if !ok {
+		h.record(InvalidFree, addr, 0, "?")
+		return
+	}
+	if b.freed {
+		h.record(DoubleFree, addr, b.size, b.label)
+		return
+	}
+	b.freed = true
+	h.Frees++
+	h.Bytes -= int64(b.size)
+}
+
+// find locates the live or freed block containing addr, if any.
+func (h *Heap) find(addr uint32) *block {
+	for _, b := range h.blocks {
+		if addr >= b.addr && addr < b.addr+b.size {
+			return b
+		}
+	}
+	return nil
+}
+
+// Write stores to [addr, addr+n), reporting use-after-free and
+// out-of-bounds errors. The write proceeds (as it would in C) so downstream
+// effects are observable.
+func (h *Heap) Write(addr, n uint32) {
+	b := h.find(addr)
+	if b == nil {
+		h.record(OutOfBounds, addr, n, "?")
+		return
+	}
+	if b.freed {
+		h.record(UseAfterFree, addr, n, b.label)
+		return
+	}
+	if addr+n > b.addr+b.size {
+		h.record(OutOfBounds, addr, n, b.label)
+		n = b.addr + b.size - addr
+	}
+	for i := uint32(0); i < n; i++ {
+		b.init[addr-b.addr+i] = true
+	}
+}
+
+// Read loads from [addr, addr+n) with the same checks plus
+// uninitialized-read detection.
+func (h *Heap) Read(addr, n uint32) {
+	b := h.find(addr)
+	if b == nil {
+		h.record(OutOfBounds, addr, n, "?")
+		return
+	}
+	if b.freed {
+		h.record(UseAfterFree, addr, n, b.label)
+		return
+	}
+	if addr+n > b.addr+b.size {
+		h.record(OutOfBounds, addr, n, b.label)
+		n = b.addr + b.size - addr
+	}
+	for i := uint32(0); i < n; i++ {
+		if !b.init[addr-b.addr+i] {
+			h.record(UninitializedRead, addr+i, 1, b.label)
+			return
+		}
+	}
+}
+
+// Errors returns all errors detected so far (not including leaks, which are
+// computed by Report).
+func (h *Heap) Errors() []MemError { return append([]MemError(nil), h.errs...) }
+
+// LeakCheck returns one Leak error per unfreed block.
+func (h *Heap) LeakCheck() []MemError {
+	var leaks []MemError
+	for _, addr := range h.order {
+		b := h.blocks[addr]
+		if !b.freed {
+			leaks = append(leaks, MemError{Kind: Leak, Addr: b.addr, Size: b.size, Label: b.label})
+		}
+	}
+	return leaks
+}
+
+// Report renders the valgrind-style summary: heap usage, every error, and
+// the leak check.
+func (h *Heap) Report() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "HEAP SUMMARY:\n")
+	fmt.Fprintf(&sb, "  in use at exit: %d bytes in %d blocks\n",
+		h.Bytes, int64(len(h.LeakCheck())))
+	fmt.Fprintf(&sb, "  total heap usage: %d allocs, %d frees, peak %d bytes\n",
+		h.Allocs, h.Frees, h.Peak)
+	all := append(h.Errors(), h.LeakCheck()...)
+	sort.SliceStable(all, func(i, j int) bool { return all[i].Addr < all[j].Addr })
+	if len(all) == 0 {
+		sb.WriteString("\nAll heap blocks were freed -- no leaks are possible\n")
+		sb.WriteString("ERROR SUMMARY: 0 errors\n")
+		return sb.String()
+	}
+	sb.WriteString("\n")
+	for _, e := range all {
+		fmt.Fprintf(&sb, "  %s\n", e)
+	}
+	fmt.Fprintf(&sb, "ERROR SUMMARY: %d errors\n", len(all))
+	return sb.String()
+}
+
+// Clean reports whether the heap finished with no errors and no leaks.
+func (h *Heap) Clean() bool {
+	return len(h.errs) == 0 && len(h.LeakCheck()) == 0
+}

@@ -1,0 +1,226 @@
+package memcheck
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestCleanRun(t *testing.T) {
+	h := NewHeap(1 << 16)
+	a, err := h.Malloc(64, "main.c:10")
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.Write(a, 64)
+	h.Read(a, 64)
+	h.Free(a)
+	if !h.Clean() {
+		t.Errorf("clean run flagged:\n%s", h.Report())
+	}
+	if !strings.Contains(h.Report(), "no leaks are possible") {
+		t.Errorf("report:\n%s", h.Report())
+	}
+	if h.Allocs != 1 || h.Frees != 1 || h.Bytes != 0 || h.Peak != 64 {
+		t.Errorf("stats: allocs=%d frees=%d bytes=%d peak=%d", h.Allocs, h.Frees, h.Bytes, h.Peak)
+	}
+}
+
+func TestLeakDetection(t *testing.T) {
+	h := NewHeap(1 << 16)
+	h.Malloc(100, "leaky.c:5")
+	a2, _ := h.Malloc(50, "ok.c:6")
+	h.Free(a2)
+	leaks := h.LeakCheck()
+	if len(leaks) != 1 {
+		t.Fatalf("leaks: %v", leaks)
+	}
+	if leaks[0].Size != 100 || leaks[0].Label != "leaky.c:5" {
+		t.Errorf("leak: %+v", leaks[0])
+	}
+	if h.Clean() {
+		t.Error("leaky heap reported clean")
+	}
+	if !strings.Contains(h.Report(), "definitely lost") {
+		t.Errorf("report:\n%s", h.Report())
+	}
+}
+
+func TestDoubleFree(t *testing.T) {
+	h := NewHeap(1 << 16)
+	a, _ := h.Malloc(8, "x")
+	h.Free(a)
+	h.Free(a)
+	errs := h.Errors()
+	if len(errs) != 1 || errs[0].Kind != DoubleFree {
+		t.Errorf("errors: %v", errs)
+	}
+}
+
+func TestInvalidFree(t *testing.T) {
+	h := NewHeap(1 << 16)
+	h.Free(0x9999)
+	errs := h.Errors()
+	if len(errs) != 1 || errs[0].Kind != InvalidFree {
+		t.Errorf("errors: %v", errs)
+	}
+}
+
+func TestUseAfterFree(t *testing.T) {
+	h := NewHeap(1 << 16)
+	a, _ := h.Malloc(16, "x")
+	h.Write(a, 16)
+	h.Free(a)
+	h.Read(a, 4)
+	h.Write(a, 4)
+	errs := h.Errors()
+	if len(errs) != 2 {
+		t.Fatalf("errors: %v", errs)
+	}
+	for _, e := range errs {
+		if e.Kind != UseAfterFree {
+			t.Errorf("kind: %v", e)
+		}
+	}
+}
+
+func TestOutOfBounds(t *testing.T) {
+	h := NewHeap(1 << 16)
+	a, _ := h.Malloc(8, "buf")
+	h.Write(a, 8)
+	h.Write(a+4, 8) // 4 bytes past the end
+	errs := h.Errors()
+	if len(errs) != 1 || errs[0].Kind != OutOfBounds {
+		t.Errorf("errors: %v", errs)
+	}
+	// Read entirely outside any block.
+	h.Read(0xf000, 4)
+	if got := h.Errors(); len(got) != 2 || got[1].Kind != OutOfBounds {
+		t.Errorf("errors: %v", got)
+	}
+}
+
+func TestUninitializedRead(t *testing.T) {
+	h := NewHeap(1 << 16)
+	a, _ := h.Malloc(8, "u")
+	h.Read(a, 4)
+	errs := h.Errors()
+	if len(errs) != 1 || errs[0].Kind != UninitializedRead {
+		t.Errorf("errors: %v", errs)
+	}
+	// Calloc memory reads clean.
+	b, err := h.Calloc(4, 2, "c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.Read(b, 8)
+	if len(h.Errors()) != 1 {
+		t.Errorf("calloc read flagged: %v", h.Errors())
+	}
+}
+
+func TestPartialInitRead(t *testing.T) {
+	h := NewHeap(1 << 16)
+	a, _ := h.Malloc(8, "p")
+	h.Write(a, 4)
+	h.Read(a, 4) // initialized half: fine
+	if len(h.Errors()) != 0 {
+		t.Errorf("errors: %v", h.Errors())
+	}
+	h.Read(a, 8) // crosses into uninitialized bytes
+	if len(h.Errors()) != 1 {
+		t.Errorf("errors: %v", h.Errors())
+	}
+}
+
+func TestCallocOverflow(t *testing.T) {
+	h := NewHeap(1 << 16)
+	if _, err := h.Calloc(1<<16, 1<<17, "o"); err == nil {
+		t.Error("calloc overflow should fail")
+	}
+}
+
+func TestOutOfMemory(t *testing.T) {
+	h := NewHeap(128)
+	if _, err := h.Malloc(1024, "big"); err == nil {
+		t.Error("allocation beyond capacity should fail")
+	}
+}
+
+func TestMallocZero(t *testing.T) {
+	h := NewHeap(1 << 16)
+	a, err := h.Malloc(0, "z")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := h.Malloc(0, "z2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a == b {
+		t.Error("malloc(0) should return distinct pointers")
+	}
+	h.Free(a)
+	h.Free(b)
+	if !h.Clean() {
+		t.Error("zero-size blocks should free cleanly")
+	}
+}
+
+// Property: any sequence of valid alloc/write/read/free pairs is clean, and
+// blocks never overlap.
+func TestDisjointAllocationsProperty(t *testing.T) {
+	f := func(sizes []uint8) bool {
+		h := NewHeap(1 << 20)
+		type span struct{ lo, hi uint32 }
+		var spans []span
+		var addrs []uint32
+		for _, s := range sizes {
+			size := uint32(s) + 1
+			a, err := h.Malloc(size, "p")
+			if err != nil {
+				return true // heap full is fine
+			}
+			for _, sp := range spans {
+				if a < sp.hi && a+size > sp.lo {
+					return false // overlap
+				}
+			}
+			spans = append(spans, span{a, a + size})
+			addrs = append(addrs, a)
+			h.Write(a, size)
+			h.Read(a, size)
+		}
+		for _, a := range addrs {
+			h.Free(a)
+		}
+		return h.Clean()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestReportFormat(t *testing.T) {
+	h := NewHeap(1 << 16)
+	a, _ := h.Malloc(32, "lab7.c:42")
+	h.Free(a)
+	h.Free(a)
+	h.Malloc(16, "lab7.c:50")
+	rep := h.Report()
+	for _, want := range []string{"HEAP SUMMARY", "double free", "definitely lost", "ERROR SUMMARY: 2 errors"} {
+		if !strings.Contains(rep, want) {
+			t.Errorf("report missing %q:\n%s", want, rep)
+		}
+	}
+}
+
+func TestErrorKindStrings(t *testing.T) {
+	if Leak.String() != "definitely lost (leak)" || UseAfterFree.String() != "use after free" {
+		t.Error("kind names")
+	}
+	e := MemError{Kind: DoubleFree, Addr: 0x10, Size: 4, Label: "x"}
+	if !strings.Contains(e.String(), "double free") {
+		t.Error("error string")
+	}
+}

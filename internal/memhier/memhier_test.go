@@ -1,0 +1,237 @@
+package memhier
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestDefaultHierarchyValid(t *testing.T) {
+	if err := ValidateHierarchy(DefaultHierarchy); err != nil {
+		t.Errorf("default hierarchy invalid: %v", err)
+	}
+	// Spot-check the pedagogical essentials.
+	if DefaultHierarchy[0].Name != "registers" {
+		t.Error("registers should top the hierarchy")
+	}
+	last := DefaultHierarchy[len(DefaultHierarchy)-1]
+	if last.Primary {
+		t.Error("bottom of hierarchy should be secondary storage")
+	}
+}
+
+func TestValidateHierarchyCatchesInversions(t *testing.T) {
+	bad := []Device{
+		{Name: "slow", LatencyNs: 100, Capacity: 10},
+		{Name: "fast", LatencyNs: 1, Capacity: 100},
+	}
+	if err := ValidateHierarchy(bad); err == nil {
+		t.Error("latency inversion not caught")
+	}
+	bad2 := []Device{
+		{Name: "big", LatencyNs: 1, Capacity: 1000},
+		{Name: "small", LatencyNs: 10, Capacity: 10},
+	}
+	if err := ValidateHierarchy(bad2); err == nil {
+		t.Error("capacity inversion not caught")
+	}
+}
+
+func TestEffectiveAccessTime(t *testing.T) {
+	eat, err := EffectiveAccessTime(1, 100, 0.95)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 0.95*1 + 0.05*100
+	if diff := eat - want; diff > 1e-9 || diff < -1e-9 {
+		t.Errorf("EAT = %v, want %v", eat, want)
+	}
+	if _, err := EffectiveAccessTime(1, 100, 1.5); err == nil {
+		t.Error("hit rate > 1 should fail")
+	}
+	if _, err := EffectiveAccessTime(1, 100, -0.1); err == nil {
+		t.Error("negative hit rate should fail")
+	}
+}
+
+func TestAnalyzeLocalityTemporal(t *testing.T) {
+	// Same address over and over: pure temporal locality.
+	trace := RepeatTrace([]Access{R(0x1000)}, 10)
+	rep := AnalyzeLocality(trace, 4, 64)
+	if rep.TemporalHits != 9 {
+		t.Errorf("temporal hits = %d, want 9", rep.TemporalHits)
+	}
+	if rep.SpatialHits != 0 {
+		t.Errorf("spatial hits = %d, want 0", rep.SpatialHits)
+	}
+	if rep.TemporalFraction() != 0.9 {
+		t.Errorf("temporal fraction = %v", rep.TemporalFraction())
+	}
+}
+
+func TestAnalyzeLocalitySpatial(t *testing.T) {
+	// Sequential bytes: pure spatial locality.
+	trace := StrideTrace(0x1000, 10, 4)
+	rep := AnalyzeLocality(trace, 4, 64)
+	if rep.SpatialHits != 9 {
+		t.Errorf("spatial hits = %d, want 9", rep.SpatialHits)
+	}
+	if rep.TemporalHits != 0 {
+		t.Errorf("temporal hits = %d", rep.TemporalHits)
+	}
+}
+
+func TestAnalyzeLocalityNone(t *testing.T) {
+	// Huge strides: neither kind of locality.
+	trace := StrideTrace(0, 10, 1<<20)
+	rep := AnalyzeLocality(trace, 4, 64)
+	if rep.TemporalHits != 0 || rep.SpatialHits != 0 {
+		t.Errorf("random-ish trace: %+v", rep)
+	}
+	if rep.TemporalFraction() != 0 || rep.SpatialFraction() != 0 {
+		t.Error("fractions should be 0")
+	}
+}
+
+func TestAnalyzeLocalityEmptyAndDefaults(t *testing.T) {
+	rep := AnalyzeLocality(nil, 0, 64)
+	if rep.Accesses != 0 || rep.Window != 32 {
+		t.Errorf("empty trace: %+v", rep)
+	}
+	if rep.TemporalFraction() != 0 {
+		t.Error("empty fraction should be 0")
+	}
+}
+
+func TestMatrixTraces(t *testing.T) {
+	rm := MatrixTraceRowMajor(0, 2, 3, 4)
+	want := []uint64{0, 4, 8, 12, 16, 20}
+	for i, a := range rm {
+		if a.Addr != want[i] {
+			t.Errorf("row-major[%d] = %d, want %d", i, a.Addr, want[i])
+		}
+	}
+	cm := MatrixTraceColMajor(0, 2, 3, 4)
+	wantCM := []uint64{0, 12, 4, 16, 8, 20}
+	for i, a := range cm {
+		if a.Addr != wantCM[i] {
+			t.Errorf("col-major[%d] = %d, want %d", i, a.Addr, wantCM[i])
+		}
+	}
+	if len(rm) != len(cm) {
+		t.Error("traces should have equal length")
+	}
+}
+
+// Property: row-major and column-major traces visit the same address set.
+func TestMatrixTracesSameAddressSet(t *testing.T) {
+	f := func(rRaw, cRaw uint8) bool {
+		rows := int(rRaw%16) + 1
+		cols := int(cRaw%16) + 1
+		rm := MatrixTraceRowMajor(0x1000, rows, cols, 4)
+		cm := MatrixTraceColMajor(0x1000, rows, cols, 4)
+		set := make(map[uint64]bool)
+		for _, a := range rm {
+			set[a.Addr] = true
+		}
+		for _, a := range cm {
+			if !set[a.Addr] {
+				return false
+			}
+		}
+		return len(rm) == len(cm) && len(set) == rows*cols
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: row-major traces have better (or equal) spatial locality than
+// column-major for matrices wider than one column.
+func TestRowMajorBeatsColMajorLocality(t *testing.T) {
+	f := func(seed uint8) bool {
+		rows := int(seed%8) + 2
+		cols := int(seed/8%8) + 2
+		rm := AnalyzeLocality(MatrixTraceRowMajor(0, rows, cols, 4), 8, 64)
+		cm := AnalyzeLocality(MatrixTraceColMajor(0, rows, cols, 4), 8, 64)
+		return rm.SpatialFraction() >= cm.SpatialFraction()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRepeatTrace(t *testing.T) {
+	base := []Access{R(1), W(2)}
+	rep := RepeatTrace(base, 3)
+	if len(rep) != 6 {
+		t.Fatalf("len = %d", len(rep))
+	}
+	if rep[3].Addr != 2 || !rep[3].Write {
+		t.Errorf("rep[3] = %+v", rep[3])
+	}
+}
+
+func TestRW(t *testing.T) {
+	if R(5).Write || R(5).Addr != 5 {
+		t.Error("R")
+	}
+	if !W(7).Write || W(7).Addr != 7 {
+		t.Error("W")
+	}
+}
+
+func TestMultiLevelEAT(t *testing.T) {
+	eat, err := MultiLevelEAT([]Level{
+		{Name: "L1", LatencyNs: 1, HitRate: 0.9},
+		{Name: "L2", LatencyNs: 10, HitRate: 0.8},
+		{Name: "RAM", LatencyNs: 100, HitRate: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 1 + 0.1*10 + 0.1*0.2*100 = 1 + 1 + 2 = 4
+	if diff := eat - 4; diff > 1e-9 || diff < -1e-9 {
+		t.Errorf("EAT = %v, want 4", eat)
+	}
+	// Single level degenerates to its latency.
+	one, err := MultiLevelEAT([]Level{{Name: "RAM", LatencyNs: 100, HitRate: 1}})
+	if err != nil || one != 100 {
+		t.Errorf("single level: %v, %v", one, err)
+	}
+}
+
+func TestMultiLevelEATErrors(t *testing.T) {
+	if _, err := MultiLevelEAT(nil); err == nil {
+		t.Error("empty levels should fail")
+	}
+	if _, err := MultiLevelEAT([]Level{{HitRate: 2, LatencyNs: 1}}); err == nil {
+		t.Error("bad hit rate should fail")
+	}
+	if _, err := MultiLevelEAT([]Level{{HitRate: 0.5, LatencyNs: 1}}); err == nil {
+		t.Error("non-total last level should fail")
+	}
+	if _, err := MultiLevelEAT([]Level{{HitRate: 1, LatencyNs: -1}}); err == nil {
+		t.Error("negative latency should fail")
+	}
+}
+
+// Property: adding a cache level with positive hit rate above a slow tier
+// never increases EAT versus going straight to that tier, as long as the
+// new level is faster.
+func TestCacheLevelHelpsProperty(t *testing.T) {
+	f := func(hrRaw uint8) bool {
+		hr := float64(hrRaw%100) / 100.0
+		with, err := MultiLevelEAT([]Level{
+			{Name: "L1", LatencyNs: 1, HitRate: hr},
+			{Name: "RAM", LatencyNs: 100, HitRate: 1},
+		})
+		if err != nil {
+			return false
+		}
+		without := 100.0
+		return with <= without+1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,207 @@
+package minic
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTwoDimensionalArray(t *testing.T) {
+	res := runC(t, `
+int main() {
+    int m[3][4];
+    for (int i = 0; i < 3; i++) {
+        for (int j = 0; j < 4; j++) {
+            m[i][j] = i * 10 + j;
+        }
+    }
+    return m[2][3] * 100 + m[1][2] + m[0][0];
+}`, "")
+	// m[2][3] = 23, m[1][2] = 12 -> 2312.
+	if res.ExitStatus != 23*100+12 {
+		t.Errorf("got %d", res.ExitStatus)
+	}
+}
+
+func TestTwoDArrayRowDecay(t *testing.T) {
+	// m[i] decays to int*, usable as a row pointer.
+	res := runC(t, `
+int rowsum(int *row, int n) {
+    int s = 0;
+    for (int i = 0; i < n; i++) { s += row[i]; }
+    return s;
+}
+int main() {
+    int m[2][3];
+    for (int j = 0; j < 3; j++) { m[0][j] = j + 1; m[1][j] = 10 * (j + 1); }
+    return rowsum(m[0], 3) + rowsum(m[1], 3);   // 6 + 60
+}`, "")
+	if res.ExitStatus != 66 {
+		t.Errorf("got %d", res.ExitStatus)
+	}
+}
+
+func TestGlobal2DArray(t *testing.T) {
+	res := runC(t, `
+int grid[4][4];
+int main() {
+    grid[3][3] = 9;
+    grid[0][1] = 2;
+    return grid[3][3] * 10 + grid[0][1] + grid[2][2];
+}`, "")
+	if res.ExitStatus != 92 {
+		t.Errorf("got %d", res.ExitStatus)
+	}
+}
+
+func TestChar2DArray(t *testing.T) {
+	res := runC(t, `
+int main() {
+    char rows[2][4];
+    rows[0][0] = 'h'; rows[0][1] = 'i'; rows[0][2] = '\0';
+    rows[1][0] = 'y'; rows[1][1] = 'o'; rows[1][2] = '\0';
+    print_str(rows[0]);
+    print_str(rows[1]);
+    return rows[1][0];
+}`, "")
+	if res.Stdout != "hiyo" {
+		t.Errorf("stdout = %q", res.Stdout)
+	}
+	if res.ExitStatus != 'y' {
+		t.Errorf("exit = %d", res.ExitStatus)
+	}
+}
+
+func TestArrayTypeProperties(t *testing.T) {
+	arr := ArrayOf(ArrayOf(IntType, 4), 3)
+	if arr.Size() != 48 {
+		t.Errorf("size = %d", arr.Size())
+	}
+	if arr.String() != "int[4][3]" {
+		t.Errorf("string = %q", arr.String())
+	}
+	if !arr.Equal(ArrayOf(ArrayOf(IntType, 4), 3)) {
+		t.Error("equal arrays not equal")
+	}
+	if arr.Equal(ArrayOf(ArrayOf(IntType, 5), 3)) {
+		t.Error("different inner lengths equal")
+	}
+	if !arr.IsArray() || arr.IsPtr() {
+		t.Error("kind predicates")
+	}
+}
+
+func TestArrayErrors(t *testing.T) {
+	cases := []struct{ name, src string }{
+		{"2D assign whole row", "int main() { int m[2][2]; int r[2]; m[0] = r; return 0; }"},
+		{"array self assign", "int main() { int a[2][2]; int b[2][2]; a = b; return 0; }"},
+		{"zero dim", "int main() { int m[2][0]; return 0; }"},
+		{"negative dim", "int main() { int m[-1]; return 0; }"},
+		{"global array init", "int g[2][2] = 5; int main() { return 0; }"},
+	}
+	for _, c := range cases {
+		if _, err := Compile(c.src); err == nil {
+			t.Errorf("%s: expected compile error", c.name)
+		}
+	}
+}
+
+func TestAddressOf2DArray(t *testing.T) {
+	res := runC(t, `
+int main() {
+    int m[2][2];
+    m[1][1] = 7;
+    int *p = &m[1][1];
+    return *p;
+}`, "")
+	if res.ExitStatus != 7 {
+		t.Errorf("got %d", res.ExitStatus)
+	}
+}
+
+// The Lab 6 capstone: Conway's Game of Life written in mini-C with 2D
+// arrays, compiled through the full stack and run for real. A blinker must
+// oscillate exactly as the specification says.
+func TestGameOfLifeInMiniC(t *testing.T) {
+	res := runC(t, lifeInC, "")
+	want := strings.Join([]string{
+		".....",
+		".....",
+		".@@@.",
+		".....",
+		".....",
+		"",
+		".....",
+		"..@..",
+		"..@..",
+		"..@..",
+		".....",
+		"",
+		".....",
+		".....",
+		".@@@.",
+		".....",
+		".....",
+		"",
+		"",
+	}, "\n")
+	if res.Stdout != want {
+		t.Errorf("life output:\n%s\nwant:\n%s", res.Stdout, want)
+	}
+}
+
+// lifeInC is a complete serial Game of Life on a 5x5 torus, the Lab 6
+// assignment in the course's own language.
+const lifeInC = `
+int N = 5;
+int cur[5][5];
+int nxt[5][5];
+
+int neighbors(int r, int c) {
+    int count = 0;
+    for (int dr = -1; dr <= 1; dr++) {
+        for (int dc = -1; dc <= 1; dc++) {
+            if (dr == 0 && dc == 0) { continue; }
+            int rr = (r + dr + N) % N;
+            int cc = (c + dc + N) % N;
+            count += cur[rr][cc];
+        }
+    }
+    return count;
+}
+
+void step() {
+    for (int r = 0; r < N; r++) {
+        for (int c = 0; c < N; c++) {
+            int n = neighbors(r, c);
+            if (cur[r][c] == 1 && (n == 2 || n == 3)) { nxt[r][c] = 1; }
+            else if (cur[r][c] == 0 && n == 3) { nxt[r][c] = 1; }
+            else { nxt[r][c] = 0; }
+        }
+    }
+    for (int r = 0; r < N; r++) {
+        for (int c = 0; c < N; c++) { cur[r][c] = nxt[r][c]; }
+    }
+}
+
+void show() {
+    for (int r = 0; r < N; r++) {
+        for (int c = 0; c < N; c++) {
+            if (cur[r][c] == 1) { print_char('@'); }
+            else { print_char('.'); }
+        }
+        print_char('\n');
+    }
+    print_char('\n');
+}
+
+int main() {
+    cur[2][1] = 1;
+    cur[2][2] = 1;
+    cur[2][3] = 1;
+    show();
+    step();
+    show();
+    step();
+    show();
+    return 0;
+}`

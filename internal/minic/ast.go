@@ -1,0 +1,309 @@
+package minic
+
+import "fmt"
+
+// Type is a mini-C type: int, char, void, a pointer, or an array. Arrays
+// follow C semantics: a value of array type decays to a pointer to its
+// first element everywhere except sizeof and &.
+type Type struct {
+	Kind   TypeKind
+	Elem   *Type // pointee for TypePtr; element for TypeArray
+	ArrLen int32 // element count for TypeArray
+
+	// Struct types use nominal identity: two struct types are equal when
+	// their names match. Fields may be filled after creation so that
+	// self-referential types (struct node { struct node *next; }) work.
+	StructName string
+	Fields     []Field
+	ByteSize   int32
+}
+
+// Field is one member of a struct type, with its layout offset.
+type Field struct {
+	Name   string
+	Type   *Type
+	Offset int32
+}
+
+// FieldByName finds a struct member.
+func (t *Type) FieldByName(name string) (Field, bool) {
+	for _, f := range t.Fields {
+		if f.Name == name {
+			return f, true
+		}
+	}
+	return Field{}, false
+}
+
+// TypeKind enumerates base type kinds.
+type TypeKind int
+
+// The type kinds.
+const (
+	TypeInt TypeKind = iota
+	TypeChar
+	TypeVoid
+	TypePtr
+	TypeArray
+	TypeStruct
+)
+
+// Convenience type singletons.
+var (
+	IntType  = &Type{Kind: TypeInt}
+	CharType = &Type{Kind: TypeChar}
+	VoidType = &Type{Kind: TypeVoid}
+)
+
+// PtrTo returns a pointer type to elem.
+func PtrTo(elem *Type) *Type { return &Type{Kind: TypePtr, Elem: elem} }
+
+// ArrayOf returns an n-element array type over elem.
+func ArrayOf(elem *Type, n int32) *Type {
+	return &Type{Kind: TypeArray, Elem: elem, ArrLen: n}
+}
+
+// Size returns the storage size in bytes (pointers and ints are 4, char 1,
+// arrays the product of their dimensions).
+func (t *Type) Size() int32 {
+	switch t.Kind {
+	case TypeChar:
+		return 1
+	case TypeVoid:
+		return 0
+	case TypeArray:
+		return t.ArrLen * t.Elem.Size()
+	case TypeStruct:
+		return t.ByteSize
+	default:
+		return 4
+	}
+}
+
+// IsPtr reports whether the type is a pointer.
+func (t *Type) IsPtr() bool { return t.Kind == TypePtr }
+
+// IsArray reports whether the type is an array.
+func (t *Type) IsArray() bool { return t.Kind == TypeArray }
+
+func (t *Type) String() string {
+	switch t.Kind {
+	case TypeInt:
+		return "int"
+	case TypeChar:
+		return "char"
+	case TypeVoid:
+		return "void"
+	case TypePtr:
+		return t.Elem.String() + "*"
+	case TypeArray:
+		return fmt.Sprintf("%s[%d]", t.Elem.String(), t.ArrLen)
+	case TypeStruct:
+		return "struct " + t.StructName
+	default:
+		return fmt.Sprintf("type(%d)", int(t.Kind))
+	}
+}
+
+// Equal reports structural type equality.
+func (t *Type) Equal(o *Type) bool {
+	if t.Kind != o.Kind {
+		return false
+	}
+	switch t.Kind {
+	case TypePtr:
+		return t.Elem.Equal(o.Elem)
+	case TypeArray:
+		return t.ArrLen == o.ArrLen && t.Elem.Equal(o.Elem)
+	case TypeStruct:
+		return t.StructName == o.StructName
+	}
+	return true
+}
+
+// Expr is an expression node.
+type Expr interface {
+	exprNode()
+	Pos() int
+}
+
+type exprBase struct{ Line int }
+
+func (e exprBase) exprNode() {}
+
+// Pos returns the source line of the expression.
+func (e exprBase) Pos() int { return e.Line }
+
+// IntLit is an integer or character literal.
+type IntLit struct {
+	exprBase
+	Value int32
+}
+
+// StrLit is a string literal; it compiles to a pointer into .data.
+type StrLit struct {
+	exprBase
+	Value string
+}
+
+// VarRef names a variable (local, parameter, or global).
+type VarRef struct {
+	exprBase
+	Name string
+}
+
+// Unary is -x, !x, ~x, *p, &lv.
+type Unary struct {
+	exprBase
+	Op string
+	X  Expr
+}
+
+// Binary is a binary operation, including short-circuit && and ||.
+type Binary struct {
+	exprBase
+	Op   string
+	L, R Expr
+}
+
+// Assign is lv = rhs (also the desugared target of +=, -=, ...).
+type Assign struct {
+	exprBase
+	LHS Expr
+	RHS Expr
+}
+
+// Call is a function or builtin call.
+type Call struct {
+	exprBase
+	Name string
+	Args []Expr
+}
+
+// Member is p.name or p->name.
+type Member struct {
+	exprBase
+	X     Expr
+	Name  string
+	Arrow bool // true for ->
+}
+
+// Cond is the ternary conditional c ? a : b.
+type Cond struct {
+	exprBase
+	C, Then, Else Expr
+}
+
+// Index is a[i]; a may be an array or pointer.
+type Index struct {
+	exprBase
+	Arr Expr
+	Idx Expr
+}
+
+// Stmt is a statement node.
+type Stmt interface {
+	stmtNode()
+	Pos() int
+}
+
+type stmtBase struct{ Line int }
+
+func (s stmtBase) stmtNode() {}
+
+// Pos returns the source line of the statement.
+func (s stmtBase) Pos() int { return s.Line }
+
+// DeclStmt declares a local variable, optionally with an initializer.
+// Array declarations carry a TypeArray (possibly nested for 2D arrays).
+type DeclStmt struct {
+	stmtBase
+	Name string
+	Type *Type
+	Init Expr // nil if none (arrays may not have initializers)
+}
+
+// ExprStmt evaluates an expression for its side effects.
+type ExprStmt struct {
+	stmtBase
+	X Expr
+}
+
+// IfStmt is if/else.
+type IfStmt struct {
+	stmtBase
+	Cond Expr
+	Then *Block
+	Else *Block // nil if absent
+}
+
+// WhileStmt is a while loop.
+type WhileStmt struct {
+	stmtBase
+	Cond Expr
+	Body *Block
+}
+
+// DoWhileStmt is a do { } while (cond); loop: the body runs at least once.
+type DoWhileStmt struct {
+	stmtBase
+	Body *Block
+	Cond Expr
+}
+
+// ForStmt is a for loop; any of Init, Cond, Post may be nil.
+type ForStmt struct {
+	stmtBase
+	Init Stmt // DeclStmt or ExprStmt
+	Cond Expr
+	Post Expr
+	Body *Block
+}
+
+// ReturnStmt returns from the enclosing function.
+type ReturnStmt struct {
+	stmtBase
+	X Expr // nil for void return
+}
+
+// BreakStmt exits the innermost loop.
+type BreakStmt struct{ stmtBase }
+
+// ContinueStmt jumps to the innermost loop's next iteration.
+type ContinueStmt struct{ stmtBase }
+
+// Block is a brace-delimited statement list with its own scope.
+type Block struct {
+	stmtBase
+	Stmts []Stmt
+}
+
+// Param is a function parameter.
+type Param struct {
+	Name string
+	Type *Type
+}
+
+// FuncDecl is a function definition.
+type FuncDecl struct {
+	Name   string
+	Ret    *Type
+	Params []Param
+	Body   *Block
+	Line   int
+}
+
+// GlobalDecl is a file-scope variable.
+type GlobalDecl struct {
+	Name    string
+	Type    *Type
+	Init    int32 // scalar initial value (constants only)
+	HasInit bool
+	Line    int
+}
+
+// Unit is a parsed translation unit.
+type Unit struct {
+	Funcs   []*FuncDecl
+	Globals []*GlobalDecl
+}

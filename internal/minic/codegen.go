@@ -1,0 +1,1026 @@
+package minic
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Builtins available to every program, implemented as syscall sequences on
+// the asm machine:
+//
+//	print_int(int)    — write a decimal integer to stdout
+//	print_str(char*)  — write a NUL-terminated string
+//	print_char(int)   — write one character
+//	read_int()        — read a decimal integer from stdin
+//	malloc(int)       — checked heap allocation (memcheck-backed)
+//	free(void*)       — release a malloc'd block
+//	exit(int)         — terminate with a status
+var builtinSigs = map[string]struct {
+	ret    *Type
+	params []*Type
+}{
+	"print_int":  {IntType, []*Type{IntType}},
+	"print_str":  {IntType, []*Type{PtrTo(CharType)}},
+	"print_char": {IntType, []*Type{IntType}},
+	"read_int":   {IntType, nil},
+	"malloc":     {PtrTo(VoidType), []*Type{IntType}},
+	"free":       {VoidType, []*Type{PtrTo(VoidType)}},
+	"exit":       {VoidType, []*Type{IntType}},
+}
+
+// varInfo describes a resolved variable.
+type varInfo struct {
+	typ    *Type
+	offset int32  // ebp-relative offset for locals/params
+	global string // data label for globals
+}
+
+// isArray reports whether the variable has array type (which decays).
+func (v *varInfo) isArray() bool { return v.typ.IsArray() }
+
+// funcInfo describes a declared function.
+type funcInfo struct {
+	ret    *Type
+	params []*Type
+}
+
+// codegen holds per-compilation state.
+type codegen struct {
+	unit    *Unit
+	globals map[string]*varInfo
+	funcs   map[string]*funcInfo
+
+	text    strings.Builder
+	data    strings.Builder
+	strLits map[string]string // literal -> label
+	nlabel  int
+
+	// per-function state
+	fn        *FuncDecl
+	scopes    []map[string]*varInfo
+	curOffset int32 // next local slot below ebp (positive magnitude)
+	maxOffset int32
+	breaks    []string
+	continues []string
+	retLabel  string
+}
+
+// Compile translates mini-C source into AT&T assembly for package asm.
+// The generated program defines main as its entry point.
+func Compile(src string) (string, error) {
+	unit, err := Parse(src)
+	if err != nil {
+		return "", err
+	}
+	g := &codegen{
+		unit:    unit,
+		globals: make(map[string]*varInfo),
+		funcs:   make(map[string]*funcInfo),
+		strLits: make(map[string]string),
+	}
+	return g.run()
+}
+
+func (g *codegen) run() (string, error) {
+	// Declare globals.
+	for _, gd := range g.unit.Globals {
+		if _, dup := g.globals[gd.Name]; dup {
+			return "", cerrf(gd.Line, "duplicate global %q", gd.Name)
+		}
+		if gd.Type.Kind == TypeVoid && !gd.Type.IsPtr() {
+			return "", cerrf(gd.Line, "void global %q", gd.Name)
+		}
+		g.globals[gd.Name] = &varInfo{typ: gd.Type, global: "g_" + gd.Name}
+	}
+	// Declare functions.
+	for _, fn := range g.unit.Funcs {
+		if _, isBuiltin := builtinSigs[fn.Name]; isBuiltin {
+			return "", cerrf(fn.Line, "cannot redefine builtin %q", fn.Name)
+		}
+		if _, dup := g.funcs[fn.Name]; dup {
+			return "", cerrf(fn.Line, "duplicate function %q", fn.Name)
+		}
+		fi := &funcInfo{ret: fn.Ret}
+		for _, p := range fn.Params {
+			fi.params = append(fi.params, p.Type)
+		}
+		g.funcs[fn.Name] = fi
+	}
+	if _, ok := g.funcs["main"]; !ok {
+		return "", cerrf(1, "no main function defined")
+	}
+
+	// Data section: globals, the print_char scratch byte, string literals
+	// (added lazily while generating code).
+	g.data.WriteString(".data\n")
+	g.data.WriteString("__char_buf: .byte 0\n")
+	for _, gd := range g.unit.Globals {
+		info := g.globals[gd.Name]
+		switch {
+		case info.isArray() || gd.Type.Kind == TypeStruct:
+			fmt.Fprintf(&g.data, "%s: .space %d\n", info.global, gd.Type.Size())
+		case gd.HasInit:
+			fmt.Fprintf(&g.data, "%s: .long %d\n", info.global, gd.Init)
+		default:
+			fmt.Fprintf(&g.data, "%s: .long 0\n", info.global)
+		}
+	}
+
+	g.text.WriteString(".text\n")
+	for _, fn := range g.unit.Funcs {
+		if err := g.genFunc(fn); err != nil {
+			return "", err
+		}
+	}
+	return g.data.String() + g.text.String(), nil
+}
+
+func (g *codegen) label(prefix string) string {
+	g.nlabel++
+	return fmt.Sprintf(".L%s%d", prefix, g.nlabel)
+}
+
+func (g *codegen) strLabel(s string) string {
+	if l, ok := g.strLits[s]; ok {
+		return l
+	}
+	l := fmt.Sprintf(".Lstr%d", len(g.strLits))
+	g.strLits[s] = l
+	fmt.Fprintf(&g.data, "%s: .asciz %q\n", l, s)
+	return l
+}
+
+func (g *codegen) pushScope() { g.scopes = append(g.scopes, make(map[string]*varInfo)) }
+func (g *codegen) popScope()  { g.scopes = g.scopes[:len(g.scopes)-1] }
+
+func (g *codegen) declare(line int, name string, v *varInfo) error {
+	top := g.scopes[len(g.scopes)-1]
+	if _, dup := top[name]; dup {
+		return cerrf(line, "redeclaration of %q", name)
+	}
+	top[name] = v
+	return nil
+}
+
+func (g *codegen) lookup(name string) (*varInfo, bool) {
+	for i := len(g.scopes) - 1; i >= 0; i-- {
+		if v, ok := g.scopes[i][name]; ok {
+			return v, true
+		}
+	}
+	v, ok := g.globals[name]
+	return v, ok
+}
+
+// allocLocal reserves a frame slot of the given size (4-byte aligned) and
+// returns its negative ebp offset.
+func (g *codegen) allocLocal(size int32) int32 {
+	size = (size + 3) &^ 3
+	g.curOffset += size
+	if g.curOffset > g.maxOffset {
+		g.maxOffset = g.curOffset
+	}
+	return -g.curOffset
+}
+
+func (g *codegen) genFunc(fn *FuncDecl) error {
+	if fn.Ret.Kind == TypeStruct || fn.Ret.IsArray() {
+		return cerrf(fn.Line, "function %q: return structs and arrays by pointer", fn.Name)
+	}
+	g.fn = fn
+	g.scopes = nil
+	g.curOffset, g.maxOffset = 0, 0
+	g.retLabel = g.label("ret_" + fn.Name)
+	g.pushScope()
+	defer g.popScope()
+
+	// Parameters live above the saved ebp and return address: 8(%ebp),
+	// 12(%ebp), ... — the layout students trace in stack diagrams.
+	for i, p := range fn.Params {
+		if p.Type.Kind == TypeVoid && !p.Type.IsPtr() {
+			return cerrf(fn.Line, "void parameter %q", p.Name)
+		}
+		if p.Type.Kind == TypeStruct || p.Type.IsArray() {
+			return cerrf(fn.Line, "parameter %q: pass structs and arrays by pointer", p.Name)
+		}
+		if err := g.declare(fn.Line, p.Name, &varInfo{
+			typ: p.Type, offset: int32(8 + 4*i),
+		}); err != nil {
+			return err
+		}
+	}
+
+	// Generate the body into a scratch buffer so the prologue can reserve
+	// exactly maxOffset bytes of frame.
+	saved := g.text
+	g.text = strings.Builder{}
+	if err := g.genBlock(fn.Body); err != nil {
+		return err
+	}
+	body := g.text.String()
+	g.text = saved
+
+	fmt.Fprintf(&g.text, "%s:\n", fn.Name)
+	g.emit("pushl %ebp")
+	g.emit("movl %esp, %ebp")
+	if g.maxOffset > 0 {
+		g.emit(fmt.Sprintf("subl $%d, %%esp", g.maxOffset))
+	}
+	g.text.WriteString(body)
+	// Fall-through return: zero eax for value functions without an explicit
+	// return on some path (C leaves this undefined; zero is friendlier).
+	g.emit("movl $0, %eax")
+	fmt.Fprintf(&g.text, "%s:\n", g.retLabel)
+	g.emit("leave")
+	g.emit("ret")
+	return nil
+}
+
+func (g *codegen) emit(instr string) {
+	g.text.WriteString("    ")
+	g.text.WriteString(instr)
+	g.text.WriteByte('\n')
+}
+
+func (g *codegen) emitLabel(l string) {
+	g.text.WriteString(l)
+	g.text.WriteString(":\n")
+}
+
+func (g *codegen) genBlock(b *Block) error {
+	g.pushScope()
+	savedOffset := g.curOffset
+	defer func() {
+		g.popScope()
+		g.curOffset = savedOffset // block locals' slots are reusable
+	}()
+	for _, s := range b.Stmts {
+		if err := g.genStmt(s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (g *codegen) genStmt(s Stmt) error {
+	switch st := s.(type) {
+	case *Block:
+		return g.genBlock(st)
+
+	case *DeclStmt:
+		if st.Type.Kind == TypeVoid && !st.Type.IsPtr() {
+			return cerrf(st.Pos(), "cannot declare void variable %q", st.Name)
+		}
+		v := &varInfo{typ: st.Type}
+		if v.isArray() || st.Type.Kind == TypeStruct {
+			v.offset = g.allocLocal(st.Type.Size())
+		} else {
+			v.offset = g.allocLocal(4)
+		}
+		if err := g.declare(st.Pos(), st.Name, v); err != nil {
+			return err
+		}
+		if st.Init != nil {
+			if st.Type.Kind == TypeStruct {
+				return cerrf(st.Pos(), "struct initializers are not supported")
+			}
+			t, err := g.genExpr(st.Init)
+			if err != nil {
+				return err
+			}
+			if err := checkAssignableExpr(st.Pos(), st.Type, t, st.Init); err != nil {
+				return err
+			}
+			g.emit(fmt.Sprintf("movl %%eax, %d(%%ebp)", v.offset))
+		}
+		return nil
+
+	case *ExprStmt:
+		_, err := g.genExpr(st.X)
+		return err
+
+	case *IfStmt:
+		elseL := g.label("else")
+		endL := g.label("endif")
+		if _, err := g.genExpr(st.Cond); err != nil {
+			return err
+		}
+		g.emit("cmpl $0, %eax")
+		g.emit("je " + elseL)
+		if err := g.genBlock(st.Then); err != nil {
+			return err
+		}
+		g.emit("jmp " + endL)
+		g.emitLabel(elseL)
+		if st.Else != nil {
+			if err := g.genBlock(st.Else); err != nil {
+				return err
+			}
+		}
+		g.emitLabel(endL)
+		return nil
+
+	case *WhileStmt:
+		top := g.label("while")
+		end := g.label("wend")
+		g.breaks = append(g.breaks, end)
+		g.continues = append(g.continues, top)
+		defer func() {
+			g.breaks = g.breaks[:len(g.breaks)-1]
+			g.continues = g.continues[:len(g.continues)-1]
+		}()
+		g.emitLabel(top)
+		if _, err := g.genExpr(st.Cond); err != nil {
+			return err
+		}
+		g.emit("cmpl $0, %eax")
+		g.emit("je " + end)
+		if err := g.genBlock(st.Body); err != nil {
+			return err
+		}
+		g.emit("jmp " + top)
+		g.emitLabel(end)
+		return nil
+
+	case *DoWhileStmt:
+		top := g.label("do")
+		condL := g.label("docond")
+		end := g.label("doend")
+		g.breaks = append(g.breaks, end)
+		g.continues = append(g.continues, condL)
+		defer func() {
+			g.breaks = g.breaks[:len(g.breaks)-1]
+			g.continues = g.continues[:len(g.continues)-1]
+		}()
+		g.emitLabel(top)
+		if err := g.genBlock(st.Body); err != nil {
+			return err
+		}
+		g.emitLabel(condL)
+		if _, err := g.genExpr(st.Cond); err != nil {
+			return err
+		}
+		g.emit("cmpl $0, %eax")
+		g.emit("jne " + top)
+		g.emitLabel(end)
+		return nil
+
+	case *ForStmt:
+		g.pushScope()
+		savedOffset := g.curOffset
+		defer func() {
+			g.popScope()
+			g.curOffset = savedOffset
+		}()
+		if st.Init != nil {
+			if err := g.genStmt(st.Init); err != nil {
+				return err
+			}
+		}
+		top := g.label("for")
+		postL := g.label("fpost")
+		end := g.label("fend")
+		g.breaks = append(g.breaks, end)
+		g.continues = append(g.continues, postL)
+		defer func() {
+			g.breaks = g.breaks[:len(g.breaks)-1]
+			g.continues = g.continues[:len(g.continues)-1]
+		}()
+		g.emitLabel(top)
+		if st.Cond != nil {
+			if _, err := g.genExpr(st.Cond); err != nil {
+				return err
+			}
+			g.emit("cmpl $0, %eax")
+			g.emit("je " + end)
+		}
+		if err := g.genBlock(st.Body); err != nil {
+			return err
+		}
+		g.emitLabel(postL)
+		if st.Post != nil {
+			if _, err := g.genExpr(st.Post); err != nil {
+				return err
+			}
+		}
+		g.emit("jmp " + top)
+		g.emitLabel(end)
+		return nil
+
+	case *ReturnStmt:
+		if st.X != nil {
+			t, err := g.genExpr(st.X)
+			if err != nil {
+				return err
+			}
+			if g.fn.Ret.Kind == TypeVoid && !g.fn.Ret.IsPtr() {
+				return cerrf(st.Pos(), "return with value in void function %q", g.fn.Name)
+			}
+			if err := checkAssignableExpr(st.Pos(), g.fn.Ret, t, st.X); err != nil {
+				return err
+			}
+		} else if g.fn.Ret.Kind != TypeVoid {
+			return cerrf(st.Pos(), "return without value in %q", g.fn.Name)
+		}
+		g.emit("jmp " + g.retLabel)
+		return nil
+
+	case *BreakStmt:
+		if len(g.breaks) == 0 {
+			return cerrf(st.Pos(), "break outside loop")
+		}
+		g.emit("jmp " + g.breaks[len(g.breaks)-1])
+		return nil
+
+	case *ContinueStmt:
+		if len(g.continues) == 0 {
+			return cerrf(st.Pos(), "continue outside loop")
+		}
+		g.emit("jmp " + g.continues[len(g.continues)-1])
+		return nil
+
+	default:
+		return cerrf(s.Pos(), "unsupported statement %T", s)
+	}
+}
+
+// isArith reports whether a type participates in integer arithmetic.
+func isArith(t *Type) bool { return t.Kind == TypeInt || t.Kind == TypeChar }
+
+// checkAssignable validates an assignment or argument pass of value type
+// `from` into slot type `to`. void* converts to and from any pointer.
+func checkAssignable(line int, to, from *Type) error {
+	if isArith(to) && isArith(from) {
+		return nil
+	}
+	if to.IsPtr() && from.IsPtr() {
+		if to.Elem.Kind == TypeVoid || from.Elem.Kind == TypeVoid || to.Equal(from) {
+			return nil
+		}
+	}
+	return cerrf(line, "cannot assign %s to %s", from, to)
+}
+
+// isNullConst reports whether e is the literal 0, usable as a null pointer
+// constant.
+func isNullConst(e Expr) bool {
+	lit, ok := e.(*IntLit)
+	return ok && lit.Value == 0
+}
+
+// checkAssignableExpr is checkAssignable plus the null-pointer-constant
+// rule: the literal 0 converts to any pointer type.
+func checkAssignableExpr(line int, to *Type, from *Type, rhs Expr) error {
+	if to.IsPtr() && isNullConst(rhs) {
+		return nil
+	}
+	return checkAssignable(line, to, from)
+}
+
+// genExpr evaluates e into %eax and returns its type.
+func (g *codegen) genExpr(e Expr) (*Type, error) {
+	switch ex := e.(type) {
+	case *IntLit:
+		g.emit(fmt.Sprintf("movl $%d, %%eax", ex.Value))
+		return IntType, nil
+
+	case *StrLit:
+		l := g.strLabel(ex.Value)
+		g.emit(fmt.Sprintf("movl $%s, %%eax", l))
+		return PtrTo(CharType), nil
+
+	case *VarRef:
+		v, ok := g.lookup(ex.Name)
+		if !ok {
+			return nil, cerrf(ex.Pos(), "undefined variable %q", ex.Name)
+		}
+		if v.isArray() {
+			// Arrays decay to a pointer to their first element.
+			g.genVarAddr(v)
+			return PtrTo(v.typ.Elem), nil
+		}
+		if v.typ.Kind == TypeStruct {
+			return nil, cerrf(ex.Pos(),
+				"struct %q cannot be used as a value; access a member or take its address", ex.Name)
+		}
+		if v.global != "" {
+			g.emit(fmt.Sprintf("movl %s, %%eax", v.global))
+		} else {
+			g.emit(fmt.Sprintf("movl %d(%%ebp), %%eax", v.offset))
+		}
+		return v.typ, nil
+
+	case *Unary:
+		return g.genUnary(ex)
+
+	case *Binary:
+		return g.genBinary(ex)
+
+	case *Assign:
+		return g.genAssign(ex)
+
+	case *Cond:
+		elseL := g.label("telse")
+		endL := g.label("tend")
+		if _, err := g.genExpr(ex.C); err != nil {
+			return nil, err
+		}
+		g.emit("cmpl $0, %eax")
+		g.emit("je " + elseL)
+		tt, err := g.genExpr(ex.Then)
+		if err != nil {
+			return nil, err
+		}
+		g.emit("jmp " + endL)
+		g.emitLabel(elseL)
+		et, err := g.genExpr(ex.Else)
+		if err != nil {
+			return nil, err
+		}
+		g.emitLabel(endL)
+		// The arms must agree: both arithmetic, or compatible pointers.
+		if err := checkAssignableExpr(ex.Pos(), tt, et, ex.Else); err != nil {
+			if err2 := checkAssignableExpr(ex.Pos(), et, tt, ex.Then); err2 != nil {
+				return nil, cerrf(ex.Pos(), "mismatched ternary arms (%s, %s)", tt, et)
+			}
+			return et, nil
+		}
+		return tt, nil
+
+	case *Member:
+		ft, err := g.genMemberAddr(ex)
+		if err != nil {
+			return nil, err
+		}
+		switch ft.Kind {
+		case TypeArray:
+			return PtrTo(ft.Elem), nil // array members decay
+		case TypeStruct:
+			return nil, cerrf(ex.Pos(),
+				"struct member %q cannot be used as a value; access a submember", ex.Name)
+		}
+		g.loadThrough(ft)
+		return ft, nil
+
+	case *Index:
+		elem, err := g.genIndexAddr(ex)
+		if err != nil {
+			return nil, err
+		}
+		if elem.IsArray() {
+			// m[i] of a 2D array is itself an array: its value is its
+			// address, decayed to a pointer to the inner element.
+			return PtrTo(elem.Elem), nil
+		}
+		g.loadThrough(elem)
+		return elem, nil
+
+	case *Call:
+		return g.genCall(ex)
+
+	default:
+		return nil, cerrf(e.Pos(), "unsupported expression %T", e)
+	}
+}
+
+// genVarAddr leaves the address of a variable's storage in %eax.
+func (g *codegen) genVarAddr(v *varInfo) {
+	if v.global != "" {
+		g.emit(fmt.Sprintf("movl $%s, %%eax", v.global))
+	} else {
+		g.emit(fmt.Sprintf("leal %d(%%ebp), %%eax", v.offset))
+	}
+}
+
+// loadThrough loads the value at the address in %eax, by element type.
+func (g *codegen) loadThrough(elem *Type) {
+	if elem.Size() == 1 {
+		g.emit("movsbl (%eax), %eax")
+	} else {
+		g.emit("movl (%eax), %eax")
+	}
+}
+
+// genAddr evaluates an lvalue's address into %eax, returning the type of
+// the value stored there.
+func (g *codegen) genAddr(e Expr) (*Type, error) {
+	switch ex := e.(type) {
+	case *VarRef:
+		v, ok := g.lookup(ex.Name)
+		if !ok {
+			return nil, cerrf(ex.Pos(), "undefined variable %q", ex.Name)
+		}
+		if v.isArray() {
+			return nil, cerrf(ex.Pos(), "array %q is not assignable", ex.Name)
+		}
+		g.genVarAddr(v)
+		return v.typ, nil
+	case *Unary:
+		if ex.Op != "*" {
+			return nil, cerrf(ex.Pos(), "expression is not an lvalue")
+		}
+		t, err := g.genExpr(ex.X)
+		if err != nil {
+			return nil, err
+		}
+		if !t.IsPtr() {
+			return nil, cerrf(ex.Pos(), "cannot dereference non-pointer %s", t)
+		}
+		if t.Elem.Kind == TypeVoid {
+			return nil, cerrf(ex.Pos(), "cannot dereference void*")
+		}
+		return t.Elem, nil
+	case *Index:
+		return g.genIndexAddr(ex)
+	case *Member:
+		return g.genMemberAddr(ex)
+	default:
+		return nil, cerrf(e.Pos(), "expression is not an lvalue")
+	}
+}
+
+// genMemberAddr computes the address of p.name or p->name into %eax and
+// returns the field's type.
+func (g *codegen) genMemberAddr(ex *Member) (*Type, error) {
+	var base *Type
+	var err error
+	if ex.Arrow {
+		base, err = g.genExpr(ex.X)
+		if err != nil {
+			return nil, err
+		}
+		if !base.IsPtr() || base.Elem.Kind != TypeStruct {
+			return nil, cerrf(ex.Pos(), "-> requires a struct pointer, got %s", base)
+		}
+		base = base.Elem
+	} else {
+		base, err = g.genAddr(ex.X)
+		if err != nil {
+			return nil, err
+		}
+		if base.Kind != TypeStruct {
+			return nil, cerrf(ex.Pos(), ". requires a struct, got %s", base)
+		}
+	}
+	f, ok := base.FieldByName(ex.Name)
+	if !ok {
+		return nil, cerrf(ex.Pos(), "struct %s has no field %q", base.StructName, ex.Name)
+	}
+	if f.Offset != 0 {
+		g.emit(fmt.Sprintf("addl $%d, %%eax", f.Offset))
+	}
+	return f.Type, nil
+}
+
+// genIndexAddr computes &a[i] into %eax and returns the element type.
+func (g *codegen) genIndexAddr(ex *Index) (*Type, error) {
+	t, err := g.genExpr(ex.Arr)
+	if err != nil {
+		return nil, err
+	}
+	if !t.IsPtr() || t.Elem.Kind == TypeVoid {
+		return nil, cerrf(ex.Pos(), "cannot index non-pointer %s", t)
+	}
+	g.emit("pushl %eax")
+	it, err := g.genExpr(ex.Idx)
+	if err != nil {
+		return nil, err
+	}
+	if !isArith(it) {
+		return nil, cerrf(ex.Pos(), "array index must be an integer, got %s", it)
+	}
+	size := t.Elem.Size()
+	if size != 1 {
+		g.emit(fmt.Sprintf("imull $%d, %%eax", size))
+	}
+	g.emit("movl %eax, %ebx")
+	g.emit("popl %eax")
+	g.emit("addl %ebx, %eax")
+	return t.Elem, nil
+}
+
+func (g *codegen) genUnary(ex *Unary) (*Type, error) {
+	switch ex.Op {
+	case "-":
+		t, err := g.genExpr(ex.X)
+		if err != nil {
+			return nil, err
+		}
+		if !isArith(t) {
+			return nil, cerrf(ex.Pos(), "cannot negate %s", t)
+		}
+		g.emit("negl %eax")
+		return IntType, nil
+	case "~":
+		t, err := g.genExpr(ex.X)
+		if err != nil {
+			return nil, err
+		}
+		if !isArith(t) {
+			return nil, cerrf(ex.Pos(), "cannot complement %s", t)
+		}
+		g.emit("notl %eax")
+		return IntType, nil
+	case "!":
+		if _, err := g.genExpr(ex.X); err != nil {
+			return nil, err
+		}
+		trueL := g.label("nz")
+		g.emit("cmpl $0, %eax")
+		g.emit("movl $1, %eax")
+		g.emit("je " + trueL)
+		g.emit("movl $0, %eax")
+		g.emitLabel(trueL)
+		return IntType, nil
+	case "*":
+		t, err := g.genExpr(ex.X)
+		if err != nil {
+			return nil, err
+		}
+		if !t.IsPtr() {
+			return nil, cerrf(ex.Pos(), "cannot dereference non-pointer %s", t)
+		}
+		if t.Elem.Kind == TypeVoid {
+			return nil, cerrf(ex.Pos(), "cannot dereference void*")
+		}
+		g.loadThrough(t.Elem)
+		return t.Elem, nil
+	case "&":
+		// &array yields a pointer to the first element (close enough for
+		// the subset), so handle VarRef arrays specially.
+		if vr, ok := ex.X.(*VarRef); ok {
+			if v, found := g.lookup(vr.Name); found && v.isArray() {
+				g.genVarAddr(v)
+				return PtrTo(v.typ.Elem), nil
+			}
+		}
+		t, err := g.genAddr(ex.X)
+		if err != nil {
+			return nil, err
+		}
+		return PtrTo(t), nil
+	default:
+		return nil, cerrf(ex.Pos(), "unsupported unary operator %q", ex.Op)
+	}
+}
+
+func (g *codegen) genBinary(ex *Binary) (*Type, error) {
+	// Short-circuit forms evaluate operands sequentially, no stack needed.
+	if ex.Op == "&&" || ex.Op == "||" {
+		return g.genShortCircuit(ex)
+	}
+
+	lt, err := g.genExpr(ex.L)
+	if err != nil {
+		return nil, err
+	}
+	g.emit("pushl %eax")
+	rt, err := g.genExpr(ex.R)
+	if err != nil {
+		return nil, err
+	}
+	g.emit("movl %eax, %ebx") // right operand
+	g.emit("popl %eax")       // left operand
+
+	switch ex.Op {
+	case "+":
+		switch {
+		case lt.IsPtr() && isArith(rt):
+			if lt.Elem.Size() != 1 {
+				g.emit(fmt.Sprintf("imull $%d, %%ebx", lt.Elem.Size()))
+			}
+			g.emit("addl %ebx, %eax")
+			return lt, nil
+		case isArith(lt) && rt.IsPtr():
+			if rt.Elem.Size() != 1 {
+				g.emit(fmt.Sprintf("imull $%d, %%eax", rt.Elem.Size()))
+			}
+			g.emit("addl %ebx, %eax")
+			return rt, nil
+		case isArith(lt) && isArith(rt):
+			g.emit("addl %ebx, %eax")
+			return IntType, nil
+		default:
+			return nil, cerrf(ex.Pos(), "invalid operands to + (%s, %s)", lt, rt)
+		}
+	case "-":
+		switch {
+		case lt.IsPtr() && rt.IsPtr():
+			if !lt.Equal(rt) {
+				return nil, cerrf(ex.Pos(), "pointer subtraction of different types")
+			}
+			g.emit("subl %ebx, %eax")
+			if lt.Elem.Size() != 1 {
+				g.emit("cltd")
+				g.emit(fmt.Sprintf("movl $%d, %%ecx", lt.Elem.Size()))
+				g.emit("idivl %ecx")
+			}
+			return IntType, nil
+		case lt.IsPtr() && isArith(rt):
+			if lt.Elem.Size() != 1 {
+				g.emit(fmt.Sprintf("imull $%d, %%ebx", lt.Elem.Size()))
+			}
+			g.emit("subl %ebx, %eax")
+			return lt, nil
+		case isArith(lt) && isArith(rt):
+			g.emit("subl %ebx, %eax")
+			return IntType, nil
+		default:
+			return nil, cerrf(ex.Pos(), "invalid operands to - (%s, %s)", lt, rt)
+		}
+	case "*", "/", "%", "&", "|", "^", "<<", ">>":
+		if !isArith(lt) || !isArith(rt) {
+			return nil, cerrf(ex.Pos(), "invalid operands to %s (%s, %s)", ex.Op, lt, rt)
+		}
+		switch ex.Op {
+		case "*":
+			g.emit("imull %ebx, %eax")
+		case "/":
+			g.emit("cltd")
+			g.emit("idivl %ebx")
+		case "%":
+			g.emit("cltd")
+			g.emit("idivl %ebx")
+			g.emit("movl %edx, %eax")
+		case "&":
+			g.emit("andl %ebx, %eax")
+		case "|":
+			g.emit("orl %ebx, %eax")
+		case "^":
+			g.emit("xorl %ebx, %eax")
+		case "<<":
+			g.emit("movl %ebx, %ecx")
+			g.emit("sall %cl, %eax")
+		case ">>":
+			g.emit("movl %ebx, %ecx")
+			g.emit("sarl %cl, %eax")
+		}
+		return IntType, nil
+	case "==", "!=", "<", "<=", ">", ">=":
+		// Pointers compare like unsigned integers; ints compare signed.
+		okTypes := (isArith(lt) && isArith(rt)) || lt.IsPtr() || rt.IsPtr()
+		if !okTypes {
+			return nil, cerrf(ex.Pos(), "invalid comparison (%s, %s)", lt, rt)
+		}
+		signed := isArith(lt) && isArith(rt)
+		jcc := map[string][2]string{
+			"==": {"je", "je"}, "!=": {"jne", "jne"},
+			"<": {"jl", "jb"}, "<=": {"jle", "jbe"},
+			">": {"jg", "ja"}, ">=": {"jge", "jae"},
+		}[ex.Op]
+		jump := jcc[0]
+		if !signed {
+			jump = jcc[1]
+		}
+		trueL := g.label("cmp")
+		g.emit("cmpl %ebx, %eax") // computes L - R
+		g.emit("movl $1, %eax")
+		g.emit(jump + " " + trueL)
+		g.emit("movl $0, %eax")
+		g.emitLabel(trueL)
+		return IntType, nil
+	default:
+		return nil, cerrf(ex.Pos(), "unsupported binary operator %q", ex.Op)
+	}
+}
+
+func (g *codegen) genShortCircuit(ex *Binary) (*Type, error) {
+	end := g.label("sc")
+	if ex.Op == "&&" {
+		falseL := g.label("scf")
+		if _, err := g.genExpr(ex.L); err != nil {
+			return nil, err
+		}
+		g.emit("cmpl $0, %eax")
+		g.emit("je " + falseL)
+		if _, err := g.genExpr(ex.R); err != nil {
+			return nil, err
+		}
+		g.emit("cmpl $0, %eax")
+		g.emit("je " + falseL)
+		g.emit("movl $1, %eax")
+		g.emit("jmp " + end)
+		g.emitLabel(falseL)
+		g.emit("movl $0, %eax")
+	} else {
+		trueL := g.label("sct")
+		if _, err := g.genExpr(ex.L); err != nil {
+			return nil, err
+		}
+		g.emit("cmpl $0, %eax")
+		g.emit("jne " + trueL)
+		if _, err := g.genExpr(ex.R); err != nil {
+			return nil, err
+		}
+		g.emit("cmpl $0, %eax")
+		g.emit("jne " + trueL)
+		g.emit("movl $0, %eax")
+		g.emit("jmp " + end)
+		g.emitLabel(trueL)
+		g.emit("movl $1, %eax")
+	}
+	g.emitLabel(end)
+	return IntType, nil
+}
+
+func (g *codegen) genAssign(ex *Assign) (*Type, error) {
+	lt, err := g.genAddr(ex.LHS)
+	if err != nil {
+		return nil, err
+	}
+	g.emit("pushl %eax")
+	rt, err := g.genExpr(ex.RHS)
+	if err != nil {
+		return nil, err
+	}
+	if err := checkAssignableExpr(ex.Pos(), lt, rt, ex.RHS); err != nil {
+		return nil, err
+	}
+	g.emit("popl %ebx")
+	if lt.Size() == 1 {
+		g.emit("movb %eax, (%ebx)")
+	} else {
+		g.emit("movl %eax, (%ebx)")
+	}
+	return lt, nil
+}
+
+func (g *codegen) genCall(ex *Call) (*Type, error) {
+	if sig, ok := builtinSigs[ex.Name]; ok {
+		return g.genBuiltin(ex, sig.ret, sig.params)
+	}
+	fi, ok := g.funcs[ex.Name]
+	if !ok {
+		return nil, cerrf(ex.Pos(), "undefined function %q", ex.Name)
+	}
+	if len(ex.Args) != len(fi.params) {
+		return nil, cerrf(ex.Pos(), "%s takes %d argument(s), got %d",
+			ex.Name, len(fi.params), len(ex.Args))
+	}
+	// cdecl: push arguments right to left; caller pops.
+	for i := len(ex.Args) - 1; i >= 0; i-- {
+		t, err := g.genExpr(ex.Args[i])
+		if err != nil {
+			return nil, err
+		}
+		if err := checkAssignableExpr(ex.Args[i].Pos(), fi.params[i], t, ex.Args[i]); err != nil {
+			return nil, err
+		}
+		g.emit("pushl %eax")
+	}
+	g.emit("call " + ex.Name)
+	if n := len(ex.Args); n > 0 {
+		g.emit(fmt.Sprintf("addl $%d, %%esp", 4*n))
+	}
+	return fi.ret, nil
+}
+
+func (g *codegen) genBuiltin(ex *Call, ret *Type, params []*Type) (*Type, error) {
+	if len(ex.Args) != len(params) {
+		return nil, cerrf(ex.Pos(), "%s takes %d argument(s), got %d",
+			ex.Name, len(params), len(ex.Args))
+	}
+	for i, a := range ex.Args {
+		t, err := g.genExpr(a)
+		if err != nil {
+			return nil, err
+		}
+		if err := checkAssignableExpr(a.Pos(), params[i], t, a); err != nil {
+			return nil, err
+		}
+	}
+	// All builtins take at most one argument, now in %eax.
+	switch ex.Name {
+	case "print_int":
+		g.emit("movl %eax, %ebx")
+		g.emit("movl $5, %eax")
+		g.emit("int $0x80")
+	case "print_str":
+		g.emit("movl %eax, %ebx")
+		g.emit("movl $7, %eax")
+		g.emit("int $0x80")
+	case "print_char":
+		g.emit("movb %eax, __char_buf")
+		g.emit("movl $4, %eax")
+		g.emit("movl $1, %ebx")
+		g.emit("movl $__char_buf, %ecx")
+		g.emit("movl $1, %edx")
+		g.emit("int $0x80")
+	case "read_int":
+		g.emit("movl $6, %eax")
+		g.emit("int $0x80")
+	case "malloc":
+		g.emit("movl %eax, %ebx")
+		g.emit("movl $91, %eax")
+		g.emit("int $0x80")
+	case "free":
+		g.emit("movl %eax, %ebx")
+		g.emit("movl $92, %eax")
+		g.emit("int $0x80")
+	case "exit":
+		g.emit("movl %eax, %ebx")
+		g.emit("movl $1, %eax")
+		g.emit("int $0x80")
+	}
+	return ret, nil
+}

@@ -1,0 +1,132 @@
+package minic
+
+// Valgrind-for-compiled-C: programs compiled by minic run with their heap
+// under the memcheck allocator, so the classic C memory bugs the course
+// teaches students to find with Valgrind are detected in compiled code.
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestMemcheckCleanProgram(t *testing.T) {
+	res := runC(t, `
+int main() {
+    int *a = malloc(10 * sizeof(int));
+    for (int i = 0; i < 10; i++) { a[i] = i; }
+    int sum = 0;
+    for (int i = 0; i < 10; i++) { sum += a[i]; }
+    free(a);
+    return sum;
+}`, "")
+	if res.ExitStatus != 45 {
+		t.Errorf("sum = %d", res.ExitStatus)
+	}
+	if !strings.Contains(res.Memcheck, "no leaks are possible") {
+		t.Errorf("clean program flagged:\n%s", res.Memcheck)
+	}
+}
+
+func TestMemcheckDetectsLeak(t *testing.T) {
+	res := runC(t, `
+int main() {
+    int *a = malloc(100);
+    a[0] = 1;
+    return 0;   // never freed
+}`, "")
+	if !strings.Contains(res.Memcheck, "definitely lost") {
+		t.Errorf("leak not reported:\n%s", res.Memcheck)
+	}
+	if !strings.Contains(res.Memcheck, "100 bytes") {
+		t.Errorf("leak size missing:\n%s", res.Memcheck)
+	}
+}
+
+func TestMemcheckDetectsDoubleFree(t *testing.T) {
+	res := runC(t, `
+int main() {
+    int *a = malloc(8);
+    a[0] = 1;
+    free(a);
+    free(a);
+    return 0;
+}`, "")
+	if !strings.Contains(res.Memcheck, "double free") {
+		t.Errorf("double free not reported:\n%s", res.Memcheck)
+	}
+}
+
+func TestMemcheckDetectsUseAfterFree(t *testing.T) {
+	res := runC(t, `
+int main() {
+    int *a = malloc(8);
+    a[0] = 7;
+    free(a);
+    return a[0];   // use after free
+}`, "")
+	if !strings.Contains(res.Memcheck, "use after free") {
+		t.Errorf("UAF not reported:\n%s", res.Memcheck)
+	}
+}
+
+func TestMemcheckDetectsUninitializedRead(t *testing.T) {
+	res := runC(t, `
+int main() {
+    int *a = malloc(8);
+    int v = a[0];   // read before any write
+    a[1] = v;
+    free(a);
+    return 0;
+}`, "")
+	if !strings.Contains(res.Memcheck, "uninitialized read") {
+		t.Errorf("uninitialized read not reported:\n%s", res.Memcheck)
+	}
+}
+
+func TestMemcheckDetectsOverflow(t *testing.T) {
+	res := runC(t, `
+int main() {
+    int *a = malloc(2 * sizeof(int));
+    a[0] = 1;
+    a[1] = 2;
+    a[2] = 3;   // one past the end (red zone catches it)
+    free(a);
+    return 0;
+}`, "")
+	if !strings.Contains(res.Memcheck, "out-of-bounds") {
+		t.Errorf("overflow not reported:\n%s", res.Memcheck)
+	}
+}
+
+func TestMemcheckNoAllocations(t *testing.T) {
+	res := runC(t, "int main() { return 0; }", "")
+	if !strings.Contains(res.Memcheck, "no checked allocations") {
+		t.Errorf("report: %s", res.Memcheck)
+	}
+}
+
+func TestMallocExhaustionReturnsNull(t *testing.T) {
+	// A single huge request fails; C convention is a NULL return.
+	res := runC(t, `
+int main() {
+    int *p = malloc(2000000000);
+    if (p == 0) { return 1; }
+    return 0;
+}`, "")
+	if res.ExitStatus != 1 {
+		t.Errorf("huge malloc should return NULL, exit = %d", res.ExitStatus)
+	}
+}
+
+func TestFreeNullLikePointer(t *testing.T) {
+	// free of a wild pointer is reported as invalid, not a crash.
+	res := runC(t, `
+int main() {
+    int x = 0;
+    free(&x);    // stack pointer, not heap
+    return 0;
+}`, "")
+	if !strings.Contains(res.Memcheck, "invalid free") {
+		t.Errorf("invalid free not reported:\n%s", res.Memcheck)
+	}
+}

@@ -1,0 +1,72 @@
+package minic
+
+import (
+	"fmt"
+	"strings"
+
+	"cs31/internal/asm"
+)
+
+// Build compiles mini-C source and assembles the result into an executable
+// program — the "gcc" of the vertical slice.
+func Build(src string) (*asm.Program, error) {
+	asmSrc, err := Compile(src)
+	if err != nil {
+		return nil, err
+	}
+	p, err := asm.Assemble(asmSrc)
+	if err != nil {
+		return nil, fmt.Errorf("minic: generated assembly failed to assemble: %w", err)
+	}
+	return p, nil
+}
+
+// RunResult captures a program execution.
+type RunResult struct {
+	ExitStatus int32
+	Stdout     string
+	Steps      int64
+	Trace      []asm.MemEvent // collected when tracing was requested
+	Memcheck   string         // valgrind-style heap report
+}
+
+// Run compiles and executes a program with the given stdin, bounding
+// execution at maxSteps instructions (0 means 10 million).
+func Run(src, stdin string, maxSteps int64) (*RunResult, error) {
+	return run(src, stdin, maxSteps, false)
+}
+
+// RunTraced is Run with a data-memory trace collected — the input the cache
+// and VM simulators consume in the cost-analysis half of the slice.
+func RunTraced(src, stdin string, maxSteps int64) (*RunResult, error) {
+	return run(src, stdin, maxSteps, true)
+}
+
+func run(src, stdin string, maxSteps int64, traced bool) (*RunResult, error) {
+	if maxSteps <= 0 {
+		maxSteps = 10_000_000
+	}
+	prog, err := Build(src)
+	if err != nil {
+		return nil, err
+	}
+	m, err := asm.NewMachine(prog)
+	if err != nil {
+		return nil, err
+	}
+	var out strings.Builder
+	m.Stdin = strings.NewReader(stdin)
+	m.Stdout = &out
+	res := &RunResult{}
+	if traced {
+		m.Trace = func(e asm.MemEvent) { res.Trace = append(res.Trace, e) }
+	}
+	if err := m.Run(maxSteps); err != nil {
+		return nil, err
+	}
+	res.ExitStatus = m.ExitStatus
+	res.Stdout = out.String()
+	res.Steps = m.Steps
+	res.Memcheck = m.MemcheckReport()
+	return res, nil
+}

@@ -1,0 +1,770 @@
+package minic
+
+// parser is a recursive-descent parser over the token stream.
+type parser struct {
+	toks    []Token
+	pos     int
+	structs map[string]*Type // defined struct types, by name
+}
+
+// Parse lexes and parses a translation unit.
+func Parse(src string) (*Unit, error) {
+	toks, err := Lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks, structs: make(map[string]*Type)}
+	unit := &Unit{}
+	for !p.at(TokEOF) {
+		if err := p.parseTopLevel(unit); err != nil {
+			return nil, err
+		}
+	}
+	return unit, nil
+}
+
+func (p *parser) cur() Token  { return p.toks[p.pos] }
+func (p *parser) next() Token { t := p.toks[p.pos]; p.pos++; return t }
+
+func (p *parser) at(k TokKind) bool { return p.cur().Kind == k }
+
+func (p *parser) atPunct(s string) bool {
+	return p.cur().Kind == TokPunct && p.cur().Text == s
+}
+
+func (p *parser) atKeyword(s string) bool {
+	return p.cur().Kind == TokKeyword && p.cur().Text == s
+}
+
+func (p *parser) acceptPunct(s string) bool {
+	if p.atPunct(s) {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expectPunct(s string) error {
+	if !p.acceptPunct(s) {
+		return cerrf(p.cur().Line, "expected %q, found %s", s, p.cur())
+	}
+	return nil
+}
+
+func (p *parser) expectIdent() (Token, error) {
+	if !p.at(TokIdent) {
+		return Token{}, cerrf(p.cur().Line, "expected identifier, found %s", p.cur())
+	}
+	return p.next(), nil
+}
+
+// parseType parses a base type plus pointer stars: int, char, void, int*...
+func (p *parser) parseType() (*Type, error) {
+	t := p.cur()
+	if t.Kind != TokKeyword {
+		return nil, cerrf(t.Line, "expected type, found %s", t)
+	}
+	var base *Type
+	switch t.Text {
+	case "int":
+		base = IntType
+	case "char":
+		base = CharType
+	case "void":
+		base = VoidType
+	case "struct":
+		p.pos++
+		nameTok, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		st, ok := p.structs[nameTok.Text]
+		if !ok {
+			return nil, cerrf(nameTok.Line, "undefined struct %q", nameTok.Text)
+		}
+		base = st
+		for p.acceptPunct("*") {
+			base = PtrTo(base)
+		}
+		return base, nil
+	default:
+		return nil, cerrf(t.Line, "expected type, found %s", t)
+	}
+	p.pos++
+	for p.acceptPunct("*") {
+		base = PtrTo(base)
+	}
+	return base, nil
+}
+
+func (p *parser) atType() bool {
+	return p.atKeyword("int") || p.atKeyword("char") || p.atKeyword("void") ||
+		p.atKeyword("struct")
+}
+
+// parseTopLevel parses one struct definition, global declaration, or
+// function definition.
+func (p *parser) parseTopLevel(unit *Unit) error {
+	line := p.cur().Line
+	// "struct name {" introduces a definition; "struct name" elsewhere is a
+	// type specifier handled by parseType.
+	if p.atKeyword("struct") && p.pos+2 < len(p.toks) &&
+		p.toks[p.pos+1].Kind == TokIdent &&
+		p.toks[p.pos+2].Kind == TokPunct && p.toks[p.pos+2].Text == "{" {
+		return p.parseStructDef()
+	}
+	typ, err := p.parseType()
+	if err != nil {
+		return err
+	}
+	name, err := p.expectIdent()
+	if err != nil {
+		return err
+	}
+
+	if p.atPunct("(") { // function definition
+		fn := &FuncDecl{Name: name.Text, Ret: typ, Line: line}
+		p.pos++ // (
+		if !p.atPunct(")") {
+			for {
+				pt, err := p.parseType()
+				if err != nil {
+					return err
+				}
+				if pt.Kind == TypeVoid && !pt.IsPtr() {
+					// "void" alone as a parameter list
+					if len(fn.Params) == 0 && p.atPunct(")") {
+						break
+					}
+					return cerrf(p.cur().Line, "void parameter")
+				}
+				pn, err := p.expectIdent()
+				if err != nil {
+					return err
+				}
+				fn.Params = append(fn.Params, Param{Name: pn.Text, Type: pt})
+				if !p.acceptPunct(",") {
+					break
+				}
+			}
+		}
+		if err := p.expectPunct(")"); err != nil {
+			return err
+		}
+		body, err := p.parseBlock()
+		if err != nil {
+			return err
+		}
+		fn.Body = body
+		unit.Funcs = append(unit.Funcs, fn)
+		return nil
+	}
+
+	// Global variable(s).
+	for {
+		g := &GlobalDecl{Name: name.Text, Type: typ, Line: line}
+		fullType, err := p.parseArraySuffix(typ)
+		if err != nil {
+			return err
+		}
+		g.Type = fullType
+		if p.acceptPunct("=") {
+			v := p.cur()
+			neg := false
+			if v.Kind == TokPunct && v.Text == "-" {
+				neg = true
+				p.pos++
+				v = p.cur()
+			}
+			if v.Kind != TokInt && v.Kind != TokChar {
+				return cerrf(v.Line, "global initializer must be a constant")
+			}
+			p.pos++
+			g.Init = v.Int
+			if neg {
+				g.Init = -g.Init
+			}
+			g.HasInit = true
+			if g.Type.IsArray() {
+				return cerrf(v.Line, "array initializers are not supported")
+			}
+		}
+		unit.Globals = append(unit.Globals, g)
+		if p.acceptPunct(",") {
+			name, err = p.expectIdent()
+			if err != nil {
+				return err
+			}
+			continue
+		}
+		break
+	}
+	return p.expectPunct(";")
+}
+
+func (p *parser) parseBlock() (*Block, error) {
+	line := p.cur().Line
+	if err := p.expectPunct("{"); err != nil {
+		return nil, err
+	}
+	b := &Block{stmtBase: stmtBase{Line: line}}
+	for !p.atPunct("}") {
+		if p.at(TokEOF) {
+			return nil, cerrf(p.cur().Line, "unexpected end of file in block")
+		}
+		s, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		b.Stmts = append(b.Stmts, s)
+	}
+	p.pos++ // }
+	return b, nil
+}
+
+func (p *parser) parseStmt() (Stmt, error) {
+	t := p.cur()
+	switch {
+	case p.atType():
+		return p.parseDecl()
+	case p.atKeyword("if"):
+		p.pos++
+		if err := p.expectPunct("("); err != nil {
+			return nil, err
+		}
+		cond, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct(")"); err != nil {
+			return nil, err
+		}
+		thenB, err := p.parseBlockOrStmt()
+		if err != nil {
+			return nil, err
+		}
+		s := &IfStmt{stmtBase: stmtBase{Line: t.Line}, Cond: cond, Then: thenB}
+		if p.atKeyword("else") {
+			p.pos++
+			elseB, err := p.parseBlockOrStmt()
+			if err != nil {
+				return nil, err
+			}
+			s.Else = elseB
+		}
+		return s, nil
+	case p.atKeyword("while"):
+		p.pos++
+		if err := p.expectPunct("("); err != nil {
+			return nil, err
+		}
+		cond, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct(")"); err != nil {
+			return nil, err
+		}
+		body, err := p.parseBlockOrStmt()
+		if err != nil {
+			return nil, err
+		}
+		return &WhileStmt{stmtBase: stmtBase{Line: t.Line}, Cond: cond, Body: body}, nil
+	case p.atKeyword("do"):
+		p.pos++
+		body, err := p.parseBlockOrStmt()
+		if err != nil {
+			return nil, err
+		}
+		if !p.atKeyword("while") {
+			return nil, cerrf(p.cur().Line, "expected 'while' after do body")
+		}
+		p.pos++
+		if err := p.expectPunct("("); err != nil {
+			return nil, err
+		}
+		cond, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct(")"); err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct(";"); err != nil {
+			return nil, err
+		}
+		return &DoWhileStmt{stmtBase: stmtBase{Line: t.Line}, Body: body, Cond: cond}, nil
+	case p.atKeyword("for"):
+		p.pos++
+		if err := p.expectPunct("("); err != nil {
+			return nil, err
+		}
+		s := &ForStmt{stmtBase: stmtBase{Line: t.Line}}
+		if !p.atPunct(";") {
+			if p.atType() {
+				d, err := p.parseDecl()
+				if err != nil {
+					return nil, err
+				}
+				s.Init = d
+			} else {
+				e, err := p.parseExpr()
+				if err != nil {
+					return nil, err
+				}
+				s.Init = &ExprStmt{stmtBase: stmtBase{Line: t.Line}, X: e}
+				if err := p.expectPunct(";"); err != nil {
+					return nil, err
+				}
+			}
+		} else {
+			p.pos++
+		}
+		if !p.atPunct(";") {
+			c, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			s.Cond = c
+		}
+		if err := p.expectPunct(";"); err != nil {
+			return nil, err
+		}
+		if !p.atPunct(")") {
+			post, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			s.Post = post
+		}
+		if err := p.expectPunct(")"); err != nil {
+			return nil, err
+		}
+		body, err := p.parseBlockOrStmt()
+		if err != nil {
+			return nil, err
+		}
+		s.Body = body
+		return s, nil
+	case p.atKeyword("return"):
+		p.pos++
+		s := &ReturnStmt{stmtBase: stmtBase{Line: t.Line}}
+		if !p.atPunct(";") {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			s.X = e
+		}
+		return s, p.expectPunct(";")
+	case p.atKeyword("break"):
+		p.pos++
+		return &BreakStmt{stmtBase{Line: t.Line}}, p.expectPunct(";")
+	case p.atKeyword("continue"):
+		p.pos++
+		return &ContinueStmt{stmtBase{Line: t.Line}}, p.expectPunct(";")
+	case p.atPunct("{"):
+		return p.parseBlock()
+	case p.atPunct(";"):
+		p.pos++
+		return &Block{stmtBase: stmtBase{Line: t.Line}}, nil
+	default:
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		return &ExprStmt{stmtBase: stmtBase{Line: t.Line}, X: e}, p.expectPunct(";")
+	}
+}
+
+// parseBlockOrStmt wraps a lone statement in a block so if/while bodies are
+// uniform.
+func (p *parser) parseBlockOrStmt() (*Block, error) {
+	if p.atPunct("{") {
+		return p.parseBlock()
+	}
+	line := p.cur().Line
+	s, err := p.parseStmt()
+	if err != nil {
+		return nil, err
+	}
+	return &Block{stmtBase: stmtBase{Line: line}, Stmts: []Stmt{s}}, nil
+}
+
+// parseDecl parses "type name [= init];" or "type name[len];".
+func (p *parser) parseDecl() (Stmt, error) {
+	line := p.cur().Line
+	typ, err := p.parseType()
+	if err != nil {
+		return nil, err
+	}
+	if typ.Kind == TypeVoid && !typ.IsPtr() {
+		return nil, cerrf(line, "cannot declare a void variable")
+	}
+	name, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	d := &DeclStmt{stmtBase: stmtBase{Line: line}, Name: name.Text, Type: typ}
+	fullType, err := p.parseArraySuffix(typ)
+	if err != nil {
+		return nil, err
+	}
+	d.Type = fullType
+	if p.acceptPunct("=") {
+		if d.Type.IsArray() {
+			return nil, cerrf(line, "array initializers are not supported")
+		}
+		e, err := p.parseAssign()
+		if err != nil {
+			return nil, err
+		}
+		d.Init = e
+	}
+	return d, p.expectPunct(";")
+}
+
+// Expression grammar, lowest precedence first:
+//
+//	expr    := assign
+//	assign  := or (("=" | "+=" | ...) assign)?
+//	or      := and ("||" and)*
+//	and     := bitor ("&&" bitor)*
+//	bitor   := bitxor ("|" bitxor)*
+//	bitxor  := bitand ("^" bitand)*
+//	bitand  := equality ("&" equality)*
+//	equality:= rel (("==" | "!=") rel)*
+//	rel     := shift (("<" | ">" | "<=" | ">=") shift)*
+//	shift   := add (("<<" | ">>") add)*
+//	add     := mul (("+" | "-") mul)*
+//	mul     := unary (("*" | "/" | "%") unary)*
+//	unary   := ("-" | "!" | "~" | "*" | "&" | "++" | "--") unary | postfix
+//	postfix := primary ("[" expr "]" | "++" | "--")*
+//	primary := literal | ident | call | "(" expr ")" | sizeof "(" type ")"
+func (p *parser) parseExpr() (Expr, error) { return p.parseAssign() }
+
+var compoundOps = map[string]string{
+	"+=": "+", "-=": "-", "*=": "*", "/=": "/", "%=": "%", "<<=": "<<", ">>=": ">>",
+}
+
+func (p *parser) parseAssign() (Expr, error) {
+	lhs, err := p.parseConditional()
+	if err != nil {
+		return nil, err
+	}
+	t := p.cur()
+	if t.Kind == TokPunct {
+		if t.Text == "=" {
+			p.pos++
+			rhs, err := p.parseAssign()
+			if err != nil {
+				return nil, err
+			}
+			return &Assign{exprBase: exprBase{Line: t.Line}, LHS: lhs, RHS: rhs}, nil
+		}
+		if base, ok := compoundOps[t.Text]; ok {
+			p.pos++
+			rhs, err := p.parseAssign()
+			if err != nil {
+				return nil, err
+			}
+			// Desugar a op= b into a = a op b. The lvalue is evaluated
+			// twice, which is fine for the subset (no side-effecting
+			// lvalues beyond the variable itself).
+			return &Assign{
+				exprBase: exprBase{Line: t.Line},
+				LHS:      lhs,
+				RHS:      &Binary{exprBase: exprBase{Line: t.Line}, Op: base, L: lhs, R: rhs},
+			}, nil
+		}
+	}
+	return lhs, nil
+}
+
+// parseConditional parses c ? a : b above the binary operators.
+func (p *parser) parseConditional() (Expr, error) {
+	cond, err := p.parseBinary(0)
+	if err != nil {
+		return nil, err
+	}
+	if !p.atPunct("?") {
+		return cond, nil
+	}
+	line := p.cur().Line
+	p.pos++
+	thenE, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectPunct(":"); err != nil {
+		return nil, err
+	}
+	elseE, err := p.parseConditional()
+	if err != nil {
+		return nil, err
+	}
+	return &Cond{exprBase: exprBase{Line: line}, C: cond, Then: thenE, Else: elseE}, nil
+}
+
+// binary precedence levels, lowest to highest.
+var precLevels = [][]string{
+	{"||"},
+	{"&&"},
+	{"|"},
+	{"^"},
+	{"&"},
+	{"==", "!="},
+	{"<", ">", "<=", ">="},
+	{"<<", ">>"},
+	{"+", "-"},
+	{"*", "/", "%"},
+}
+
+func (p *parser) parseBinary(level int) (Expr, error) {
+	if level >= len(precLevels) {
+		return p.parseUnary()
+	}
+	lhs, err := p.parseBinary(level + 1)
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.cur()
+		if t.Kind != TokPunct || !contains(precLevels[level], t.Text) {
+			return lhs, nil
+		}
+		p.pos++
+		rhs, err := p.parseBinary(level + 1)
+		if err != nil {
+			return nil, err
+		}
+		lhs = &Binary{exprBase: exprBase{Line: t.Line}, Op: t.Text, L: lhs, R: rhs}
+	}
+}
+
+func contains(ss []string, s string) bool {
+	for _, x := range ss {
+		if x == s {
+			return true
+		}
+	}
+	return false
+}
+
+func (p *parser) parseUnary() (Expr, error) {
+	t := p.cur()
+	if t.Kind == TokPunct {
+		switch t.Text {
+		case "-", "!", "~", "*", "&":
+			p.pos++
+			x, err := p.parseUnary()
+			if err != nil {
+				return nil, err
+			}
+			return &Unary{exprBase: exprBase{Line: t.Line}, Op: t.Text, X: x}, nil
+		case "++", "--":
+			// Pre-increment desugars to (x = x +/- 1).
+			p.pos++
+			x, err := p.parseUnary()
+			if err != nil {
+				return nil, err
+			}
+			op := "+"
+			if t.Text == "--" {
+				op = "-"
+			}
+			return &Assign{
+				exprBase: exprBase{Line: t.Line},
+				LHS:      x,
+				RHS: &Binary{exprBase: exprBase{Line: t.Line}, Op: op, L: x,
+					R: &IntLit{exprBase: exprBase{Line: t.Line}, Value: 1}},
+			}, nil
+		}
+	}
+	return p.parsePostfix()
+}
+
+func (p *parser) parsePostfix() (Expr, error) {
+	x, err := p.parsePrimary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.cur()
+		switch {
+		case p.atPunct("["):
+			p.pos++
+			idx, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectPunct("]"); err != nil {
+				return nil, err
+			}
+			x = &Index{exprBase: exprBase{Line: t.Line}, Arr: x, Idx: idx}
+		case p.atPunct("."), p.atPunct("->"):
+			arrow := t.Text == "->"
+			p.pos++
+			name, err := p.expectIdent()
+			if err != nil {
+				return nil, err
+			}
+			x = &Member{exprBase: exprBase{Line: t.Line}, X: x, Name: name.Text, Arrow: arrow}
+		case p.atPunct("++"), p.atPunct("--"):
+			// Post-increment in statement position behaves like
+			// pre-increment for this subset; its value is the updated one.
+			// The course's examples only use it for side effects.
+			op := "+"
+			if t.Text == "--" {
+				op = "-"
+			}
+			p.pos++
+			x = &Assign{
+				exprBase: exprBase{Line: t.Line},
+				LHS:      x,
+				RHS: &Binary{exprBase: exprBase{Line: t.Line}, Op: op, L: x,
+					R: &IntLit{exprBase: exprBase{Line: t.Line}, Value: 1}},
+			}
+		default:
+			return x, nil
+		}
+	}
+}
+
+func (p *parser) parsePrimary() (Expr, error) {
+	t := p.cur()
+	switch {
+	case t.Kind == TokInt, t.Kind == TokChar:
+		p.pos++
+		return &IntLit{exprBase: exprBase{Line: t.Line}, Value: t.Int}, nil
+	case t.Kind == TokString:
+		p.pos++
+		return &StrLit{exprBase: exprBase{Line: t.Line}, Value: t.Str}, nil
+	case t.Kind == TokKeyword && t.Text == "sizeof":
+		p.pos++
+		if err := p.expectPunct("("); err != nil {
+			return nil, err
+		}
+		typ, err := p.parseType()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct(")"); err != nil {
+			return nil, err
+		}
+		return &IntLit{exprBase: exprBase{Line: t.Line}, Value: typ.Size()}, nil
+	case t.Kind == TokIdent:
+		p.pos++
+		if p.atPunct("(") {
+			p.pos++
+			call := &Call{exprBase: exprBase{Line: t.Line}, Name: t.Text}
+			if !p.atPunct(")") {
+				for {
+					a, err := p.parseAssign()
+					if err != nil {
+						return nil, err
+					}
+					call.Args = append(call.Args, a)
+					if !p.acceptPunct(",") {
+						break
+					}
+				}
+			}
+			return call, p.expectPunct(")")
+		}
+		return &VarRef{exprBase: exprBase{Line: t.Line}, Name: t.Text}, nil
+	case t.Kind == TokPunct && t.Text == "(":
+		p.pos++
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		return e, p.expectPunct(")")
+	default:
+		return nil, cerrf(t.Line, "unexpected token %s", t)
+	}
+}
+
+// parseArraySuffix consumes zero or more "[n]" suffixes after a declared
+// name and wraps base into (possibly nested) array types, outer dimension
+// first: "int m[3][4]" yields (int[4])[3].
+func (p *parser) parseArraySuffix(base *Type) (*Type, error) {
+	var dims []int32
+	for p.acceptPunct("[") {
+		lenTok := p.cur()
+		if lenTok.Kind != TokInt || lenTok.Int <= 0 {
+			return nil, cerrf(lenTok.Line, "array length must be a positive constant")
+		}
+		p.pos++
+		if err := p.expectPunct("]"); err != nil {
+			return nil, err
+		}
+		dims = append(dims, lenTok.Int)
+	}
+	t := base
+	for i := len(dims) - 1; i >= 0; i-- {
+		t = ArrayOf(t, dims[i])
+	}
+	return t, nil
+}
+
+// parseStructDef parses "struct name { type field; ... };", registering
+// the type before its fields so self-referential pointers resolve.
+func (p *parser) parseStructDef() error {
+	p.pos++ // struct
+	nameTok, err := p.expectIdent()
+	if err != nil {
+		return err
+	}
+	if _, dup := p.structs[nameTok.Text]; dup {
+		return cerrf(nameTok.Line, "redefinition of struct %q", nameTok.Text)
+	}
+	st := &Type{Kind: TypeStruct, StructName: nameTok.Text}
+	p.structs[nameTok.Text] = st
+	if err := p.expectPunct("{"); err != nil {
+		return err
+	}
+	var offset int32
+	for !p.atPunct("}") {
+		ft, err := p.parseType()
+		if err != nil {
+			return err
+		}
+		if ft.Kind == TypeVoid {
+			return cerrf(p.cur().Line, "void struct field")
+		}
+		if ft.Kind == TypeStruct && ft.StructName == st.StructName {
+			return cerrf(p.cur().Line, "struct %q contains itself", st.StructName)
+		}
+		fn, err := p.expectIdent()
+		if err != nil {
+			return err
+		}
+		full, err := p.parseArraySuffix(ft)
+		if err != nil {
+			return err
+		}
+		if err := p.expectPunct(";"); err != nil {
+			return err
+		}
+		for _, existing := range st.Fields {
+			if existing.Name == fn.Text {
+				return cerrf(fn.Line, "duplicate field %q", fn.Text)
+			}
+		}
+		// Align int/pointer/struct/array fields to 4, chars to 1.
+		align := int32(4)
+		if full.Kind == TypeChar {
+			align = 1
+		}
+		offset = (offset + align - 1) / align * align
+		st.Fields = append(st.Fields, Field{Name: fn.Text, Type: full, Offset: offset})
+		offset += full.Size()
+	}
+	p.pos++ // }
+	if len(st.Fields) == 0 {
+		return cerrf(nameTok.Line, "empty struct %q", nameTok.Text)
+	}
+	st.ByteSize = (offset + 3) &^ 3
+	return p.expectPunct(";")
+}

@@ -1,0 +1,216 @@
+package minic
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestStructBasics(t *testing.T) {
+	res := runC(t, `
+struct point {
+    int x;
+    int y;
+};
+int main() {
+    struct point p;
+    p.x = 3;
+    p.y = 4;
+    return p.x * p.x + p.y * p.y;   // 25
+}`, "")
+	if res.ExitStatus != 25 {
+		t.Errorf("got %d", res.ExitStatus)
+	}
+}
+
+func TestStructPointerArrow(t *testing.T) {
+	res := runC(t, `
+struct point {
+    int x;
+    int y;
+};
+void scale(struct point *p, int k) {
+    p->x *= k;
+    p->y *= k;
+}
+int main() {
+    struct point p;
+    p.x = 2;
+    p.y = 5;
+    scale(&p, 10);
+    return p.x + p.y;   // 70
+}`, "")
+	if res.ExitStatus != 70 {
+		t.Errorf("got %d", res.ExitStatus)
+	}
+}
+
+func TestStructSizeofAndLayout(t *testing.T) {
+	res := runC(t, `
+struct mixed {
+    char tag;
+    int value;
+    char name[6];
+};
+int main() {
+    return sizeof(struct mixed);
+}`, "")
+	// tag at 0, value aligned to 4, name at 8..13, size rounded to 16.
+	if res.ExitStatus != 16 {
+		t.Errorf("sizeof = %d, want 16", res.ExitStatus)
+	}
+}
+
+func TestStructWithArrayField(t *testing.T) {
+	res := runC(t, `
+struct vec {
+    int n;
+    int data[4];
+};
+int main() {
+    struct vec v;
+    v.n = 4;
+    for (int i = 0; i < v.n; i++) { v.data[i] = i * i; }
+    int sum = 0;
+    for (int i = 0; i < v.n; i++) { sum += v.data[i]; }
+    return sum;   // 0+1+4+9
+}`, "")
+	if res.ExitStatus != 14 {
+		t.Errorf("got %d", res.ExitStatus)
+	}
+}
+
+func TestStructCharField(t *testing.T) {
+	res := runC(t, `
+struct rec {
+    char c;
+    int  v;
+};
+int main() {
+    struct rec r;
+    r.c = 'A';
+    r.v = 1000;
+    return r.c + r.v % 256;   // 65 + 232
+}`, "")
+	if res.ExitStatus != 65+1000%256 {
+		t.Errorf("got %d", res.ExitStatus)
+	}
+}
+
+// The classic: a malloc'd singly linked list, the course's dynamic-memory
+// capstone, with a clean memcheck report.
+func TestLinkedList(t *testing.T) {
+	res := runC(t, `
+struct node {
+    int val;
+    struct node *next;
+};
+int main() {
+    struct node *head = 0;
+    for (int i = 5; i >= 1; i--) {
+        struct node *n = malloc(sizeof(struct node));
+        n->val = i;
+        n->next = head;
+        head = n;
+    }
+    int sum = 0;
+    struct node *cur = head;
+    while (cur != 0) {
+        sum = sum * 10 + cur->val;
+        cur = cur->next;
+    }
+    while (head != 0) {
+        struct node *next = head->next;
+        free(head);
+        head = next;
+    }
+    return sum % 30000;   // digits 12345 -> 12345 % 30000
+}`, "")
+	if res.ExitStatus != 12345%30000 {
+		t.Errorf("list sum = %d", res.ExitStatus)
+	}
+	if !strings.Contains(res.Memcheck, "no leaks are possible") {
+		t.Errorf("list should free cleanly:\n%s", res.Memcheck)
+	}
+}
+
+func TestGlobalStruct(t *testing.T) {
+	res := runC(t, `
+struct counter {
+    int hits;
+    int misses;
+};
+struct counter stats;
+void hit() { stats.hits++; }
+int main() {
+    hit(); hit(); hit();
+    stats.misses = 1;
+    return stats.hits * 10 + stats.misses;
+}`, "")
+	if res.ExitStatus != 31 {
+		t.Errorf("got %d", res.ExitStatus)
+	}
+}
+
+func TestNestedStructs(t *testing.T) {
+	res := runC(t, `
+struct inner {
+    int a;
+    int b;
+};
+struct outer {
+    int tag;
+    struct inner in;
+};
+int main() {
+    struct outer o;
+    o.tag = 1;
+    o.in.a = 20;
+    o.in.b = 300;
+    return o.tag + o.in.a + o.in.b;
+}`, "")
+	if res.ExitStatus != 321 {
+		t.Errorf("got %d", res.ExitStatus)
+	}
+}
+
+func TestStructErrors(t *testing.T) {
+	cases := []struct{ name, src string }{
+		{"undefined struct", "int main() { struct nope x; return 0; }"},
+		{"redefinition", "struct s { int a; };\nstruct s { int b; };\nint main() { return 0; }"},
+		{"empty struct", "struct s { };\nint main() { return 0; }"},
+		{"duplicate field", "struct s { int a; int a; };\nint main() { return 0; }"},
+		{"self containment", "struct s { struct s inner; };\nint main() { return 0; }"},
+		{"void field", "struct s { void v; };\nint main() { return 0; }"},
+		{"missing field", "struct s { int a; };\nint main() { struct s x; return x.b; }"},
+		{"dot on non-struct", "int main() { int x; return x.a; }"},
+		{"arrow on non-pointer", "struct s { int a; };\nint main() { struct s x; return x->a; }"},
+		{"struct as value", "struct s { int a; };\nint main() { struct s x; struct s y; y = x; return 0; }"},
+		{"struct param", "struct s { int a; };\nint f(struct s x) { return 0; }\nint main() { return 0; }"},
+		{"struct return", "struct s { int a; };\nstruct s f() { }\nint main() { return 0; }"},
+		{"struct initializer", "struct s { int a; };\nint main() { struct s x = 3; return 0; }"},
+	}
+	for _, c := range cases {
+		if _, err := Compile(c.src); err == nil {
+			t.Errorf("%s: expected compile error", c.name)
+		}
+	}
+}
+
+func TestAddressOfStructAndFields(t *testing.T) {
+	res := runC(t, `
+struct pair {
+    int a;
+    int b;
+};
+int main() {
+    struct pair p;
+    struct pair *q = &p;
+    q->a = 7;
+    int *pb = &p.b;
+    *pb = 8;
+    return p.a * 10 + q->b;
+}`, "")
+	if res.ExitStatus != 78 {
+		t.Errorf("got %d", res.ExitStatus)
+	}
+}

@@ -1,0 +1,141 @@
+package minic
+
+import "testing"
+
+func TestTernaryBasics(t *testing.T) {
+	cases := []struct {
+		expr string
+		want int32
+	}{
+		{"1 ? 10 : 20", 10},
+		{"0 ? 10 : 20", 20},
+		{"5 > 3 ? 1 : 2", 1},
+		{"1 ? 2 : 0 ? 3 : 4", 2}, // right-associative
+		{"0 ? 2 : 0 ? 3 : 4", 4},
+		{"0 ? 2 : 1 ? 3 : 4", 3},
+		{"(1 ? 0 : 1) ? 5 : 6", 6},
+	}
+	for _, c := range cases {
+		res := runC(t, "int main() { return "+c.expr+"; }", "")
+		if res.ExitStatus != c.want {
+			t.Errorf("%s = %d, want %d", c.expr, res.ExitStatus, c.want)
+		}
+	}
+}
+
+func TestTernaryOnlyTakenArmEvaluated(t *testing.T) {
+	res := runC(t, `
+int calls = 0;
+int bump(int v) { calls++; return v; }
+int main() {
+    int x = 1 ? bump(5) : bump(9);
+    return x * 10 + calls;   // 5*10 + 1
+}`, "")
+	if res.ExitStatus != 51 {
+		t.Errorf("got %d", res.ExitStatus)
+	}
+}
+
+func TestTernaryAsMaxIdiom(t *testing.T) {
+	res := runC(t, `
+int max(int a, int b) { return a > b ? a : b; }
+int main() { return max(3, 7) * 10 + max(9, 2); }`, "")
+	if res.ExitStatus != 79 {
+		t.Errorf("got %d", res.ExitStatus)
+	}
+}
+
+func TestTernaryWithPointers(t *testing.T) {
+	res := runC(t, `
+int main() {
+    int a = 1;
+    int b = 2;
+    int *p = a > b ? &a : &b;
+    return *p;
+}`, "")
+	if res.ExitStatus != 2 {
+		t.Errorf("got %d", res.ExitStatus)
+	}
+}
+
+func TestTernaryErrors(t *testing.T) {
+	cases := []string{
+		"int main() { return 1 ? 2 : \"s\" != 0 ? 3 : 4; }", // fine actually? "s" != 0 is int... skip
+	}
+	_ = cases
+	if _, err := Compile(`int main() { int *p; return 1 ? p : 3; }`); err == nil {
+		t.Error("pointer/int ternary arms should fail")
+	}
+	if _, err := Compile(`int main() { return 1 ? 2; }`); err == nil {
+		t.Error("missing colon should fail")
+	}
+}
+
+func TestTernaryNullPointerArm(t *testing.T) {
+	// 0 as a null pointer constant in a pointer-typed ternary.
+	res := runC(t, `
+int main() {
+    int x = 5;
+    int *p = 1 ? &x : 0;
+    if (p != 0) { return *p; }
+    return -1;
+}`, "")
+	if res.ExitStatus != 5 {
+		t.Errorf("got %d", res.ExitStatus)
+	}
+}
+
+func TestDoWhile(t *testing.T) {
+	res := runC(t, `
+int main() {
+    int i = 0;
+    int sum = 0;
+    do {
+        sum += i;
+        i++;
+    } while (i < 5);
+    return sum;   // 0+1+2+3+4
+}`, "")
+	if res.ExitStatus != 10 {
+		t.Errorf("got %d", res.ExitStatus)
+	}
+}
+
+func TestDoWhileRunsAtLeastOnce(t *testing.T) {
+	res := runC(t, `
+int main() {
+    int ran = 0;
+    do { ran = 1; } while (0);
+    return ran;
+}`, "")
+	if res.ExitStatus != 1 {
+		t.Errorf("do body must run once, got %d", res.ExitStatus)
+	}
+}
+
+func TestDoWhileBreakContinue(t *testing.T) {
+	res := runC(t, `
+int main() {
+    int i = 0;
+    int sum = 0;
+    do {
+        i++;
+        if (i % 2 == 0) { continue; }
+        if (i > 7) { break; }
+        sum += i;    // 1+3+5+7
+    } while (i < 100);
+    return sum;
+}`, "")
+	if res.ExitStatus != 16 {
+		t.Errorf("got %d", res.ExitStatus)
+	}
+}
+
+func TestDoWhileErrors(t *testing.T) {
+	if _, err := Compile("int main() { do { } until (0); return 0; }"); err == nil {
+		t.Error("missing while should fail")
+	}
+	if _, err := Compile("int main() { do { } while (0) return 0; }"); err == nil {
+		t.Error("missing semicolon should fail")
+	}
+}

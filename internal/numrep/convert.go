@@ -1,0 +1,208 @@
+package numrep
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Base identifies a positional numeral base used in the conversion drills.
+type Base int
+
+// The three bases CS 31 drills conversions between.
+const (
+	Binary      Base = 2
+	Decimal     Base = 10
+	Hexadecimal Base = 16
+)
+
+func (b Base) String() string {
+	switch b {
+	case Binary:
+		return "binary"
+	case Decimal:
+		return "decimal"
+	case Hexadecimal:
+		return "hexadecimal"
+	default:
+		return fmt.Sprintf("base-%d", int(b))
+	}
+}
+
+const digits = "0123456789abcdef"
+
+// FormatBits renders the low width bits of pattern as a binary string with a
+// space every four bits (the grouping used on course handouts), most
+// significant bit first.
+func FormatBits(pattern uint64, width int) string {
+	if width < 1 {
+		return ""
+	}
+	if width > MaxWidth {
+		width = MaxWidth
+	}
+	var sb strings.Builder
+	for i := width - 1; i >= 0; i-- {
+		if pattern&(1<<uint(i)) != 0 {
+			sb.WriteByte('1')
+		} else {
+			sb.WriteByte('0')
+		}
+		if i > 0 && i%4 == 0 {
+			sb.WriteByte(' ')
+		}
+	}
+	return sb.String()
+}
+
+// FormatHex renders the low width bits as 0x-prefixed hexadecimal padded to
+// the width (rounded up to a whole nibble).
+func FormatHex(pattern uint64, width int) string {
+	if width < 1 {
+		return "0x0"
+	}
+	if width > MaxWidth {
+		width = MaxWidth
+	}
+	nibbles := (width + 3) / 4
+	pattern &= mask(width)
+	buf := make([]byte, nibbles)
+	for i := nibbles - 1; i >= 0; i-- {
+		buf[i] = digits[pattern&0xf]
+		pattern >>= 4
+	}
+	return "0x" + string(buf)
+}
+
+// ParseBits parses a binary string (spaces and underscores permitted) into a
+// bit pattern, reporting the number of digits consumed as the width.
+func ParseBits(s string) (pattern uint64, width int, err error) {
+	for _, r := range s {
+		switch r {
+		case '0', '1':
+			if width == MaxWidth {
+				return 0, 0, fmt.Errorf("numrep: binary literal %q longer than %d bits", s, MaxWidth)
+			}
+			pattern = pattern<<1 | uint64(r-'0')
+			width++
+		case ' ', '_':
+			// grouping separators are ignored
+		default:
+			return 0, 0, fmt.Errorf("numrep: invalid binary digit %q in %q", r, s)
+		}
+	}
+	if width == 0 {
+		return 0, 0, fmt.Errorf("numrep: empty binary literal")
+	}
+	return pattern, width, nil
+}
+
+// ParseHex parses a hexadecimal string (optional 0x/0X prefix, spaces and
+// underscores permitted) into a bit pattern, reporting the width in bits
+// (4 per digit).
+func ParseHex(s string) (pattern uint64, width int, err error) {
+	t := strings.TrimSpace(s)
+	if strings.HasPrefix(t, "0x") || strings.HasPrefix(t, "0X") {
+		t = t[2:]
+	}
+	for _, r := range t {
+		var d uint64
+		switch {
+		case r >= '0' && r <= '9':
+			d = uint64(r - '0')
+		case r >= 'a' && r <= 'f':
+			d = uint64(r-'a') + 10
+		case r >= 'A' && r <= 'F':
+			d = uint64(r-'A') + 10
+		case r == ' ' || r == '_':
+			continue
+		default:
+			return 0, 0, fmt.Errorf("numrep: invalid hex digit %q in %q", r, s)
+		}
+		if width+4 > MaxWidth {
+			return 0, 0, fmt.Errorf("numrep: hex literal %q longer than %d bits", s, MaxWidth)
+		}
+		pattern = pattern<<4 | d
+		width += 4
+	}
+	if width == 0 {
+		return 0, 0, fmt.Errorf("numrep: empty hex literal")
+	}
+	return pattern, width, nil
+}
+
+// Conversion is a worked decimal/binary/hexadecimal conversion of a single
+// value at a fixed width — the artifact students produce in the Lab 1
+// written questions.
+type Conversion struct {
+	Width    int
+	Pattern  uint64
+	Binary   string
+	Hex      string
+	Unsigned uint64
+	Signed   int64
+}
+
+// Convert produces all representations of the low width bits of pattern.
+func Convert(pattern uint64, width int) (Conversion, error) {
+	if err := checkWidth(width); err != nil {
+		return Conversion{}, err
+	}
+	pattern &= mask(width)
+	s, _ := DecodeSigned(pattern, width)
+	return Conversion{
+		Width:    width,
+		Pattern:  pattern,
+		Binary:   FormatBits(pattern, width),
+		Hex:      FormatHex(pattern, width),
+		Unsigned: pattern,
+		Signed:   s,
+	}, nil
+}
+
+// String renders the conversion as a single worked line.
+func (c Conversion) String() string {
+	return fmt.Sprintf("%s = %s = %d (unsigned) = %d (signed, %d-bit)",
+		c.Binary, c.Hex, c.Unsigned, c.Signed, c.Width)
+}
+
+// PowersOfTwoTable returns the expansion of the low width bits of pattern as
+// a sum of powers of two, e.g. "1101 = 8 + 4 + 1 = 13" — the method taught
+// for binary→decimal conversion.
+func PowersOfTwoTable(pattern uint64, width int) string {
+	if width < 1 || width > MaxWidth {
+		return ""
+	}
+	pattern &= mask(width)
+	var terms []string
+	var sum uint64
+	for i := width - 1; i >= 0; i-- {
+		if pattern&(1<<uint(i)) != 0 {
+			terms = append(terms, fmt.Sprintf("2^%d", i))
+			sum += 1 << uint(i)
+		}
+	}
+	if len(terms) == 0 {
+		return fmt.Sprintf("%s = 0", FormatBits(pattern, width))
+	}
+	return fmt.Sprintf("%s = %s = %d", FormatBits(pattern, width), strings.Join(terms, " + "), sum)
+}
+
+// RepeatedDivision shows the repeated-division-by-base steps for converting
+// a decimal value to the target base, returning each step as "q r d" lines —
+// the other conversion method taught in the course.
+func RepeatedDivision(v uint64, base Base) []string {
+	if base < 2 || int(base) > len(digits) {
+		return nil
+	}
+	if v == 0 {
+		return []string{"0 / " + fmt.Sprint(int(base)) + " = 0 remainder 0 -> digit 0"}
+	}
+	var steps []string
+	for v > 0 {
+		q := v / uint64(base)
+		r := v % uint64(base)
+		steps = append(steps, fmt.Sprintf("%d / %d = %d remainder %d -> digit %c", v, int(base), q, r, digits[r]))
+		v = q
+	}
+	return steps
+}

@@ -1,0 +1,182 @@
+package numrep
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestFormatBits(t *testing.T) {
+	cases := []struct {
+		pattern uint64
+		width   int
+		want    string
+	}{
+		{0xa5, 8, "1010 0101"},
+		{0x5, 4, "0101"},
+		{0x1, 1, "1"},
+		{0x0, 8, "0000 0000"},
+		{0xdead, 16, "1101 1110 1010 1101"},
+		{0x3, 3, "011"},
+	}
+	for _, c := range cases {
+		if got := FormatBits(c.pattern, c.width); got != c.want {
+			t.Errorf("FormatBits(%#x, %d) = %q, want %q", c.pattern, c.width, got, c.want)
+		}
+	}
+	if FormatBits(1, 0) != "" {
+		t.Error("FormatBits width 0 should be empty")
+	}
+}
+
+func TestFormatHex(t *testing.T) {
+	cases := []struct {
+		pattern uint64
+		width   int
+		want    string
+	}{
+		{0xa5, 8, "0xa5"},
+		{0x5, 4, "0x5"},
+		{0x5, 3, "0x5"},
+		{0xdead, 16, "0xdead"},
+		{0xf, 8, "0x0f"},
+		{0x12345678, 32, "0x12345678"},
+	}
+	for _, c := range cases {
+		if got := FormatHex(c.pattern, c.width); got != c.want {
+			t.Errorf("FormatHex(%#x, %d) = %q, want %q", c.pattern, c.width, got, c.want)
+		}
+	}
+}
+
+func TestParseBits(t *testing.T) {
+	pat, width, err := ParseBits("1010 0101")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pat != 0xa5 || width != 8 {
+		t.Errorf("ParseBits = (%#x, %d), want (0xa5, 8)", pat, width)
+	}
+	if _, _, err := ParseBits("10x1"); err == nil {
+		t.Error("ParseBits(10x1): expected error")
+	}
+	if _, _, err := ParseBits(""); err == nil {
+		t.Error("ParseBits(empty): expected error")
+	}
+	if _, _, err := ParseBits(strings.Repeat("1", 65)); err == nil {
+		t.Error("ParseBits(65 bits): expected error")
+	}
+}
+
+func TestParseHex(t *testing.T) {
+	cases := []struct {
+		in      string
+		pattern uint64
+		width   int
+	}{
+		{"0xa5", 0xa5, 8},
+		{"A5", 0xa5, 8},
+		{"0XDEad", 0xdead, 16},
+		{"dead_beef", 0xdeadbeef, 32},
+	}
+	for _, c := range cases {
+		pat, width, err := ParseHex(c.in)
+		if err != nil {
+			t.Fatalf("ParseHex(%q): %v", c.in, err)
+		}
+		if pat != c.pattern || width != c.width {
+			t.Errorf("ParseHex(%q) = (%#x, %d), want (%#x, %d)", c.in, pat, width, c.pattern, c.width)
+		}
+	}
+	if _, _, err := ParseHex("0xzz"); err == nil {
+		t.Error("ParseHex(0xzz): expected error")
+	}
+	if _, _, err := ParseHex(""); err == nil {
+		t.Error("ParseHex(empty): expected error")
+	}
+	if _, _, err := ParseHex(strings.Repeat("f", 17)); err == nil {
+		t.Error("ParseHex(17 digits): expected error")
+	}
+}
+
+// Property: FormatBits/ParseBits round-trip.
+func TestBitsRoundTrip(t *testing.T) {
+	f := func(v uint64, w uint8) bool {
+		width := int(w%64) + 1
+		s := FormatBits(v, width)
+		pat, gotWidth, err := ParseBits(s)
+		return err == nil && gotWidth == width && pat == v&mask(width)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: FormatHex/ParseHex round-trip at nibble-aligned widths.
+func TestHexRoundTrip(t *testing.T) {
+	f := func(v uint64, w uint8) bool {
+		width := (int(w%16) + 1) * 4
+		s := FormatHex(v, width)
+		pat, gotWidth, err := ParseHex(s)
+		return err == nil && gotWidth == width && pat == v&mask(width)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestConvert(t *testing.T) {
+	c, err := Convert(0xff, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Unsigned != 255 || c.Signed != -1 || c.Hex != "0xff" {
+		t.Errorf("Convert(0xff, 8) = %+v", c)
+	}
+	if !strings.Contains(c.String(), "255 (unsigned)") || !strings.Contains(c.String(), "-1 (signed") {
+		t.Errorf("Convert String: %q", c.String())
+	}
+	if _, err := Convert(0, 0); err == nil {
+		t.Error("Convert width 0: expected error")
+	}
+}
+
+func TestPowersOfTwoTable(t *testing.T) {
+	got := PowersOfTwoTable(0xd, 4)
+	if !strings.Contains(got, "2^3 + 2^2 + 2^0") || !strings.HasSuffix(got, "= 13") {
+		t.Errorf("PowersOfTwoTable(0xd, 4) = %q", got)
+	}
+	if got := PowersOfTwoTable(0, 4); !strings.HasSuffix(got, "= 0") {
+		t.Errorf("PowersOfTwoTable(0, 4) = %q", got)
+	}
+	if PowersOfTwoTable(1, 0) != "" {
+		t.Error("width 0 should be empty")
+	}
+}
+
+func TestRepeatedDivision(t *testing.T) {
+	steps := RepeatedDivision(13, Binary)
+	if len(steps) != 4 {
+		t.Fatalf("13 in binary needs 4 steps, got %d: %v", len(steps), steps)
+	}
+	// Remainders bottom-up spell 1101.
+	wantDigits := []byte{'1', '0', '1', '1'}
+	for i, s := range steps {
+		if s[len(s)-1] != wantDigits[i] {
+			t.Errorf("step %d: %q, want digit %c", i, s, wantDigits[i])
+		}
+	}
+	if steps := RepeatedDivision(0, Hexadecimal); len(steps) != 1 {
+		t.Errorf("0 should give one step, got %v", steps)
+	}
+	if RepeatedDivision(10, 1) != nil {
+		t.Error("base 1 should return nil")
+	}
+}
+
+func TestBaseString(t *testing.T) {
+	if Binary.String() != "binary" || Decimal.String() != "decimal" ||
+		Hexadecimal.String() != "hexadecimal" || Base(7).String() != "base-7" {
+		t.Error("Base.String mismatch")
+	}
+}

@@ -1,0 +1,103 @@
+package numrep
+
+import (
+	"fmt"
+	"math"
+)
+
+// FloatParts is the field decomposition of an IEEE-754 value. The course
+// "briefly discusses" floating point: students learn the sign/exponent/
+// mantissa layout but are not asked to convert by hand, so this type exposes
+// the decomposition and classification rather than arithmetic.
+type FloatParts struct {
+	Bits     uint64 // raw bit pattern
+	Sign     uint64 // 1 bit
+	Exponent uint64 // biased exponent field
+	Mantissa uint64 // fraction field (without the implicit leading 1)
+
+	ExpBits  int // width of the exponent field
+	FracBits int // width of the fraction field
+	Bias     int // exponent bias
+
+	Class string // "zero", "subnormal", "normal", "inf", "nan"
+}
+
+// DecomposeFloat32 splits a float32 into its IEEE-754 single-precision
+// fields (1 sign, 8 exponent, 23 fraction bits, bias 127).
+func DecomposeFloat32(f float32) FloatParts {
+	bits := uint64(math.Float32bits(f))
+	p := FloatParts{
+		Bits:     bits,
+		Sign:     bits >> 31 & 1,
+		Exponent: bits >> 23 & 0xff,
+		Mantissa: bits & ((1 << 23) - 1),
+		ExpBits:  8,
+		FracBits: 23,
+		Bias:     127,
+	}
+	p.Class = classify(p.Exponent, p.Mantissa, 0xff)
+	return p
+}
+
+// DecomposeFloat64 splits a float64 into its IEEE-754 double-precision
+// fields (1 sign, 11 exponent, 52 fraction bits, bias 1023).
+func DecomposeFloat64(f float64) FloatParts {
+	bits := math.Float64bits(f)
+	p := FloatParts{
+		Bits:     bits,
+		Sign:     bits >> 63 & 1,
+		Exponent: bits >> 52 & 0x7ff,
+		Mantissa: bits & ((1 << 52) - 1),
+		ExpBits:  11,
+		FracBits: 52,
+		Bias:     1023,
+	}
+	p.Class = classify(p.Exponent, p.Mantissa, 0x7ff)
+	return p
+}
+
+func classify(exp, mant, expMax uint64) string {
+	switch {
+	case exp == 0 && mant == 0:
+		return "zero"
+	case exp == 0:
+		return "subnormal"
+	case exp == expMax && mant == 0:
+		return "inf"
+	case exp == expMax:
+		return "nan"
+	default:
+		return "normal"
+	}
+}
+
+// UnbiasedExponent returns the true exponent after removing the bias.
+// For subnormals it returns 1-Bias per the IEEE-754 convention.
+func (p FloatParts) UnbiasedExponent() int {
+	if p.Exponent == 0 {
+		return 1 - p.Bias
+	}
+	return int(p.Exponent) - p.Bias
+}
+
+// String renders the decomposition in the layout diagram form used in class.
+func (p FloatParts) String() string {
+	total := 1 + p.ExpBits + p.FracBits
+	return fmt.Sprintf("%s: sign=%d exp=%s (unbiased %d) frac=%s [%s]",
+		FormatHex(p.Bits, total), p.Sign,
+		FormatBits(p.Exponent, p.ExpBits), p.UnbiasedExponent(),
+		FormatBits(p.Mantissa, p.FracBits), p.Class)
+}
+
+// Recompose32 reassembles single-precision fields into a float32; it is the
+// inverse of DecomposeFloat32 and exists so tests can verify the round trip.
+func Recompose32(sign, exponent, mantissa uint64) float32 {
+	bits := uint32(sign&1)<<31 | uint32(exponent&0xff)<<23 | uint32(mantissa&((1<<23)-1))
+	return math.Float32frombits(bits)
+}
+
+// Recompose64 reassembles double-precision fields into a float64.
+func Recompose64(sign, exponent, mantissa uint64) float64 {
+	bits := (sign&1)<<63 | (exponent&0x7ff)<<52 | mantissa&((1<<52)-1)
+	return math.Float64frombits(bits)
+}

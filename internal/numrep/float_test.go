@@ -1,0 +1,105 @@
+package numrep
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestDecomposeFloat32Known(t *testing.T) {
+	cases := []struct {
+		f     float32
+		sign  uint64
+		exp   uint64
+		class string
+	}{
+		{1.0, 0, 127, "normal"},
+		{-2.0, 1, 128, "normal"},
+		{0.0, 0, 0, "zero"},
+		{float32(math.Inf(1)), 0, 255, "inf"},
+		{float32(math.Inf(-1)), 1, 255, "inf"},
+		{float32(math.NaN()), 0, 255, "nan"},
+		{math.SmallestNonzeroFloat32, 0, 0, "subnormal"},
+	}
+	for _, c := range cases {
+		p := DecomposeFloat32(c.f)
+		if p.Sign != c.sign || p.Exponent != c.exp || p.Class != c.class {
+			t.Errorf("DecomposeFloat32(%v) = %+v, want sign=%d exp=%d class=%s",
+				c.f, p, c.sign, c.exp, c.class)
+		}
+	}
+}
+
+func TestDecomposeFloat64Known(t *testing.T) {
+	p := DecomposeFloat64(1.0)
+	if p.Sign != 0 || p.Exponent != 1023 || p.Mantissa != 0 || p.Class != "normal" {
+		t.Errorf("DecomposeFloat64(1.0) = %+v", p)
+	}
+	if p.UnbiasedExponent() != 0 {
+		t.Errorf("1.0 unbiased exponent = %d", p.UnbiasedExponent())
+	}
+	p = DecomposeFloat64(0.5)
+	if p.UnbiasedExponent() != -1 {
+		t.Errorf("0.5 unbiased exponent = %d", p.UnbiasedExponent())
+	}
+	p = DecomposeFloat64(math.SmallestNonzeroFloat64)
+	if p.Class != "subnormal" || p.UnbiasedExponent() != -1022 {
+		t.Errorf("subnormal: %+v unbiased=%d", p, p.UnbiasedExponent())
+	}
+}
+
+func TestFloatPartsString(t *testing.T) {
+	s := DecomposeFloat32(1.0).String()
+	for _, want := range []string{"sign=0", "[normal]", "unbiased 0"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() = %q missing %q", s, want)
+		}
+	}
+}
+
+// Property: decompose/recompose round-trips for float32.
+func TestFloat32RoundTrip(t *testing.T) {
+	f := func(v float32) bool {
+		p := DecomposeFloat32(v)
+		back := Recompose32(p.Sign, p.Exponent, p.Mantissa)
+		return math.Float32bits(back) == math.Float32bits(v)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: decompose/recompose round-trips for float64.
+func TestFloat64RoundTrip(t *testing.T) {
+	f := func(v float64) bool {
+		p := DecomposeFloat64(v)
+		back := Recompose64(p.Sign, p.Exponent, p.Mantissa)
+		return math.Float64bits(back) == math.Float64bits(v)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the value equals (-1)^sign * 1.mantissa * 2^unbiased for normal
+// float64 values.
+func TestFloat64ValueFormula(t *testing.T) {
+	f := func(v float64) bool {
+		p := DecomposeFloat64(v)
+		if p.Class != "normal" {
+			return true // formula applies to normals only
+		}
+		significand := 1.0 + float64(p.Mantissa)/math.Pow(2, 52)
+		val := significand * math.Pow(2, float64(p.UnbiasedExponent()))
+		if p.Sign == 1 {
+			val = -val
+		}
+		diff := math.Abs(val - v)
+		scale := math.Abs(v)
+		return diff <= scale*1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,343 @@
+// Package numrep implements the binary data representation module of CS 31
+// (Lab 1 and the "binary and arithmetic" homework): two's-complement encoding
+// and decoding, signed and unsigned fixed-width arithmetic with carry and
+// overflow detection, conversions between decimal, binary, and hexadecimal,
+// and the sizes and value ranges of the C integer types.
+//
+// All arithmetic operates on an explicit bit width (1..64) so that the
+// overflow behaviour students study on 8-, 16-, and 32-bit values is
+// observable directly rather than hidden inside Go's fixed-size types.
+package numrep
+
+import (
+	"errors"
+	"fmt"
+)
+
+// MaxWidth is the largest supported bit width.
+const MaxWidth = 64
+
+// ErrWidth is returned when a bit width is outside [1, MaxWidth].
+var ErrWidth = errors.New("numrep: width must be in [1, 64]")
+
+// ErrRange is returned when a value cannot be represented at a given width.
+var ErrRange = errors.New("numrep: value out of range for width")
+
+func checkWidth(width int) error {
+	if width < 1 || width > MaxWidth {
+		return fmt.Errorf("%w: %d", ErrWidth, width)
+	}
+	return nil
+}
+
+// mask returns a bit mask with the low width bits set.
+func mask(width int) uint64 {
+	if width >= 64 {
+		return ^uint64(0)
+	}
+	return (uint64(1) << uint(width)) - 1
+}
+
+// UnsignedMax returns the largest unsigned value representable in width bits.
+func UnsignedMax(width int) (uint64, error) {
+	if err := checkWidth(width); err != nil {
+		return 0, err
+	}
+	return mask(width), nil
+}
+
+// SignedMax returns the largest two's-complement value representable in
+// width bits.
+func SignedMax(width int) (int64, error) {
+	if err := checkWidth(width); err != nil {
+		return 0, err
+	}
+	if width == 64 {
+		return int64(^uint64(0) >> 1), nil
+	}
+	return int64(uint64(1)<<uint(width-1)) - 1, nil
+}
+
+// SignedMin returns the smallest (most negative) two's-complement value
+// representable in width bits.
+func SignedMin(width int) (int64, error) {
+	if err := checkWidth(width); err != nil {
+		return 0, err
+	}
+	if width == 64 {
+		return -1 << 63, nil
+	}
+	return -int64(uint64(1) << uint(width-1)), nil
+}
+
+// EncodeSigned encodes v as a width-bit two's-complement bit pattern.
+// The result has all bits above width cleared.
+func EncodeSigned(v int64, width int) (uint64, error) {
+	if err := checkWidth(width); err != nil {
+		return 0, err
+	}
+	lo, _ := SignedMin(width)
+	hi, _ := SignedMax(width)
+	if v < lo || v > hi {
+		return 0, fmt.Errorf("%w: %d does not fit in %d signed bits", ErrRange, v, width)
+	}
+	return uint64(v) & mask(width), nil
+}
+
+// DecodeSigned interprets the low width bits of pattern as a two's-complement
+// signed value.
+func DecodeSigned(pattern uint64, width int) (int64, error) {
+	if err := checkWidth(width); err != nil {
+		return 0, err
+	}
+	pattern &= mask(width)
+	signBit := uint64(1) << uint(width-1)
+	if pattern&signBit != 0 {
+		// Sign-extend: subtract 2^width.
+		if width == 64 {
+			return int64(pattern), nil
+		}
+		return int64(pattern) - int64(uint64(1)<<uint(width)), nil
+	}
+	return int64(pattern), nil
+}
+
+// EncodeUnsigned validates that v fits in width bits and returns it masked.
+func EncodeUnsigned(v uint64, width int) (uint64, error) {
+	if err := checkWidth(width); err != nil {
+		return 0, err
+	}
+	if v > mask(width) {
+		return 0, fmt.Errorf("%w: %d does not fit in %d unsigned bits", ErrRange, v, width)
+	}
+	return v, nil
+}
+
+// Negate returns the two's-complement negation of the low width bits of
+// pattern (invert the bits and add one), masked to width.
+func Negate(pattern uint64, width int) (uint64, error) {
+	if err := checkWidth(width); err != nil {
+		return 0, err
+	}
+	return (^pattern + 1) & mask(width), nil
+}
+
+// ArithResult describes the outcome of a fixed-width binary arithmetic
+// operation the way the course presents it: the resulting bit pattern plus
+// the carry-out and overflow condition flags, and both the unsigned and
+// signed interpretations of the result.
+type ArithResult struct {
+	Pattern  uint64 // result bits, masked to the operation width
+	Width    int    // operation width in bits
+	CarryOut bool   // unsigned overflow: carry out of the top bit
+	Overflow bool   // signed overflow: result sign inconsistent with operands
+	Unsigned uint64 // unsigned interpretation of Pattern
+	Signed   int64  // two's-complement interpretation of Pattern
+}
+
+// Add performs width-bit addition of two bit patterns, reporting carry-out
+// (unsigned overflow) and signed overflow, exactly as Lab 1 asks students to
+// compute by hand.
+func Add(a, b uint64, width int) (ArithResult, error) {
+	if err := checkWidth(width); err != nil {
+		return ArithResult{}, err
+	}
+	m := mask(width)
+	a &= m
+	b &= m
+	sum := a + b // cannot wrap uint64 when width < 64; handle 64 specially
+	var carry bool
+	if width == 64 {
+		carry = sum < a
+	} else {
+		carry = sum > m
+	}
+	res := sum & m
+	signBit := uint64(1) << uint(width-1)
+	// Signed overflow: operands share a sign and the result sign differs.
+	overflow := (a&signBit) == (b&signBit) && (res&signBit) != (a&signBit)
+	s, _ := DecodeSigned(res, width)
+	return ArithResult{
+		Pattern:  res,
+		Width:    width,
+		CarryOut: carry,
+		Overflow: overflow,
+		Unsigned: res,
+		Signed:   s,
+	}, nil
+}
+
+// Sub performs width-bit subtraction a-b via two's-complement addition
+// (a + ^b + 1). CarryOut reports the adder's carry-out, which for
+// subtraction means "no borrow" (set when a >= b unsigned).
+func Sub(a, b uint64, width int) (ArithResult, error) {
+	if err := checkWidth(width); err != nil {
+		return ArithResult{}, err
+	}
+	m := mask(width)
+	a &= m
+	b &= m
+	nb := (^b) & m
+	// a + ~b + 1 with explicit carry chain through two additions.
+	first, err := Add(a, nb, width)
+	if err != nil {
+		return ArithResult{}, err
+	}
+	second, err := Add(first.Pattern, 1, width)
+	if err != nil {
+		return ArithResult{}, err
+	}
+	res := second.Pattern
+	carry := first.CarryOut || second.CarryOut
+	signBit := uint64(1) << uint(width-1)
+	// Signed overflow for a-b: operands have different signs and the result
+	// sign matches b's sign.
+	overflow := (a&signBit) != (b&signBit) && (res&signBit) == (b&signBit)
+	s, _ := DecodeSigned(res, width)
+	return ArithResult{
+		Pattern:  res,
+		Width:    width,
+		CarryOut: carry,
+		Overflow: overflow,
+		Unsigned: res,
+		Signed:   s,
+	}, nil
+}
+
+// AddSigned adds two signed values at the given width and reports whether
+// signed overflow occurred, returning the wrapped two's-complement result.
+func AddSigned(a, b int64, width int) (result int64, overflow bool, err error) {
+	pa, err := EncodeSigned(a, width)
+	if err != nil {
+		return 0, false, err
+	}
+	pb, err := EncodeSigned(b, width)
+	if err != nil {
+		return 0, false, err
+	}
+	r, err := Add(pa, pb, width)
+	if err != nil {
+		return 0, false, err
+	}
+	return r.Signed, r.Overflow, nil
+}
+
+// AddUnsigned adds two unsigned values at the given width and reports whether
+// unsigned overflow (carry out) occurred, returning the wrapped result.
+func AddUnsigned(a, b uint64, width int) (result uint64, carry bool, err error) {
+	pa, err := EncodeUnsigned(a, width)
+	if err != nil {
+		return 0, false, err
+	}
+	pb, err := EncodeUnsigned(b, width)
+	if err != nil {
+		return 0, false, err
+	}
+	r, err := Add(pa, pb, width)
+	if err != nil {
+		return 0, false, err
+	}
+	return r.Unsigned, r.CarryOut, nil
+}
+
+// SignExtend widens the low from bits of pattern to the low to bits,
+// replicating the sign bit — the operation students implement as a Logisim
+// circuit in Lab 3.
+func SignExtend(pattern uint64, from, to int) (uint64, error) {
+	if err := checkWidth(from); err != nil {
+		return 0, err
+	}
+	if err := checkWidth(to); err != nil {
+		return 0, err
+	}
+	if from > to {
+		return 0, fmt.Errorf("numrep: cannot sign-extend from %d to narrower %d bits", from, to)
+	}
+	pattern &= mask(from)
+	signBit := uint64(1) << uint(from-1)
+	if pattern&signBit != 0 {
+		pattern |= mask(to) &^ mask(from)
+	}
+	return pattern, nil
+}
+
+// ZeroExtend widens the low from bits of pattern to to bits with zeros.
+func ZeroExtend(pattern uint64, from, to int) (uint64, error) {
+	if err := checkWidth(from); err != nil {
+		return 0, err
+	}
+	if err := checkWidth(to); err != nil {
+		return 0, err
+	}
+	if from > to {
+		return 0, fmt.Errorf("numrep: cannot zero-extend from %d to narrower %d bits", from, to)
+	}
+	return pattern & mask(from), nil
+}
+
+// CType describes one of the C integer types the course catalogs: its name,
+// storage size in bytes, and signedness.
+type CType struct {
+	Name   string
+	Bytes  int
+	Signed bool
+}
+
+// Width returns the type's width in bits.
+func (t CType) Width() int { return t.Bytes * 8 }
+
+// Min returns the smallest representable value (0 for unsigned types).
+func (t CType) Min() int64 {
+	if !t.Signed {
+		return 0
+	}
+	v, _ := SignedMin(t.Width())
+	return v
+}
+
+// MaxSigned returns the largest value for signed types; call MaxUnsigned for
+// unsigned types wider than 63 bits.
+func (t CType) MaxSigned() int64 {
+	if t.Signed {
+		v, _ := SignedMax(t.Width())
+		return v
+	}
+	v, _ := SignedMax(t.Width() + 1) // fits for widths <= 32
+	if t.Width() >= 64 {
+		v, _ = SignedMax(64)
+	}
+	return v
+}
+
+// MaxUnsigned returns the largest representable value as a uint64.
+func (t CType) MaxUnsigned() uint64 {
+	if t.Signed {
+		v, _ := SignedMax(t.Width())
+		return uint64(v)
+	}
+	v, _ := UnsignedMax(t.Width())
+	return v
+}
+
+// CTypes is the catalog of C integer types discussed in the course, using
+// the ILP32 model of the course's 32-bit x86 target.
+var CTypes = []CType{
+	{Name: "char", Bytes: 1, Signed: true},
+	{Name: "unsigned char", Bytes: 1, Signed: false},
+	{Name: "short", Bytes: 2, Signed: true},
+	{Name: "unsigned short", Bytes: 2, Signed: false},
+	{Name: "int", Bytes: 4, Signed: true},
+	{Name: "unsigned int", Bytes: 4, Signed: false},
+	{Name: "long long", Bytes: 8, Signed: true},
+	{Name: "unsigned long long", Bytes: 8, Signed: false},
+}
+
+// TypeByName looks up a C type from the catalog.
+func TypeByName(name string) (CType, bool) {
+	for _, t := range CTypes {
+		if t.Name == name {
+			return t, true
+		}
+	}
+	return CType{}, false
+}

@@ -1,0 +1,364 @@
+package numrep
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestUnsignedMax(t *testing.T) {
+	cases := []struct {
+		width int
+		want  uint64
+	}{
+		{1, 1}, {4, 15}, {8, 255}, {16, 65535}, {32, 4294967295}, {64, ^uint64(0)},
+	}
+	for _, c := range cases {
+		got, err := UnsignedMax(c.width)
+		if err != nil {
+			t.Fatalf("UnsignedMax(%d): %v", c.width, err)
+		}
+		if got != c.want {
+			t.Errorf("UnsignedMax(%d) = %d, want %d", c.width, got, c.want)
+		}
+	}
+}
+
+func TestSignedRange(t *testing.T) {
+	cases := []struct {
+		width    int
+		min, max int64
+	}{
+		{1, -1, 0},
+		{4, -8, 7},
+		{8, -128, 127},
+		{16, -32768, 32767},
+		{32, math.MinInt32, math.MaxInt32},
+		{64, math.MinInt64, math.MaxInt64},
+	}
+	for _, c := range cases {
+		mn, err := SignedMin(c.width)
+		if err != nil {
+			t.Fatalf("SignedMin(%d): %v", c.width, err)
+		}
+		mx, err := SignedMax(c.width)
+		if err != nil {
+			t.Fatalf("SignedMax(%d): %v", c.width, err)
+		}
+		if mn != c.min || mx != c.max {
+			t.Errorf("width %d: range [%d, %d], want [%d, %d]", c.width, mn, mx, c.min, c.max)
+		}
+	}
+}
+
+func TestWidthValidation(t *testing.T) {
+	for _, w := range []int{0, -1, 65, 100} {
+		if _, err := UnsignedMax(w); err == nil {
+			t.Errorf("UnsignedMax(%d): expected error", w)
+		}
+		if _, err := EncodeSigned(0, w); err == nil {
+			t.Errorf("EncodeSigned(0, %d): expected error", w)
+		}
+		if _, err := Add(0, 0, w); err == nil {
+			t.Errorf("Add(0,0,%d): expected error", w)
+		}
+	}
+}
+
+func TestEncodeDecodeSignedKnown(t *testing.T) {
+	cases := []struct {
+		v       int64
+		width   int
+		pattern uint64
+	}{
+		{-1, 8, 0xff},
+		{-128, 8, 0x80},
+		{127, 8, 0x7f},
+		{-1, 4, 0xf},
+		{5, 4, 0x5},
+		{-6, 4, 0xa},
+		{-1, 64, ^uint64(0)},
+	}
+	for _, c := range cases {
+		got, err := EncodeSigned(c.v, c.width)
+		if err != nil {
+			t.Fatalf("EncodeSigned(%d, %d): %v", c.v, c.width, err)
+		}
+		if got != c.pattern {
+			t.Errorf("EncodeSigned(%d, %d) = %#x, want %#x", c.v, c.width, got, c.pattern)
+		}
+		back, err := DecodeSigned(got, c.width)
+		if err != nil {
+			t.Fatalf("DecodeSigned: %v", err)
+		}
+		if back != c.v {
+			t.Errorf("DecodeSigned(%#x, %d) = %d, want %d", got, c.width, back, c.v)
+		}
+	}
+}
+
+func TestEncodeSignedOutOfRange(t *testing.T) {
+	if _, err := EncodeSigned(128, 8); err == nil {
+		t.Error("EncodeSigned(128, 8): expected range error")
+	}
+	if _, err := EncodeSigned(-129, 8); err == nil {
+		t.Error("EncodeSigned(-129, 8): expected range error")
+	}
+	if _, err := EncodeUnsigned(256, 8); err == nil {
+		t.Error("EncodeUnsigned(256, 8): expected range error")
+	}
+}
+
+// Property: EncodeSigned/DecodeSigned round-trip at every width for values
+// reduced into range.
+func TestSignedRoundTripProperty(t *testing.T) {
+	f := func(v int64, w uint8) bool {
+		width := int(w%64) + 1
+		var reduced int64
+		if width == 64 {
+			reduced = v // every int64 fits
+		} else {
+			lo, _ := SignedMin(width)
+			hi, _ := SignedMax(width)
+			span := uint64(hi-lo) + 1
+			reduced = lo + int64(uint64(v)%span)
+		}
+		pat, err := EncodeSigned(reduced, width)
+		if err != nil {
+			return false
+		}
+		back, err := DecodeSigned(pat, width)
+		return err == nil && back == reduced
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: width-64 Add agrees with native uint64 wrapping addition.
+func TestAdd64MatchesNative(t *testing.T) {
+	f := func(a, b uint64) bool {
+		r, err := Add(a, b, 64)
+		if err != nil {
+			return false
+		}
+		return r.Pattern == a+b && r.CarryOut == (a+b < a)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: width-8 signed Add agrees with int8 wrapping semantics.
+func TestAdd8MatchesInt8(t *testing.T) {
+	f := func(a, b int8) bool {
+		pa, _ := EncodeSigned(int64(a), 8)
+		pb, _ := EncodeSigned(int64(b), 8)
+		r, err := Add(pa, pb, 8)
+		if err != nil {
+			return false
+		}
+		want := int64(int8(a + b)) // Go wraps int8 addition
+		wide := int64(a) + int64(b)
+		wantOverflow := wide > 127 || wide < -128
+		return r.Signed == want && r.Overflow == wantOverflow
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Sub(a, b) == Add(a, Negate(b)) pattern-wise at width 16.
+func TestSubViaNegation(t *testing.T) {
+	f := func(a, b uint16) bool {
+		nb, _ := Negate(uint64(b), 16)
+		viaAdd, _ := Add(uint64(a), nb, 16)
+		direct, err := Sub(uint64(a), uint64(b), 16)
+		return err == nil && direct.Pattern == viaAdd.Pattern
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSubFlags(t *testing.T) {
+	// 5 - 3 at width 8: result 2, carry (no borrow), no overflow.
+	r, err := Sub(5, 3, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Pattern != 2 || !r.CarryOut || r.Overflow {
+		t.Errorf("5-3: got %+v", r)
+	}
+	// 3 - 5 at width 8: result 0xfe (-2), borrow (no carry), no overflow.
+	r, err = Sub(3, 5, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Pattern != 0xfe || r.CarryOut || r.Overflow {
+		t.Errorf("3-5: got %+v", r)
+	}
+	// -128 - 1 at width 8 overflows signed.
+	pa, _ := EncodeSigned(-128, 8)
+	r, err = Sub(pa, 1, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Overflow {
+		t.Errorf("-128-1 should set signed overflow: %+v", r)
+	}
+	if r.Signed != 127 {
+		t.Errorf("-128-1 wraps to 127, got %d", r.Signed)
+	}
+}
+
+func TestAddSignedOverflowCases(t *testing.T) {
+	cases := []struct {
+		a, b     int64
+		width    int
+		want     int64
+		overflow bool
+	}{
+		{127, 1, 8, -128, true},
+		{-128, -1, 8, 127, true},
+		{100, 27, 8, 127, false},
+		{-100, -28, 8, -128, false},
+		{32767, 1, 16, -32768, true},
+		{0, 0, 1, 0, false},
+	}
+	for _, c := range cases {
+		got, ov, err := AddSigned(c.a, c.b, c.width)
+		if err != nil {
+			t.Fatalf("AddSigned(%d,%d,%d): %v", c.a, c.b, c.width, err)
+		}
+		if got != c.want || ov != c.overflow {
+			t.Errorf("AddSigned(%d,%d,%d) = (%d,%v), want (%d,%v)",
+				c.a, c.b, c.width, got, ov, c.want, c.overflow)
+		}
+	}
+}
+
+func TestAddUnsignedCarry(t *testing.T) {
+	got, carry, err := AddUnsigned(255, 1, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 0 || !carry {
+		t.Errorf("255+1 (8-bit) = (%d, %v), want (0, true)", got, carry)
+	}
+	got, carry, err = AddUnsigned(200, 55, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 255 || carry {
+		t.Errorf("200+55 (8-bit) = (%d, %v), want (255, false)", got, carry)
+	}
+}
+
+func TestNegate(t *testing.T) {
+	cases := []struct {
+		in, want uint64
+		width    int
+	}{
+		{1, 0xff, 8},
+		{0, 0, 8},
+		{0x80, 0x80, 8}, // most negative value negates to itself
+		{5, 0xb, 4},
+	}
+	for _, c := range cases {
+		got, err := Negate(c.in, c.width)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != c.want {
+			t.Errorf("Negate(%#x, %d) = %#x, want %#x", c.in, c.width, got, c.want)
+		}
+	}
+}
+
+func TestSignExtend(t *testing.T) {
+	cases := []struct {
+		pattern    uint64
+		from, to   int
+		want       uint64
+		shouldFail bool
+	}{
+		{0xf, 4, 8, 0xff, false},
+		{0x7, 4, 8, 0x07, false},
+		{0x80, 8, 16, 0xff80, false},
+		{0x7f, 8, 16, 0x007f, false},
+		{0xff, 8, 64, ^uint64(0), false},
+		{0xff, 8, 4, 0, true},
+	}
+	for _, c := range cases {
+		got, err := SignExtend(c.pattern, c.from, c.to)
+		if c.shouldFail {
+			if err == nil {
+				t.Errorf("SignExtend(%#x, %d, %d): expected error", c.pattern, c.from, c.to)
+			}
+			continue
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != c.want {
+			t.Errorf("SignExtend(%#x, %d, %d) = %#x, want %#x", c.pattern, c.from, c.to, got, c.want)
+		}
+	}
+}
+
+// Property: sign extension preserves the signed value.
+func TestSignExtendPreservesValue(t *testing.T) {
+	f := func(v int8, toRaw uint8) bool {
+		to := 8 + int(toRaw%57) // 8..64
+		pat, _ := EncodeSigned(int64(v), 8)
+		ext, err := SignExtend(pat, 8, to)
+		if err != nil {
+			return false
+		}
+		back, err := DecodeSigned(ext, to)
+		return err == nil && back == int64(v)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestZeroExtend(t *testing.T) {
+	got, err := ZeroExtend(0xff, 8, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 0x00ff {
+		t.Errorf("ZeroExtend(0xff, 8, 16) = %#x, want 0x00ff", got)
+	}
+	if _, err := ZeroExtend(0, 16, 8); err == nil {
+		t.Error("ZeroExtend narrowing: expected error")
+	}
+}
+
+func TestCTypeCatalog(t *testing.T) {
+	intT, ok := TypeByName("int")
+	if !ok {
+		t.Fatal("int missing from catalog")
+	}
+	if intT.Bytes != 4 || !intT.Signed {
+		t.Errorf("int: %+v", intT)
+	}
+	if intT.MaxSigned() != math.MaxInt32 || intT.Min() != math.MinInt32 {
+		t.Errorf("int range: [%d, %d]", intT.Min(), intT.MaxSigned())
+	}
+	uc, ok := TypeByName("unsigned char")
+	if !ok {
+		t.Fatal("unsigned char missing")
+	}
+	if uc.MaxUnsigned() != 255 || uc.Min() != 0 {
+		t.Errorf("unsigned char range: [%d, %d]", uc.Min(), uc.MaxUnsigned())
+	}
+	if _, ok := TypeByName("quux"); ok {
+		t.Error("TypeByName(quux) should miss")
+	}
+	if uc.Width() != 8 {
+		t.Errorf("unsigned char width = %d", uc.Width())
+	}
+}

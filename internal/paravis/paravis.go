@@ -1,0 +1,126 @@
+// Package paravis is the stand-in for the ParaVis visualization library
+// [Danner, Newhall, Webb, EduPar-19] used by CS 31's Game of Life labs: it
+// renders 2D grids to a terminal, coloring each thread's partition
+// differently so students can see (and debug) how the grid was split. The
+// OpenGL canvas of the original becomes ANSI text, which preserves the
+// pedagogical function — seeing the partitioning — without a display.
+package paravis
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// ANSI color codes used to tint thread regions, cycled when there are more
+// threads than colors.
+var regionColors = []string{
+	"\x1b[31m", "\x1b[32m", "\x1b[33m", "\x1b[34m", "\x1b[35m", "\x1b[36m",
+	"\x1b[91m", "\x1b[92m", "\x1b[93m", "\x1b[94m", "\x1b[95m", "\x1b[96m",
+}
+
+const colorReset = "\x1b[0m"
+
+// Visualizer renders boolean grids as text.
+type Visualizer struct {
+	Live  rune // rune for live cells (default '@')
+	Dead  rune // rune for dead cells (default '.')
+	Color bool // tint cells by owning thread
+}
+
+// New returns a visualizer with the lab's default glyphs.
+func New(color bool) *Visualizer {
+	return &Visualizer{Live: '@', Dead: '.', Color: color}
+}
+
+// Render draws the grid. owner, if non-nil, maps a (row, col) to the thread
+// that owns that cell; each thread gets a distinct color (with Color set)
+// so partition bugs are visible at a glance.
+func (v *Visualizer) Render(grid [][]bool, owner func(row, col int) int) string {
+	var sb strings.Builder
+	for r, row := range grid {
+		lastOwner := -1
+		for c, alive := range row {
+			if v.Color && owner != nil {
+				o := owner(r, c)
+				if o != lastOwner {
+					sb.WriteString(regionColors[((o%len(regionColors))+len(regionColors))%len(regionColors)])
+					lastOwner = o
+				}
+			}
+			if alive {
+				sb.WriteRune(v.live())
+			} else {
+				sb.WriteRune(v.dead())
+			}
+		}
+		if v.Color && owner != nil {
+			sb.WriteString(colorReset)
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+func (v *Visualizer) live() rune {
+	if v.Live == 0 {
+		return '@'
+	}
+	return v.Live
+}
+
+func (v *Visualizer) dead() rune {
+	if v.Dead == 0 {
+		return '.'
+	}
+	return v.Dead
+}
+
+// Recorder captures rendered frames for later playback or assertion.
+type Recorder struct {
+	frames []string
+}
+
+// Add appends a frame.
+func (r *Recorder) Add(frame string) { r.frames = append(r.frames, frame) }
+
+// Frames returns the captured frames.
+func (r *Recorder) Frames() []string { return append([]string(nil), r.frames...) }
+
+// Len reports the number of captured frames.
+func (r *Recorder) Len() int { return len(r.frames) }
+
+// Playback writes all frames to w, separated by a cursor-home/clear escape
+// so a terminal shows them as an animation.
+func (r *Recorder) Playback(w io.Writer) error {
+	for i, f := range r.frames {
+		if _, err := fmt.Fprintf(w, "\x1b[H\x1b[2J%s(frame %d/%d)\n", f, i+1, len(r.frames)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Strip removes ANSI escape sequences, for tests and plain-text logs.
+func Strip(s string) string {
+	var sb strings.Builder
+	for i := 0; i < len(s); {
+		if s[i] == 0x1b {
+			j := i + 1
+			if j < len(s) && s[j] == '[' {
+				j++
+				for j < len(s) && (s[j] == ';' || (s[j] >= '0' && s[j] <= '9')) {
+					j++
+				}
+				if j < len(s) {
+					j++ // final byte
+				}
+			}
+			i = j
+			continue
+		}
+		sb.WriteByte(s[i])
+		i++
+	}
+	return sb.String()
+}

@@ -1,0 +1,90 @@
+package paravis
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRenderPlain(t *testing.T) {
+	v := New(false)
+	grid := [][]bool{{true, false}, {false, true}}
+	got := v.Render(grid, nil)
+	if got != "@.\n.@\n" {
+		t.Errorf("render = %q", got)
+	}
+}
+
+func TestRenderCustomGlyphs(t *testing.T) {
+	v := &Visualizer{Live: '#', Dead: ' '}
+	got := v.Render([][]bool{{true, false}}, nil)
+	if got != "# \n" {
+		t.Errorf("render = %q", got)
+	}
+	// Zero-value glyphs fall back to defaults.
+	zero := &Visualizer{}
+	if zero.Render([][]bool{{true}}, nil) != "@\n" {
+		t.Error("default glyphs")
+	}
+}
+
+func TestRenderColorRegions(t *testing.T) {
+	v := New(true)
+	grid := [][]bool{{true, true}, {true, true}}
+	owner := func(r, c int) int { return r } // one thread per row
+	got := v.Render(grid, owner)
+	if !strings.Contains(got, "\x1b[31m") || !strings.Contains(got, "\x1b[32m") {
+		t.Errorf("expected two region colors: %q", got)
+	}
+	if !strings.Contains(got, colorReset) {
+		t.Error("missing color reset")
+	}
+	// Stripping colors recovers the plain render.
+	if Strip(got) != "@@\n@@\n" {
+		t.Errorf("stripped = %q", Strip(got))
+	}
+}
+
+func TestColorCycling(t *testing.T) {
+	v := New(true)
+	grid := [][]bool{make([]bool, 30)}
+	owner := func(r, c int) int { return c } // more owners than colors
+	got := v.Render(grid, owner)
+	if Strip(got) != strings.Repeat(".", 30)+"\n" {
+		t.Errorf("stripped = %q", Strip(got))
+	}
+}
+
+func TestRecorder(t *testing.T) {
+	var rec Recorder
+	rec.Add("frame1\n")
+	rec.Add("frame2\n")
+	if rec.Len() != 2 {
+		t.Fatalf("len = %d", rec.Len())
+	}
+	frames := rec.Frames()
+	if frames[0] != "frame1\n" || frames[1] != "frame2\n" {
+		t.Errorf("frames = %v", frames)
+	}
+	var out strings.Builder
+	if err := rec.Playback(&out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "frame 1/2") || !strings.Contains(out.String(), "frame2") {
+		t.Errorf("playback = %q", out.String())
+	}
+}
+
+func TestStripEdgeCases(t *testing.T) {
+	if Strip("plain") != "plain" {
+		t.Error("plain text should pass through")
+	}
+	if Strip("\x1b[31mred\x1b[0m") != "red" {
+		t.Error("color codes should strip")
+	}
+	if Strip("\x1b") != "" {
+		t.Error("bare escape should strip")
+	}
+	if Strip("\x1b[12;34m x") != " x" {
+		t.Errorf("multi-param escape: %q", Strip("\x1b[12;34m x"))
+	}
+}

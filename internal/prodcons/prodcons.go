@@ -1,0 +1,230 @@
+// Package prodcons implements the producer/consumer (bounded buffer)
+// problem that closes CS 31's synchronization module: a fixed-capacity
+// buffer guarded by a mutex with two condition variables (not-full,
+// not-empty), exercised by configurable producer and consumer thread
+// pools. A channel-based implementation of the same interface serves as a
+// behavioural reference in tests.
+package prodcons
+
+import (
+	"errors"
+	"fmt"
+
+	"cs31/internal/pthread"
+)
+
+// ErrClosed is returned by Put on a closed buffer, and by Get once a
+// closed buffer has drained.
+var ErrClosed = errors.New("prodcons: buffer closed")
+
+// Buffer is the interface both implementations satisfy.
+type Buffer interface {
+	Put(v int) error
+	Get() (int, error)
+	Close()
+}
+
+// BoundedBuffer is the mutex+condition-variable bounded buffer from
+// lecture: a circular array, a not-full condition producers wait on, and a
+// not-empty condition consumers wait on.
+type BoundedBuffer struct {
+	mu       *pthread.Mutex
+	notFull  *pthread.Cond
+	notEmpty *pthread.Cond
+	items    []int
+	head     int // next slot to read
+	count    int // items in the buffer
+	closed   bool
+}
+
+// NewBounded creates a bounded buffer with the given capacity.
+func NewBounded(capacity int) (*BoundedBuffer, error) {
+	if capacity < 1 {
+		return nil, fmt.Errorf("prodcons: capacity %d invalid", capacity)
+	}
+	b := &BoundedBuffer{
+		mu:    pthread.NewMutex("prodcons"),
+		items: make([]int, capacity),
+	}
+	b.notFull = pthread.NewCond(b.mu)
+	b.notEmpty = pthread.NewCond(b.mu)
+	return b, nil
+}
+
+// Put appends an item, blocking while the buffer is full.
+func (b *BoundedBuffer) Put(v int) error {
+	if err := b.mu.Lock(); err != nil {
+		return err
+	}
+	defer b.mu.Unlock()
+	for b.count == len(b.items) && !b.closed {
+		b.notFull.Wait()
+	}
+	if b.closed {
+		return ErrClosed
+	}
+	b.items[(b.head+b.count)%len(b.items)] = v
+	b.count++
+	b.notEmpty.Signal()
+	return nil
+}
+
+// Get removes the oldest item, blocking while the buffer is empty.
+func (b *BoundedBuffer) Get() (int, error) {
+	if err := b.mu.Lock(); err != nil {
+		return 0, err
+	}
+	defer b.mu.Unlock()
+	for b.count == 0 && !b.closed {
+		b.notEmpty.Wait()
+	}
+	if b.count == 0 && b.closed {
+		return 0, ErrClosed
+	}
+	v := b.items[b.head]
+	b.head = (b.head + 1) % len(b.items)
+	b.count--
+	b.notFull.Signal()
+	return v, nil
+}
+
+// Close wakes all waiters; Get drains remaining items first.
+func (b *BoundedBuffer) Close() {
+	if err := b.mu.Lock(); err != nil {
+		return
+	}
+	defer b.mu.Unlock()
+	b.closed = true
+	b.notFull.Broadcast()
+	b.notEmpty.Broadcast()
+}
+
+// Len reports the current item count.
+func (b *BoundedBuffer) Len() int {
+	if err := b.mu.Lock(); err != nil {
+		return 0
+	}
+	defer b.mu.Unlock()
+	return b.count
+}
+
+// ChanBuffer is the Go-native reference: a buffered channel.
+type ChanBuffer struct {
+	ch     chan int
+	closed chan struct{}
+}
+
+// NewChan creates a channel-backed buffer with the given capacity.
+func NewChan(capacity int) (*ChanBuffer, error) {
+	if capacity < 1 {
+		return nil, fmt.Errorf("prodcons: capacity %d invalid", capacity)
+	}
+	return &ChanBuffer{ch: make(chan int, capacity), closed: make(chan struct{})}, nil
+}
+
+// Put appends an item, blocking while full.
+func (c *ChanBuffer) Put(v int) error {
+	select {
+	case <-c.closed:
+		return ErrClosed
+	default:
+	}
+	select {
+	case c.ch <- v:
+		return nil
+	case <-c.closed:
+		return ErrClosed
+	}
+}
+
+// Get removes the oldest item, blocking while empty.
+func (c *ChanBuffer) Get() (int, error) {
+	select {
+	case v := <-c.ch:
+		return v, nil
+	case <-c.closed:
+		// Drain anything racing with close.
+		select {
+		case v := <-c.ch:
+			return v, nil
+		default:
+			return 0, ErrClosed
+		}
+	}
+}
+
+// Close wakes all waiters.
+func (c *ChanBuffer) Close() { close(c.closed) }
+
+// Result summarizes a producer/consumer run.
+type Result struct {
+	Produced int
+	Consumed []int // every value consumed, in consumption order per run
+}
+
+// Run drives producers and consumers over a buffer: producers [0, nProd)
+// each put items [id*perProd, (id+1)*perProd); consumers drain everything.
+// It returns every consumed value, which tests check for exactly-once
+// delivery.
+func Run(buf Buffer, nProd, nCons, perProd int) (*Result, error) {
+	if nProd < 1 || nCons < 1 || perProd < 1 {
+		return nil, fmt.Errorf("prodcons: counts must be positive")
+	}
+	total := nProd * perProd
+
+	producers := make([]*pthread.Thread, nProd)
+	for id := 0; id < nProd; id++ {
+		lo := id * perProd
+		producers[id] = pthread.Create(func() interface{} {
+			for i := 0; i < perProd; i++ {
+				if err := buf.Put(lo + i); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+	}
+
+	consumed := make(chan int, total)
+	consumers := make([]*pthread.Thread, nCons)
+	for id := 0; id < nCons; id++ {
+		consumers[id] = pthread.Create(func() interface{} {
+			for {
+				v, err := buf.Get()
+				if errors.Is(err, ErrClosed) {
+					return nil
+				}
+				if err != nil {
+					return err
+				}
+				consumed <- v
+			}
+		})
+	}
+
+	for _, p := range producers {
+		v, err := p.Join()
+		if err != nil {
+			return nil, err
+		}
+		if e, ok := v.(error); ok && e != nil {
+			return nil, e
+		}
+	}
+	// Wait for all items to be consumed, then release the consumers.
+	res := &Result{Produced: total}
+	for len(res.Consumed) < total {
+		res.Consumed = append(res.Consumed, <-consumed)
+	}
+	buf.Close()
+	for _, c := range consumers {
+		v, err := c.Join()
+		if err != nil {
+			return nil, err
+		}
+		if e, ok := v.(error); ok && e != nil {
+			return nil, e
+		}
+	}
+	return res, nil
+}

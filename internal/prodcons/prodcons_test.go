@@ -1,0 +1,236 @@
+package prodcons
+
+import (
+	"errors"
+	"sort"
+	"testing"
+	"time"
+
+	"cs31/internal/pthread"
+)
+
+func checkExactlyOnce(t *testing.T, res *Result) {
+	t.Helper()
+	if len(res.Consumed) != res.Produced {
+		t.Fatalf("consumed %d of %d", len(res.Consumed), res.Produced)
+	}
+	sorted := append([]int(nil), res.Consumed...)
+	sort.Ints(sorted)
+	for i, v := range sorted {
+		if v != i {
+			t.Fatalf("value %d missing or duplicated (slot %d holds %d)", i, i, v)
+		}
+	}
+}
+
+func TestBoundedBufferExactlyOnce(t *testing.T) {
+	for _, shape := range []struct{ prod, cons, per int }{
+		{1, 1, 100}, {4, 1, 50}, {1, 4, 200}, {4, 4, 100}, {3, 5, 77},
+	} {
+		buf, err := NewBounded(8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := Run(buf, shape.prod, shape.cons, shape.per)
+		if err != nil {
+			t.Fatalf("%+v: %v", shape, err)
+		}
+		checkExactlyOnce(t, res)
+	}
+}
+
+func TestChanBufferExactlyOnce(t *testing.T) {
+	buf, err := NewChan(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(buf, 4, 4, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkExactlyOnce(t, res)
+}
+
+func TestTinyBufferForcesBlocking(t *testing.T) {
+	// Capacity 1 forces producers and consumers to alternate.
+	buf, err := NewBounded(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(buf, 2, 2, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkExactlyOnce(t, res)
+}
+
+func TestSingleProducerFIFO(t *testing.T) {
+	// With one producer and one consumer the bounded buffer must preserve
+	// order exactly.
+	buf, err := NewBounded(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan []int)
+	consumer := pthread.Create(func() interface{} {
+		var got []int
+		for {
+			v, err := buf.Get()
+			if errors.Is(err, ErrClosed) {
+				done <- got
+				return nil
+			}
+			if err != nil {
+				t.Error(err)
+				done <- got
+				return nil
+			}
+			got = append(got, v)
+		}
+	})
+	for i := 0; i < 100; i++ {
+		if err := buf.Put(i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Give the consumer time to drain, then close.
+	for buf.Len() > 0 {
+		time.Sleep(time.Millisecond)
+	}
+	buf.Close()
+	got := <-done
+	consumer.Join()
+	if len(got) != 100 {
+		t.Fatalf("consumed %d", len(got))
+	}
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("order violated at %d: %d", i, v)
+		}
+	}
+}
+
+func TestCloseUnblocksWaiters(t *testing.T) {
+	buf, err := NewBounded(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A consumer blocked on an empty buffer...
+	waiter := pthread.Create(func() interface{} {
+		_, err := buf.Get()
+		return err
+	})
+	time.Sleep(5 * time.Millisecond)
+	buf.Close()
+	v, err := waiter.Join()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !errors.Is(v.(error), ErrClosed) {
+		t.Errorf("blocked Get after close: %v", v)
+	}
+	// Put on a closed buffer errors too.
+	if err := buf.Put(1); !errors.Is(err, ErrClosed) {
+		t.Errorf("Put after close: %v", err)
+	}
+}
+
+func TestCloseDrainsRemaining(t *testing.T) {
+	buf, err := NewBounded(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf.Put(1)
+	buf.Put(2)
+	buf.Close()
+	if v, err := buf.Get(); err != nil || v != 1 {
+		t.Errorf("Get after close = %d, %v", v, err)
+	}
+	if v, err := buf.Get(); err != nil || v != 2 {
+		t.Errorf("second Get = %d, %v", v, err)
+	}
+	if _, err := buf.Get(); !errors.Is(err, ErrClosed) {
+		t.Errorf("drained Get: %v", err)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	if _, err := NewBounded(0); err == nil {
+		t.Error("zero capacity should fail")
+	}
+	if _, err := NewChan(0); err == nil {
+		t.Error("zero chan capacity should fail")
+	}
+	buf, _ := NewBounded(1)
+	if _, err := Run(buf, 0, 1, 1); err == nil {
+		t.Error("zero producers should fail")
+	}
+}
+
+func TestBufferLen(t *testing.T) {
+	buf, _ := NewBounded(4)
+	if buf.Len() != 0 {
+		t.Error("new buffer should be empty")
+	}
+	buf.Put(9)
+	if buf.Len() != 1 {
+		t.Errorf("len = %d", buf.Len())
+	}
+}
+
+func TestChanPutAfterClose(t *testing.T) {
+	buf, _ := NewChan(2)
+	buf.Put(1)
+	buf.Close()
+	if err := buf.Put(2); !errors.Is(err, ErrClosed) {
+		t.Errorf("Put after close: %v", err)
+	}
+	// The item put before close is still retrievable.
+	if v, err := buf.Get(); err != nil || v != 1 {
+		t.Errorf("Get = %d, %v", v, err)
+	}
+}
+
+func BenchmarkBoundedBuffer(b *testing.B) {
+	buf, err := NewBounded(64)
+	if err != nil {
+		b.Fatal(err)
+	}
+	go func() {
+		for {
+			if _, err := buf.Get(); err != nil {
+				return
+			}
+		}
+	}()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := buf.Put(i); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	buf.Close()
+}
+
+func BenchmarkChanBuffer(b *testing.B) {
+	buf, err := NewChan(64)
+	if err != nil {
+		b.Fatal(err)
+	}
+	go func() {
+		for {
+			if _, err := buf.Get(); err != nil {
+				return
+			}
+		}
+	}()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := buf.Put(i); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	buf.Close()
+}

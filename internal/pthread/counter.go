@@ -1,0 +1,142 @@
+package pthread
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// The shared-counter experiment: the course's first data-race example.
+// threads threads each increment a shared counter n times under one of
+// four synchronization strategies; the racy strategy loses updates on real
+// multicore hardware, which is the whole point of the demonstration.
+
+// CounterMode selects the synchronization strategy.
+type CounterMode int
+
+// Counter synchronization strategies, in lecture order.
+const (
+	Racy    CounterMode = iota // unsynchronized read-modify-write
+	Mutexed                    // one mutex around the increment
+	Atomic                     // hardware atomic add
+	Sharded                    // per-thread counters, summed after join
+)
+
+func (m CounterMode) String() string {
+	return [...]string{"racy", "mutex", "atomic", "sharded"}[m]
+}
+
+// CounterResult reports one run of the experiment.
+type CounterResult struct {
+	Mode     CounterMode
+	Threads  int
+	PerEach  int
+	Expected int64
+	Final    int64
+}
+
+// LostUpdates is Expected - Final (positive only for racy runs).
+func (r CounterResult) LostUpdates() int64 { return r.Expected - r.Final }
+
+// RunCounter performs the experiment.
+func RunCounter(mode CounterMode, threads, perThread int) (CounterResult, error) {
+	if threads < 1 || perThread < 1 {
+		return CounterResult{}, fmt.Errorf("pthread: counter needs positive threads and count")
+	}
+	res := CounterResult{
+		Mode: mode, Threads: threads, PerEach: perThread,
+		Expected: int64(threads) * int64(perThread),
+	}
+	switch mode {
+	case Racy:
+		// Intentionally unsynchronized: the classic lost-update race. The
+		// counter is read and written non-atomically from many goroutines.
+		var counter int64
+		ts := make([]*Thread, threads)
+		for i := range ts {
+			ts[i] = Create(func() interface{} {
+				for j := 0; j < perThread; j++ {
+					counter = counter + 1 // data race, on purpose
+				}
+				return nil
+			})
+		}
+		for _, t := range ts {
+			if _, err := t.Join(); err != nil {
+				return res, err
+			}
+		}
+		res.Final = counter
+
+	case Mutexed:
+		var counter int64
+		mu := NewMutex("counter")
+		ts := make([]*Thread, threads)
+		for i := range ts {
+			ts[i] = Create(func() interface{} {
+				for j := 0; j < perThread; j++ {
+					if err := mu.Lock(); err != nil {
+						return err
+					}
+					counter++
+					if err := mu.Unlock(); err != nil {
+						return err
+					}
+				}
+				return nil
+			})
+		}
+		for _, t := range ts {
+			v, err := t.Join()
+			if err != nil {
+				return res, err
+			}
+			if e, ok := v.(error); ok && e != nil {
+				return res, e
+			}
+		}
+		res.Final = counter
+
+	case Atomic:
+		var counter atomic.Int64
+		ts := make([]*Thread, threads)
+		for i := range ts {
+			ts[i] = Create(func() interface{} {
+				for j := 0; j < perThread; j++ {
+					counter.Add(1)
+				}
+				return nil
+			})
+		}
+		for _, t := range ts {
+			if _, err := t.Join(); err != nil {
+				return res, err
+			}
+		}
+		res.Final = counter.Load()
+
+	case Sharded:
+		shards := make([]int64, threads*8) // padded to separate cache lines
+		ts := make([]*Thread, threads)
+		for i := range ts {
+			slot := i * 8
+			ts[i] = Create(func() interface{} {
+				for j := 0; j < perThread; j++ {
+					shards[slot]++
+				}
+				return nil
+			})
+		}
+		for _, t := range ts {
+			if _, err := t.Join(); err != nil {
+				return res, err
+			}
+		}
+		for i := 0; i < threads; i++ {
+			res.Final += shards[i*8]
+		}
+
+	default:
+		return res, fmt.Errorf("pthread: unknown counter mode %d", mode)
+	}
+	return res, nil
+}

@@ -1,0 +1,82 @@
+package pthread
+
+import (
+	"runtime"
+	"testing"
+)
+
+func TestCounterModesCorrectness(t *testing.T) {
+	for _, mode := range []CounterMode{Mutexed, Atomic, Sharded} {
+		res, err := RunCounter(mode, 8, 2000)
+		if err != nil {
+			t.Fatalf("%v: %v", mode, err)
+		}
+		if res.Final != res.Expected {
+			t.Errorf("%v: final %d != expected %d", mode, res.Final, res.Expected)
+		}
+		if res.LostUpdates() != 0 {
+			t.Errorf("%v: lost %d updates", mode, res.LostUpdates())
+		}
+	}
+}
+
+func TestCounterRacyNeverExceedsExpected(t *testing.T) {
+	res, err := RunCounter(Racy, 8, 5000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Final > res.Expected {
+		t.Errorf("racy counter overshot: %d > %d", res.Final, res.Expected)
+	}
+	if res.Final <= 0 {
+		t.Errorf("racy counter lost everything: %d", res.Final)
+	}
+	// On a multicore machine the race usually loses updates; don't assert
+	// it (a machine could get lucky), but report for the curious.
+	if runtime.GOMAXPROCS(0) > 1 {
+		t.Logf("racy counter: expected %d, got %d (lost %d)",
+			res.Expected, res.Final, res.LostUpdates())
+	}
+}
+
+func TestCounterValidation(t *testing.T) {
+	if _, err := RunCounter(Racy, 0, 10); err == nil {
+		t.Error("zero threads should fail")
+	}
+	if _, err := RunCounter(Racy, 1, 0); err == nil {
+		t.Error("zero increments should fail")
+	}
+	if _, err := RunCounter(CounterMode(99), 1, 1); err == nil {
+		t.Error("unknown mode should fail")
+	}
+}
+
+func TestCounterModeString(t *testing.T) {
+	if Racy.String() != "racy" || Sharded.String() != "sharded" {
+		t.Error("mode names")
+	}
+}
+
+func BenchmarkCounterMutex(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := RunCounter(Mutexed, 4, 500); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCounterAtomic(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := RunCounter(Atomic, 4, 500); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCounterSharded(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := RunCounter(Sharded, 4, 500); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

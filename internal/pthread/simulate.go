@@ -1,0 +1,114 @@
+package pthread
+
+import (
+	"fmt"
+	"math"
+	"time"
+)
+
+// SimModel is an analytic multicore execution model for barrier-style
+// data-parallel programs (the shape of the parallel Game of Life). It
+// exists because reproducing the course's "near linear speedup up to 16
+// threads" measurement requires a multicore machine; on hosts without one
+// (or for deterministic regression tests) the model computes the same
+// curve from first principles: block-partitioned work, min(threads, cores)
+// true concurrency, a serial fraction, and per-round barrier overhead that
+// grows with the thread count.
+type SimModel struct {
+	Cores        int     // physical cores of the modeled machine
+	WorkUnits    int64   // parallelizable work units per round
+	UnitCostNs   float64 // cost of one work unit
+	SerialNs     float64 // per-round serial section (the lab's swap/stats)
+	BarrierNs    float64 // barrier cost per participating thread per round
+	Rounds       int     // barrier rounds (Game of Life generations)
+	LoadImchance float64 // load imbalance: max block is (1+x) times average
+}
+
+// Lab10Model returns the model configured like the course's measurement:
+// a 16-core lab machine running a 512x512 grid for 100 generations.
+func Lab10Model() SimModel {
+	return SimModel{
+		Cores:      16,
+		WorkUnits:  512 * 512,
+		UnitCostNs: 12,
+		SerialNs:   2_000,
+		BarrierNs:  150,
+		Rounds:     100,
+	}
+}
+
+// Validate checks the model's parameters.
+func (m SimModel) Validate() error {
+	if m.Cores < 1 || m.WorkUnits < 1 || m.Rounds < 1 {
+		return fmt.Errorf("pthread: sim model needs positive cores, work, rounds")
+	}
+	if m.UnitCostNs <= 0 || m.SerialNs < 0 || m.BarrierNs < 0 || m.LoadImchance < 0 {
+		return fmt.Errorf("pthread: sim model costs invalid")
+	}
+	return nil
+}
+
+// TimeNs returns the modeled wall-clock time for the given thread count.
+func (m SimModel) TimeNs(threads int) (float64, error) {
+	if err := m.Validate(); err != nil {
+		return 0, err
+	}
+	if threads < 1 {
+		return 0, fmt.Errorf("pthread: need at least 1 thread")
+	}
+	// Per-round compute: the largest block, times how many scheduling
+	// waves the cores need to run all threads. A single thread has one
+	// block, so imbalance applies only to partitioned runs.
+	maxBlock := math.Ceil(float64(m.WorkUnits) / float64(threads))
+	if threads > 1 {
+		maxBlock *= 1 + m.LoadImchance
+	}
+	waves := math.Ceil(float64(threads) / float64(m.Cores))
+	compute := maxBlock * waves * m.UnitCostNs
+	barrier := 0.0
+	if threads > 1 {
+		barrier = m.BarrierNs * float64(threads)
+	}
+	perRound := compute + barrier + m.SerialNs
+	return perRound * float64(m.Rounds), nil
+}
+
+// Speedup returns modeled T(1)/T(threads).
+func (m SimModel) Speedup(threads int) (float64, error) {
+	t1, err := m.TimeNs(1)
+	if err != nil {
+		return 0, err
+	}
+	tn, err := m.TimeNs(threads)
+	if err != nil {
+		return 0, err
+	}
+	return t1 / tn, nil
+}
+
+// Curve evaluates the model across thread counts, producing the series the
+// Lab 10 speedup plot shows.
+func (m SimModel) Curve(threadCounts []int) ([]ScalingPoint, error) {
+	if len(threadCounts) == 0 {
+		return nil, fmt.Errorf("pthread: no thread counts")
+	}
+	out := make([]ScalingPoint, 0, len(threadCounts))
+	t1, err := m.TimeNs(threadCounts[0])
+	if err != nil {
+		return nil, err
+	}
+	for _, tc := range threadCounts {
+		tn, err := m.TimeNs(tc)
+		if err != nil {
+			return nil, err
+		}
+		sp := t1 / tn
+		out = append(out, ScalingPoint{
+			Threads:    tc,
+			Elapsed:    time.Duration(tn),
+			Speedup:    sp,
+			Efficiency: sp / float64(tc),
+		})
+	}
+	return out, nil
+}

@@ -1,0 +1,122 @@
+package pthread
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestLab10ModelNearLinearTo16(t *testing.T) {
+	m := Lab10Model()
+	// The paper's claim: near linear speedup up to 16 threads.
+	for _, tc := range []int{2, 4, 8, 16} {
+		sp, err := m.Speedup(tc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sp < 0.8*float64(tc) {
+			t.Errorf("%d threads: modeled speedup %.2f below 80%% of linear", tc, sp)
+		}
+		if sp > float64(tc) {
+			t.Errorf("%d threads: superlinear speedup %.2f from the model", tc, sp)
+		}
+	}
+}
+
+func TestModelSaturatesPastCores(t *testing.T) {
+	m := Lab10Model()
+	at16, _ := m.Speedup(16)
+	at32, _ := m.Speedup(32)
+	at64, _ := m.Speedup(64)
+	if at32 > at16*1.05 {
+		t.Errorf("speedup should flatten past %d cores: 16->%.2f 32->%.2f", m.Cores, at16, at32)
+	}
+	if at64 >= at32 {
+		t.Errorf("barrier overhead should degrade oversubscribed runs: 32->%.2f 64->%.2f", at32, at64)
+	}
+}
+
+func TestModelSerialFractionCapsSpeedup(t *testing.T) {
+	// Grow the serial section: Amdahl takes over.
+	m := Lab10Model()
+	m.SerialNs = float64(m.WorkUnits) * m.UnitCostNs // 50% serial per round
+	sp, err := m.Speedup(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sp > 2.1 {
+		t.Errorf("50%% serial work cannot speed up beyond 2x, got %.2f", sp)
+	}
+}
+
+func TestModelCurve(t *testing.T) {
+	m := Lab10Model()
+	pts, err := m.Curve([]int{1, 2, 4, 8, 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 5 || pts[0].Speedup != 1 {
+		t.Fatalf("curve: %+v", pts)
+	}
+	for i := 1; i < len(pts); i++ {
+		if pts[i].Speedup <= pts[i-1].Speedup {
+			t.Errorf("curve should rise through 16 threads: %+v", pts)
+		}
+		if pts[i].Efficiency > 1.0000001 {
+			t.Errorf("efficiency above 1: %+v", pts[i])
+		}
+	}
+	if _, err := m.Curve(nil); err == nil {
+		t.Error("empty curve should fail")
+	}
+}
+
+func TestModelValidation(t *testing.T) {
+	bad := []SimModel{
+		{Cores: 0, WorkUnits: 1, UnitCostNs: 1, Rounds: 1},
+		{Cores: 1, WorkUnits: 0, UnitCostNs: 1, Rounds: 1},
+		{Cores: 1, WorkUnits: 1, UnitCostNs: 0, Rounds: 1},
+		{Cores: 1, WorkUnits: 1, UnitCostNs: 1, Rounds: 0},
+		{Cores: 1, WorkUnits: 1, UnitCostNs: 1, Rounds: 1, BarrierNs: -1},
+	}
+	for i, m := range bad {
+		if err := m.Validate(); err == nil {
+			t.Errorf("model %d should be invalid", i)
+		}
+	}
+	m := Lab10Model()
+	if _, err := m.TimeNs(0); err == nil {
+		t.Error("0 threads should fail")
+	}
+}
+
+// Property: modeled speedup is always in (0, threads] and time is positive.
+func TestModelBoundsProperty(t *testing.T) {
+	f := func(tRaw uint8, coresRaw uint8) bool {
+		m := Lab10Model()
+		m.Cores = int(coresRaw%32) + 1
+		threads := int(tRaw%64) + 1
+		tn, err := m.TimeNs(threads)
+		if err != nil || tn <= 0 {
+			return false
+		}
+		sp, err := m.Speedup(threads)
+		if err != nil {
+			return false
+		}
+		return sp > 0 && sp <= float64(threads)+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestModelLoadImbalanceHurts(t *testing.T) {
+	balanced := Lab10Model()
+	skewed := Lab10Model()
+	skewed.LoadImchance = 0.5
+	b, _ := balanced.Speedup(8)
+	s, _ := skewed.Speedup(8)
+	if s > b {
+		t.Errorf("imbalance should not improve speedup: %.2f > %.2f", s, b)
+	}
+}

@@ -1,0 +1,95 @@
+// Package shell implements Labs 8 and 9: a command parser library
+// (tokenizing, ampersand detection) and a Unix-style shell that runs
+// commands as processes on the simulated kernel, with foreground and
+// background execution, job reaping, and a history mechanism.
+package shell
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Command is a parsed command line.
+type Command struct {
+	Argv       []string // command name and arguments
+	Background bool     // trailing '&'
+}
+
+// ParseError reports a malformed command line.
+type ParseError struct{ Msg string }
+
+func (e *ParseError) Error() string { return "shell: parse error: " + e.Msg }
+
+// Parse tokenizes a command line: whitespace-separated words, double-quoted
+// strings kept as single tokens, and a trailing '&' marking background
+// execution — the Lab 8 parser contract.
+func Parse(line string) (*Command, error) {
+	var tokens []string
+	i := 0
+	n := len(line)
+	for i < n {
+		c := line[i]
+		switch {
+		case c == ' ' || c == '\t':
+			i++
+		case c == '"':
+			j := i + 1
+			var sb strings.Builder
+			for j < n && line[j] != '"' {
+				sb.WriteByte(line[j])
+				j++
+			}
+			if j >= n {
+				return nil, &ParseError{Msg: "unterminated quote"}
+			}
+			tokens = append(tokens, sb.String())
+			i = j + 1
+		default:
+			j := i
+			for j < n && line[j] != ' ' && line[j] != '\t' && line[j] != '"' {
+				j++
+			}
+			tokens = append(tokens, line[i:j])
+			i = j
+		}
+	}
+
+	cmd := &Command{}
+	// A trailing '&' (as its own token or glued to the last word) requests
+	// background execution. An '&' anywhere else is an error.
+	for idx, t := range tokens {
+		stripped := strings.ReplaceAll(t, "&", "")
+		count := strings.Count(t, "&")
+		switch {
+		case count == 0:
+			cmd.Argv = append(cmd.Argv, t)
+		case count == 1 && idx == len(tokens)-1 && strings.HasSuffix(t, "&"):
+			cmd.Background = true
+			if stripped != "" {
+				cmd.Argv = append(cmd.Argv, stripped)
+			}
+		default:
+			return nil, &ParseError{Msg: fmt.Sprintf("unexpected '&' in %q", t)}
+		}
+	}
+	return cmd, nil
+}
+
+// Empty reports whether the command has no words.
+func (c *Command) Empty() bool { return len(c.Argv) == 0 }
+
+// Name returns the command word, or "".
+func (c *Command) Name() string {
+	if c.Empty() {
+		return ""
+	}
+	return c.Argv[0]
+}
+
+// Args returns the arguments after the command word.
+func (c *Command) Args() []string {
+	if c.Empty() {
+		return nil
+	}
+	return c.Argv[1:]
+}

@@ -1,0 +1,318 @@
+package shell
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+
+	"cs31/internal/kernel"
+)
+
+// CommandFunc builds the simulated program for a command given its
+// arguments — the stand-in for an executable on disk, run via the
+// fork/exec idiom on the kernel.
+type CommandFunc func(args []string) []kernel.Op
+
+// Job is one background command.
+type Job struct {
+	ID   int
+	PID  kernel.PID
+	Line string
+	Done bool
+}
+
+// Shell is the Lab 9 shell: it parses lines, runs commands as kernel
+// processes (foreground or background), reaps finished background jobs,
+// and keeps history.
+type Shell struct {
+	k        *kernel.Kernel
+	out      io.Writer
+	commands map[string]CommandFunc
+	history  []string
+	jobs     []*Job
+	nextJob  int
+	rr       int // round-robin rotation counter
+	outOff   int // bytes of kernel output already flushed
+	exited   bool
+}
+
+// New creates a shell writing command output to out.
+func New(out io.Writer) *Shell {
+	s := &Shell{
+		k:        kernel.New(),
+		out:      out,
+		commands: make(map[string]CommandFunc),
+		nextJob:  1,
+	}
+	s.registerDefaults()
+	return s
+}
+
+// Register installs a command implementation.
+func (s *Shell) Register(name string, f CommandFunc) { s.commands[name] = f }
+
+func (s *Shell) registerDefaults() {
+	s.Register("echo", func(args []string) []kernel.Op {
+		return []kernel.Op{kernel.Print{Text: strings.Join(args, " ") + "\n"}}
+	})
+	s.Register("true", func([]string) []kernel.Op {
+		return []kernel.Op{kernel.Exit{Status: 0}}
+	})
+	s.Register("false", func([]string) []kernel.Op {
+		return []kernel.Op{kernel.Exit{Status: 1}}
+	})
+	s.Register("sleep", func(args []string) []kernel.Op {
+		n := 10
+		if len(args) > 0 {
+			if v, err := strconv.Atoi(args[0]); err == nil && v > 0 {
+				n = v
+			}
+		}
+		return []kernel.Op{kernel.Compute{N: n}}
+	})
+	s.Register("yes", func(args []string) []kernel.Op {
+		word := "y"
+		if len(args) > 0 {
+			word = args[0]
+		}
+		ops := make([]kernel.Op, 0, 8)
+		for i := 0; i < 4; i++ { // bounded, unlike the real thing
+			ops = append(ops, kernel.Print{Text: word + "\n"}, kernel.Compute{N: 2})
+		}
+		return ops
+	})
+}
+
+// Exited reports whether the user has run "exit".
+func (s *Shell) Exited() bool { return s.exited }
+
+// Jobs returns the background jobs, oldest first.
+func (s *Shell) Jobs() []*Job {
+	out := append([]*Job(nil), s.jobs...)
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// History returns the command history, oldest first.
+func (s *Shell) History() []string { return append([]string(nil), s.history...) }
+
+// flushOutput copies newly produced kernel output to the shell's writer.
+func (s *Shell) flushOutput() {
+	all := s.k.Output()
+	if s.outOff < len(all) {
+		io.WriteString(s.out, all[s.outOff:])
+		s.outOff = len(all)
+	}
+}
+
+// reapJobs marks finished background jobs done and reports them, the
+// SIGCHLD-handler behaviour of the lab shell.
+func (s *Shell) reapJobs() {
+	for _, j := range s.jobs {
+		if j.Done {
+			continue
+		}
+		if _, alive := s.k.Proc(j.PID); !alive {
+			j.Done = true
+			fmt.Fprintf(s.out, "[%d] done  %s\n", j.ID, j.Line)
+		}
+	}
+	kept := s.jobs[:0]
+	for _, j := range s.jobs {
+		if !j.Done {
+			kept = append(kept, j)
+		}
+	}
+	s.jobs = kept
+}
+
+// Run executes one command line. It returns an error only for malformed
+// input; command failures are reflected in output.
+func (s *Shell) Run(line string) error {
+	trimmed := strings.TrimSpace(line)
+
+	// History expansion before anything else.
+	if trimmed == "!!" || (strings.HasPrefix(trimmed, "!") && len(trimmed) > 1) {
+		expanded, err := s.expandHistory(trimmed)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(s.out, "%s\n", expanded)
+		trimmed = expanded
+	}
+
+	cmd, err := Parse(trimmed)
+	if err != nil {
+		return err
+	}
+	if cmd.Empty() {
+		s.reapJobs()
+		return nil
+	}
+	s.history = append(s.history, trimmed)
+
+	switch cmd.Name() {
+	case "exit":
+		s.exited = true
+		return nil
+	case "history":
+		for i, h := range s.history {
+			fmt.Fprintf(s.out, "%5d  %s\n", i+1, h)
+		}
+		return nil
+	case "jobs":
+		s.reapJobs()
+		for _, j := range s.Jobs() {
+			fmt.Fprintf(s.out, "[%d] running  %s\n", j.ID, j.Line)
+		}
+		return nil
+	case "kill":
+		if len(cmd.Args()) != 1 || !strings.HasPrefix(cmd.Args()[0], "%") {
+			fmt.Fprintln(s.out, "usage: kill %jobid")
+			return nil
+		}
+		id, err := strconv.Atoi(strings.TrimPrefix(cmd.Args()[0], "%"))
+		if err != nil {
+			fmt.Fprintln(s.out, "usage: kill %jobid")
+			return nil
+		}
+		for _, j := range s.jobs {
+			if j.ID == id {
+				if err := s.k.Kill(j.PID, kernel.SIGTERM); err != nil {
+					fmt.Fprintf(s.out, "kill: %v\n", err)
+				} else {
+					s.pump(4) // let the signal be delivered
+					s.reapJobs()
+				}
+				return nil
+			}
+		}
+		fmt.Fprintf(s.out, "kill: no job %%%d\n", id)
+		return nil
+	}
+
+	builder, ok := s.commands[cmd.Name()]
+	if !ok {
+		fmt.Fprintf(s.out, "%s: command not found\n", cmd.Name())
+		return nil
+	}
+
+	// fork + exec: the spawned process execs the command program.
+	prog := []kernel.Op{kernel.Exec{Prog: builder(cmd.Args())}}
+	pid := s.k.Spawn(prog)
+
+	if cmd.Background {
+		j := &Job{ID: s.nextJob, PID: pid, Line: trimmed}
+		s.nextJob++
+		s.jobs = append(s.jobs, j)
+		fmt.Fprintf(s.out, "[%d] %d\n", j.ID, pid)
+		// Background jobs advance a little while the shell is "at the
+		// prompt" (they share the simulated CPU).
+		s.pump(8)
+	} else {
+		// Foreground: run the kernel until this process is gone, letting
+		// background jobs share the CPU along the way.
+		if err := s.waitFor(pid); err != nil {
+			return err
+		}
+	}
+	s.flushOutput()
+	s.reapJobs()
+	return nil
+}
+
+// waitFor steps the kernel until pid has fully exited.
+func (s *Shell) waitFor(pid kernel.PID) error {
+	for steps := 0; steps < 1_000_000; steps++ {
+		if _, alive := s.k.Proc(pid); !alive {
+			return nil
+		}
+		if !s.stepOnce() {
+			return fmt.Errorf("shell: foreground process %d wedged", pid)
+		}
+	}
+	return fmt.Errorf("shell: foreground process %d ran too long", pid)
+}
+
+// pump advances all runnable processes by up to n steps total.
+func (s *Shell) pump(n int) {
+	for i := 0; i < n; i++ {
+		if !s.stepOnce() {
+			return
+		}
+	}
+	s.flushOutput()
+}
+
+// stepOnce advances one runnable process one op, round-robin.
+func (s *Shell) stepOnce() bool {
+	pids := s.k.RunnablePIDs()
+	if len(pids) == 0 {
+		return false
+	}
+	// Rotate by step count for fairness.
+	pid := pids[s.rr%len(pids)]
+	s.rr++
+	return s.k.StepPID(pid) == nil
+}
+
+// Drain runs all remaining background work to completion.
+func (s *Shell) Drain() {
+	for s.stepOnce() {
+	}
+	s.flushOutput()
+	s.reapJobs()
+}
+
+// expandHistory resolves !! and !n references.
+func (s *Shell) expandHistory(ref string) (string, error) {
+	if len(s.history) == 0 {
+		return "", fmt.Errorf("shell: history is empty")
+	}
+	if ref == "!!" {
+		return s.history[len(s.history)-1], nil
+	}
+	n, err := strconv.Atoi(ref[1:])
+	if err != nil || n < 1 || n > len(s.history) {
+		return "", fmt.Errorf("shell: no history entry %q", ref)
+	}
+	return s.history[n-1], nil
+}
+
+// Interact reads lines from r, printing a prompt to the shell's writer
+// before each, until EOF or exit — the REPL of Lab 9.
+func (s *Shell) Interact(r io.Reader) error {
+	var line strings.Builder
+	buf := make([]byte, 1)
+	fmt.Fprint(s.out, "cs31sh$ ")
+	for {
+		n, err := r.Read(buf)
+		if n == 1 {
+			if buf[0] == '\n' {
+				if runErr := s.Run(line.String()); runErr != nil {
+					fmt.Fprintf(s.out, "%v\n", runErr)
+				}
+				line.Reset()
+				if s.exited {
+					return nil
+				}
+				fmt.Fprint(s.out, "cs31sh$ ")
+			} else {
+				line.WriteByte(buf[0])
+			}
+		}
+		if err == io.EOF {
+			if line.Len() > 0 {
+				if runErr := s.Run(line.String()); runErr != nil {
+					fmt.Fprintf(s.out, "%v\n", runErr)
+				}
+			}
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+	}
+}

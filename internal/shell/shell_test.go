@@ -1,0 +1,308 @@
+package shell
+
+import (
+	"strings"
+	"testing"
+
+	"cs31/internal/kernel"
+)
+
+func TestParseBasics(t *testing.T) {
+	cmd, err := Parse("ls -l /tmp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cmd.Name() != "ls" || len(cmd.Args()) != 2 || cmd.Background {
+		t.Errorf("cmd = %+v", cmd)
+	}
+	if cmd.Args()[0] != "-l" || cmd.Args()[1] != "/tmp" {
+		t.Errorf("args = %v", cmd.Args())
+	}
+}
+
+func TestParseBackground(t *testing.T) {
+	for _, line := range []string{"sleep 5 &", "sleep 5&"} {
+		cmd, err := Parse(line)
+		if err != nil {
+			t.Fatalf("%q: %v", line, err)
+		}
+		if !cmd.Background {
+			t.Errorf("%q should be background", line)
+		}
+		if cmd.Name() != "sleep" || len(cmd.Args()) != 1 {
+			t.Errorf("%q parsed to %+v", line, cmd)
+		}
+	}
+}
+
+func TestParseQuotes(t *testing.T) {
+	cmd, err := Parse(`echo "hello world" bye`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cmd.Argv) != 3 || cmd.Argv[1] != "hello world" {
+		t.Errorf("argv = %v", cmd.Argv)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	if _, err := Parse(`echo "unterminated`); err == nil {
+		t.Error("unterminated quote should fail")
+	}
+	if _, err := Parse("a & b"); err == nil {
+		t.Error("mid-line ampersand should fail")
+	}
+	if _, err := Parse("a&&b"); err == nil {
+		t.Error("double ampersand should fail")
+	}
+}
+
+func TestParseEmptyAndBareAmp(t *testing.T) {
+	cmd, err := Parse("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cmd.Empty() || cmd.Name() != "" || cmd.Args() != nil {
+		t.Errorf("empty parse: %+v", cmd)
+	}
+	amp, err := Parse("sleep &")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !amp.Background || amp.Name() != "sleep" {
+		t.Errorf("bare & parse: %+v", amp)
+	}
+}
+
+func TestShellEcho(t *testing.T) {
+	var out strings.Builder
+	s := New(&out)
+	if err := s.Run("echo hello world"); err != nil {
+		t.Fatal(err)
+	}
+	if out.String() != "hello world\n" {
+		t.Errorf("output = %q", out.String())
+	}
+}
+
+func TestShellCommandNotFound(t *testing.T) {
+	var out strings.Builder
+	s := New(&out)
+	if err := s.Run("frobnicate"); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "command not found") {
+		t.Errorf("output = %q", out.String())
+	}
+}
+
+func TestShellBackgroundJob(t *testing.T) {
+	var out strings.Builder
+	s := New(&out)
+	if err := s.Run("sleep 50 &"); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "[1] ") {
+		t.Errorf("background launch should print job id: %q", out.String())
+	}
+	if len(s.Jobs()) != 1 {
+		t.Fatalf("jobs: %+v", s.Jobs())
+	}
+	// Foreground work proceeds while the job runs.
+	if err := s.Run("echo fg"); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "fg\n") {
+		t.Errorf("foreground output missing: %q", out.String())
+	}
+	s.Drain()
+	if len(s.Jobs()) != 0 {
+		t.Errorf("jobs should be reaped after drain: %+v", s.Jobs())
+	}
+	if !strings.Contains(out.String(), "done  sleep 50 &") {
+		t.Errorf("reap notice missing: %q", out.String())
+	}
+}
+
+func TestShellJobsBuiltin(t *testing.T) {
+	var out strings.Builder
+	s := New(&out)
+	s.Run("sleep 100 &")
+	s.Run("sleep 100 &")
+	out.Reset()
+	s.Run("jobs")
+	got := out.String()
+	if !strings.Contains(got, "[1] running") || !strings.Contains(got, "[2] running") {
+		t.Errorf("jobs output: %q", got)
+	}
+}
+
+func TestShellHistory(t *testing.T) {
+	var out strings.Builder
+	s := New(&out)
+	s.Run("echo one")
+	s.Run("echo two")
+	out.Reset()
+	if err := s.Run("history"); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	if !strings.Contains(got, "1  echo one") || !strings.Contains(got, "2  echo two") {
+		t.Errorf("history output: %q", got)
+	}
+	// !! reruns the last command (history itself).
+	out.Reset()
+	if err := s.Run("!2"); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "two\n") {
+		t.Errorf("!2 should rerun echo two: %q", out.String())
+	}
+}
+
+func TestShellBangBang(t *testing.T) {
+	var out strings.Builder
+	s := New(&out)
+	s.Run("echo again")
+	out.Reset()
+	if err := s.Run("!!"); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "again\n") {
+		t.Errorf("!! output: %q", out.String())
+	}
+	if err := s.Run("!99"); err == nil {
+		t.Error("!99 should fail")
+	}
+	empty := New(&strings.Builder{})
+	if err := empty.Run("!!"); err == nil {
+		t.Error("!! with empty history should fail")
+	}
+}
+
+func TestShellExit(t *testing.T) {
+	var out strings.Builder
+	s := New(&out)
+	if s.Exited() {
+		t.Error("fresh shell should not be exited")
+	}
+	s.Run("exit")
+	if !s.Exited() {
+		t.Error("exit should set the flag")
+	}
+}
+
+func TestShellCustomCommand(t *testing.T) {
+	var out strings.Builder
+	s := New(&out)
+	s.Register("greet", func(args []string) []kernel.Op {
+		name := "world"
+		if len(args) > 0 {
+			name = args[0]
+		}
+		return []kernel.Op{kernel.Print{Text: "hello " + name + "\n"}}
+	})
+	if err := s.Run("greet class"); err != nil {
+		t.Fatal(err)
+	}
+	if out.String() != "hello class\n" {
+		t.Errorf("output = %q", out.String())
+	}
+}
+
+func TestShellInteract(t *testing.T) {
+	var out strings.Builder
+	s := New(&out)
+	input := "echo hi\nexit\n"
+	if err := s.Interact(strings.NewReader(input)); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	if !strings.Contains(got, "cs31sh$ ") || !strings.Contains(got, "hi\n") {
+		t.Errorf("interact output: %q", got)
+	}
+}
+
+func TestShellInteractEOF(t *testing.T) {
+	var out strings.Builder
+	s := New(&out)
+	if err := s.Interact(strings.NewReader("echo tail-no-newline")); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "tail-no-newline") {
+		t.Errorf("output: %q", out.String())
+	}
+}
+
+func TestShellParseErrorSurfaces(t *testing.T) {
+	var out strings.Builder
+	s := New(&out)
+	if err := s.Run(`echo "oops`); err == nil {
+		t.Error("parse error should surface")
+	}
+}
+
+func TestShellEmptyLine(t *testing.T) {
+	var out strings.Builder
+	s := New(&out)
+	if err := s.Run("   "); err != nil {
+		t.Fatal(err)
+	}
+	if out.String() != "" {
+		t.Errorf("empty line should be silent: %q", out.String())
+	}
+	if len(s.History()) != 0 {
+		t.Error("empty lines should not enter history")
+	}
+}
+
+func TestShellYesCommand(t *testing.T) {
+	var out strings.Builder
+	s := New(&out)
+	if err := s.Run("yes hello"); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Count(out.String(), "hello\n") != 4 {
+		t.Errorf("yes output: %q", out.String())
+	}
+}
+
+func TestShellTrueFalse(t *testing.T) {
+	var out strings.Builder
+	s := New(&out)
+	if err := s.Run("true"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Run("false"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestShellKillBuiltin(t *testing.T) {
+	var out strings.Builder
+	s := New(&out)
+	if err := s.Run("sleep 500 &"); err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Jobs()) != 1 {
+		t.Fatalf("jobs: %+v", s.Jobs())
+	}
+	if err := s.Run("kill %1"); err != nil {
+		t.Fatal(err)
+	}
+	s.Drain()
+	if len(s.Jobs()) != 0 {
+		t.Errorf("job should be gone after kill: %+v", s.Jobs())
+	}
+	// Error paths.
+	out.Reset()
+	s.Run("kill nonsense")
+	if !strings.Contains(out.String(), "usage: kill") {
+		t.Errorf("usage message missing: %q", out.String())
+	}
+	out.Reset()
+	s.Run("kill %99")
+	if !strings.Contains(out.String(), "no job") {
+		t.Errorf("missing-job message: %q", out.String())
+	}
+}

@@ -1,0 +1,156 @@
+// Package sorting implements Lab 2's O(N²) sorting algorithms (the ones
+// students bring from CS1) plus a parallel merge sort built on the pthread
+// package, used by the speedup benchmarks to contrast algorithmic and
+// parallel improvements.
+package sorting
+
+import (
+	"fmt"
+	"sort"
+
+	"cs31/internal/pthread"
+)
+
+// Bubble sorts in place with adjacent swaps, O(N²) with early exit.
+func Bubble(a []int) {
+	for n := len(a); n > 1; {
+		swapped := 0
+		for i := 1; i < n; i++ {
+			if a[i-1] > a[i] {
+				a[i-1], a[i] = a[i], a[i-1]
+				swapped = i
+			}
+		}
+		n = swapped
+	}
+}
+
+// Insertion sorts in place by insertion, O(N²).
+func Insertion(a []int) {
+	for i := 1; i < len(a); i++ {
+		v := a[i]
+		j := i - 1
+		for j >= 0 && a[j] > v {
+			a[j+1] = a[j]
+			j--
+		}
+		a[j+1] = v
+	}
+}
+
+// Selection sorts in place by repeated minimum selection, O(N²).
+func Selection(a []int) {
+	for i := 0; i < len(a)-1; i++ {
+		m := i
+		for j := i + 1; j < len(a); j++ {
+			if a[j] < a[m] {
+				m = j
+			}
+		}
+		a[i], a[m] = a[m], a[i]
+	}
+}
+
+// Merge sorts in place via top-down merge sort with a scratch buffer.
+func Merge(a []int) {
+	scratch := make([]int, len(a))
+	mergeSort(a, scratch)
+}
+
+func mergeSort(a, scratch []int) {
+	if len(a) < 32 {
+		Insertion(a)
+		return
+	}
+	mid := len(a) / 2
+	mergeSort(a[:mid], scratch[:mid])
+	mergeSort(a[mid:], scratch[mid:])
+	merge(a, mid, scratch)
+}
+
+func merge(a []int, mid int, scratch []int) {
+	copy(scratch, a)
+	i, j := 0, mid
+	for k := 0; k < len(a); k++ {
+		switch {
+		case i >= mid:
+			a[k] = scratch[j]
+			j++
+		case j >= len(a):
+			a[k] = scratch[i]
+			i++
+		case scratch[i] <= scratch[j]:
+			a[k] = scratch[i]
+			i++
+		default:
+			a[k] = scratch[j]
+			j++
+		}
+	}
+}
+
+// ParallelMerge sorts using threads worker threads: the slice is block-
+// partitioned, each block sorted in its own thread, then blocks are merged
+// pairwise in parallel rounds — a straightforward data-parallel
+// decomposition in the style of the course's Game of Life lab.
+func ParallelMerge(a []int, threads int) error {
+	if threads < 1 {
+		return fmt.Errorf("sorting: need at least 1 thread")
+	}
+	if threads == 1 || len(a) < 2*threads {
+		Merge(a)
+		return nil
+	}
+	// Sort each block concurrently.
+	type span struct{ lo, hi int }
+	spans := make([]span, 0, threads)
+	ts := make([]*pthread.Thread, 0, threads)
+	for id := 0; id < threads; id++ {
+		lo, hi := pthread.BlockRange(id, threads, len(a))
+		if lo == hi {
+			continue
+		}
+		spans = append(spans, span{lo, hi})
+		block := a[lo:hi]
+		ts = append(ts, pthread.Create(func() interface{} {
+			Merge(block)
+			return nil
+		}))
+	}
+	for _, t := range ts {
+		if _, err := t.Join(); err != nil {
+			return err
+		}
+	}
+	// Merge adjacent sorted runs in parallel rounds.
+	scratch := make([]int, len(a))
+	for len(spans) > 1 {
+		next := make([]span, 0, (len(spans)+1)/2)
+		round := make([]*pthread.Thread, 0, len(spans)/2)
+		for i := 0; i+1 < len(spans); i += 2 {
+			left, right := spans[i], spans[i+1]
+			merged := span{left.lo, right.hi}
+			next = append(next, merged)
+			seg := a[merged.lo:merged.hi]
+			segScratch := scratch[merged.lo:merged.hi]
+			mid := left.hi - left.lo
+			round = append(round, pthread.Create(func() interface{} {
+				merge(seg, mid, segScratch)
+				return nil
+			}))
+		}
+		if len(spans)%2 == 1 {
+			next = append(next, spans[len(spans)-1])
+		}
+		for _, t := range round {
+			if _, err := t.Join(); err != nil {
+				return err
+			}
+		}
+		spans = next
+	}
+	return nil
+}
+
+// IsSorted reports whether a is in nondecreasing order.
+func IsSorted(a []int) bool { return sort.IntsAreSorted(a) }

@@ -1,0 +1,162 @@
+package sorting
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+var algorithms = map[string]func([]int){
+	"bubble":    Bubble,
+	"insertion": Insertion,
+	"selection": Selection,
+	"merge":     Merge,
+}
+
+func TestAlgorithmsOnFixedCases(t *testing.T) {
+	cases := [][]int{
+		{},
+		{1},
+		{2, 1},
+		{3, 1, 2},
+		{5, 4, 3, 2, 1},
+		{1, 2, 3, 4, 5},
+		{2, 2, 2},
+		{7, -3, 0, 7, -3, 12, 5},
+	}
+	for name, f := range algorithms {
+		for _, c := range cases {
+			in := append([]int(nil), c...)
+			want := append([]int(nil), c...)
+			sort.Ints(want)
+			f(in)
+			if !equal(in, want) {
+				t.Errorf("%s(%v) = %v, want %v", name, c, in, want)
+			}
+		}
+	}
+}
+
+func equal(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Property: every algorithm matches sort.Ints on random inputs.
+func TestAlgorithmsMatchStdlib(t *testing.T) {
+	for name, f := range algorithms {
+		f := f
+		prop := func(in []int) bool {
+			if len(in) > 300 {
+				in = in[:300]
+			}
+			got := append([]int(nil), in...)
+			want := append([]int(nil), in...)
+			f(got)
+			sort.Ints(want)
+			return equal(got, want)
+		}
+		if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+}
+
+func TestParallelMergeMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, threads := range []int{1, 2, 3, 4, 8} {
+		for _, n := range []int{0, 1, 5, 100, 1000, 4096} {
+			in := make([]int, n)
+			for i := range in {
+				in[i] = rng.Intn(10000) - 5000
+			}
+			want := append([]int(nil), in...)
+			sort.Ints(want)
+			if err := ParallelMerge(in, threads); err != nil {
+				t.Fatalf("threads=%d n=%d: %v", threads, n, err)
+			}
+			if !equal(in, want) {
+				t.Errorf("threads=%d n=%d: not sorted", threads, n)
+			}
+		}
+	}
+	if err := ParallelMerge([]int{1}, 0); err == nil {
+		t.Error("0 threads should fail")
+	}
+}
+
+// Property: parallel merge sort is a permutation sorter for any thread
+// count.
+func TestParallelMergeProperty(t *testing.T) {
+	f := func(in []int16, tRaw uint8) bool {
+		threads := int(tRaw%8) + 1
+		a := make([]int, len(in))
+		for i, v := range in {
+			a[i] = int(v)
+		}
+		want := append([]int(nil), a...)
+		sort.Ints(want)
+		if err := ParallelMerge(a, threads); err != nil {
+			return false
+		}
+		return equal(a, want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIsSorted(t *testing.T) {
+	if !IsSorted([]int{1, 2, 2, 3}) || IsSorted([]int{2, 1}) {
+		t.Error("IsSorted wrong")
+	}
+}
+
+func benchData(n int) []int {
+	rng := rand.New(rand.NewSource(42))
+	a := make([]int, n)
+	for i := range a {
+		a[i] = rng.Int()
+	}
+	return a
+}
+
+func BenchmarkBubble1k(b *testing.B) {
+	data := benchData(1000)
+	buf := make([]int, len(data))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		copy(buf, data)
+		Bubble(buf)
+	}
+}
+
+func BenchmarkMerge1k(b *testing.B) {
+	data := benchData(1000)
+	buf := make([]int, len(data))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		copy(buf, data)
+		Merge(buf)
+	}
+}
+
+func BenchmarkParallelMerge100k4(b *testing.B) {
+	data := benchData(100000)
+	buf := make([]int, len(data))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		copy(buf, data)
+		if err := ParallelMerge(buf, 4); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,234 @@
+package survey
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestBloomScale(t *testing.T) {
+	if NotRecognize != 0 || Apply != 4 {
+		t.Error("scale endpoints")
+	}
+	if Recognize.String() != "recognize" || Apply.String() != "apply" {
+		t.Error("level names")
+	}
+	if BloomLevel(9).String() != "level(9)" {
+		t.Error("out-of-range name")
+	}
+}
+
+func TestTable1Contents(t *testing.T) {
+	if len(Table1) != 4 {
+		t.Fatalf("Table I has %d categories, want 4", len(Table1))
+	}
+	names := []string{"Pervasive", "Architecture", "Programming", "Algorithms"}
+	for i, cat := range Table1 {
+		if cat.Name != names[i] {
+			t.Errorf("category %d = %q", i, cat.Name)
+		}
+		if len(cat.Topics) == 0 {
+			t.Errorf("category %q empty", cat.Name)
+		}
+	}
+	out := RenderTable1()
+	for _, want := range []string{"Pervasive", "pthreads", "Amdahl's Law", "memory hierarchy"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestSyntheticCohortDeterministic(t *testing.T) {
+	a := SyntheticCohort(31, 60)
+	b := SyntheticCohort(31, 60)
+	if len(a.Responses) != 60 {
+		t.Fatalf("cohort size %d", len(a.Responses))
+	}
+	for i := range a.Responses {
+		for j := range a.Responses[i].Ratings {
+			if a.Responses[i].Ratings[j] != b.Responses[i].Ratings[j] {
+				t.Fatal("same seed should reproduce identical cohorts")
+			}
+		}
+	}
+	c := SyntheticCohort(32, 60)
+	same := true
+	for i := range a.Responses {
+		for j := range a.Responses[i].Ratings {
+			if a.Responses[i].Ratings[j] != c.Responses[i].Ratings[j] {
+				same = false
+			}
+		}
+	}
+	if same {
+		t.Error("different seeds should differ")
+	}
+}
+
+func TestRatingsInRange(t *testing.T) {
+	c := SyntheticCohort(7, 100)
+	for _, r := range c.Responses {
+		if len(r.Ratings) != len(c.Topics) {
+			t.Fatalf("student %d rated %d topics", r.Student, len(r.Ratings))
+		}
+		if r.YearsSince < 0 || r.YearsSince > 2 {
+			t.Errorf("years since course: %v", r.YearsSince)
+		}
+		for _, v := range r.Ratings {
+			if v < 0 || v > 4 {
+				t.Fatalf("rating %d out of scale", v)
+			}
+		}
+	}
+}
+
+func TestAggregateAndShape(t *testing.T) {
+	// The paper's cohort: ~60 students per course, two courses surveyed.
+	c := SyntheticCohort(2022, 120)
+	stats, err := c.Aggregate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stats) != len(Figure1Topics) {
+		t.Fatalf("stats for %d topics", len(stats))
+	}
+	if problems := CheckPaperShape(c.Topics, stats); len(problems) != 0 {
+		t.Errorf("shape violations: %v", problems)
+	}
+}
+
+// Property: the paper's shape holds across seeds — the reproduction is not
+// an artifact of one lucky cohort.
+func TestShapeAcrossSeeds(t *testing.T) {
+	f := func(seed int64) bool {
+		c := SyntheticCohort(seed, 100)
+		stats, err := c.Aggregate()
+		if err != nil {
+			return false
+		}
+		return len(CheckPaperShape(c.Topics, stats)) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAggregateErrors(t *testing.T) {
+	empty := &Cohort{Topics: Figure1Topics}
+	if _, err := empty.Aggregate(); err == nil {
+		t.Error("empty cohort should fail")
+	}
+	bad := &Cohort{
+		Topics:    Figure1Topics,
+		Responses: []Response{{Ratings: []BloomLevel{1}}},
+	}
+	if _, err := bad.Aggregate(); err == nil {
+		t.Error("short rating vector should fail")
+	}
+}
+
+func TestMedianEvenCohort(t *testing.T) {
+	c := &Cohort{
+		Topics: []Topic{{Name: "x", Emphasis: 1}},
+		Responses: []Response{
+			{Ratings: []BloomLevel{2}},
+			{Ratings: []BloomLevel{3}},
+		},
+	}
+	stats, err := c.Aggregate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats[0].Median != 2.5 || stats[0].Mean != 2.5 {
+		t.Errorf("stats: %+v", stats[0])
+	}
+}
+
+func TestRenderFigure1(t *testing.T) {
+	c := SyntheticCohort(1, 60)
+	stats, err := c.Aggregate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := RenderFigure1(stats)
+	for _, want := range []string{"Figure 1", "C programming", "mean", "median", "#"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("figure missing %q", want)
+		}
+	}
+	lines := strings.Split(out, "\n")
+	if len(lines) < len(Figure1Topics)+3 {
+		t.Errorf("figure too short: %d lines", len(lines))
+	}
+}
+
+func TestCheckPaperShapeDetectsViolations(t *testing.T) {
+	topics := []Topic{{Name: "hi", Emphasis: 1}, {Name: "lo", Emphasis: 0.2}}
+	bad := []TopicStat{
+		{Topic: "hi", Mean: 0.5, Median: 0}, // below recognize, below define
+		{Topic: "lo", Mean: 4.0, Median: 4}, // perfect score, beats emphasized
+	}
+	problems := CheckPaperShape(topics, bad)
+	if len(problems) < 3 {
+		t.Errorf("violations: %v", problems)
+	}
+	if got := CheckPaperShape(topics, bad[:1]); len(got) != 1 || got[0] != "topic/stat length mismatch" {
+		t.Errorf("mismatch check: %v", got)
+	}
+}
+
+func TestPostCourseCohortRecovers(t *testing.T) {
+	pre := SyntheticCohort(2022, 100)
+	post := PostCourseCohort(pre, 2023)
+	preStats, err := pre.Aggregate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	postStats, err := post.Aggregate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	improved := 0
+	for i := range preStats {
+		if postStats[i].Mean < preStats[i].Mean-1e-9 {
+			t.Errorf("%s: post %.2f below pre %.2f", preStats[i].Topic,
+				postStats[i].Mean, preStats[i].Mean)
+		}
+		if postStats[i].Mean > preStats[i].Mean {
+			improved++
+		}
+	}
+	if improved < len(preStats)/2 {
+		t.Errorf("only %d/%d topics improved after the course", improved, len(preStats))
+	}
+	// Per-student monotonicity: the refresher never regresses a rating.
+	for i, r := range pre.Responses {
+		for j := range r.Ratings {
+			if post.Responses[i].Ratings[j] < r.Ratings[j] {
+				t.Fatalf("student %d topic %d regressed", i, j)
+			}
+		}
+	}
+}
+
+func TestCompareCohorts(t *testing.T) {
+	pre := SyntheticCohort(1, 60)
+	post := PostCourseCohort(pre, 2)
+	out, err := CompareCohorts(pre, post)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"pre", "post", "change", "C programming", "+"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("comparison missing %q:\n%s", want, out)
+		}
+	}
+	empty := &Cohort{Topics: Figure1Topics}
+	if _, err := CompareCohorts(empty, post); err == nil {
+		t.Error("empty pre cohort should fail")
+	}
+	if _, err := CompareCohorts(pre, empty); err == nil {
+		t.Error("empty post cohort should fail")
+	}
+}

@@ -1,0 +1,67 @@
+package vm
+
+import (
+	"fmt"
+	"testing"
+)
+
+// BenchmarkTLBSizes sweeps TLB capacities against a 12-page looping
+// working set: hit rate rises until the working set fits, then saturates —
+// the design-choice curve behind the course's "TLB speeds up effective
+// access" discussion.
+func BenchmarkTLBSizes(b *testing.B) {
+	for _, size := range []int{0, 2, 4, 8, 16, 32} {
+		size := size
+		b.Run(fmt.Sprintf("tlb-%d", size), func(b *testing.B) {
+			var rate float64
+			for i := 0; i < b.N; i++ {
+				s, err := New(Config{PageSize: 256, NumFrames: 32, TLBSize: size, NumPages: 64})
+				if err != nil {
+					b.Fatal(err)
+				}
+				s.AddProcess(1)
+				s.Switch(1)
+				for round := 0; round < 32; round++ {
+					for p := uint64(0); p < 12; p++ {
+						if _, err := s.Access(p*256, false); err != nil {
+							b.Fatal(err)
+						}
+					}
+				}
+				rate = s.Stats().TLBHitRate()
+			}
+			b.ReportMetric(100*rate, "tlb-hit-%")
+		})
+	}
+}
+
+// TestTLBSizeMonotonic: bigger TLBs never hit less on a loop workload.
+func TestTLBSizeMonotonic(t *testing.T) {
+	rateFor := func(size int) float64 {
+		s, err := New(Config{PageSize: 256, NumFrames: 32, TLBSize: size, NumPages: 64})
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.AddProcess(1)
+		s.Switch(1)
+		for round := 0; round < 16; round++ {
+			for p := uint64(0); p < 12; p++ {
+				if _, err := s.Access(p*256, false); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		return s.Stats().TLBHitRate()
+	}
+	prev := -1.0
+	for _, size := range []int{0, 2, 4, 12, 16} {
+		r := rateFor(size)
+		if r < prev {
+			t.Errorf("TLB %d hit rate %.3f below smaller TLB's %.3f", size, r, prev)
+		}
+		prev = r
+	}
+	if rateFor(12) < 0.9 {
+		t.Errorf("working-set-sized TLB should hit >90%%: %.3f", rateFor(12))
+	}
+}

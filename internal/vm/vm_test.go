@@ -1,0 +1,364 @@
+package vm
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func newSys(t *testing.T, cfg Config, pids ...Pid) *System {
+	t.Helper()
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range pids {
+		if err := s.AddProcess(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(pids) > 0 {
+		if err := s.Switch(pids[0]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return s
+}
+
+func TestConfigValidate(t *testing.T) {
+	bad := []Config{
+		{PageSize: 0, NumFrames: 4, NumPages: 16},
+		{PageSize: 100, NumFrames: 4, NumPages: 16},
+		{PageSize: 4096, NumFrames: 0, NumPages: 16},
+		{PageSize: 4096, NumFrames: 4, NumPages: 0},
+		{PageSize: 4096, NumFrames: 4, NumPages: 16, TLBSize: -1},
+	}
+	for i, cfg := range bad {
+		if _, err := New(cfg); err == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+}
+
+func TestSplitAddr(t *testing.T) {
+	cfg := Config{PageSize: 4096, NumFrames: 4, NumPages: 16}
+	page, off := cfg.SplitAddr(0x3a21)
+	if page != 3 || off != 0xa21 {
+		t.Errorf("split(0x3a21) = page %d offset %#x", page, off)
+	}
+}
+
+func TestBasicTranslation(t *testing.T) {
+	s := newSys(t, Config{PageSize: 256, NumFrames: 4, NumPages: 16}, 1)
+	r, err := s.Access(0x123, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.PageFault {
+		t.Error("first touch should fault")
+	}
+	if r.Page != 1 || r.PhysAddr != r.Frame*256+0x23 {
+		t.Errorf("result: %+v", r)
+	}
+	r2, err := s.Access(0x145, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.PageFault {
+		t.Error("second touch of page should not fault")
+	}
+	if r2.Frame != r.Frame {
+		t.Error("same page must map to same frame")
+	}
+}
+
+func TestOutOfRangeAndNoProcess(t *testing.T) {
+	s, err := New(Config{PageSize: 256, NumFrames: 2, NumPages: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Access(0, false); err == nil {
+		t.Error("access with no process should fail")
+	}
+	if err := s.AddProcess(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AddProcess(1); err == nil {
+		t.Error("duplicate process should fail")
+	}
+	if err := s.Switch(1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Access(4*256, false); err == nil {
+		t.Error("page 4 of 4 should segfault")
+	}
+	if err := s.Switch(9); err == nil {
+		t.Error("switch to unknown pid should fail")
+	}
+}
+
+func TestLRUPageReplacement(t *testing.T) {
+	// 2 frames; touch pages 0, 1, re-touch 0, then 2 -> page 1 evicted.
+	s := newSys(t, Config{PageSize: 256, NumFrames: 2, NumPages: 8}, 1)
+	mustAccess := func(addr uint64, write bool) Result {
+		t.Helper()
+		r, err := s.Access(addr, write)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+	mustAccess(0*256, false)
+	mustAccess(1*256, false)
+	mustAccess(0*256, false)
+	r := mustAccess(2*256, false)
+	if !r.PageFault || !r.Evicted || r.EvictedPg != 1 {
+		t.Errorf("expected eviction of page 1: %+v", r)
+	}
+	pt, err := s.PageTable(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pt[1].Valid {
+		t.Error("page 1 PTE should be invalidated")
+	}
+	if !pt[0].Valid || !pt[2].Valid {
+		t.Error("pages 0 and 2 should be resident")
+	}
+}
+
+func TestDirtyPageWriteBack(t *testing.T) {
+	s := newSys(t, Config{PageSize: 256, NumFrames: 1, NumPages: 8}, 1)
+	if _, err := s.Access(0, true); err != nil { // dirty page 0
+		t.Fatal(err)
+	}
+	r, err := s.Access(256, false) // evicts page 0
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.WroteBack {
+		t.Error("dirty page eviction should write back")
+	}
+	if s.Stats().WriteBacks != 1 {
+		t.Errorf("stats: %+v", s.Stats())
+	}
+	// Clean eviction next.
+	r2, err := s.Access(512, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.WroteBack {
+		t.Error("clean page eviction should not write back")
+	}
+}
+
+func TestTLB(t *testing.T) {
+	s := newSys(t, Config{PageSize: 256, NumFrames: 4, NumPages: 8, TLBSize: 2}, 1)
+	r1, _ := s.Access(0, false)
+	if r1.TLBHit {
+		t.Error("first access cannot hit TLB")
+	}
+	r2, _ := s.Access(4, false)
+	if !r2.TLBHit {
+		t.Error("second access to page should hit TLB")
+	}
+	st := s.Stats()
+	if st.TLBHits != 1 || st.TLBMisses != 1 {
+		t.Errorf("TLB stats: %+v", st)
+	}
+}
+
+func TestTLBFlushOnContextSwitch(t *testing.T) {
+	s := newSys(t, Config{PageSize: 256, NumFrames: 4, NumPages: 8, TLBSize: 4}, 1, 2)
+	s.Access(0, false)
+	s.Access(0, false) // TLB hit
+	if err := s.Switch(2); err != nil {
+		t.Fatal(err)
+	}
+	r, err := s.Access(0, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.TLBHit {
+		t.Error("TLB must be flushed across context switch")
+	}
+	if r.Frame == 0 && !r.PageFault {
+		t.Error("process 2's page 0 is distinct from process 1's")
+	}
+}
+
+func TestProcessIsolation(t *testing.T) {
+	// Two processes each touch their own page 0: distinct frames, and the
+	// "virtual memory 2" homework's point — same virtual address, different
+	// physical address.
+	s := newSys(t, Config{PageSize: 256, NumFrames: 4, NumPages: 8}, 1, 2)
+	r1, err := s.Access(0x10, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Switch(2); err != nil {
+		t.Fatal(err)
+	}
+	r2, err := s.Access(0x10, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Frame == r2.Frame {
+		t.Error("two processes share a frame for private pages")
+	}
+	if r1.PhysAddr == r2.PhysAddr {
+		t.Error("same virtual address must translate differently")
+	}
+}
+
+func TestCrossProcessEviction(t *testing.T) {
+	// One frame, two processes: process 2's touch steals process 1's frame.
+	s := newSys(t, Config{PageSize: 256, NumFrames: 1, NumPages: 4}, 1, 2)
+	if _, err := s.Access(0, true); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Switch(2); err != nil {
+		t.Fatal(err)
+	}
+	r, err := s.Access(0, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Evicted || r.EvictedPid != 1 || r.EvictedPg != 0 || !r.WroteBack {
+		t.Errorf("cross-process eviction: %+v", r)
+	}
+	pt1, _ := s.PageTable(1)
+	if pt1[0].Valid {
+		t.Error("process 1's page should be invalid after steal")
+	}
+	// Process 1 faults back in on next run.
+	if err := s.Switch(1); err != nil {
+		t.Fatal(err)
+	}
+	r2, err := s.Access(0, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r2.PageFault {
+		t.Error("process 1 should re-fault after losing its frame")
+	}
+}
+
+func TestResidentAndUsedCounts(t *testing.T) {
+	s := newSys(t, Config{PageSize: 256, NumFrames: 4, NumPages: 8}, 1)
+	for i := uint64(0); i < 3; i++ {
+		if _, err := s.Access(i*256, false); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s.ResidentPages(1) != 3 || s.UsedFrames() != 3 {
+		t.Errorf("resident=%d used=%d", s.ResidentPages(1), s.UsedFrames())
+	}
+	if _, err := s.PageTable(42); err == nil {
+		t.Error("unknown pid page table should fail")
+	}
+}
+
+// Property: frames never hold two (pid, page) mappings at once; every valid
+// PTE points at a frame owned by that (pid, page).
+func TestFrameConsistencyInvariant(t *testing.T) {
+	s := newSys(t, Config{PageSize: 64, NumFrames: 3, NumPages: 8}, 1, 2)
+	f := func(steps []uint16) bool {
+		for _, step := range steps {
+			pid := Pid(step%2 + 1)
+			if err := s.Switch(pid); err != nil {
+				return false
+			}
+			addr := uint64(step) % (8 * 64)
+			if _, err := s.Access(addr, step%3 == 0); err != nil {
+				return false
+			}
+		}
+		// Check invariant: valid PTEs map to frames that agree.
+		for _, pid := range []Pid{1, 2} {
+			pt, err := s.PageTable(pid)
+			if err != nil {
+				return false
+			}
+			for page, e := range pt {
+				if !e.Valid {
+					continue
+				}
+				fi := s.frames[e.Frame]
+				if !fi.used || fi.pid != pid || fi.page != uint64(page) {
+					return false
+				}
+			}
+		}
+		return s.UsedFrames() <= 3
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEffectiveAccessTime(t *testing.T) {
+	// No TLB: every access pays table walk + access.
+	s := newSys(t, Config{PageSize: 256, NumFrames: 4, NumPages: 8}, 1)
+	for i := 0; i < 10; i++ {
+		if _, err := s.Access(0, false); err != nil {
+			t.Fatal(err)
+		}
+	}
+	eat := s.EffectiveAccessTime(100, 1_000_000)
+	// 10 accesses: 1 fault. Per access: 100 (data) + 100 (walk) + faults.
+	want := (10*100.0 + 10*100.0 + 1*1_000_000.0) / 10.0
+	if eat != want {
+		t.Errorf("EAT = %v, want %v", eat, want)
+	}
+
+	// With a TLB, repeated hits skip the walk.
+	s2 := newSys(t, Config{PageSize: 256, NumFrames: 4, NumPages: 8, TLBSize: 4}, 1)
+	for i := 0; i < 10; i++ {
+		if _, err := s2.Access(0, false); err != nil {
+			t.Fatal(err)
+		}
+	}
+	eat2 := s2.EffectiveAccessTime(100, 1_000_000)
+	if eat2 >= eat {
+		t.Errorf("TLB should reduce EAT: %v >= %v", eat2, eat)
+	}
+	var empty System
+	if empty.EffectiveAccessTime(1, 1) != 0 {
+		t.Error("empty system EAT should be 0")
+	}
+}
+
+func TestFaultAndTLBRates(t *testing.T) {
+	s := newSys(t, Config{PageSize: 256, NumFrames: 4, NumPages: 8, TLBSize: 4}, 1)
+	for i := 0; i < 4; i++ {
+		if _, err := s.Access(0, false); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := s.Stats()
+	if st.FaultRate() != 0.25 {
+		t.Errorf("fault rate %v, want 0.25", st.FaultRate())
+	}
+	if st.TLBHitRate() != 0.75 {
+		t.Errorf("TLB hit rate %v, want 0.75", st.TLBHitRate())
+	}
+	var zero Stats
+	if zero.FaultRate() != 0 || zero.TLBHitRate() != 0 {
+		t.Error("zero stats rates")
+	}
+}
+
+func BenchmarkVMAccess(b *testing.B) {
+	s, err := New(Config{PageSize: 4096, NumFrames: 64, NumPages: 1024, TLBSize: 16})
+	if err != nil {
+		b.Fatal(err)
+	}
+	s.AddProcess(1)
+	s.Switch(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Access(uint64(i*64)%(1024*4096), i%4 == 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
