@@ -97,7 +97,7 @@ func debugREPL(m *asm.Machine) error {
 			return nil
 		case "break", "b":
 			if len(fields) != 2 {
-				fmt.Println("usage: break <label|addr>")
+				fmt.Fprintln(os.Stderr, "usage: break <label|addr>")
 				break
 			}
 			var err error
@@ -107,7 +107,7 @@ func debugREPL(m *asm.Machine) error {
 				err = d.Break(fields[1])
 			}
 			if err != nil {
-				fmt.Println(err)
+				fmt.Fprintln(os.Stderr, err)
 			}
 		case "run", "r", "continue", "c":
 			report(d.Continue())
@@ -119,18 +119,18 @@ func debugREPL(m *asm.Machine) error {
 			fmt.Print(d.InfoRegisters())
 		case "x":
 			if len(fields) != 3 {
-				fmt.Println("usage: x <addr> <nwords>")
+				fmt.Fprintln(os.Stderr, "usage: x <addr> <nwords>")
 				break
 			}
 			addr, err1 := strconv.ParseUint(fields[1], 0, 32)
 			n, err2 := strconv.Atoi(fields[2])
 			if err1 != nil || err2 != nil {
-				fmt.Println("bad arguments")
+				fmt.Fprintln(os.Stderr, "bad arguments")
 				break
 			}
 			words, err := d.Examine(uint32(addr), n)
 			if err != nil {
-				fmt.Println(err)
+				fmt.Fprintln(os.Stderr, err)
 				break
 			}
 			for i, w := range words {
@@ -138,17 +138,17 @@ func debugREPL(m *asm.Machine) error {
 			}
 		case "xs":
 			if len(fields) != 2 {
-				fmt.Println("usage: xs <addr>")
+				fmt.Fprintln(os.Stderr, "usage: xs <addr>")
 				break
 			}
 			addr, err := strconv.ParseUint(fields[1], 0, 32)
 			if err != nil {
-				fmt.Println("bad address")
+				fmt.Fprintln(os.Stderr, "bad address")
 				break
 			}
 			s, err := d.ExamineString(uint32(addr))
 			if err != nil {
-				fmt.Println(err)
+				fmt.Fprintln(os.Stderr, err)
 				break
 			}
 			fmt.Printf("%q\n", s)
@@ -159,7 +159,7 @@ func debugREPL(m *asm.Machine) error {
 				fmt.Printf("#%d  %#08x in %s (fp=%#x)\n", i, f.RetAddr, f.Func, f.FP)
 			}
 		default:
-			fmt.Printf("unknown command %q\n", fields[0])
+			fmt.Fprintf(os.Stderr, "unknown command %q\n", fields[0])
 		}
 		fmt.Print("(gdb) ")
 	}
@@ -177,6 +177,6 @@ func report(s debug.Stop) {
 	case debug.StopExited:
 		fmt.Println("program exited")
 	case debug.StopError:
-		fmt.Printf("error: %v\n", s.Err)
+		fmt.Fprintf(os.Stderr, "error: %v\n", s.Err)
 	}
 }

@@ -94,7 +94,7 @@ func run() error {
 		fmt.Printf("  %q\n", o)
 	}
 	if res.Deadlock {
-		fmt.Println("WARNING: some interleavings deadlock (blocked processes remain)")
+		fmt.Fprintln(os.Stderr, "WARNING: some interleavings deadlock (blocked processes remain)")
 	}
 	return nil
 }

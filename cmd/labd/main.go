@@ -1,0 +1,104 @@
+// Command labd serves the course's simulators over HTTP/JSON: assemble
+// and run machine programs, compile mini-C, replay cache and VM traces,
+// run the Game of Life with a speedup report, generate homework sets, and
+// regenerate the survey's Figure 1. Requests flow through a bounded job
+// queue into a fixed worker pool; a full queue answers 429, and SIGTERM
+// triggers a graceful drain of in-flight jobs.
+//
+// Usage:
+//
+//	labd -addr :8031
+//	labd -workers 8 -queue 64 -timeout 5s
+//
+// Observability: GET /healthz, GET /debug/vars, and a structured (JSON)
+// request log on stderr.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"cs31/internal/labd"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "labd:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	addr := flag.String("addr", ":8031", "listen address")
+	workers := flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
+	queue := flag.Int("queue", 0, "job queue depth (0 = 4x workers)")
+	timeout := flag.Duration("timeout", 10*time.Second, "per-request deadline")
+	maxSteps := flag.Int64("max", 10_000_000, "instruction budget cap for machine jobs")
+	drain := flag.Duration("drain", 30*time.Second, "shutdown drain budget")
+	quiet := flag.Bool("quiet", false, "disable the request log")
+	flag.Parse()
+	if flag.NArg() != 0 {
+		return fmt.Errorf("usage: labd [-addr :8031] [-workers N] [-queue N] [-timeout d]")
+	}
+
+	var logger *slog.Logger
+	if !*quiet {
+		logger = slog.New(slog.NewJSONHandler(os.Stderr, nil))
+	}
+	srv := labd.New(labd.Config{
+		Workers:        *workers,
+		QueueDepth:     *queue,
+		DefaultTimeout: *timeout,
+		MaxSteps:       *maxSteps,
+		Logger:         logger,
+	})
+
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() {
+		if logger != nil {
+			logger.Info("listening", slog.String("addr", *addr))
+		}
+		errc <- httpSrv.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+
+	// Graceful teardown: stop accepting connections and let in-flight
+	// handlers finish, then drain the job queue and worker pool.
+	if logger != nil {
+		logger.Info("shutting down", slog.Duration("drain_budget", *drain))
+	}
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := httpSrv.Shutdown(drainCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return fmt.Errorf("http shutdown: %w", err)
+	}
+	if err := srv.Shutdown(drainCtx); err != nil {
+		return fmt.Errorf("scheduler drain: %w", err)
+	}
+	if logger != nil {
+		logger.Info("drained, exiting")
+	}
+	return nil
+}

@@ -117,6 +117,7 @@ func runBench(template *life.Grid, iters, maxThreads int, part life.Partition) e
 	fmt.Printf("Game of Life speedup: %dx%d grid, %d iterations, %v partition\n",
 		template.Rows, template.Cols, iters, part)
 	fmt.Printf("%8s %12s %9s %11s\n", "threads", "time", "speedup", "efficiency")
+	var runErr error
 	points, err := pthread.MeasureScaling(counts, func(threads int) {
 		g := template.Clone()
 		if threads == 1 {
@@ -124,12 +125,15 @@ func runBench(template *life.Grid, iters, maxThreads int, part life.Partition) e
 			return
 		}
 		pr := &life.ParallelRunner{G: g, Threads: threads, Partition: part}
-		if _, err := pr.Run(iters); err != nil {
-			panic(err)
+		if _, err := pr.Run(iters); err != nil && runErr == nil {
+			runErr = fmt.Errorf("%d threads: %w", threads, err)
 		}
 	})
 	if err != nil {
 		return err
+	}
+	if runErr != nil {
+		return runErr
 	}
 	for _, p := range points {
 		fmt.Printf("%8d %12v %9.2f %10.0f%%\n",

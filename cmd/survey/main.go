@@ -45,9 +45,9 @@ func run() error {
 		}
 		fmt.Println(survey.RenderFigure1(stats))
 		if problems := survey.CheckPaperShape(cohort.Topics, stats); len(problems) > 0 {
-			fmt.Println("shape check FAILED:")
+			fmt.Fprintln(os.Stderr, "shape check FAILED:")
 			for _, p := range problems {
-				fmt.Println("  -", p)
+				fmt.Fprintln(os.Stderr, "  -", p)
 			}
 			return fmt.Errorf("reproduction does not match the paper's qualitative findings")
 		}

@@ -1,0 +1,106 @@
+package core
+
+// Error-path coverage for the vertical-slice pipeline: every stage's
+// failure mode must surface as a wrapped error (or degrade sanely), never
+// a panic or a zero-value success.
+
+import (
+	"strings"
+	"testing"
+
+	"cs31/internal/cache"
+	"cs31/internal/vm"
+)
+
+func TestPipelineBadCSource(t *testing.T) {
+	cases := map[string]string{
+		"syntax":     "int main() { this is not C",
+		"no main":    "int helper() { return 1; }",
+		"type error": `int main() { int x; x = "string"; return 0; }`,
+	}
+	for name, src := range cases {
+		t.Run(name, func(t *testing.T) {
+			res, err := Run(src, Config{})
+			if err == nil {
+				t.Fatalf("Run accepted %s program", name)
+			}
+			if res != nil {
+				t.Errorf("result should be nil on error, got %+v", res)
+			}
+			if !strings.Contains(err.Error(), "core: compile") {
+				t.Errorf("error %q not wrapped with the pipeline stage", err)
+			}
+		})
+	}
+}
+
+func TestPipelineStepBudgetExhaustion(t *testing.T) {
+	infinite := `int main() { while (1 == 1) { } return 0; }`
+	_, err := Run(infinite, Config{MaxSteps: 1000})
+	if err == nil {
+		t.Fatal("Run finished an infinite loop")
+	}
+	if !strings.Contains(err.Error(), "step budget") {
+		t.Errorf("error %q does not mention the step budget", err)
+	}
+}
+
+func TestPipelineMinimalProgram(t *testing.T) {
+	// A program with (nearly) no data-memory traffic must still flow
+	// through the cache/VM replay: zero-access stats are legal, not an
+	// error, and the rate helpers must not divide by zero.
+	res, err := Run("int main() { return 7; }", Config{})
+	if err != nil {
+		t.Fatalf("minimal program failed: %v", err)
+	}
+	if res.ExitStatus != 7 {
+		t.Errorf("exit = %d, want 7", res.ExitStatus)
+	}
+	if hr := res.CacheStats.HitRate(); hr < 0 || hr > 1 {
+		t.Errorf("hit rate %v outside [0,1]", hr)
+	}
+	if fr := res.VMStats.FaultRate(); fr < 0 || fr > 1 {
+		t.Errorf("fault rate %v outside [0,1]", fr)
+	}
+	if res.EffectiveAccessNs < 0 {
+		t.Errorf("negative effective access time %v", res.EffectiveAccessNs)
+	}
+	// The report must render without faulting on near-empty stats.
+	if rep := res.CostReport(); !strings.Contains(rep, "effective access time") {
+		t.Errorf("report incomplete:\n%s", rep)
+	}
+}
+
+func TestPipelineBadCacheConfig(t *testing.T) {
+	_, err := Run("int main() { return 0; }", Config{
+		Cache: cache.Config{SizeBytes: 100, BlockSize: 7, Assoc: 1}, // not powers of two
+	})
+	if err == nil {
+		t.Fatal("Run accepted an invalid cache config")
+	}
+	if !strings.Contains(err.Error(), "core: cache") {
+		t.Errorf("error %q not attributed to the cache stage", err)
+	}
+}
+
+func TestPipelineBadVMConfig(t *testing.T) {
+	_, err := Run("int main() { return 0; }", Config{
+		VM: vm.Config{PageSize: 100, NumFrames: 4, TLBSize: 2, NumPages: 16}, // not a power of two
+	})
+	if err == nil {
+		t.Fatal("Run accepted an invalid VM config")
+	}
+}
+
+func TestPipelineRuntimeFault(t *testing.T) {
+	// A wild pointer store faults inside the machine, mid-pipeline.
+	fault := `int main() {
+    int *p;
+    p = (int*)0;
+    *p = 42;
+    return 0;
+}`
+	if _, err := Run(fault, Config{}); err == nil {
+		t.Skip("null store did not fault on this machine model")
+	}
+}

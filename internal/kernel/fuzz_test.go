@@ -1,0 +1,110 @@
+package kernel
+
+// Robustness: the fork-program parser must never panic, whatever source
+// it is fed — malformed programs must surface as errors. Mirrors
+// internal/asm/fuzz_test.go: deterministic random-input tests that run on
+// every `go test`, plus a native fuzz target (`go test -fuzz=FuzzParse`)
+// seeded from testdata/fuzz/FuzzParseProgram.
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// randomProgram emits a syntactically plausible but frequently invalid
+// program: real keywords with wrong arities, unbalanced braces, junk
+// arguments.
+func randomProgram(rng *rand.Rand) string {
+	keywords := []string{
+		"print", "fork", "exec", "wait", "exit", "compute",
+		"install", "signal", "}", "{", "#",
+	}
+	args := []string{
+		"A", "3", "-1", "SIGCHLD", "SIGKILL", "parent", "{", "}", "99999999999999999999", "",
+	}
+	var sb strings.Builder
+	n := rng.Intn(20)
+	for i := 0; i < n; i++ {
+		sb.WriteString(keywords[rng.Intn(len(keywords))])
+		for j := rng.Intn(3); j > 0; j-- {
+			sb.WriteByte(' ')
+			sb.WriteString(args[rng.Intn(len(args))])
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+func TestParseProgramNeverPanics(t *testing.T) {
+	for seed := int64(0); seed < 200; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		src := randomProgram(rng)
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("seed %d: parser panicked: %v\nprogram:\n%s", seed, r, src)
+				}
+			}()
+			_, _ = ParseProgram(src)
+		}()
+	}
+}
+
+// TestParserNeverPanicsOnByteSoup lexes random bytes, the asm pattern.
+func TestParserNeverPanicsOnByteSoup(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	alphabet := "abcdefgh{}# \n\t0123456789printforkwaitexitcomputeinstallsignalSIGCHLD-"
+	for i := 0; i < 300; i++ {
+		n := rng.Intn(160)
+		buf := make([]byte, n)
+		for j := range buf {
+			buf[j] = alphabet[rng.Intn(len(alphabet))]
+		}
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("parser panicked on %q: %v", buf, r)
+				}
+			}()
+			_, _ = ParseProgram(string(buf))
+		}()
+	}
+}
+
+// FuzzParseProgram is the native fuzz target: parse arbitrary input, and
+// when it parses, run it on the simulated kernel with a small step budget
+// — neither stage may panic, and parsing must be deterministic.
+func FuzzParseProgram(f *testing.F) {
+	seeds := []string{
+		"print A\nfork {\n    print B\n}\nprint C\nwait\nprint D\n",
+		"install SIGCHLD {\n    print !\n}\nfork {\n    exit 3\n}\ncompute 2\nwait\n",
+		"exec {\n    print X\n}\nsignal SIGTERM parent\n",
+		"fork {\n    fork {\n        print deep\n    }\n    wait\n}\nwait\nexit 0\n",
+		"# just a comment\n\nprint hello # trailing\n",
+		"fork {\nprint unterminated\n",
+		"}\nwait\n",
+		"compute nope\nsignal WHAT 12\nexit 4294967296\n",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		if len(src) > 1<<16 {
+			return // keep the kernel run bounded
+		}
+		ops, err := ParseProgram(src)
+		ops2, err2 := ParseProgram(src)
+		if (err == nil) != (err2 == nil) || len(ops) != len(ops2) {
+			t.Fatalf("non-deterministic parse: %d ops/%v vs %d ops/%v", len(ops), err, len(ops2), err2)
+		}
+		if err != nil {
+			return
+		}
+		// A program that parses must be executable without panicking;
+		// runtime errors (budget exhaustion, deadlock) are legitimate.
+		k := New()
+		k.Spawn(ops)
+		_ = k.Run(2000)
+	})
+}

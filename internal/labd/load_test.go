@@ -1,0 +1,223 @@
+package labd
+
+// The capstone test: the daemon is itself the course's parallel program,
+// and this is its Lab 10 stress harness. Hundreds of concurrent mixed
+// requests hit a small worker pool behind a small bounded queue, and the
+// accounting must reconcile exactly: every request is answered exactly
+// once, queue-full requests get 429, the expvar counters sum to the
+// requests served, and shutdown drains everything in flight. Run with
+// -race; the scheduler, metrics, and handlers are all exercised in
+// parallel here.
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// loadRequest issues one request of the given kind and returns the final
+// HTTP status plus the endpoint metric key it should be accounted under.
+func loadRequest(t *testing.T, baseURL string, kind int) (status int, endpoint string) {
+	t.Helper()
+	switch kind % 7 {
+	case 0:
+		resp, _ := postJSON(t, baseURL+"/v1/asm/run", AsmRunRequest{
+			Source: "main:\n    movl $0, %ebx\n    movl $1, %eax\n    int $0x80\n",
+		})
+		return resp.StatusCode, "POST /v1/asm/run"
+	case 1:
+		resp, _ := postJSON(t, baseURL+"/v1/minic/compile", MinicCompileRequest{
+			Source: "int main() { return 3; }",
+		})
+		return resp.StatusCode, "POST /v1/minic/compile"
+	case 2:
+		resp, _ := postJSON(t, baseURL+"/v1/cache/sim", CacheSimRequest{
+			SizeBytes: 1024, BlockSize: 64, Workload: "colmajor", Rows: 32, Cols: 32,
+		})
+		return resp.StatusCode, "POST /v1/cache/sim"
+	case 3:
+		resp, _ := postJSON(t, baseURL+"/v1/vm/sim", VMSimRequest{
+			Trace: []VMAccess{{Pid: 1, Addr: 0}, {Pid: 2, Addr: 512}, {Pid: 1, Addr: 1024}},
+		})
+		return resp.StatusCode, "POST /v1/vm/sim"
+	case 4:
+		resp, _ := postJSON(t, baseURL+"/v1/life/run", LifeRunRequest{
+			Rows: 24, Cols: 24, Iters: 6, Threads: 2,
+		})
+		return resp.StatusCode, "POST /v1/life/run"
+	case 5:
+		resp, _ := getURL(t, baseURL+"/v1/homework?topic=binary-conversion&n=1&seed=9")
+		return resp.StatusCode, "GET /v1/homework"
+	default:
+		resp, _ := getURL(t, baseURL+"/v1/survey/figure1?students=30")
+		return resp.StatusCode, "GET /v1/survey/figure1"
+	}
+}
+
+func TestLoadMixedConcurrentRequests(t *testing.T) {
+	const totalRequests = 280
+
+	s, ts := newTestServer(t, Config{
+		Workers:        4,
+		QueueDepth:     8,
+		DefaultTimeout: 30 * time.Second,
+	})
+
+	type tally struct {
+		mu       sync.Mutex
+		byStatus map[int]int
+		byEP     map[string]map[int]int
+	}
+	tl := &tally{byStatus: map[int]int{}, byEP: map[string]map[int]int{}}
+
+	var wg sync.WaitGroup
+	for i := 0; i < totalRequests; i++ {
+		wg.Add(1)
+		go func(kind int) {
+			defer wg.Done()
+			status, ep := loadRequest(t, ts.URL, kind)
+			tl.mu.Lock()
+			defer tl.mu.Unlock()
+			tl.byStatus[status]++
+			if tl.byEP[ep] == nil {
+				tl.byEP[ep] = map[int]int{}
+			}
+			tl.byEP[ep][status]++
+		}(i)
+	}
+	wg.Wait()
+
+	// Every request was answered exactly once, with 200 or 429 only.
+	answered := 0
+	for status, n := range tl.byStatus {
+		answered += n
+		if status != http.StatusOK && status != http.StatusTooManyRequests {
+			t.Errorf("unexpected status %d x%d", status, n)
+		}
+	}
+	if answered != totalRequests {
+		t.Fatalf("answered %d requests, want %d", answered, totalRequests)
+	}
+	if tl.byStatus[http.StatusOK] == 0 {
+		t.Error("no request succeeded")
+	}
+	if tl.byStatus[http.StatusTooManyRequests] == 0 {
+		t.Error("queue never overflowed — backpressure untested; shrink the pool")
+	}
+
+	// Scheduler accounting: nothing lost, nothing double-served. Each
+	// request was either admitted (and, with no timeouts, completed) or
+	// rejected with 429.
+	st := s.SchedStats()
+	if st.Submitted+st.Rejected != totalRequests {
+		t.Errorf("submitted %d + rejected %d != %d", st.Submitted, st.Rejected, totalRequests)
+	}
+	if st.Skipped != 0 {
+		t.Errorf("skipped = %d, want 0 (no request timed out)", st.Skipped)
+	}
+	if st.Completed != st.Submitted {
+		t.Errorf("completed %d != submitted %d", st.Completed, st.Submitted)
+	}
+	if int(st.Completed) != tl.byStatus[http.StatusOK] {
+		t.Errorf("completed %d != client-observed 200s %d", st.Completed, tl.byStatus[http.StatusOK])
+	}
+	if int(st.Rejected) != tl.byStatus[http.StatusTooManyRequests] {
+		t.Errorf("rejected %d != client-observed 429s %d", st.Rejected, tl.byStatus[http.StatusTooManyRequests])
+	}
+
+	// The metrics layer saw exactly the issued requests.
+	if got := s.Metrics().TotalRequests(); got != totalRequests {
+		t.Errorf("metrics total = %d, want %d", got, totalRequests)
+	}
+
+	// The expvar surface reconciles too: per-endpoint counters summed
+	// across /v1 routes equal the requests served, and per-status counts
+	// match what the clients saw.
+	resp, raw := getURL(t, ts.URL+"/debug/vars")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/debug/vars status %d", resp.StatusCode)
+	}
+	var vars map[string]json.RawMessage
+	if err := json.Unmarshal(raw, &vars); err != nil {
+		t.Fatalf("parse /debug/vars: %v", err)
+	}
+	var expvarTotal int64
+	for key, v := range vars {
+		name, ok := strings.CutPrefix(key, "labd.endpoint.")
+		if !ok || !strings.Contains(name, "/v1/") {
+			continue
+		}
+		var ep EndpointSnapshot
+		if err := json.Unmarshal(v, &ep); err != nil {
+			t.Fatalf("parse %s: %v", key, err)
+		}
+		expvarTotal += ep.Requests
+		for status, clientCount := range tl.byEP[name] {
+			if got := ep.ByStatus[fmt.Sprint(status)]; got != int64(clientCount) {
+				t.Errorf("%s status %d: expvar %d, clients saw %d", name, status, got, clientCount)
+			}
+		}
+	}
+	if expvarTotal != totalRequests {
+		t.Errorf("expvar endpoint counters sum to %d, want %d", expvarTotal, totalRequests)
+	}
+}
+
+func TestShutdownDrainsInFlightJobs(t *testing.T) {
+	s := New(Config{Workers: 2, QueueDepth: 16, DefaultTimeout: 30 * time.Second})
+	ts := newUnmanagedServer(t, s)
+
+	// A program slow enough (~600k steps) that jobs are still queued and
+	// running when shutdown begins.
+	slow := AsmRunRequest{Source: `main:
+    movl $200000, %ecx
+loop:
+    decl %ecx
+    cmpl $0, %ecx
+    jne loop
+    movl $1, %eax
+    movl $0, %ebx
+    int $0x80
+`}
+
+	const jobs = 10
+	statuses := make(chan int, jobs)
+	var wg sync.WaitGroup
+	for i := 0; i < jobs; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp, _ := postJSON(t, ts.URL+"/v1/asm/run", slow)
+			statuses <- resp.StatusCode
+		}()
+	}
+
+	// Wait until every job is inside the scheduler, then pull the plug.
+	waitFor(t, func() bool { return s.SchedStats().Submitted == jobs })
+	if err := s.Shutdown(context.Background()); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+
+	wg.Wait()
+	close(statuses)
+	for status := range statuses {
+		if status != http.StatusOK {
+			t.Errorf("in-flight job answered %d during drain, want 200", status)
+		}
+	}
+	st := s.SchedStats()
+	if st.Completed != jobs {
+		t.Errorf("drained %d of %d in-flight jobs", st.Completed, jobs)
+	}
+
+	// After the drain, new work is refused with 503.
+	resp, _ := postJSON(t, ts.URL+"/v1/asm/run", slow)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("post-drain status %d, want 503", resp.StatusCode)
+	}
+}

@@ -1,0 +1,166 @@
+package labd
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// latencyBuckets are the histogram upper bounds. Requests slower than the
+// last bound land in the implicit +Inf bucket.
+var latencyBuckets = []time.Duration{
+	100 * time.Microsecond,
+	500 * time.Microsecond,
+	1 * time.Millisecond,
+	5 * time.Millisecond,
+	25 * time.Millisecond,
+	100 * time.Millisecond,
+	500 * time.Millisecond,
+	2 * time.Second,
+	10 * time.Second,
+}
+
+// endpointMetrics accumulates one endpoint's counters under its own lock
+// so hot endpoints don't contend with each other.
+type endpointMetrics struct {
+	mu       sync.Mutex
+	requests int64            // every request routed to the endpoint
+	byStatus map[int]int64    // HTTP status -> count
+	buckets  []int64          // latency histogram, len(latencyBuckets)+1
+	totalDur time.Duration    // sum of latencies, for the mean
+	maxDur   time.Duration
+}
+
+// EndpointSnapshot is the exported view of one endpoint's counters.
+type EndpointSnapshot struct {
+	Endpoint   string           `json:"endpoint"`
+	Requests   int64            `json:"requests"`
+	ByStatus   map[string]int64 `json:"by_status"`
+	LatencyMs  LatencySnapshot  `json:"latency_ms"`
+}
+
+// LatencySnapshot summarizes an endpoint's latency histogram in
+// milliseconds.
+type LatencySnapshot struct {
+	MeanMs  float64          `json:"mean"`
+	MaxMs   float64          `json:"max"`
+	Buckets map[string]int64 `json:"buckets"` // "le_5ms" -> count, "inf" tail
+}
+
+// Metrics is the daemon's observability state: per-endpoint request
+// counters keyed by final HTTP status plus latency histograms. It is
+// deliberately not registered with the global expvar registry so that
+// many servers (one per test) can coexist; the server renders it at
+// GET /debug/vars in expvar's JSON shape instead.
+type Metrics struct {
+	mu        sync.Mutex
+	endpoints map[string]*endpointMetrics
+	start     time.Time
+}
+
+// NewMetrics returns an empty metrics registry.
+func NewMetrics() *Metrics {
+	return &Metrics{endpoints: make(map[string]*endpointMetrics), start: time.Now()}
+}
+
+func (m *Metrics) endpoint(name string) *endpointMetrics {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	em, ok := m.endpoints[name]
+	if !ok {
+		em = &endpointMetrics{
+			byStatus: make(map[int]int64),
+			buckets:  make([]int64, len(latencyBuckets)+1),
+		}
+		m.endpoints[name] = em
+	}
+	return em
+}
+
+// Observe records one served request: its endpoint, final HTTP status, and
+// wall-clock latency.
+func (m *Metrics) Observe(endpoint string, status int, d time.Duration) {
+	em := m.endpoint(endpoint)
+	em.mu.Lock()
+	defer em.mu.Unlock()
+	em.requests++
+	em.byStatus[status]++
+	i := sort.Search(len(latencyBuckets), func(i int) bool { return d <= latencyBuckets[i] })
+	em.buckets[i]++
+	em.totalDur += d
+	if d > em.maxDur {
+		em.maxDur = d
+	}
+}
+
+func bucketLabel(i int) string {
+	if i >= len(latencyBuckets) {
+		return "inf"
+	}
+	b := latencyBuckets[i]
+	if b < time.Millisecond {
+		return fmt.Sprintf("le_%dus", b.Microseconds())
+	}
+	return fmt.Sprintf("le_%dms", b.Milliseconds())
+}
+
+// Snapshot returns every endpoint's counters, sorted by endpoint name.
+func (m *Metrics) Snapshot() []EndpointSnapshot {
+	m.mu.Lock()
+	names := make([]string, 0, len(m.endpoints))
+	for n := range m.endpoints {
+		names = append(names, n)
+	}
+	m.mu.Unlock()
+	sort.Strings(names)
+
+	out := make([]EndpointSnapshot, 0, len(names))
+	for _, n := range names {
+		em := m.endpoint(n)
+		em.mu.Lock()
+		snap := EndpointSnapshot{
+			Endpoint: n,
+			Requests: em.requests,
+			ByStatus: make(map[string]int64, len(em.byStatus)),
+		}
+		for st, c := range em.byStatus {
+			snap.ByStatus[fmt.Sprintf("%d", st)] = c
+		}
+		snap.LatencyMs = LatencySnapshot{
+			MaxMs:   float64(em.maxDur) / float64(time.Millisecond),
+			Buckets: make(map[string]int64, len(em.buckets)),
+		}
+		if em.requests > 0 {
+			snap.LatencyMs.MeanMs = float64(em.totalDur) / float64(em.requests) / float64(time.Millisecond)
+		}
+		for i, c := range em.buckets {
+			if c > 0 {
+				snap.LatencyMs.Buckets[bucketLabel(i)] = c
+			}
+		}
+		em.mu.Unlock()
+		out = append(out, snap)
+	}
+	return out
+}
+
+// TotalRequests sums request counts across endpoints — the number the
+// load test reconciles against its own client-side tally.
+func (m *Metrics) TotalRequests() int64 {
+	var total int64
+	for _, s := range m.Snapshot() {
+		total += s.Requests
+	}
+	return total
+}
+
+// Uptime reports how long the registry (and so the server) has existed.
+func (m *Metrics) Uptime() time.Duration { return time.Since(m.start) }
+
+// endpointKey normalizes a method+pattern pair into a metric name like
+// "POST /v1/asm/run".
+func endpointKey(method, pattern string) string {
+	return strings.TrimSpace(method + " " + pattern)
+}

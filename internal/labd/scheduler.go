@@ -1,0 +1,185 @@
+// Package labd is the lab-service daemon: it exposes the course's
+// simulators (asm machine, mini-C compiler, cache, VM, Game of Life,
+// homework generator, survey exhibits) as HTTP/JSON job endpoints served
+// by a bounded queue and a fixed worker pool. The daemon is the repo's
+// third theme turned inward — the parallel substrate students study
+// (worker pools, bounded buffers, barriers, graceful teardown) is the
+// thing that serves the course content.
+package labd
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+)
+
+// Scheduler errors, mapped to HTTP statuses by the server.
+var (
+	// ErrQueueFull means the bounded queue rejected the job (HTTP 429).
+	ErrQueueFull = errors.New("labd: job queue full")
+	// ErrShuttingDown means the scheduler no longer accepts work (HTTP 503).
+	ErrShuttingDown = errors.New("labd: shutting down")
+)
+
+// job is one unit of queued work. done is closed exactly once, after the
+// job has either run to completion or been skipped because its context
+// expired while it waited in the queue.
+type job struct {
+	ctx     context.Context
+	run     func(ctx context.Context)
+	done    chan struct{}
+	skipped bool // set before done is closed when the job never ran
+}
+
+// SchedStats is a point-in-time snapshot of scheduler counters. The
+// invariant the load test asserts: Submitted == Completed + Skipped +
+// queued-but-unfinished, and every submitted job is eventually exactly one
+// of Completed or Skipped — nothing lost, nothing double-served.
+type SchedStats struct {
+	Submitted int64 // jobs accepted into the queue
+	Rejected  int64 // jobs refused with ErrQueueFull
+	Completed int64 // jobs a worker ran to completion
+	Skipped   int64 // jobs whose context expired before a worker got to them
+	Workers   int
+	QueueCap  int
+	QueueLen  int
+}
+
+// Scheduler runs jobs on a fixed pool of workers fed by a bounded queue —
+// the producer/consumer bounded buffer of the course's Lab 10, serving
+// production traffic.
+type Scheduler struct {
+	queue   chan *job
+	workers int
+
+	mu     sync.RWMutex // guards closed vs. queue sends
+	closed bool
+
+	wg sync.WaitGroup // running workers
+
+	submitted atomic.Int64
+	rejected  atomic.Int64
+	completed atomic.Int64
+	skipped   atomic.Int64
+}
+
+// NewScheduler starts `workers` goroutines behind a queue of depth
+// `depth`. Both must be >= 1.
+func NewScheduler(workers, depth int) *Scheduler {
+	if workers < 1 {
+		workers = 1
+	}
+	if depth < 1 {
+		depth = 1
+	}
+	s := &Scheduler{
+		queue:   make(chan *job, depth),
+		workers: workers,
+	}
+	s.wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go s.worker()
+	}
+	return s
+}
+
+func (s *Scheduler) worker() {
+	defer s.wg.Done()
+	for j := range s.queue {
+		// A job that timed out or whose client vanished while it sat in
+		// the queue is skipped, not run: the waiter has already gone.
+		select {
+		case <-j.ctx.Done():
+			j.skipped = true
+			s.skipped.Add(1)
+		default:
+			j.run(j.ctx)
+			s.completed.Add(1)
+		}
+		close(j.done)
+	}
+}
+
+// Submit enqueues fn and blocks until a worker has run it or ctx is done.
+// It returns nil when fn ran to completion, ErrQueueFull when the bounded
+// queue was full (backpressure), ErrShuttingDown after Shutdown, or the
+// context's error when the caller gave up first. A job whose submitter
+// gave up may still be skipped by a worker later; it is never run after
+// its context is done.
+func (s *Scheduler) Submit(ctx context.Context, fn func(ctx context.Context)) error {
+	j := &job{ctx: ctx, run: fn, done: make(chan struct{})}
+
+	// The read lock pins the queue open: Shutdown takes the write lock
+	// before closing the channel, so a send can never hit a closed queue.
+	s.mu.RLock()
+	if s.closed {
+		s.mu.RUnlock()
+		return ErrShuttingDown
+	}
+	select {
+	case s.queue <- j:
+		s.submitted.Add(1)
+		s.mu.RUnlock()
+	default:
+		s.mu.RUnlock()
+		s.rejected.Add(1)
+		return ErrQueueFull
+	}
+
+	select {
+	case <-j.done:
+		if j.skipped {
+			// The worker observed our expired context before running.
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			return context.Canceled
+		}
+		return nil
+	case <-ctx.Done():
+		// The job stays in the queue; a worker will skip it. Wait for the
+		// skip/completion so the caller knows the job can no longer touch
+		// its response buffers... unless a worker is mid-run, in which
+		// case the handler's fn closes over its own locals and the HTTP
+		// layer reports the timeout.
+		return ctx.Err()
+	}
+}
+
+// Shutdown stops accepting new jobs, lets the workers drain everything
+// already queued, and returns once the pool has exited or ctx is done.
+// It is idempotent.
+func (s *Scheduler) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	if !s.closed {
+		s.closed = true
+		close(s.queue)
+	}
+	s.mu.Unlock()
+
+	finished := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(finished)
+	}()
+	select {
+	case <-finished:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Stats snapshots the scheduler counters.
+func (s *Scheduler) Stats() SchedStats {
+	return SchedStats{
+		Submitted: s.submitted.Load(),
+		Rejected:  s.rejected.Load(),
+		Completed: s.completed.Load(),
+		Skipped:   s.skipped.Load(),
+		Workers:   s.workers,
+		QueueCap:  cap(s.queue),
+		QueueLen:  len(s.queue),
+	}
+}

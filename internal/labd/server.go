@@ -1,0 +1,325 @@
+package labd
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"runtime"
+	"strconv"
+	"time"
+)
+
+// Config parameterizes the daemon. Zero values select defaults sized to
+// the host: GOMAXPROCS workers, a queue 4x as deep, 10s request budget.
+type Config struct {
+	Workers        int           // worker pool size
+	QueueDepth     int           // bounded queue capacity
+	DefaultTimeout time.Duration // per-request deadline when the client sets none
+	MaxSteps       int64         // hard cap on machine instruction budgets
+	Logger         *slog.Logger  // structured request log; nil disables
+}
+
+func (c *Config) fillDefaults() {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 4 * c.Workers
+	}
+	if c.DefaultTimeout <= 0 {
+		c.DefaultTimeout = 10 * time.Second
+	}
+	if c.MaxSteps <= 0 {
+		c.MaxSteps = 10_000_000
+	}
+}
+
+// Server is the lab-service daemon: an http.Handler whose /v1 endpoints
+// funnel simulator jobs through the bounded queue into the worker pool.
+type Server struct {
+	cfg     Config
+	sched   *Scheduler
+	metrics *Metrics
+	mux     *http.ServeMux
+}
+
+// New builds a Server and starts its worker pool.
+func New(cfg Config) *Server {
+	cfg.fillDefaults()
+	s := &Server{
+		cfg:     cfg,
+		sched:   NewScheduler(cfg.Workers, cfg.QueueDepth),
+		metrics: NewMetrics(),
+		mux:     http.NewServeMux(),
+	}
+	s.routes()
+	return s
+}
+
+func (s *Server) routes() {
+	registerJSON(s, "POST /v1/asm/run", s.asmRun)
+	registerJSON(s, "POST /v1/minic/compile", s.minicCompile)
+	registerJSON(s, "POST /v1/cache/sim", s.cacheSim)
+	registerJSON(s, "POST /v1/vm/sim", s.vmSim)
+	registerJSON(s, "POST /v1/life/run", s.lifeRun)
+	s.mux.HandleFunc("GET /v1/homework", func(w http.ResponseWriter, r *http.Request) {
+		markPattern(w, "GET /v1/homework")
+		q := r.URL.Query()
+		topic := q.Get("topic")
+		seed, err := queryInt64("seed", q.Get("seed"), 31)
+		if err != nil {
+			writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error()})
+			return
+		}
+		n64, err := queryInt64("n", q.Get("n"), 1)
+		if err != nil {
+			writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error()})
+			return
+		}
+		answers := q.Get("answers") != "false"
+		s.schedule(w, r, func(ctx context.Context) (any, error) {
+			return s.homeworkGen(ctx, topic, seed, int(n64), answers)
+		})
+	})
+	s.mux.HandleFunc("GET /v1/survey/figure1", func(w http.ResponseWriter, r *http.Request) {
+		markPattern(w, "GET /v1/survey/figure1")
+		seed, err := queryInt64("seed", r.URL.Query().Get("seed"), 2022)
+		if err != nil {
+			writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error()})
+			return
+		}
+		st64, err := queryInt64("students", r.URL.Query().Get("students"), 120)
+		if err != nil {
+			writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error()})
+			return
+		}
+		s.schedule(w, r, func(ctx context.Context) (any, error) {
+			return s.surveyFigure1(ctx, seed, int(st64))
+		})
+	})
+	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		markPattern(w, "GET /healthz")
+		s.healthz(w, r)
+	})
+	s.mux.HandleFunc("GET /debug/vars", func(w http.ResponseWriter, r *http.Request) {
+		markPattern(w, "GET /debug/vars")
+		s.debugVars(w, r)
+	})
+}
+
+// queryInt64 parses an optional integer query parameter. A missing or
+// empty value selects the default; a present-but-malformed one is a
+// client error, not a silent fallback.
+func queryInt64(name, s string, def int64) (int64, error) {
+	if s == "" {
+		return def, nil
+	}
+	v, err := strconv.ParseInt(s, 10, 64)
+	if err != nil {
+		return 0, badReqf("query parameter %q: %q is not an integer", name, s)
+	}
+	return v, nil
+}
+
+// Handler returns the daemon's root handler with metrics and logging
+// middleware applied.
+func (s *Server) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		s.mux.ServeHTTP(rec, r)
+		d := time.Since(start)
+
+		// Metrics are keyed by the route pattern that matched, so
+		// /v1/asm/run and /v1/asm/run?x=y aggregate together and unknown
+		// paths roll up under one bucket.
+		pattern := rec.pattern
+		if pattern == "" {
+			pattern = "(unmatched)"
+		}
+		s.metrics.Observe(pattern, rec.status, d)
+		if s.cfg.Logger != nil {
+			s.cfg.Logger.Info("request",
+				slog.String("method", r.Method),
+				slog.String("path", r.URL.Path),
+				slog.String("route", pattern),
+				slog.Int("status", rec.status),
+				slog.Int64("bytes", rec.bytes),
+				slog.Float64("duration_ms", float64(d)/float64(time.Millisecond)),
+				slog.String("remote", r.RemoteAddr),
+			)
+		}
+	})
+}
+
+// Shutdown stops accepting jobs and drains the queue and workers.
+func (s *Server) Shutdown(ctx context.Context) error {
+	return s.sched.Shutdown(ctx)
+}
+
+// Metrics exposes the server's counters (for tests and embedders).
+func (s *Server) Metrics() *Metrics { return s.metrics }
+
+// SchedStats snapshots the scheduler counters.
+func (s *Server) SchedStats() SchedStats { return s.sched.Stats() }
+
+// statusRecorder captures the status code, byte count, and matched route
+// of a served request.
+type statusRecorder struct {
+	http.ResponseWriter
+	status  int
+	bytes   int64
+	pattern string
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.status = code
+	r.ResponseWriter.WriteHeader(code)
+}
+
+func (r *statusRecorder) Write(b []byte) (int, error) {
+	n, err := r.ResponseWriter.Write(b)
+	r.bytes += int64(n)
+	return n, err
+}
+
+// errorBody is the JSON error envelope every non-2xx response carries.
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+// httpStatusFor maps handler/scheduler errors onto HTTP statuses.
+func httpStatusFor(err error) int {
+	var br errBadRequest
+	switch {
+	case errors.As(err, &br):
+		return http.StatusBadRequest
+	case errors.Is(err, ErrQueueFull):
+		return http.StatusTooManyRequests
+	case errors.Is(err, ErrShuttingDown):
+		return http.StatusServiceUnavailable
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout
+	case errors.Is(err, context.Canceled):
+		// Client went away; nobody reads this, but the log should not
+		// claim success.
+		return 499
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+// schedule funnels prepared work through the bounded queue into the
+// worker pool and renders the outcome. fn closes only over values decoded
+// in the HTTP goroutine — never the live *http.Request — because on a
+// timeout the worker may still be running after ServeHTTP returns.
+func (s *Server) schedule(w http.ResponseWriter, r *http.Request, fn func(ctx context.Context) (any, error)) {
+	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.DefaultTimeout)
+	defer cancel()
+
+	var resp any
+	var jobErr error
+	err := s.sched.Submit(ctx, func(ctx context.Context) {
+		resp, jobErr = fn(ctx)
+	})
+	if err == nil {
+		err = jobErr
+	}
+	if err != nil {
+		status := httpStatusFor(err)
+		if status == http.StatusTooManyRequests {
+			w.Header().Set("Retry-After", "1")
+		}
+		writeJSON(w, status, errorBody{Error: err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// markPattern records the matched route on the middleware's recorder so
+// metrics aggregate by pattern instead of raw path.
+func markPattern(w http.ResponseWriter, pattern string) {
+	if sr, ok := w.(*statusRecorder); ok {
+		sr.pattern = pattern
+	}
+}
+
+// registerJSON adapts a typed request/response handler onto the queued
+// path: decode the JSON body (1 MiB cap) up front, run the simulator work
+// through the pool, encode the reply.
+func registerJSON[Req, Resp any](s *Server, pattern string, fn func(ctx context.Context, req Req) (Resp, error)) {
+	s.mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
+		markPattern(w, pattern)
+		var req Req
+		body := http.MaxBytesReader(nil, r.Body, 1<<20)
+		dec := json.NewDecoder(body)
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&req); err != nil {
+			status := http.StatusBadRequest
+			var tooBig *http.MaxBytesError
+			if errors.As(err, &tooBig) {
+				status = http.StatusRequestEntityTooLarge
+			}
+			writeJSON(w, status, errorBody{Error: "decode request: " + err.Error()})
+			return
+		}
+		s.schedule(w, r, func(ctx context.Context) (any, error) {
+			return fn(ctx, req)
+		})
+	})
+}
+
+// healthzBody is the GET /healthz response.
+type healthzBody struct {
+	Status   string `json:"status"`
+	Workers  int    `json:"workers"`
+	QueueLen int    `json:"queue_len"`
+	QueueCap int    `json:"queue_cap"`
+	UptimeMs int64  `json:"uptime_ms"`
+}
+
+func (s *Server) healthz(w http.ResponseWriter, _ *http.Request) {
+	st := s.sched.Stats()
+	writeJSON(w, http.StatusOK, healthzBody{
+		Status:   "ok",
+		Workers:  st.Workers,
+		QueueLen: st.QueueLen,
+		QueueCap: st.QueueCap,
+		UptimeMs: s.metrics.Uptime().Milliseconds(),
+	})
+}
+
+// debugVars renders the daemon's counters in expvar's flat-JSON shape:
+// one "labd.*" key per var. The registry is per-server rather than
+// process-global so concurrent servers (tests) don't collide.
+func (s *Server) debugVars(w http.ResponseWriter, _ *http.Request) {
+	sched := s.sched.Stats()
+	vars := map[string]any{
+		"labd.scheduler": map[string]int64{
+			"submitted": sched.Submitted,
+			"rejected":  sched.Rejected,
+			"completed": sched.Completed,
+			"skipped":   sched.Skipped,
+		},
+		"labd.workers":        sched.Workers,
+		"labd.queue_cap":      sched.QueueCap,
+		"labd.queue_len":      sched.QueueLen,
+		"labd.uptime_ms":      s.metrics.Uptime().Milliseconds(),
+		"labd.total_requests": s.metrics.TotalRequests(),
+	}
+	for _, ep := range s.metrics.Snapshot() {
+		vars[fmt.Sprintf("labd.endpoint.%s", ep.Endpoint)] = ep
+	}
+	writeJSON(w, http.StatusOK, vars)
+}

@@ -21,6 +21,9 @@ func TestCounterModesCorrectness(t *testing.T) {
 }
 
 func TestCounterRacyNeverExceedsExpected(t *testing.T) {
+	if RaceDetectorEnabled {
+		t.Skip("intentional data-race demo; the detector would (correctly) flag it")
+	}
 	res, err := RunCounter(Racy, 8, 5000)
 	if err != nil {
 		t.Fatal(err)

@@ -1,0 +1,6 @@
+//go:build !race
+
+package pthread
+
+// RaceDetectorEnabled reports whether this binary was built with -race.
+const RaceDetectorEnabled = false

@@ -1,0 +1,9 @@
+//go:build race
+
+package pthread
+
+// RaceDetectorEnabled reports whether this binary was built with -race.
+// The course's intentional data-race demonstration (RunCounter with the
+// Racy mode) skips itself under the detector: the race is the lesson, not
+// a bug to report.
+const RaceDetectorEnabled = true
