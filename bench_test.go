@@ -20,6 +20,7 @@ import (
 	"fmt"
 	"testing"
 
+	"cs31/internal/asm"
 	"cs31/internal/cache"
 	"cs31/internal/cpu"
 	"cs31/internal/life"
@@ -200,6 +201,69 @@ func BenchmarkVMTLB(b *testing.B) {
 	}
 	b.Run("tlb-0", func(b *testing.B) { run(b, 0) })
 	b.Run("tlb-16", func(b *testing.B) { run(b, 16) })
+}
+
+// BenchmarkMachineArithLoop times the asm machine's instruction-dispatch
+// hot loop on a register/immediate arithmetic kernel — the path every
+// compiled-C and hand-written-assembly lab exercises. The "steps" metric is
+// deterministic and doubles as a shape check that dispatch semantics have
+// not drifted.
+func BenchmarkMachineArithLoop(b *testing.B) {
+	prog, err := asm.Assemble(`
+main:
+    movl $0, %eax
+    movl $0, %ebx
+    movl $20000, %ecx
+loop:
+    addl $3, %eax
+    movl %eax, %edx
+    imull $5, %edx
+    subl %edx, %ebx
+    andl $0xffff, %ebx
+    decl %ecx
+    cmpl $0, %ecx
+    jne loop
+    ret
+`)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var steps int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m, err := asm.NewMachineSize(prog, 1<<16)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := m.Run(1 << 20); err != nil {
+			b.Fatal(err)
+		}
+		steps = m.Steps
+	}
+	b.ReportMetric(float64(steps), "steps")
+}
+
+// BenchmarkCacheLookup times the cache simulator's set-lookup hot path on a
+// mixed hit/miss/eviction workload over a 4-way LRU cache. The hit rate is
+// deterministic and doubles as a shape check on replacement semantics.
+func BenchmarkCacheLookup(b *testing.B) {
+	cfg := cache.Config{SizeBytes: 4096, BlockSize: 64, Assoc: 4, Repl: cache.LRU}
+	trace := make([]memhier.Access, 0, 1<<15)
+	for i := 0; i < 1<<13; i++ {
+		base := uint64(i%256) * 64 // cycles through 2x the cache capacity
+		trace = append(trace, memhier.R(base), memhier.W(base+4),
+			memhier.R(base+32), memhier.R(uint64(i%31)*4096))
+	}
+	var stats cache.Stats
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c, err := cache.New(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		stats = c.RunTrace(trace)
+	}
+	b.ReportMetric(100*stats.HitRate(), "hit-%")
 }
 
 // BenchmarkPipelineDepth evaluates the pipelining model (Claim C6),

@@ -1,0 +1,117 @@
+package main
+
+import (
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// sampleRun is `go test -bench -cpu 1` output: names carry no GOMAXPROCS
+// suffix, so sub-benchmark suffixes like /threads-2 are preserved verbatim.
+const sampleRun = `goos: linux
+goarch: amd64
+pkg: cs31
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkLifeSpeedup/threads-1         	   18613	     66774 ns/op
+BenchmarkLifeSpeedup/threads-2         	    9000	    120000 ns/op
+BenchmarkMachineArithLoop              	     976	   1258780 ns/op	    160004 steps
+BenchmarkMachineArithLoop              	     980	   1200000 ns/op	    160004 steps
+BenchmarkCacheLookup                   	    2293	    460628 ns/op	        50.11 hit-%
+BenchmarkCacheStride/rowmajor          	   24022	     54982 ns/op	        93.75 hit-%
+PASS
+ok  	cs31	4.727s
+`
+
+func parseSample(t *testing.T) map[string]*RunResult {
+	t.Helper()
+	res, err := parseBench(strings.NewReader(sampleRun))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestParseBench(t *testing.T) {
+	res := parseSample(t)
+	if len(res) != 5 {
+		t.Fatalf("parsed %d benchmarks, want 5: %v", len(res), res)
+	}
+	arith := res["BenchmarkMachineArithLoop"]
+	if arith == nil {
+		t.Fatal("BenchmarkMachineArithLoop missing")
+	}
+	if res["BenchmarkLifeSpeedup/threads-2"] == nil {
+		t.Fatal("sub-benchmark suffix was mangled")
+	}
+	if arith.NsPerOp != 1200000 {
+		t.Errorf("best-of ns/op = %v, want 1200000", arith.NsPerOp)
+	}
+	if arith.Metrics["steps"] != 160004 {
+		t.Errorf("steps metric = %v, want 160004", arith.Metrics["steps"])
+	}
+	if res["BenchmarkCacheLookup"].Metrics["hit-%"] != 50.11 {
+		t.Errorf("hit-%% metric = %v", res["BenchmarkCacheLookup"].Metrics["hit-%"])
+	}
+}
+
+func TestComparePassesAtBaseline(t *testing.T) {
+	res := parseSample(t)
+	base := &Baseline{Benchmarks: map[string]BaselineEntry{
+		"BenchmarkMachineArithLoop": {NsPerOp: 1100000, Metrics: map[string]float64{"steps": 160004}},
+		"BenchmarkCacheLookup":      {NsPerOp: 450000, Metrics: map[string]float64{"hit-%": 50.11}},
+		"BenchmarkNotRunThisTime":   {NsPerOp: 1, Metrics: map[string]float64{"x": 1}},
+	}}
+	failures, nsGated, shapes := compare(base, res, 1.25, 0.005, false)
+	if len(failures) != 0 {
+		t.Fatalf("unexpected failures: %v", failures)
+	}
+	if nsGated != 2 || shapes != 2 {
+		t.Errorf("gated %d / shapes %d, want 2 / 2", nsGated, shapes)
+	}
+}
+
+func TestCompareFlagsNsRegression(t *testing.T) {
+	res := parseSample(t)
+	base := &Baseline{Benchmarks: map[string]BaselineEntry{
+		"BenchmarkMachineArithLoop": {NsPerOp: 900000},
+	}}
+	failures, _, _ := compare(base, res, 1.25, 0.005, false)
+	if len(failures) != 1 {
+		t.Fatalf("want 1 ns/op failure, got %v", failures)
+	}
+	// -shapes-only must suppress the same regression.
+	failures, _, _ = compare(base, res, 1.25, 0.005, true)
+	if len(failures) != 0 {
+		t.Fatalf("shapes-only still failed: %v", failures)
+	}
+}
+
+func TestCompareFlagsShapeDrift(t *testing.T) {
+	res := parseSample(t)
+	base := &Baseline{Benchmarks: map[string]BaselineEntry{
+		"BenchmarkCacheStride/rowmajor": {Metrics: map[string]float64{"hit-%": 96.88}},
+	}}
+	failures, _, _ := compare(base, res, 1.25, 0.005, false)
+	if len(failures) != 1 || !strings.Contains(failures[0], "drifted") {
+		t.Fatalf("want 1 shape-drift failure, got %v", failures)
+	}
+}
+
+func TestUpdateGatesOnlyMatchingBenchmarks(t *testing.T) {
+	res := parseSample(t)
+	base := &Baseline{}
+	update(base, res, regexp.MustCompile(defaultGate))
+	if got := base.Benchmarks["BenchmarkMachineArithLoop"].NsPerOp; got != 1200000 {
+		t.Errorf("gated bench ns/op = %v, want 1200000", got)
+	}
+	if got := base.Benchmarks["BenchmarkCacheStride/rowmajor"].NsPerOp; got != 0 {
+		t.Errorf("ungated bench recorded ns/op %v, want 0", got)
+	}
+	if got := base.Benchmarks["BenchmarkCacheStride/rowmajor"].Metrics["hit-%"]; got != 93.75 {
+		t.Errorf("ungated bench shape metric = %v, want 93.75", got)
+	}
+	// threads-2 has no metrics and no gate: it must not be pinned at all.
+	if _, ok := base.Benchmarks["BenchmarkLifeSpeedup/threads-2"]; ok {
+		t.Error("metric-less ungated benchmark was pinned")
+	}
+}

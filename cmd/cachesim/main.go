@@ -100,14 +100,19 @@ func run() error {
 	if err != nil {
 		return err
 	}
+	// Metric names match the bench harness (BenchmarkCacheStride,
+	// BenchmarkCacheLookup report "hit-%"), so simulator output and bench
+	// output can be compared side by side.
 	stats := c.RunTrace(trace)
-	fmt.Printf("accesses   %d\n", stats.Accesses)
-	fmt.Printf("hits       %d (%.2f%%)\n", stats.Hits, 100*stats.HitRate())
-	fmt.Printf("misses     %d (%.2f%%)\n", stats.Misses, 100*stats.MissRate())
-	fmt.Printf("evictions  %d\n", stats.Evictions)
-	fmt.Printf("writebacks %d\n", stats.WriteBacks)
-	fmt.Printf("mem reads  %d\n", stats.MemReads)
-	fmt.Printf("mem writes %d\n", stats.MemWrites)
+	fmt.Printf("accesses    %d\n", stats.Accesses)
+	fmt.Printf("hits        %d\n", stats.Hits)
+	fmt.Printf("hit-%%       %.2f\n", 100*stats.HitRate())
+	fmt.Printf("misses      %d\n", stats.Misses)
+	fmt.Printf("miss-%%      %.2f\n", 100*stats.MissRate())
+	fmt.Printf("evictions   %d\n", stats.Evictions)
+	fmt.Printf("write-backs %d\n", stats.WriteBacks)
+	fmt.Printf("mem-reads   %d\n", stats.MemReads)
+	fmt.Printf("mem-writes  %d\n", stats.MemWrites)
 	return nil
 }
 

@@ -13,6 +13,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"cs31/internal/life"
 	"cs31/internal/paravis"
@@ -109,14 +110,15 @@ func run() error {
 	return nil
 }
 
+// runBench measures the speedup table. Metric names match the bench harness
+// in bench_test.go (ns/op, speedup, efficiency-%), and the whole table is
+// assembled before printing so measurement output never interleaves with
+// anything the workers write.
 func runBench(template *life.Grid, iters, maxThreads int, part life.Partition) error {
 	counts := []int{1}
 	for t := 2; t <= maxThreads; t *= 2 {
 		counts = append(counts, t)
 	}
-	fmt.Printf("Game of Life speedup: %dx%d grid, %d iterations, %v partition\n",
-		template.Rows, template.Cols, iters, part)
-	fmt.Printf("%8s %12s %9s %11s\n", "threads", "time", "speedup", "efficiency")
 	var runErr error
 	points, err := pthread.MeasureScaling(counts, func(threads int) {
 		g := template.Clone()
@@ -135,9 +137,16 @@ func runBench(template *life.Grid, iters, maxThreads int, part life.Partition) e
 	if runErr != nil {
 		return runErr
 	}
+	var out strings.Builder
+	fmt.Fprintf(&out, "Game of Life speedup: %dx%d grid, %d iterations, %v partition\n",
+		template.Rows, template.Cols, iters, part)
+	fmt.Fprintf(&out, "%8s %14s %9s %13s\n", "threads", "ns/op", "speedup", "efficiency-%")
 	for _, p := range points {
-		fmt.Printf("%8d %12v %9.2f %10.0f%%\n",
-			p.Threads, p.Elapsed.Round(100_000), p.Speedup, 100*p.Efficiency)
+		// One op is one full-grid generation, matching BenchmarkLifeSpeedup.
+		nsPerOp := float64(p.Elapsed.Nanoseconds()) / float64(iters)
+		fmt.Fprintf(&out, "%8d %14.0f %9.2f %13.1f\n",
+			p.Threads, nsPerOp, p.Speedup, 100*p.Efficiency)
 	}
+	fmt.Print(out.String())
 	return nil
 }

@@ -12,7 +12,10 @@
 // encoding semantics rather than real x86 machine code.
 package asm
 
-import "fmt"
+import (
+	"fmt"
+	"sync"
+)
 
 // Register identifies one of the eight 32-bit general-purpose registers.
 type Register int
@@ -258,6 +261,11 @@ type Program struct {
 	TextBase uint32
 	DataBase uint32
 	Entry    uint32 // address of the entry point (main if defined, else first instruction)
+
+	// exec is the decoded-dispatch form of Instrs, built once on first
+	// execution and shared by every Machine running this program.
+	execOnce sync.Once
+	exec     []execFn
 }
 
 // TextEnd returns the first address past the text segment.

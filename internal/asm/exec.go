@@ -1,0 +1,548 @@
+package asm
+
+// Decoded instruction dispatch. The original interpreter re-discovered each
+// instruction's shape on every step: a ~40-way mnemonic switch, then an
+// operand-kind switch per operand, then an effective-address recomputation.
+// Here each instruction is decoded exactly once per Program into a closure
+// with its operand kinds, register indices, immediates, and static jump
+// targets already resolved, so Machine.Step becomes a single indirect call.
+// The next-PC value flows by value (not through a pointer) so the hot loop
+// performs zero heap allocations.
+//
+// Semantics are pinned to the original switch ladder (executeInstr, kept as
+// the reference path) by differential tests in exec_test.go.
+
+import (
+	"errors"
+	"fmt"
+)
+
+// execFn executes one decoded instruction. next is the fall-through
+// instruction index (PC+1); the return value is the index to run next —
+// jumps return their target instead.
+type execFn func(m *Machine, next int) (int, error)
+
+// errUnreadableOperand mirrors the reference readOp error.
+var errUnreadableOperand = errors.New("asm: unreadable operand")
+
+// unwritableOperandError mirrors the reference writeOp error.
+func unwritableOperandError(op Operand) error {
+	return fmt.Errorf("asm: operand %v is not writable", op)
+}
+
+// execFns returns the decoded form of the program, decoding on first use.
+// Machines sharing one Program share one decode.
+func (p *Program) execFns() []execFn {
+	p.execOnce.Do(func() {
+		p.exec = make([]execFn, len(p.Instrs))
+		for i := range p.Instrs {
+			p.exec[i] = decodeInstr(p, p.Instrs[i])
+		}
+	})
+	return p.exec
+}
+
+// addFlags sets EFLAGS for res = a + b, mirroring the reference ALU path
+// (setFlagsFromALU with isSub=false).
+func (m *Machine) addFlags(a, b, res uint32) {
+	m.Flags.ZF = res == 0
+	m.Flags.SF = res&0x80000000 != 0
+	m.Flags.CF = res < a
+	m.Flags.OF = (a^b)&0x80000000 == 0 && (res^a)&0x80000000 != 0
+}
+
+// subFlags sets EFLAGS for res = a - b, mirroring the reference ALU path
+// (setFlagsFromALU with isSub=true: CF is the borrow).
+func (m *Machine) subFlags(a, b, res uint32) {
+	m.Flags.ZF = res == 0
+	m.Flags.SF = res&0x80000000 != 0
+	m.Flags.CF = a < b
+	m.Flags.OF = (a^b)&0x80000000 != 0 && (res^b)&0x80000000 == 0
+}
+
+// jumpIdx resolves a runtime jump target to an instruction index, handling
+// the sentinel return address (clean exit) exactly like jumpTo.
+func (m *Machine) jumpIdx(addr uint32, next int) (int, error) {
+	if addr == sentinelReturn {
+		m.Exited = true
+		m.ExitStatus = int32(m.Regs[EAX])
+		return next, nil
+	}
+	idx, err := m.Prog.InstrAt(addr)
+	if err != nil {
+		return next, fmt.Errorf("asm: jump to %#x: %w", addr, err)
+	}
+	return idx, nil
+}
+
+// opReader reads a 32-bit operand value.
+type opReader func(m *Machine) (uint32, error)
+
+// opWriter stores a 32-bit operand value.
+type opWriter func(m *Machine, v uint32) error
+
+// eaFor specializes effective-address computation for a memory operand.
+func eaFor(op Operand) func(m *Machine) uint32 {
+	disp := uint32(op.Disp)
+	base, index, scale := op.Base, op.Index, uint32(op.Scale)
+	switch {
+	case base == NoReg && index == NoReg:
+		return func(*Machine) uint32 { return disp }
+	case index == NoReg:
+		return func(m *Machine) uint32 { return disp + m.Regs[base] }
+	case base == NoReg:
+		return func(m *Machine) uint32 { return disp + m.Regs[index]*scale }
+	default:
+		return func(m *Machine) uint32 { return disp + m.Regs[base] + m.Regs[index]*scale }
+	}
+}
+
+// readerFor specializes operand reads by kind.
+func readerFor(op Operand) opReader {
+	switch op.Kind {
+	case OpImm, OpLabel:
+		v := uint32(op.Imm)
+		return func(*Machine) (uint32, error) { return v, nil }
+	case OpReg:
+		r := op.Reg
+		return func(m *Machine) (uint32, error) { return m.Regs[r], nil }
+	case OpMem:
+		ea := eaFor(op)
+		return func(m *Machine) (uint32, error) { return m.Load32(ea(m)) }
+	default:
+		return func(m *Machine) (uint32, error) { return 0, errUnreadableOperand }
+	}
+}
+
+// writerFor specializes operand writes by kind.
+func writerFor(op Operand) opWriter {
+	switch op.Kind {
+	case OpReg:
+		r := op.Reg
+		return func(m *Machine, v uint32) error { m.Regs[r] = v; return nil }
+	case OpMem:
+		ea := eaFor(op)
+		return func(m *Machine, v uint32) error { return m.Store32(ea(m), v) }
+	default:
+		op := op
+		return func(m *Machine, v uint32) error { return unwritableOperandError(op) }
+	}
+}
+
+// staticTarget resolves a label/immediate jump target to an instruction
+// index at decode time. Unresolvable targets (bad address, register or
+// memory operands) fall back to the runtime jumpIdx path so error behaviour
+// is unchanged.
+func staticTarget(p *Program, op Operand) (int, bool) {
+	if op.Kind != OpLabel && op.Kind != OpImm {
+		return 0, false
+	}
+	addr := uint32(op.Imm)
+	if addr == sentinelReturn {
+		return 0, false
+	}
+	idx, err := p.InstrAt(addr)
+	if err != nil {
+		return 0, false
+	}
+	return idx, true
+}
+
+// condPredicate returns the EFLAGS predicate for a conditional jump, or nil
+// if the mnemonic is not one.
+func condPredicate(mn Mnemonic) func(f *Flags) bool {
+	switch mn {
+	case JE:
+		return func(f *Flags) bool { return f.ZF }
+	case JNE:
+		return func(f *Flags) bool { return !f.ZF }
+	case JL:
+		return func(f *Flags) bool { return f.SF != f.OF }
+	case JLE:
+		return func(f *Flags) bool { return f.ZF || f.SF != f.OF }
+	case JG:
+		return func(f *Flags) bool { return !f.ZF && f.SF == f.OF }
+	case JGE:
+		return func(f *Flags) bool { return f.SF == f.OF }
+	case JB:
+		return func(f *Flags) bool { return f.CF }
+	case JBE:
+		return func(f *Flags) bool { return f.CF || f.ZF }
+	case JA:
+		return func(f *Flags) bool { return !f.CF && !f.ZF }
+	case JAE:
+		return func(f *Flags) bool { return !f.CF }
+	case JS:
+		return func(f *Flags) bool { return f.SF }
+	case JNS:
+		return func(f *Flags) bool { return !f.SF }
+	default:
+		return nil
+	}
+}
+
+// fallbackFn routes an instruction through the reference interpreter (byte
+// moves, syscalls, division, malformed operand shapes) with unchanged
+// semantics.
+func fallbackFn(in Instruction) execFn {
+	return func(m *Machine, next int) (int, error) {
+		npc := next
+		err := m.executeInstr(in, &npc)
+		return npc, err
+	}
+}
+
+// decodeInstr compiles one instruction into its execFn. Instructions the
+// decoder does not specialize delegate to the reference interpreter — same
+// semantics, decode cost only where it pays.
+func decodeInstr(p *Program, in Instruction) execFn {
+	if want, ok := operandCounts[in.Mn]; !ok || len(in.Ops) != want {
+		// Malformed hand-built instruction: defer to the reference path,
+		// which reports it at execution time exactly as before.
+		return fallbackFn(in)
+	}
+
+	switch in.Mn {
+	case NOP:
+		return func(_ *Machine, next int) (int, error) { return next, nil }
+
+	case MOVL:
+		if in.Ops[1].Kind == OpReg {
+			d := in.Ops[1].Reg
+			switch in.Ops[0].Kind {
+			case OpImm, OpLabel:
+				v := uint32(in.Ops[0].Imm)
+				return func(m *Machine, next int) (int, error) { m.Regs[d] = v; return next, nil }
+			case OpReg:
+				s := in.Ops[0].Reg
+				return func(m *Machine, next int) (int, error) { m.Regs[d] = m.Regs[s]; return next, nil }
+			}
+		}
+		read, write := readerFor(in.Ops[0]), writerFor(in.Ops[1])
+		return func(m *Machine, next int) (int, error) {
+			v, err := read(m)
+			if err != nil {
+				return next, err
+			}
+			return next, write(m, v)
+		}
+
+	case LEAL:
+		if in.Ops[0].Kind != OpMem {
+			break // reference path reports the operand error
+		}
+		ea := eaFor(in.Ops[0])
+		write := writerFor(in.Ops[1])
+		return func(m *Machine, next int) (int, error) { return next, write(m, ea(m)) }
+
+	case ADDL, SUBL, CMPL:
+		mn := in.Mn
+		if in.Ops[1].Kind == OpReg && in.Ops[0].Kind != OpMem && in.Ops[0].Kind != OpNone {
+			d := in.Ops[1].Reg
+			var readSrc func(m *Machine) uint32
+			if in.Ops[0].Kind == OpReg {
+				s := in.Ops[0].Reg
+				readSrc = func(m *Machine) uint32 { return m.Regs[s] }
+			} else {
+				v := uint32(in.Ops[0].Imm)
+				readSrc = func(*Machine) uint32 { return v }
+			}
+			switch mn {
+			case ADDL:
+				return func(m *Machine, next int) (int, error) {
+					a, b := m.Regs[d], readSrc(m)
+					res := a + b
+					m.addFlags(a, b, res)
+					m.Regs[d] = res
+					return next, nil
+				}
+			case SUBL:
+				return func(m *Machine, next int) (int, error) {
+					a, b := m.Regs[d], readSrc(m)
+					res := a - b
+					m.subFlags(a, b, res)
+					m.Regs[d] = res
+					return next, nil
+				}
+			default: // CMPL
+				return func(m *Machine, next int) (int, error) {
+					a, b := m.Regs[d], readSrc(m)
+					m.subFlags(a, b, a-b)
+					return next, nil
+				}
+			}
+		}
+		readSrc, readDst := readerFor(in.Ops[0]), readerFor(in.Ops[1])
+		writeDst := writerFor(in.Ops[1])
+		return func(m *Machine, next int) (int, error) {
+			b, err := readSrc(m)
+			if err != nil {
+				return next, err
+			}
+			a, err := readDst(m)
+			if err != nil {
+				return next, err
+			}
+			var res uint32
+			if mn == ADDL {
+				res = a + b
+				m.addFlags(a, b, res)
+			} else {
+				res = a - b
+				m.subFlags(a, b, res)
+			}
+			if mn == CMPL {
+				return next, nil
+			}
+			return next, writeDst(m, res)
+		}
+
+	case IMULL:
+		readSrc, readDst := readerFor(in.Ops[0]), readerFor(in.Ops[1])
+		writeDst := writerFor(in.Ops[1])
+		return func(m *Machine, next int) (int, error) {
+			src, err := readSrc(m)
+			if err != nil {
+				return next, err
+			}
+			dst, err := readDst(m)
+			if err != nil {
+				return next, err
+			}
+			wide := int64(int32(dst)) * int64(int32(src))
+			res := uint32(wide)
+			overflow := wide != int64(int32(res))
+			m.Flags.CF = overflow
+			m.Flags.OF = overflow
+			m.Flags.ZF = res == 0
+			m.Flags.SF = res&0x80000000 != 0
+			return next, writeDst(m, res)
+		}
+
+	case ANDL, ORL, XORL, TESTL:
+		mn := in.Mn
+		readSrc, readDst := readerFor(in.Ops[0]), readerFor(in.Ops[1])
+		writeDst := writerFor(in.Ops[1])
+		return func(m *Machine, next int) (int, error) {
+			src, err := readSrc(m)
+			if err != nil {
+				return next, err
+			}
+			dst, err := readDst(m)
+			if err != nil {
+				return next, err
+			}
+			var res uint32
+			switch mn {
+			case ANDL, TESTL:
+				res = dst & src
+			case ORL:
+				res = dst | src
+			case XORL:
+				res = dst ^ src
+			}
+			m.setLogicFlags(res)
+			if mn == TESTL {
+				return next, nil
+			}
+			return next, writeDst(m, res)
+		}
+
+	case INCL, DECL:
+		isDec := in.Mn == DECL
+		if in.Ops[0].Kind == OpReg {
+			r := in.Ops[0].Reg
+			return func(m *Machine, next int) (int, error) {
+				a := m.Regs[r]
+				savedCF := m.Flags.CF // inc/dec preserve CF
+				var res uint32
+				if isDec {
+					res = a - 1
+					m.subFlags(a, 1, res)
+				} else {
+					res = a + 1
+					m.addFlags(a, 1, res)
+				}
+				m.Flags.CF = savedCF
+				m.Regs[r] = res
+				return next, nil
+			}
+		}
+		read, write := readerFor(in.Ops[0]), writerFor(in.Ops[0])
+		return func(m *Machine, next int) (int, error) {
+			a, err := read(m)
+			if err != nil {
+				return next, err
+			}
+			savedCF := m.Flags.CF
+			var res uint32
+			if isDec {
+				res = a - 1
+				m.subFlags(a, 1, res)
+			} else {
+				res = a + 1
+				m.addFlags(a, 1, res)
+			}
+			m.Flags.CF = savedCF
+			return next, write(m, res)
+		}
+
+	case NOTL:
+		read, write := readerFor(in.Ops[0]), writerFor(in.Ops[0])
+		return func(m *Machine, next int) (int, error) {
+			v, err := read(m)
+			if err != nil {
+				return next, err
+			}
+			return next, write(m, ^v) // notl does not touch flags
+		}
+
+	case NEGL:
+		read, write := readerFor(in.Ops[0]), writerFor(in.Ops[0])
+		return func(m *Machine, next int) (int, error) {
+			v, err := read(m)
+			if err != nil {
+				return next, err
+			}
+			res := -v
+			m.subFlags(0, v, res)
+			m.Flags.CF = v != 0 // x86: CF set unless operand was zero
+			return next, write(m, res)
+		}
+
+	case SALL, SARL, SHRL:
+		mn := in.Mn
+		readCnt, readDst := readerFor(in.Ops[0]), readerFor(in.Ops[1])
+		writeDst := writerFor(in.Ops[1])
+		return func(m *Machine, next int) (int, error) {
+			cnt, err := readCnt(m)
+			if err != nil {
+				return next, err
+			}
+			cnt &= 31
+			dst, err := readDst(m)
+			if err != nil {
+				return next, err
+			}
+			res := dst
+			if cnt > 0 {
+				switch mn {
+				case SALL:
+					m.Flags.CF = dst&(1<<(32-cnt)) != 0
+					res = dst << cnt
+				case SARL:
+					m.Flags.CF = dst&(1<<(cnt-1)) != 0
+					res = uint32(int32(dst) >> cnt)
+				case SHRL:
+					m.Flags.CF = dst&(1<<(cnt-1)) != 0
+					res = dst >> cnt
+				}
+				m.Flags.ZF = res == 0
+				m.Flags.SF = res&0x80000000 != 0
+				m.Flags.OF = false
+			}
+			return next, writeDst(m, res)
+		}
+
+	case PUSHL:
+		read := readerFor(in.Ops[0])
+		return func(m *Machine, next int) (int, error) {
+			v, err := read(m)
+			if err != nil {
+				return next, err
+			}
+			return next, m.push(v)
+		}
+
+	case POPL:
+		write := writerFor(in.Ops[0])
+		return func(m *Machine, next int) (int, error) {
+			v, err := m.pop()
+			if err != nil {
+				return next, err
+			}
+			return next, write(m, v)
+		}
+
+	case LEAVE:
+		return func(m *Machine, next int) (int, error) {
+			m.Regs[ESP] = m.Regs[EBP]
+			v, err := m.pop()
+			if err != nil {
+				return next, err
+			}
+			m.Regs[EBP] = v
+			return next, nil
+		}
+
+	case CALL:
+		textBase := p.TextBase
+		if idx, ok := staticTarget(p, in.Ops[0]); ok {
+			return func(m *Machine, next int) (int, error) {
+				if err := m.push(textBase + uint32(next)*InstrBytes); err != nil {
+					return next, err
+				}
+				return idx, nil
+			}
+		}
+		read := readerFor(in.Ops[0])
+		return func(m *Machine, next int) (int, error) {
+			target, err := read(m)
+			if err != nil {
+				return next, err
+			}
+			if err := m.push(textBase + uint32(next)*InstrBytes); err != nil {
+				return next, err
+			}
+			return m.jumpIdx(target, next)
+		}
+
+	case RET:
+		return func(m *Machine, next int) (int, error) {
+			addr, err := m.pop()
+			if err != nil {
+				return next, err
+			}
+			return m.jumpIdx(addr, next)
+		}
+
+	case JMP:
+		if idx, ok := staticTarget(p, in.Ops[0]); ok {
+			return func(_ *Machine, _ int) (int, error) { return idx, nil }
+		}
+		read := readerFor(in.Ops[0])
+		return func(m *Machine, next int) (int, error) {
+			target, err := read(m)
+			if err != nil {
+				return next, err
+			}
+			return m.jumpIdx(target, next)
+		}
+
+	case JE, JNE, JL, JLE, JG, JGE, JB, JBE, JA, JAE, JS, JNS:
+		holds := condPredicate(in.Mn)
+		if idx, ok := staticTarget(p, in.Ops[0]); ok {
+			return func(m *Machine, next int) (int, error) {
+				if holds(&m.Flags) {
+					return idx, nil
+				}
+				return next, nil
+			}
+		}
+		read := readerFor(in.Ops[0])
+		return func(m *Machine, next int) (int, error) {
+			if !holds(&m.Flags) {
+				return next, nil
+			}
+			target, err := read(m)
+			if err != nil {
+				return next, err
+			}
+			return m.jumpIdx(target, next)
+		}
+	}
+
+	// MOVB / MOVZBL / MOVSBL / IDIVL / CLTD / INT and any operand shapes not
+	// specialized above: run through the reference interpreter.
+	return fallbackFn(in)
+}

@@ -5,6 +5,7 @@ package asm
 // from the full instruction set with random (frequently invalid) operands.
 
 import (
+	"io"
 	"math/rand"
 	"strings"
 	"testing"
@@ -101,6 +102,30 @@ func writesLastOperand(m Mnemonic) bool {
 		return true
 	}
 	return false
+}
+
+// FuzzAssemble feeds arbitrary source to the assembler: Assemble must never
+// panic, and any program it accepts must execute (bounded) without panicking.
+func FuzzAssemble(f *testing.F) {
+	f.Add("main:\n    movl $1, %eax\n    ret\n")
+	f.Add("main:\n    pushl %ebp\n    movl %esp, %ebp\n    leave\n    ret\n")
+	f.Add("loop:\n    addl $3, %eax\n    decl %ecx\n    jne loop\n    ret\n")
+	f.Add("main:\n    movl (%ebx,%ecx,4), %eax\n    int $0x80\n")
+	f.Add("main: jmp *%eax\n")
+	f.Add("%$(),.:#-movl")
+	f.Fuzz(func(t *testing.T, src string) {
+		prog, err := Assemble(src)
+		if err != nil {
+			return
+		}
+		m, err := NewMachineSize(prog, 1<<16)
+		if err != nil {
+			return
+		}
+		m.Stdin = strings.NewReader("42 7 xyz")
+		m.Stdout = io.Discard
+		_ = m.Run(2000) // errors are fine; panics are not
+	})
 }
 
 // TestAssemblerNeverPanics lexes random byte soup.

@@ -93,6 +93,10 @@ type Machine struct {
 	Heap      *memcheck.Heap
 	heapBase  uint32
 	heapLimit uint32
+
+	// fns is the program's decoded-dispatch table (one closure per
+	// instruction), resolved once at load.
+	fns []execFn
 }
 
 // NewMachine loads a program into a fresh machine with the default memory
@@ -116,6 +120,7 @@ func NewMachineSize(p *Program, memSize int) (*Machine, error) {
 		Prog:   p,
 		Stdin:  bytes.NewReader(nil),
 		Stdout: io.Discard,
+		fns:    p.execFns(),
 	}
 	copy(m.Mem[p.DataBase:], p.Data)
 	m.brk = p.DataBase + uint32(len(p.Data))
@@ -356,10 +361,38 @@ func (m *Machine) jumpTo(addr uint32, nextPC *int) error {
 	return nil
 }
 
-// Step executes one instruction. It returns ErrExited once the program has
-// exited, and any runtime fault (segfault, divide by zero, bad jump) stops
-// the machine permanently.
+// Step executes one instruction through the decoded-dispatch table. It
+// returns ErrExited once the program has exited, and any runtime fault
+// (segfault, divide by zero, bad jump) stops the machine permanently.
 func (m *Machine) Step() error {
+	if m.Exited {
+		return ErrExited
+	}
+	if m.PC < 0 || m.PC >= len(m.Prog.Instrs) {
+		m.Exited = true
+		return fmt.Errorf("asm: PC %d outside text segment", m.PC)
+	}
+	if m.fns == nil {
+		m.fns = m.Prog.execFns()
+	}
+	m.Steps++
+
+	nextPC, err := m.fns[m.PC](m, m.PC+1)
+	if err != nil {
+		in := m.Prog.Instrs[m.PC]
+		m.Exited = true
+		return fmt.Errorf("asm: %#x (%s, line %d): %w", in.Addr, in.String(), in.Line, err)
+	}
+	if !m.Exited {
+		m.PC = nextPC
+	}
+	return nil
+}
+
+// stepReference executes one instruction through the original switch-ladder
+// interpreter. It is retained as the semantic reference the decoded
+// dispatch path is differential-tested against (exec_test.go).
+func (m *Machine) stepReference() error {
 	if m.Exited {
 		return ErrExited
 	}
@@ -371,8 +404,7 @@ func (m *Machine) Step() error {
 	m.Steps++
 	nextPC := m.PC + 1
 
-	err := m.executeInstr(in, &nextPC)
-	if err != nil {
+	if err := m.executeInstr(in, &nextPC); err != nil {
 		m.Exited = true
 		return fmt.Errorf("asm: %#x (%s, line %d): %w", in.Addr, in.String(), in.Line, err)
 	}

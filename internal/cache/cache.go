@@ -127,14 +127,16 @@ func (c Config) Join(p AddressParts) uint64 {
 	return p.Tag<<(ob+ib) | p.Index<<ob | p.Offset
 }
 
-// line is one cache line's metadata.
+// line is one cache line's metadata. Lines of one set form an intrusive
+// doubly-linked recency list (prev/next are indices into Cache.lines):
+// head = most recent, tail = the replacement victim. LRU moves a line to the
+// head on every access; FIFO only on fill, so the tail is the oldest fill.
 type line struct {
 	valid bool
 	dirty bool
 	tag   uint64
-	// lastUse is the logical time of the last access (LRU) or of the fill
-	// (FIFO).
-	lastUse int64
+	prev  int32
+	next  int32
 }
 
 // Stats counts the events the homework has students tabulate.
@@ -175,12 +177,27 @@ type Result struct {
 	FilledBlock bool
 }
 
-// Cache is a simulated cache.
+// Cache is a simulated cache. Lines live in one flat slice (set s occupies
+// lines[s*assoc : (s+1)*assoc]) so a set lookup is one index computation,
+// and the tag/index/offset field widths are resolved once at construction
+// instead of per access.
 type Cache struct {
 	cfg   Config
-	sets  [][]line
 	stats Stats
-	clock int64
+
+	lines []line  // numSets × assoc, flat
+	head  []int32 // per-set most-recent line index
+	tail  []int32 // per-set replacement victim line index
+	fill  []int32 // per-set count of valid ways (ways fill lowest-first)
+
+	assoc      int
+	offsetBits uint
+	indexBits  uint
+	offsetMask uint64
+	indexMask  uint64
+	isLRU      bool
+	writeBack  bool
+	allocWrite bool
 }
 
 // New builds a cache from a validated config.
@@ -188,11 +205,59 @@ func New(cfg Config) (*Cache, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	sets := make([][]line, cfg.NumSets())
-	for i := range sets {
-		sets[i] = make([]line, cfg.Assoc)
+	ns := cfg.NumSets()
+	c := &Cache{
+		cfg:        cfg,
+		lines:      make([]line, ns*cfg.Assoc),
+		head:       make([]int32, ns),
+		tail:       make([]int32, ns),
+		fill:       make([]int32, ns),
+		assoc:      cfg.Assoc,
+		offsetBits: uint(cfg.OffsetBits()),
+		indexBits:  uint(cfg.IndexBits()),
+		offsetMask: uint64(cfg.BlockSize) - 1,
+		indexMask:  uint64(ns) - 1,
+		isLRU:      cfg.Repl == LRU,
+		writeBack:  cfg.Write == WriteBack,
+		allocWrite: cfg.Alloc == WriteAllocate,
 	}
-	return &Cache{cfg: cfg, sets: sets}, nil
+	c.resetOrder()
+	return c, nil
+}
+
+// resetOrder relinks every set's recency list to way order 0..assoc-1.
+func (c *Cache) resetOrder() {
+	for s := 0; s < len(c.head); s++ {
+		base := int32(s * c.assoc)
+		c.head[s] = base
+		c.tail[s] = base + int32(c.assoc) - 1
+		for w := int32(0); w < int32(c.assoc); w++ {
+			c.lines[base+w].prev = base + w - 1
+			c.lines[base+w].next = base + w + 1
+		}
+		c.lines[base].prev = -1
+		c.lines[base+int32(c.assoc)-1].next = -1
+	}
+}
+
+// touch moves line li to the head (most recent) of set s's recency list.
+func (c *Cache) touch(s uint64, li int32) {
+	if c.head[s] == li {
+		return
+	}
+	l := &c.lines[li]
+	// Unlink.
+	c.lines[l.prev].next = l.next
+	if l.next >= 0 {
+		c.lines[l.next].prev = l.prev
+	} else {
+		c.tail[s] = l.prev
+	}
+	// Relink at head.
+	l.prev = -1
+	l.next = c.head[s]
+	c.lines[c.head[s]].prev = li
+	c.head[s] = li
 }
 
 // Config returns the cache's configuration.
@@ -203,23 +268,26 @@ func (c *Cache) Stats() Stats { return c.stats }
 
 // Access simulates one reference and returns its outcome.
 func (c *Cache) Access(addr uint64, write bool) Result {
-	c.clock++
 	c.stats.Accesses++
-	parts := c.cfg.Split(addr)
-	set := c.sets[parts.Index]
-	res := Result{Parts: parts}
+	off := addr & c.offsetMask
+	idx := (addr >> c.offsetBits) & c.indexMask
+	tag := addr >> (c.offsetBits + c.indexBits)
+	res := Result{Parts: AddressParts{Tag: tag, Index: idx, Offset: off}}
+	base := int32(idx) * int32(c.assoc)
+	set := c.lines[base : base+c.fill[idx]]
 
-	// Hit?
-	for i := range set {
-		if set[i].valid && set[i].tag == parts.Tag {
+	// Hit? Only the filled prefix of the set can match: ways fill
+	// lowest-index-first and single lines are never invalidated.
+	for w := range set {
+		if set[w].tag == tag {
 			c.stats.Hits++
 			res.Hit = true
-			if c.cfg.Repl == LRU {
-				set[i].lastUse = c.clock
+			if c.isLRU {
+				c.touch(idx, base+int32(w))
 			}
 			if write {
-				if c.cfg.Write == WriteBack {
-					set[i].dirty = true
+				if c.writeBack {
+					set[w].dirty = true
 				} else {
 					c.stats.MemWrites++
 				}
@@ -230,55 +298,50 @@ func (c *Cache) Access(addr uint64, write bool) Result {
 
 	// Miss.
 	c.stats.Misses++
-	if write && c.cfg.Alloc == NoWriteAllocate {
+	if write && !c.allocWrite {
 		c.stats.MemWrites++
 		return res
 	}
 
-	// Choose a victim: first invalid way, else oldest by policy clock.
-	victim := -1
-	for i := range set {
-		if !set[i].valid {
-			victim = i
-			break
-		}
-	}
-	if victim < 0 {
-		victim = 0
-		for i := 1; i < len(set); i++ {
-			if set[i].lastUse < set[victim].lastUse {
-				victim = i
-			}
-		}
+	// Choose a victim: first invalid way, else the recency-list tail (least
+	// recently used under LRU, oldest fill under FIFO).
+	var victim int32
+	if c.fill[idx] < int32(c.assoc) {
+		victim = base + c.fill[idx]
+		c.fill[idx]++
+	} else {
+		victim = c.tail[idx]
 		c.stats.Evictions++
 		res.Evicted = true
-		res.EvictedTag = set[victim].tag
-		if set[victim].dirty {
+		res.EvictedTag = c.lines[victim].tag
+		if c.lines[victim].dirty {
 			c.stats.WriteBacks++
 			res.WroteBack = true
 		}
 	}
 
-	// Fill.
+	// Fill: both policies stamp recency at fill time.
 	c.stats.MemReads++
 	res.FilledBlock = true
-	set[victim] = line{valid: true, tag: parts.Tag, lastUse: c.clock}
-	if write {
-		if c.cfg.Write == WriteBack {
-			set[victim].dirty = true
-		} else {
-			c.stats.MemWrites++
-		}
+	l := &c.lines[victim]
+	l.valid = true
+	l.tag = tag
+	l.dirty = write && c.writeBack
+	if write && !c.writeBack {
+		c.stats.MemWrites++
 	}
+	c.touch(idx, victim)
 	return res
 }
 
 // Contains reports whether the block holding addr is resident — used by the
 // property tests for the "most recent access is cached" invariant.
 func (c *Cache) Contains(addr uint64) bool {
-	parts := c.cfg.Split(addr)
-	for _, l := range c.sets[parts.Index] {
-		if l.valid && l.tag == parts.Tag {
+	idx := (addr >> c.offsetBits) & c.indexMask
+	tag := addr >> (c.offsetBits + c.indexBits)
+	base := int32(idx) * int32(c.assoc)
+	for li := base; li < base+c.fill[idx]; li++ {
+		if c.lines[li].tag == tag {
 			return true
 		}
 	}
@@ -288,11 +351,9 @@ func (c *Cache) Contains(addr uint64) bool {
 // DirtyLines counts resident dirty lines (write-back only).
 func (c *Cache) DirtyLines() int {
 	n := 0
-	for _, set := range c.sets {
-		for _, l := range set {
-			if l.valid && l.dirty {
-				n++
-			}
+	for i := range c.lines {
+		if c.lines[i].valid && c.lines[i].dirty {
+			n++
 		}
 	}
 	return n
@@ -301,11 +362,9 @@ func (c *Cache) DirtyLines() int {
 // ValidLines counts resident lines.
 func (c *Cache) ValidLines() int {
 	n := 0
-	for _, set := range c.sets {
-		for _, l := range set {
-			if l.valid {
-				n++
-			}
+	for i := range c.lines {
+		if c.lines[i].valid {
+			n++
 		}
 	}
 	return n
@@ -313,14 +372,16 @@ func (c *Cache) ValidLines() int {
 
 // Flush writes back all dirty lines and invalidates the cache.
 func (c *Cache) Flush() {
-	for i := range c.sets {
-		for j := range c.sets[i] {
-			if c.sets[i][j].valid && c.sets[i][j].dirty {
-				c.stats.WriteBacks++
-			}
-			c.sets[i][j] = line{}
+	for i := range c.lines {
+		if c.lines[i].valid && c.lines[i].dirty {
+			c.stats.WriteBacks++
 		}
+		c.lines[i] = line{}
 	}
+	for i := range c.fill {
+		c.fill[i] = 0
+	}
+	c.resetOrder()
 }
 
 // RunTrace replays a trace and returns the final statistics.

@@ -1,0 +1,196 @@
+package cache
+
+// Differential equivalence: the flat-array/intrusive-recency-list rewrite
+// must produce bit-for-bit the old per-access Results and Stats. oldCache
+// below is the pre-rewrite implementation verbatim (map-free slices, linear
+// victim scan over lastUse timestamps); random traces lockstep the two over
+// every policy combination.
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+type oldLine struct {
+	valid   bool
+	dirty   bool
+	tag     uint64
+	lastUse int64
+}
+
+type oldCache struct {
+	cfg   Config
+	sets  [][]oldLine
+	stats Stats
+	clock int64
+}
+
+func newOldCache(cfg Config) *oldCache {
+	sets := make([][]oldLine, cfg.NumSets())
+	for i := range sets {
+		sets[i] = make([]oldLine, cfg.Assoc)
+	}
+	return &oldCache{cfg: cfg, sets: sets}
+}
+
+func (c *oldCache) access(addr uint64, write bool) Result {
+	c.clock++
+	c.stats.Accesses++
+	parts := c.cfg.Split(addr)
+	set := c.sets[parts.Index]
+	res := Result{Parts: parts}
+
+	for i := range set {
+		if set[i].valid && set[i].tag == parts.Tag {
+			c.stats.Hits++
+			res.Hit = true
+			if c.cfg.Repl == LRU {
+				set[i].lastUse = c.clock
+			}
+			if write {
+				if c.cfg.Write == WriteBack {
+					set[i].dirty = true
+				} else {
+					c.stats.MemWrites++
+				}
+			}
+			return res
+		}
+	}
+
+	c.stats.Misses++
+	if write && c.cfg.Alloc == NoWriteAllocate {
+		c.stats.MemWrites++
+		return res
+	}
+
+	victim := -1
+	for i := range set {
+		if !set[i].valid {
+			victim = i
+			break
+		}
+	}
+	if victim < 0 {
+		victim = 0
+		for i := 1; i < len(set); i++ {
+			if set[i].lastUse < set[victim].lastUse {
+				victim = i
+			}
+		}
+		c.stats.Evictions++
+		res.Evicted = true
+		res.EvictedTag = set[victim].tag
+		if set[victim].dirty {
+			c.stats.WriteBacks++
+			res.WroteBack = true
+		}
+	}
+
+	c.stats.MemReads++
+	res.FilledBlock = true
+	set[victim] = oldLine{valid: true, tag: parts.Tag, lastUse: c.clock}
+	if write {
+		if c.cfg.Write == WriteBack {
+			set[victim].dirty = true
+		} else {
+			c.stats.MemWrites++
+		}
+	}
+	return res
+}
+
+func (c *oldCache) dirtyLines() int {
+	n := 0
+	for _, set := range c.sets {
+		for _, l := range set {
+			if l.valid && l.dirty {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+func TestAccessMatchesOldImplementation(t *testing.T) {
+	configs := []Config{
+		{SizeBytes: 1024, BlockSize: 64, Assoc: 1},
+		{SizeBytes: 1024, BlockSize: 16, Assoc: 2},
+		{SizeBytes: 2048, BlockSize: 32, Assoc: 4},
+		{SizeBytes: 4096, BlockSize: 64, Assoc: 8},
+		{SizeBytes: 512, BlockSize: 32, Assoc: 16}, // single set, fully associative
+	}
+	for _, base := range configs {
+		for _, repl := range []ReplPolicy{LRU, FIFO} {
+			for _, wp := range []WritePolicy{WriteBack, WriteThrough} {
+				for _, ap := range []AllocPolicy{WriteAllocate, NoWriteAllocate} {
+					cfg := base
+					cfg.Repl, cfg.Write, cfg.Alloc = repl, wp, ap
+					name := fmt.Sprintf("%db-%dw-%v-%v-%v", cfg.SizeBytes, cfg.Assoc, repl, wp, ap)
+					t.Run(name, func(t *testing.T) {
+						c, err := New(cfg)
+						if err != nil {
+							t.Fatal(err)
+						}
+						ref := newOldCache(cfg)
+						rng := rand.New(rand.NewSource(31))
+						for i := 0; i < 20000; i++ {
+							// Addresses clustered around 4x capacity so
+							// hits, misses, and evictions all occur.
+							addr := uint64(rng.Intn(4 * cfg.SizeBytes))
+							write := rng.Intn(3) == 0
+							got := c.Access(addr, write)
+							want := ref.access(addr, write)
+							if got != want {
+								t.Fatalf("access %d (addr %#x write %v): got %+v, want %+v",
+									i, addr, write, got, want)
+							}
+						}
+						if c.Stats() != ref.stats {
+							t.Fatalf("stats diverged: got %+v, want %+v", c.Stats(), ref.stats)
+						}
+						if c.DirtyLines() != ref.dirtyLines() {
+							t.Fatalf("dirty lines: got %d, want %d", c.DirtyLines(), ref.dirtyLines())
+						}
+					})
+				}
+			}
+		}
+	}
+}
+
+// TestFlushAfterDifferentialTrace pins Flush's write-back accounting on a
+// cache state produced by a random trace.
+func TestFlushAfterDifferentialTrace(t *testing.T) {
+	cfg := Config{SizeBytes: 1024, BlockSize: 32, Assoc: 4, Write: WriteBack, Repl: LRU}
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 5000; i++ {
+		c.Access(uint64(rng.Intn(4096)), rng.Intn(2) == 0)
+	}
+	dirty := c.DirtyLines()
+	before := c.Stats().WriteBacks
+	c.Flush()
+	if got := c.Stats().WriteBacks - before; got != int64(dirty) {
+		t.Fatalf("flush wrote back %d lines, want %d", got, dirty)
+	}
+	if c.ValidLines() != 0 || c.DirtyLines() != 0 {
+		t.Fatalf("flush left %d valid / %d dirty lines", c.ValidLines(), c.DirtyLines())
+	}
+	// The cache must behave like a fresh one after Flush.
+	fresh, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5000; i++ {
+		addr := uint64(rng.Intn(4096))
+		write := rng.Intn(2) == 0
+		if got, want := c.Access(addr, write), fresh.Access(addr, write); got != want {
+			t.Fatalf("post-flush access %d diverged: got %+v, want %+v", i, got, want)
+		}
+	}
+}

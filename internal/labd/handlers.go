@@ -21,9 +21,9 @@ import (
 // Request-size guardrails: the daemon serves an open classroom, so every
 // dimension a request controls is bounded before work is queued.
 const (
-	maxSourceBytes = 1 << 20   // asm / mini-C source
-	maxTraceLen    = 1 << 20   // cache / VM trace entries
-	maxGridCells   = 1 << 20   // life rows*cols
+	maxSourceBytes = 1 << 20 // asm / mini-C source
+	maxTraceLen    = 1 << 20 // cache / VM trace entries
+	maxGridCells   = 1 << 20 // life rows*cols
 	maxLifeIters   = 10_000
 	maxLifeThreads = 64
 	maxProblems    = 100
@@ -382,14 +382,14 @@ func (s *Server) vmSim(_ context.Context, req VMSimRequest) (VMSimResponse, erro
 // LifeRunRequest advances a random Game of Life grid, serially or on a
 // worker pool, optionally measuring the Lab 10 speedup table.
 type LifeRunRequest struct {
-	Rows      int     `json:"rows,omitempty"`    // default 32
-	Cols      int     `json:"cols,omitempty"`    // default 32
-	Iters     int     `json:"iters,omitempty"`   // default 20
-	Seed      int64   `json:"seed,omitempty"`    // default 31
-	Density   float64 `json:"density,omitempty"` // default 0.3
-	Threads   int     `json:"threads,omitempty"` // <=1 runs the serial engine
+	Rows      int     `json:"rows,omitempty"`      // default 32
+	Cols      int     `json:"cols,omitempty"`      // default 32
+	Iters     int     `json:"iters,omitempty"`     // default 20
+	Seed      int64   `json:"seed,omitempty"`      // default 31
+	Density   float64 `json:"density,omitempty"`   // default 0.3
+	Threads   int     `json:"threads,omitempty"`   // <=1 runs the serial engine
 	Partition string  `json:"partition,omitempty"` // rows|cols
-	Speedup   bool    `json:"speedup,omitempty"` // measure 1..Threads scaling
+	Speedup   bool    `json:"speedup,omitempty"`   // measure 1..Threads scaling
 }
 
 // LifeScalingPoint is one row of the speedup report.

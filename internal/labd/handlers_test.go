@@ -395,8 +395,9 @@ func TestShutdownRefusesNewWork(t *testing.T) {
 }
 
 func TestRequestTimeoutMapsTo504(t *testing.T) {
-	_, ts := newTestServer(t, Config{DefaultTimeout: 50 * time.Millisecond})
-	// An unbounded spin: the context deadline, not the step budget, ends it.
+	// A step cap far beyond what 50ms can execute, so the context deadline,
+	// not the step budget, ends the unbounded spin below.
+	_, ts := newTestServer(t, Config{DefaultTimeout: 50 * time.Millisecond, MaxSteps: 9_000_000_000})
 	resp, raw := postJSON(t, ts.URL+"/v1/asm/run", AsmRunRequest{
 		Source:   "main:\nloop:\n    jmp loop\n",
 		MaxSteps: 9_000_000_000,

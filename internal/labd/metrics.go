@@ -26,19 +26,19 @@ var latencyBuckets = []time.Duration{
 // so hot endpoints don't contend with each other.
 type endpointMetrics struct {
 	mu       sync.Mutex
-	requests int64            // every request routed to the endpoint
-	byStatus map[int]int64    // HTTP status -> count
-	buckets  []int64          // latency histogram, len(latencyBuckets)+1
-	totalDur time.Duration    // sum of latencies, for the mean
+	requests int64         // every request routed to the endpoint
+	byStatus map[int]int64 // HTTP status -> count
+	buckets  []int64       // latency histogram, len(latencyBuckets)+1
+	totalDur time.Duration // sum of latencies, for the mean
 	maxDur   time.Duration
 }
 
 // EndpointSnapshot is the exported view of one endpoint's counters.
 type EndpointSnapshot struct {
-	Endpoint   string           `json:"endpoint"`
-	Requests   int64            `json:"requests"`
-	ByStatus   map[string]int64 `json:"by_status"`
-	LatencyMs  LatencySnapshot  `json:"latency_ms"`
+	Endpoint  string           `json:"endpoint"`
+	Requests  int64            `json:"requests"`
+	ByStatus  map[string]int64 `json:"by_status"`
+	LatencyMs LatencySnapshot  `json:"latency_ms"`
 }
 
 // LatencySnapshot summarizes an endpoint's latency histogram in

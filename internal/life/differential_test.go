@@ -1,0 +1,117 @@
+package life
+
+// Differential equivalence: the row-sliced kernel (Step / ParallelRunner
+// tiles) must be bit-for-bit identical to the per-cell reference path
+// (stepReference) for every edge mode, partition, grid shape — including
+// degenerate 1xN / Nx1 / 2x2 grids where torus wrapping double-counts
+// neighbors — and over many generations.
+
+import (
+	"fmt"
+	"testing"
+)
+
+// referenceRun advances a clone of g through n generations of the per-cell
+// reference implementation.
+func referenceRun(g *Grid, n int) *Grid {
+	ref := g.Clone()
+	for i := 0; i < n; i++ {
+		ref.stepReference()
+	}
+	return ref
+}
+
+func gridsMatch(t *testing.T, label string, got, want *Grid) {
+	t.Helper()
+	if !got.Equal(want) {
+		t.Errorf("%s: grids diverged\ngot:\n%s\nwant:\n%s", label, got, want)
+	}
+	if got.Generation != want.Generation {
+		t.Errorf("%s: generation %d, want %d", label, got.Generation, want.Generation)
+	}
+}
+
+func TestStepMatchesReference(t *testing.T) {
+	shapes := [][2]int{{1, 1}, {1, 7}, {7, 1}, {2, 2}, {2, 5}, {5, 2}, {3, 3}, {16, 16}, {13, 31}, {64, 17}}
+	for _, mode := range []EdgeMode{Torus, DeadEdges} {
+		for _, sh := range shapes {
+			rows, cols := sh[0], sh[1]
+			t.Run(fmt.Sprintf("%v/%dx%d", mode, rows, cols), func(t *testing.T) {
+				g, err := NewGrid(rows, cols, mode)
+				if err != nil {
+					t.Fatal(err)
+				}
+				g.Randomize(42, 0.35)
+				want := referenceRun(g, 8)
+				g.Run(8)
+				gridsMatch(t, "serial kernel", g, want)
+			})
+		}
+	}
+}
+
+func TestParallelMatchesReference(t *testing.T) {
+	for _, mode := range []EdgeMode{Torus, DeadEdges} {
+		for _, part := range []Partition{ByRows, ByCols} {
+			for _, threads := range []int{1, 2, 3, 7} {
+				mode, part, threads := mode, part, threads
+				t.Run(fmt.Sprintf("%v/%v/threads-%d", mode, part, threads), func(t *testing.T) {
+					g, err := NewGrid(19, 23, mode)
+					if err != nil {
+						t.Fatal(err)
+					}
+					g.Randomize(7, 0.3)
+					const gens = 6
+					want := referenceRun(g, gens)
+					pr := &ParallelRunner{G: g, Threads: threads, Partition: part}
+					stats, err := pr.Run(gens)
+					if err != nil {
+						t.Fatal(err)
+					}
+					gridsMatch(t, "parallel kernel", g, want)
+					if stats.Rounds != gens {
+						t.Errorf("rounds = %d, want %d", stats.Rounds, gens)
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestParallelStatsMatchSerialKernel pins the LiveUpdates count the workers
+// report to the count the kernel computes serially.
+func TestParallelStatsMatchSerialKernel(t *testing.T) {
+	g, err := NewGrid(24, 24, Torus)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.Randomize(99, 0.4)
+	serial := g.Clone()
+	var serialChanged int64
+	const gens = 5
+	for i := 0; i < gens; i++ {
+		serialChanged += serial.stepBlock(0, serial.Rows, 0, serial.Cols)
+		serial.swap()
+	}
+	pr := &ParallelRunner{G: g, Threads: 4}
+	stats, err := pr.Run(gens)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.LiveUpdates != serialChanged {
+		t.Errorf("parallel LiveUpdates = %d, serial kernel counted %d", stats.LiveUpdates, serialChanged)
+	}
+}
+
+// TestStepAllocates pins the zero-allocation property of the serial kernel.
+func TestStepAllocates(t *testing.T) {
+	g, err := NewGrid(64, 64, Torus)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.Randomize(3, 0.3)
+	avg := testing.AllocsPerRun(50, func() { g.Step() })
+	if avg != 0 {
+		t.Errorf("Step allocates %.1f objects per generation, want 0", avg)
+	}
+}

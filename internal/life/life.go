@@ -56,6 +56,7 @@ type Grid struct {
 	Mode       EdgeMode
 	cells      []uint8 // current generation
 	next       []uint8 // scratch for the next generation
+	zeroRow    []uint8 // all-dead row standing in for out-of-bounds rows (DeadEdges)
 	Generation int
 }
 
@@ -66,8 +67,9 @@ func NewGrid(rows, cols int, mode EdgeMode) (*Grid, error) {
 	}
 	return &Grid{
 		Rows: rows, Cols: cols, Mode: mode,
-		cells: make([]uint8, rows*cols),
-		next:  make([]uint8, rows*cols),
+		cells:   make([]uint8, rows*cols),
+		next:    make([]uint8, rows*cols),
+		zeroRow: make([]uint8, cols),
 	}, nil
 }
 
@@ -102,8 +104,9 @@ func (g *Grid) Population() int {
 func (g *Grid) Clone() *Grid {
 	ng := &Grid{
 		Rows: g.Rows, Cols: g.Cols, Mode: g.Mode, Generation: g.Generation,
-		cells: append([]uint8(nil), g.cells...),
-		next:  make([]uint8, len(g.next)),
+		cells:   append([]uint8(nil), g.cells...),
+		next:    make([]uint8, len(g.next)),
+		zeroRow: make([]uint8, g.Cols),
 	}
 	return ng
 }
@@ -133,7 +136,9 @@ func (g *Grid) Randomize(seed int64, density float64) {
 	}
 }
 
-// neighbors counts the live neighbors of (r, c) under the edge mode.
+// neighbors counts the live neighbors of (r, c) under the edge mode. It is
+// the straight-line reference the row-sliced kernel below is differential-
+// tested against; the hot paths never call it.
 func (g *Grid) neighbors(r, c int) int {
 	n := 0
 	for dr := -1; dr <= 1; dr++ {
@@ -154,7 +159,8 @@ func (g *Grid) neighbors(r, c int) int {
 	return n
 }
 
-// stepCell computes the next state of one cell into the scratch buffer.
+// stepCell computes the next state of one cell into the scratch buffer
+// (reference path, kept for differential tests).
 func (g *Grid) stepCell(r, c int) {
 	n := g.neighbors(r, c)
 	idx := r*g.Cols + c
@@ -168,19 +174,123 @@ func (g *Grid) stepCell(r, c int) {
 	}
 }
 
+// stepReference advances one generation through the per-cell reference path.
+// Differential tests compare it against the row-sliced kernel.
+func (g *Grid) stepReference() {
+	for r := 0; r < g.Rows; r++ {
+		for c := 0; c < g.Cols; c++ {
+			g.stepCell(r, c)
+		}
+	}
+	g.swap()
+}
+
+// row returns the cells of row r, wrapping under Torus and substituting the
+// all-dead row when r is outside a DeadEdges grid.
+func (g *Grid) row(r int) []uint8 {
+	if r < 0 {
+		if g.Mode != Torus {
+			return g.zeroRow
+		}
+		r = g.Rows - 1
+	} else if r >= g.Rows {
+		if g.Mode != Torus {
+			return g.zeroRow
+		}
+		r = 0
+	}
+	base := r * g.Cols
+	return g.cells[base : base+g.Cols]
+}
+
+// stepEdgeCell handles one cell in column 0 or Cols-1, where the horizontal
+// neighbors need wrapping (Torus) or dropping (DeadEdges). It returns 1 if
+// the cell changed state.
+func (g *Grid) stepEdgeCell(up, cur, down, out []uint8, c int) int64 {
+	left, right := c-1, c+1
+	if left < 0 {
+		if g.Mode == Torus {
+			left = g.Cols - 1
+		} else {
+			left = -1
+		}
+	}
+	if right >= g.Cols {
+		if g.Mode == Torus {
+			right = 0
+		} else {
+			right = -1
+		}
+	}
+	n := int(up[c]) + int(down[c])
+	if left >= 0 {
+		n += int(up[left]) + int(cur[left]) + int(down[left])
+	}
+	if right >= 0 {
+		n += int(up[right]) + int(cur[right]) + int(down[right])
+	}
+	var v uint8
+	if n == 3 || (n == 2 && cur[c] == 1) {
+		v = 1
+	}
+	out[c] = v
+	return int64(v ^ cur[c])
+}
+
+// stepBlock computes the next generation for the rectangle [loRow, hiRow) ×
+// [loCol, hiCol) into the scratch buffer and returns how many cells changed
+// state. It is the shared hot kernel: per row it holds three row slices
+// (above, current, below — wrapped or zero-substituted once per row), the
+// interior columns take a branch-free 8-neighbor sum, and only the first and
+// last columns pay for edge handling. It allocates nothing.
+func (g *Grid) stepBlock(loRow, hiRow, loCol, hiCol int) int64 {
+	cols := g.Cols
+	var changed int64
+	for r := loRow; r < hiRow; r++ {
+		base := r * cols
+		cur := g.cells[base : base+cols]
+		out := g.next[base : base+cols]
+		up := g.row(r - 1)
+		down := g.row(r + 1)
+		if loCol == 0 {
+			changed += g.stepEdgeCell(up, cur, down, out, 0)
+		}
+		lo, hi := loCol, hiCol
+		if lo < 1 {
+			lo = 1
+		}
+		if hi > cols-1 {
+			hi = cols - 1
+		}
+		for c := lo; c < hi; c++ {
+			n := up[c-1] + up[c] + up[c+1] +
+				cur[c-1] + cur[c+1] +
+				down[c-1] + down[c] + down[c+1]
+			var v uint8
+			if n == 3 || (n == 2 && cur[c] == 1) {
+				v = 1
+			}
+			out[c] = v
+			changed += int64(v ^ cur[c])
+		}
+		if hiCol == cols && cols > 1 {
+			changed += g.stepEdgeCell(up, cur, down, out, cols-1)
+		}
+	}
+	return changed
+}
+
 // swap promotes the scratch buffer to current.
 func (g *Grid) swap() {
 	g.cells, g.next = g.next, g.cells
 	g.Generation++
 }
 
-// Step advances one generation serially (Lab 6).
+// Step advances one generation serially (Lab 6) through the row-sliced
+// kernel — the same kernel the parallel tiles run, so measured speedups are
+// against a fast serial baseline.
 func (g *Grid) Step() {
-	for r := 0; r < g.Rows; r++ {
-		for c := 0; c < g.Cols; c++ {
-			g.stepCell(r, c)
-		}
-	}
+	g.stepBlock(0, g.Rows, 0, g.Cols)
 	g.swap()
 }
 
@@ -318,25 +428,13 @@ func (pr *ParallelRunner) Run(n int) (*RunStats, error) {
 	worker := func(id int) interface{} {
 		lo, hi := pthread.BlockRange(id, pr.Threads, extent)
 		for round := 0; round < n; round++ {
-			changed := int64(0)
+			// Each tile runs the same row-sliced kernel as the serial
+			// engine, over its block of rows (or columns).
+			var changed int64
 			if pr.Partition == ByRows {
-				for r := lo; r < hi; r++ {
-					for c := 0; c < g.Cols; c++ {
-						g.stepCell(r, c)
-						if g.next[r*g.Cols+c] != g.cells[r*g.Cols+c] {
-							changed++
-						}
-					}
-				}
+				changed = g.stepBlock(lo, hi, 0, g.Cols)
 			} else {
-				for c := lo; c < hi; c++ {
-					for r := 0; r < g.Rows; r++ {
-						g.stepCell(r, c)
-						if g.next[r*g.Cols+c] != g.cells[r*g.Cols+c] {
-							changed++
-						}
-					}
-				}
+				changed = g.stepBlock(0, g.Rows, lo, hi)
 			}
 			// Merge per-round stats under the mutex (the lab's shared
 			// state).
