@@ -61,9 +61,9 @@ func TestComparePassesAtBaseline(t *testing.T) {
 		"BenchmarkCacheLookup":      {NsPerOp: 450000, Metrics: map[string]float64{"hit-%": 50.11}},
 		"BenchmarkNotRunThisTime":   {NsPerOp: 1, Metrics: map[string]float64{"x": 1}},
 	}}
-	failures, nsGated, shapes := compare(base, res, 1.25, 0.005, false)
-	if len(failures) != 0 {
-		t.Fatalf("unexpected failures: %v", failures)
+	nsFails, shapeFails, nsGated, shapes := compare(base, res, 1.25, 0.005, false)
+	if len(nsFails) != 0 || len(shapeFails) != 0 {
+		t.Fatalf("unexpected failures: %v %v", nsFails, shapeFails)
 	}
 	if nsGated != 2 || shapes != 2 {
 		t.Errorf("gated %d / shapes %d, want 2 / 2", nsGated, shapes)
@@ -75,14 +75,14 @@ func TestCompareFlagsNsRegression(t *testing.T) {
 	base := &Baseline{Benchmarks: map[string]BaselineEntry{
 		"BenchmarkMachineArithLoop": {NsPerOp: 900000},
 	}}
-	failures, _, _ := compare(base, res, 1.25, 0.005, false)
-	if len(failures) != 1 {
-		t.Fatalf("want 1 ns/op failure, got %v", failures)
+	nsFails, shapeFails, _, _ := compare(base, res, 1.25, 0.005, false)
+	if len(nsFails) != 1 || len(shapeFails) != 0 {
+		t.Fatalf("want 1 ns/op failure and no shape failures, got %v %v", nsFails, shapeFails)
 	}
 	// -shapes-only must suppress the same regression.
-	failures, _, _ = compare(base, res, 1.25, 0.005, true)
-	if len(failures) != 0 {
-		t.Fatalf("shapes-only still failed: %v", failures)
+	nsFails, shapeFails, _, _ = compare(base, res, 1.25, 0.005, true)
+	if len(nsFails) != 0 || len(shapeFails) != 0 {
+		t.Fatalf("shapes-only still failed: %v %v", nsFails, shapeFails)
 	}
 }
 
@@ -91,9 +91,28 @@ func TestCompareFlagsShapeDrift(t *testing.T) {
 	base := &Baseline{Benchmarks: map[string]BaselineEntry{
 		"BenchmarkCacheStride/rowmajor": {Metrics: map[string]float64{"hit-%": 96.88}},
 	}}
-	failures, _, _ := compare(base, res, 1.25, 0.005, false)
-	if len(failures) != 1 || !strings.Contains(failures[0], "drifted") {
-		t.Fatalf("want 1 shape-drift failure, got %v", failures)
+	nsFails, shapeFails, _, _ := compare(base, res, 1.25, 0.005, false)
+	if len(nsFails) != 0 || len(shapeFails) != 1 || !strings.Contains(shapeFails[0], "drifted") {
+		t.Fatalf("want 1 shape-drift failure, got %v %v", nsFails, shapeFails)
+	}
+}
+
+// TestCompareSeparatesNsFromShape pins the split -advisory relies on: a run
+// with both a timing regression and a shape drift must report them in the
+// separate slices so advisory mode can warn on the former and fail only on
+// the latter.
+func TestCompareSeparatesNsFromShape(t *testing.T) {
+	res := parseSample(t)
+	base := &Baseline{Benchmarks: map[string]BaselineEntry{
+		"BenchmarkMachineArithLoop":     {NsPerOp: 900000},
+		"BenchmarkCacheStride/rowmajor": {Metrics: map[string]float64{"hit-%": 96.88}},
+	}}
+	nsFails, shapeFails, _, _ := compare(base, res, 1.25, 0.005, false)
+	if len(nsFails) != 1 || !strings.Contains(nsFails[0], "ns/op") {
+		t.Fatalf("want 1 ns/op failure, got %v", nsFails)
+	}
+	if len(shapeFails) != 1 || !strings.Contains(shapeFails[0], "drifted") {
+		t.Fatalf("want 1 shape-drift failure, got %v", shapeFails)
 	}
 }
 

@@ -188,7 +188,11 @@ type Cache struct {
 	lines []line  // numSets × assoc, flat
 	head  []int32 // per-set most-recent line index
 	tail  []int32 // per-set replacement victim line index
-	fill  []int32 // per-set count of valid ways (ways fill lowest-first)
+	// fill counts each set's valid ways. Invariant: ways fill
+	// lowest-index-first, so lines[s*assoc : s*assoc+fill[s]] are exactly
+	// the valid lines of set s. Any new invalidation path must reset fill
+	// and the recency list (as Flush does) to preserve this.
+	fill []int32
 
 	assoc      int
 	offsetBits uint
@@ -277,9 +281,11 @@ func (c *Cache) Access(addr uint64, write bool) Result {
 	set := c.lines[base : base+c.fill[idx]]
 
 	// Hit? Only the filled prefix of the set can match: ways fill
-	// lowest-index-first and single lines are never invalidated.
+	// lowest-index-first, and today only Flush invalidates (resetting fill).
+	// The valid check is cheap insurance against a future single-line
+	// invalidation path leaving a stale tag inside the filled prefix.
 	for w := range set {
-		if set[w].tag == tag {
+		if set[w].valid && set[w].tag == tag {
 			c.stats.Hits++
 			res.Hit = true
 			if c.isLRU {
@@ -341,7 +347,7 @@ func (c *Cache) Contains(addr uint64) bool {
 	tag := addr >> (c.offsetBits + c.indexBits)
 	base := int32(idx) * int32(c.assoc)
 	for li := base; li < base+c.fill[idx]; li++ {
-		if c.lines[li].tag == tag {
+		if c.lines[li].valid && c.lines[li].tag == tag {
 			return true
 		}
 	}

@@ -103,6 +103,71 @@ func TestParallelStatsMatchSerialKernel(t *testing.T) {
 	}
 }
 
+// TestParallelSurplusThreads runs with more threads than the partition
+// extent (labd accepts up to 64 threads on arbitrarily small grids). Surplus
+// workers own empty tiles and must touch nothing: before the empty-range
+// guard in stepBlock, a ByCols surplus worker recomputed the right edge
+// column for every row, racing with the owning tile (caught under -race)
+// and double-counting LiveUpdates. The grid is 9x5 so Threads=12 exceeds
+// both extents.
+func TestParallelSurplusThreads(t *testing.T) {
+	for _, mode := range []EdgeMode{Torus, DeadEdges} {
+		for _, part := range []Partition{ByRows, ByCols} {
+			mode, part := mode, part
+			t.Run(fmt.Sprintf("%v/%v", mode, part), func(t *testing.T) {
+				g, err := NewGrid(9, 5, mode)
+				if err != nil {
+					t.Fatal(err)
+				}
+				g.Randomize(17, 0.35)
+				const gens = 6
+				serial := g.Clone()
+				var serialChanged int64
+				for i := 0; i < gens; i++ {
+					serialChanged += serial.stepBlock(0, serial.Rows, 0, serial.Cols)
+					serial.swap()
+				}
+				pr := &ParallelRunner{G: g, Threads: 12, Partition: part}
+				stats, err := pr.Run(gens)
+				if err != nil {
+					t.Fatal(err)
+				}
+				gridsMatch(t, "surplus threads", g, serial)
+				if stats.LiveUpdates != serialChanged {
+					t.Errorf("LiveUpdates = %d, serial kernel counted %d", stats.LiveUpdates, serialChanged)
+				}
+			})
+		}
+	}
+}
+
+// TestStepBlockEmptyRange pins the empty-tile no-op: a zero-width or
+// zero-height block must report no changes and leave the scratch buffer
+// untouched, even when its bounds sit on the grid edge.
+func TestStepBlockEmptyRange(t *testing.T) {
+	g, err := NewGrid(6, 6, Torus)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.Randomize(5, 0.5)
+	before := append([]uint8(nil), g.next...)
+	for _, blk := range [][4]int{
+		{0, g.Rows, g.Cols, g.Cols}, // surplus ByCols tile at the right edge
+		{g.Rows, g.Rows, 0, g.Cols}, // surplus ByRows tile at the bottom edge
+		{0, g.Rows, 3, 3},
+		{2, 2, 0, g.Cols},
+	} {
+		if ch := g.stepBlock(blk[0], blk[1], blk[2], blk[3]); ch != 0 {
+			t.Errorf("stepBlock(%v) reported %d changes, want 0", blk, ch)
+		}
+	}
+	for i := range before {
+		if g.next[i] != before[i] {
+			t.Fatalf("empty stepBlock wrote to scratch buffer at index %d", i)
+		}
+	}
+}
+
 // TestStepAllocates pins the zero-allocation property of the serial kernel.
 func TestStepAllocates(t *testing.T) {
 	g, err := NewGrid(64, 64, Torus)

@@ -244,6 +244,12 @@ func (g *Grid) stepEdgeCell(up, cur, down, out []uint8, c int) int64 {
 // interior columns take a branch-free 8-neighbor sum, and only the first and
 // last columns pay for edge handling. It allocates nothing.
 func (g *Grid) stepBlock(loRow, hiRow, loCol, hiCol int) int64 {
+	// An empty range owns no cells. Without this guard a loCol==hiCol==Cols
+	// tile (a surplus ByCols worker) would still recompute the right edge
+	// column, racing with the owning tile and double-counting changes.
+	if loRow >= hiRow || loCol >= hiCol {
+		return 0
+	}
 	cols := g.Cols
 	var changed int64
 	for r := loRow; r < hiRow; r++ {
@@ -409,21 +415,23 @@ func (pr *ParallelRunner) Run(n int) (*RunStats, error) {
 	if pr.Threads < 1 {
 		return nil, fmt.Errorf("life: need at least 1 thread")
 	}
-	if pr.Threads > pr.G.Rows*pr.G.Cols {
-		pr.Threads = pr.G.Rows * pr.G.Cols
-	}
 	g := pr.G
+	extent := g.Rows
+	if pr.Partition == ByCols {
+		extent = g.Cols
+	}
+	// Clamp to the partition extent (not Rows*Cols): surplus threads would
+	// own empty tiles, and spawning them only adds barrier traffic. This
+	// also keeps Run consistent with Owner's clamping.
+	if pr.Threads > extent {
+		pr.Threads = extent
+	}
 	barrier, err := pthread.NewBarrier(pr.Threads)
 	if err != nil {
 		return nil, err
 	}
 	statsMu := pthread.NewMutex("life-stats")
 	stats := &RunStats{}
-
-	extent := g.Rows
-	if pr.Partition == ByCols {
-		extent = g.Cols
-	}
 
 	worker := func(id int) interface{} {
 		lo, hi := pthread.BlockRange(id, pr.Threads, extent)
