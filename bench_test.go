@@ -17,7 +17,9 @@
 package cs31_test
 
 import (
+	"context"
 	"fmt"
+	"sync"
 	"testing"
 
 	"cs31/internal/asm"
@@ -27,6 +29,7 @@ import (
 	"cs31/internal/memhier"
 	"cs31/internal/pthread"
 	"cs31/internal/survey"
+	"cs31/internal/sweep"
 	"cs31/internal/vm"
 )
 
@@ -264,6 +267,182 @@ func BenchmarkCacheLookup(b *testing.B) {
 		stats = c.RunTrace(trace)
 	}
 	b.ReportMetric(100*stats.HitRate(), "hit-%")
+}
+
+// roundBarrier is the surface shared by the combining-tree Barrier and the
+// retained mutex+Cond RefBarrier, so one harness can time both.
+type roundBarrier interface {
+	Wait() (serial bool)
+	Rounds() int64
+}
+
+// BenchmarkBarrierWait times one full barrier round — parties goroutines
+// arriving and being released — for the combining-tree barrier against the
+// retained central mutex+Cond reference. Each goroutine crosses the barrier
+// b.N times, so ns/op is the cost of one round. The serial-per-round metric
+// is deterministic (exactly one serial waiter per round) and doubles as a
+// shape check on the serial-thread convention.
+func BenchmarkBarrierWait(b *testing.B) {
+	impls := []struct {
+		name string
+		mk   func(parties int) (roundBarrier, error)
+	}{
+		{"tree", func(p int) (roundBarrier, error) { return pthread.NewBarrier(p) }},
+		{"ref", func(p int) (roundBarrier, error) { return pthread.NewRefBarrier(p) }},
+	}
+	for _, impl := range impls {
+		for _, parties := range []int{4, 16} {
+			impl, parties := impl, parties
+			b.Run(fmt.Sprintf("%s-%d", impl.name, parties), func(b *testing.B) {
+				bar, err := impl.mk(parties)
+				if err != nil {
+					b.Fatal(err)
+				}
+				var serials int64
+				var wg sync.WaitGroup
+				b.ResetTimer()
+				for t := 0; t < parties; t++ {
+					wg.Add(1)
+					go func() {
+						defer wg.Done()
+						for i := 0; i < b.N; i++ {
+							if bar.Wait() {
+								serials++ // only the serial waiter of a round writes
+							}
+						}
+					}()
+				}
+				wg.Wait()
+				b.StopTimer()
+				if bar.Rounds() != int64(b.N) {
+					b.Fatalf("completed %d rounds, want %d", bar.Rounds(), b.N)
+				}
+				b.ReportMetric(float64(serials)/float64(b.N), "serial-per-round")
+			})
+		}
+	}
+}
+
+// BenchmarkParallelLife times the full parallel Game of Life engine at the
+// lab's 8-thread point: the sharded-stats one-barrier-per-generation runner
+// against the retained reference runner (central stats mutex, two barrier
+// crossings per generation). One op is a 4-generation run on a fresh clone
+// of the same seeded 192x192 board, so the live-updates metric is
+// deterministic and doubles as a differential between the two runners.
+func BenchmarkParallelLife(b *testing.B) {
+	template, err := life.NewGrid(192, 192, life.Torus)
+	if err != nil {
+		b.Fatal(err)
+	}
+	template.Randomize(47, 0.3)
+	const gens = 4
+	for _, ref := range []bool{false, true} {
+		ref := ref
+		name := "sharded-8"
+		if ref {
+			name = "reference-8"
+		}
+		b.Run(name, func(b *testing.B) {
+			var updates int64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				g := template.Clone()
+				b.StartTimer()
+				pr := &life.ParallelRunner{G: g, Threads: 8, Reference: ref}
+				stats, err := pr.Run(gens)
+				if err != nil {
+					b.Fatal(err)
+				}
+				updates = stats.LiveUpdates
+			}
+			b.ReportMetric(float64(updates), "live-updates")
+		})
+	}
+}
+
+// BenchmarkSweepGrid times the concurrent experiment-sweep engine end to
+// end: fan a 12-case Game of Life grid (2 sizes x 3 thread counts x 2
+// partitions) across 4 pool workers. The total-live-updates metric sums a
+// deterministic quantity over the whole grid, so it doubles as a shape check
+// that the pool ran every case exactly once.
+func BenchmarkSweepGrid(b *testing.B) {
+	cases := sweep.LifeGrid([][2]int{{32, 32}, {48, 24}}, []int{1, 2, 4},
+		[]life.Partition{life.ByRows, life.ByCols}, 3, 2022, 0.3)
+	var total int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		results, err := sweep.RunLifeGrid(context.Background(), 4, cases)
+		if err != nil {
+			b.Fatal(err)
+		}
+		total = 0
+		for _, r := range results {
+			total += r.LiveUpdates
+		}
+	}
+	b.ReportMetric(float64(len(cases)), "cases")
+	b.ReportMetric(float64(total), "total-live-updates")
+}
+
+// BenchmarkVMAccess times the vm simulator's address-translation hot path on
+// its two extremes: a TLB-resident working-set walk (every access after the
+// first touch of a page hits the TLB) and a thrashing walk whose cycle
+// exceeds physical memory (every access faults). Both rates are
+// deterministic shape metrics.
+func BenchmarkVMAccess(b *testing.B) {
+	run := func(b *testing.B, cfg vm.Config, pages, rounds int) {
+		var stats vm.Stats
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			sys, err := vm.New(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			sys.AddProcess(1)
+			if err := sys.Switch(1); err != nil {
+				b.Fatal(err)
+			}
+			for r := 0; r < rounds; r++ {
+				for p := uint64(0); p < uint64(pages); p++ {
+					if _, err := sys.Access(p*cfg.PageSize, false); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+			stats = sys.Stats()
+		}
+		b.ReportMetric(100*stats.FaultRate(), "fault-%")
+		b.ReportMetric(100*stats.TLBHitRate(), "tlb-hit-%")
+	}
+	b.Run("tlb-hit", func(b *testing.B) {
+		// 8-page working set fits the 16-entry TLB and the 32 frames: 8
+		// cold faults, then pure TLB hits.
+		run(b, vm.Config{PageSize: 256, NumFrames: 32, TLBSize: 16, NumPages: 64}, 8, 64)
+	})
+	b.Run("page-fault", func(b *testing.B) {
+		// Cycling 64 pages through 8 frames evicts every page before its
+		// reuse: a fault on every access, and a 4-entry TLB never hits.
+		run(b, vm.Config{PageSize: 256, NumFrames: 8, TLBSize: 4, NumPages: 64}, 64, 8)
+	})
+}
+
+// BenchmarkMatrixTraceAlloc measures the Append-form trace generators
+// reusing one preallocated buffer: allocs/op must be zero (gated as a shape
+// metric in BENCH_BASELINE.json).
+func BenchmarkMatrixTraceAlloc(b *testing.B) {
+	buf := make([]memhier.Access, 0, 64*64)
+	var sink int
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t := memhier.AppendMatrixTraceRowMajor(buf[:0], 0, 64, 64, 4)
+		t = memhier.AppendMatrixTraceColMajor(t[:0], 0, 64, 64, 4)
+		t = memhier.AppendStrideTrace(t[:0], 0, 64*64, 64)
+		sink = len(t)
+	}
+	_ = sink
+	b.ReportMetric(float64(sink), "trace-len")
 }
 
 // BenchmarkPipelineDepth evaluates the pipelining model (Claim C6),

@@ -38,9 +38,13 @@ import (
 	"strings"
 )
 
-// defaultGate matches the three optimized kernel benchmarks whose ns/op the
-// CI bench job gates.
-const defaultGate = `^BenchmarkLifeSpeedup/threads-1$|^BenchmarkMachineArithLoop$|^BenchmarkCacheLookup$`
+// defaultGate matches the optimized kernel benchmarks whose ns/op the CI
+// bench job gates: the original three simulator hot paths plus the parallel
+// runtime added by the synchronization/sweep pass (combining-tree barrier,
+// sharded-stat life runner, and the sweep engine itself).
+const defaultGate = `^BenchmarkLifeSpeedup/threads-1$|^BenchmarkMachineArithLoop$|^BenchmarkCacheLookup$` +
+	`|^BenchmarkBarrierWait/tree-4$|^BenchmarkBarrierWait/tree-16$` +
+	`|^BenchmarkParallelLife/sharded-8$|^BenchmarkSweepGrid$`
 
 // BaselineEntry is one benchmark's committed expectations.
 type BaselineEntry struct {
@@ -229,7 +233,7 @@ func run() error {
 		if base.Note == "" {
 			base.Note = "Benchmark baseline for the CI bench gate. Regenerate with: " +
 				"go test -run '^$' -bench . -benchtime=1x -cpu 1 . | go run ./cmd/benchdiff -update; " +
-				"then go test -run '^$' -bench 'LifeSpeedup/threads-1$|MachineArithLoop|CacheLookup' -benchtime 200ms -count 3 -cpu 1 . | go run ./cmd/benchdiff -update"
+				"then go test -run '^$' -bench 'LifeSpeedup/threads-1$|MachineArithLoop|CacheLookup|BarrierWait/tree|ParallelLife/sharded|SweepGrid' -benchtime 200ms -count 3 -cpu 1 . | go run ./cmd/benchdiff -update"
 		}
 		update(&base, results, gate)
 		data, err := json.MarshalIndent(&base, "", "  ")

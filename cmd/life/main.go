@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -17,7 +18,7 @@ import (
 
 	"cs31/internal/life"
 	"cs31/internal/paravis"
-	"cs31/internal/pthread"
+	"cs31/internal/sweep"
 )
 
 func main() {
@@ -119,23 +120,20 @@ func runBench(template *life.Grid, iters, maxThreads int, part life.Partition) e
 	for t := 2; t <= maxThreads; t *= 2 {
 		counts = append(counts, t)
 	}
-	var runErr error
-	points, err := pthread.MeasureScaling(counts, func(threads int) {
+	points, err := sweep.MeasureScaling(context.Background(), counts, func(_ context.Context, threads int) error {
 		g := template.Clone()
 		if threads == 1 {
 			g.Run(iters)
-			return
+			return nil
 		}
 		pr := &life.ParallelRunner{G: g, Threads: threads, Partition: part}
-		if _, err := pr.Run(iters); err != nil && runErr == nil {
-			runErr = fmt.Errorf("%d threads: %w", threads, err)
+		if _, err := pr.Run(iters); err != nil {
+			return fmt.Errorf("%d threads: %w", threads, err)
 		}
+		return nil
 	})
 	if err != nil {
 		return err
-	}
-	if runErr != nil {
-		return runErr
 	}
 	var out strings.Builder
 	fmt.Fprintf(&out, "Game of Life speedup: %dx%d grid, %d iterations, %v partition\n",

@@ -5,6 +5,7 @@ package cs31_test
 // regression test. EXPERIMENTS.md records the numbers these produce.
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -12,9 +13,9 @@ import (
 	"cs31/internal/core"
 	"cs31/internal/cpu"
 	"cs31/internal/life"
-	"cs31/internal/memhier"
 	"cs31/internal/pthread"
 	"cs31/internal/survey"
+	"cs31/internal/sweep"
 	"cs31/internal/vm"
 )
 
@@ -56,20 +57,27 @@ func TestClaimC1Shape(t *testing.T) {
 	if sp16 < 12.8 { // "near linear": >= 80% efficiency at 16
 		t.Errorf("modeled 16-thread speedup %.2f below near-linear", sp16)
 	}
-	// Correctness leg of the claim, on real threads.
+	// Correctness leg of the claim, on real threads: the full Figure-1
+	// thread grid runs through the concurrent sweep engine, and every
+	// point must land on the serial engine's board.
 	serial, err := life.NewGrid(64, 64, life.Torus)
 	if err != nil {
 		t.Fatal(err)
 	}
 	serial.Randomize(7, 0.3)
-	parallel := serial.Clone()
-	serial.Run(10)
-	pr := &life.ParallelRunner{G: parallel, Threads: 16}
-	if _, err := pr.Run(10); err != nil {
+	wantUpdates := serial.RunCounted(10)
+	cases := sweep.LifeGrid([][2]int{{64, 64}}, []int{2, 4, 8, 16}, []life.Partition{life.ByRows, life.ByCols}, 10, 7, 0.3)
+	results, err := sweep.RunLifeGrid(context.Background(), 4, cases)
+	if err != nil {
 		t.Fatal(err)
 	}
-	if !parallel.Equal(serial) {
-		t.Error("16-thread run diverged from serial")
+	for _, res := range results {
+		if res.Population != serial.Population() {
+			t.Errorf("%v diverged from serial: population %d, want %d", res.Case, res.Population, serial.Population())
+		}
+		if res.LiveUpdates != wantUpdates {
+			t.Errorf("%v: LiveUpdates %d, serial counted %d", res.Case, res.LiveUpdates, wantUpdates)
+		}
 	}
 }
 
@@ -117,22 +125,19 @@ func TestClaimC3Shape(t *testing.T) {
 // on the standalone simulator, and still wins through the full compiled
 // pipeline.
 func TestClaimC4Shape(t *testing.T) {
+	// The standalone-simulator leg fans the loop-order workload grid
+	// through the sweep engine (both traversals of every config).
 	cfg := cache.Config{SizeBytes: 1024, BlockSize: 64, Assoc: 1}
-	rm, err := cache.New(cfg)
+	results, err := sweep.RunCacheGrid(context.Background(), 2, sweep.StrideGrid([]cache.Config{cfg}, 64, 64))
 	if err != nil {
 		t.Fatal(err)
 	}
-	rm.RunTrace(memhier.MatrixTraceRowMajor(0, 64, 64, 4))
-	cm, err := cache.New(cfg)
-	if err != nil {
-		t.Fatal(err)
+	rm, cm := results[0], results[1]
+	if rm.HitRate < 0.9 {
+		t.Errorf("row-major hit rate %.3f, expected ~0.94", rm.HitRate)
 	}
-	cm.RunTrace(memhier.MatrixTraceColMajor(0, 64, 64, 4))
-	if rm.Stats().HitRate() < 0.9 {
-		t.Errorf("row-major hit rate %.3f, expected ~0.94", rm.Stats().HitRate())
-	}
-	if cm.Stats().HitRate() > 0.1 {
-		t.Errorf("column-major hit rate %.3f, expected ~0", cm.Stats().HitRate())
+	if cm.HitRate > 0.1 {
+		t.Errorf("column-major hit rate %.3f, expected ~0", cm.HitRate)
 	}
 
 	// Through the compiled pipeline (stack traffic dilutes but the order
@@ -165,24 +170,20 @@ int main() {
 // TestClaimC5Shape: the TLB reduces effective access time, and context
 // switches cost translation state.
 func TestClaimC5Shape(t *testing.T) {
-	run := func(tlb int) float64 {
-		sys, err := vm.New(vm.Config{PageSize: 256, NumFrames: 32, TLBSize: tlb, NumPages: 64})
-		if err != nil {
-			t.Fatal(err)
-		}
-		sys.AddProcess(1)
-		sys.Switch(1)
-		for round := 0; round < 16; round++ {
-			for p := uint64(0); p < 8; p++ {
-				if _, err := sys.Access(p*256, false); err != nil {
-					t.Fatal(err)
-				}
-			}
-		}
-		return sys.EffectiveAccessTime(100, 8_000_000)
+	// Both TLB configurations replay the same working-set walk through the
+	// sweep engine's VM grid.
+	base := vm.Config{PageSize: 256, NumFrames: 32, NumPages: 64}
+	withTLB, withoutTLB := base, base
+	withTLB.TLBSize = 16
+	trace := sweep.WalkTrace(1, 8, 16, base.PageSize)
+	results, err := sweep.RunVMGrid(context.Background(), 2, []sweep.VMCase{
+		{Name: "tlb-16", Config: withTLB, Trace: trace},
+		{Name: "tlb-0", Config: withoutTLB, Trace: trace},
+	}, 100, 8_000_000)
+	if err != nil {
+		t.Fatal(err)
 	}
-	with := run(16)
-	without := run(0)
+	with, without := results[0].EATNs, results[1].EATNs
 	if with >= without {
 		t.Errorf("TLB should lower EAT: with=%.1f without=%.1f", with, without)
 	}

@@ -13,8 +13,8 @@ import (
 	"cs31/internal/life"
 	"cs31/internal/memhier"
 	"cs31/internal/minic"
-	"cs31/internal/pthread"
 	"cs31/internal/survey"
+	"cs31/internal/sweep"
 	"cs31/internal/vm"
 )
 
@@ -465,21 +465,19 @@ func (s *Server) lifeRun(ctx context.Context, req LifeRunRequest) (LifeRunRespon
 		}
 		counts = append(counts, req.Threads)
 		template := g.Clone()
-		var runErr error
-		points, err := pthread.MeasureScaling(counts, func(threads int) {
+		// The timed series runs through the sweep engine, which sequences
+		// the points (overlapping measurements would contend) and polls ctx
+		// between them, so a canceled request stops mid-series.
+		points, err := sweep.MeasureScaling(ctx, counts, func(ctx context.Context, threads int) error {
 			gg := template.Clone()
-			if _, err := runLifeCtx(ctx, gg, threads, part, iters); err != nil && runErr == nil {
-				runErr = err
-			}
+			_, err := runLifeCtx(ctx, gg, threads, part, iters)
+			return err
 		})
 		if err != nil {
-			return resp, errBadRequest{err}
-		}
-		if runErr != nil {
 			if ctx.Err() != nil {
 				return resp, ctx.Err()
 			}
-			return resp, errBadRequest{runErr}
+			return resp, errBadRequest{err}
 		}
 		for _, p := range points {
 			resp.Scaling = append(resp.Scaling, LifeScalingPoint{

@@ -168,6 +168,94 @@ func TestStepBlockEmptyRange(t *testing.T) {
 	}
 }
 
+// TestRunnerMatchesReferenceRunner holds the sharded one-barrier runner to
+// the retained two-barrier mutex-stats runner: same final grid, same
+// generation count, same LiveUpdates reduction, for every edge mode ×
+// partition × thread count (including surplus threads that both paths
+// clamp identically).
+func TestRunnerMatchesReferenceRunner(t *testing.T) {
+	for _, mode := range []EdgeMode{Torus, DeadEdges} {
+		for _, part := range []Partition{ByRows, ByCols} {
+			for _, threads := range []int{1, 2, 3, 5, 12} {
+				mode, part, threads := mode, part, threads
+				t.Run(fmt.Sprintf("%v/%v/threads-%d", mode, part, threads), func(t *testing.T) {
+					g, err := NewGrid(11, 7, mode)
+					if err != nil {
+						t.Fatal(err)
+					}
+					g.Randomize(23, 0.35)
+					ref := g.Clone()
+					const gens = 6
+					pr := &ParallelRunner{G: g, Threads: threads, Partition: part}
+					stats, err := pr.Run(gens)
+					if err != nil {
+						t.Fatal(err)
+					}
+					rr := &ParallelRunner{G: ref, Threads: threads, Partition: part, Reference: true}
+					refStats, err := rr.Run(gens)
+					if err != nil {
+						t.Fatal(err)
+					}
+					gridsMatch(t, "sharded vs reference runner", g, ref)
+					if stats.LiveUpdates != refStats.LiveUpdates {
+						t.Errorf("LiveUpdates = %d, reference runner counted %d", stats.LiveUpdates, refStats.LiveUpdates)
+					}
+					if stats.Rounds != refStats.Rounds {
+						t.Errorf("Rounds = %d, reference runner counted %d", stats.Rounds, refStats.Rounds)
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestRunCountedMatchesParallelStats pins Grid.RunCounted — the serial twin
+// of LiveUpdates — to the parallel reduction.
+func TestRunCountedMatchesParallelStats(t *testing.T) {
+	g, err := NewGrid(17, 13, Torus)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.Randomize(71, 0.4)
+	serial := g.Clone()
+	const gens = 7
+	pr := &ParallelRunner{G: g, Threads: 5}
+	stats, err := pr.Run(gens)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if counted := serial.RunCounted(gens); counted != stats.LiveUpdates {
+		t.Errorf("RunCounted = %d, parallel LiveUpdates = %d", counted, stats.LiveUpdates)
+	}
+	gridsMatch(t, "RunCounted grid", serial, g)
+}
+
+// TestParallelRunAllocations pins the per-generation allocation count of
+// the sharded runner's hot loop at zero: the cost of a Run is a fixed
+// setup (threads, barrier, shards) regardless of how many generations it
+// advances, so the difference between a long run and a short run over the
+// same fixed-size grid must be allocation-free.
+func TestParallelRunAllocations(t *testing.T) {
+	run := func(gens int) float64 {
+		return testing.AllocsPerRun(10, func() {
+			g, err := NewGrid(32, 32, Torus)
+			if err != nil {
+				t.Fatal(err)
+			}
+			g.Randomize(9, 0.3)
+			pr := &ParallelRunner{G: g, Threads: 4}
+			if _, err := pr.Run(gens); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+	short, long := run(1), run(41)
+	if perGen := (long - short) / 40; perGen > 0.05 {
+		t.Errorf("parallel loop allocates %.2f objects per generation (run(1)=%.1f, run(41)=%.1f), want 0",
+			perGen, short, long)
+	}
+}
+
 // TestStepAllocates pins the zero-allocation property of the serial kernel.
 func TestStepAllocates(t *testing.T) {
 	g, err := NewGrid(64, 64, Torus)

@@ -185,38 +185,38 @@ func (g *Grid) stepReference() {
 	g.swap()
 }
 
-// row returns the cells of row r, wrapping under Torus and substituting the
+// rowIn returns row r of cells, wrapping under Torus and substituting the
 // all-dead row when r is outside a DeadEdges grid.
-func (g *Grid) row(r int) []uint8 {
+func rowIn(cells, zeroRow []uint8, rows, cols int, mode EdgeMode, r int) []uint8 {
 	if r < 0 {
-		if g.Mode != Torus {
-			return g.zeroRow
+		if mode != Torus {
+			return zeroRow
 		}
-		r = g.Rows - 1
-	} else if r >= g.Rows {
-		if g.Mode != Torus {
-			return g.zeroRow
+		r = rows - 1
+	} else if r >= rows {
+		if mode != Torus {
+			return zeroRow
 		}
 		r = 0
 	}
-	base := r * g.Cols
-	return g.cells[base : base+g.Cols]
+	base := r * cols
+	return cells[base : base+cols]
 }
 
-// stepEdgeCell handles one cell in column 0 or Cols-1, where the horizontal
+// stepEdgeCell handles one cell in column 0 or cols-1, where the horizontal
 // neighbors need wrapping (Torus) or dropping (DeadEdges). It returns 1 if
 // the cell changed state.
-func (g *Grid) stepEdgeCell(up, cur, down, out []uint8, c int) int64 {
+func stepEdgeCell(up, cur, down, out []uint8, cols int, mode EdgeMode, c int) int64 {
 	left, right := c-1, c+1
 	if left < 0 {
-		if g.Mode == Torus {
-			left = g.Cols - 1
+		if mode == Torus {
+			left = cols - 1
 		} else {
 			left = -1
 		}
 	}
-	if right >= g.Cols {
-		if g.Mode == Torus {
+	if right >= cols {
+		if mode == Torus {
 			right = 0
 		} else {
 			right = -1
@@ -237,29 +237,31 @@ func (g *Grid) stepEdgeCell(up, cur, down, out []uint8, c int) int64 {
 	return int64(v ^ cur[c])
 }
 
-// stepBlock computes the next generation for the rectangle [loRow, hiRow) ×
-// [loCol, hiCol) into the scratch buffer and returns how many cells changed
-// state. It is the shared hot kernel: per row it holds three row slices
-// (above, current, below — wrapped or zero-substituted once per row), the
-// interior columns take a branch-free 8-neighbor sum, and only the first and
-// last columns pay for edge handling. It allocates nothing.
-func (g *Grid) stepBlock(loRow, hiRow, loCol, hiCol int) int64 {
+// stepSlices computes the next generation for the rectangle [loRow, hiRow) ×
+// [loCol, hiCol) of src into dst and returns how many cells changed state.
+// It is the shared hot kernel: per row it holds three row slices (above,
+// current, below — wrapped or zero-substituted once per row), the interior
+// columns take a branch-free 8-neighbor sum, and only the first and last
+// columns pay for edge handling. It allocates nothing. The buffers are
+// parameters rather than Grid fields so parallel workers can alternate
+// parity buffers locally without touching shared Grid state between
+// barrier rounds.
+func stepSlices(src, dst, zeroRow []uint8, rows, cols int, mode EdgeMode, loRow, hiRow, loCol, hiCol int) int64 {
 	// An empty range owns no cells. Without this guard a loCol==hiCol==Cols
 	// tile (a surplus ByCols worker) would still recompute the right edge
 	// column, racing with the owning tile and double-counting changes.
 	if loRow >= hiRow || loCol >= hiCol {
 		return 0
 	}
-	cols := g.Cols
 	var changed int64
 	for r := loRow; r < hiRow; r++ {
 		base := r * cols
-		cur := g.cells[base : base+cols]
-		out := g.next[base : base+cols]
-		up := g.row(r - 1)
-		down := g.row(r + 1)
+		cur := src[base : base+cols]
+		out := dst[base : base+cols]
+		up := rowIn(src, zeroRow, rows, cols, mode, r-1)
+		down := rowIn(src, zeroRow, rows, cols, mode, r+1)
 		if loCol == 0 {
-			changed += g.stepEdgeCell(up, cur, down, out, 0)
+			changed += stepEdgeCell(up, cur, down, out, cols, mode, 0)
 		}
 		lo, hi := loCol, hiCol
 		if lo < 1 {
@@ -280,10 +282,15 @@ func (g *Grid) stepBlock(loRow, hiRow, loCol, hiCol int) int64 {
 			changed += int64(v ^ cur[c])
 		}
 		if hiCol == cols && cols > 1 {
-			changed += g.stepEdgeCell(up, cur, down, out, cols-1)
+			changed += stepEdgeCell(up, cur, down, out, cols, mode, cols-1)
 		}
 	}
 	return changed
+}
+
+// stepBlock runs the kernel over the grid's own current/scratch buffers.
+func (g *Grid) stepBlock(loRow, hiRow, loCol, hiCol int) int64 {
+	return stepSlices(g.cells, g.next, g.zeroRow, g.Rows, g.Cols, g.Mode, loRow, hiRow, loCol, hiCol)
 }
 
 // swap promotes the scratch buffer to current.
@@ -305,6 +312,19 @@ func (g *Grid) Run(n int) {
 	for i := 0; i < n; i++ {
 		g.Step()
 	}
+}
+
+// RunCounted advances n generations serially and reports how many cells
+// changed state in total — the serial twin of the parallel runner's
+// LiveUpdates statistic, which the sweep engine's differential tests
+// compare per-shard reductions against.
+func (g *Grid) RunCounted(n int) int64 {
+	var changed int64
+	for i := 0; i < n; i++ {
+		changed += g.stepBlock(0, g.Rows, 0, g.Cols)
+		g.swap()
+	}
+	return changed
 }
 
 // Bools returns the grid as [][]bool for the visualizer.
@@ -390,12 +410,18 @@ func Oscillator() *Config {
 	}
 }
 
-// RunStats is the shared state the parallel workers update under a mutex,
-// as the lab requires.
+// RunStats is the per-run statistics the parallel workers produce: each
+// thread accumulates its tile's counts privately and the runner reduces
+// them after join.
 type RunStats struct {
 	LiveUpdates int64 // cells that changed state, summed across threads
 	Rounds      int
 }
+
+// statShardStride spaces per-thread LiveUpdates accumulators a cache line
+// apart (8 int64s = 64 bytes, matching pthread.Sharded), so the one store
+// each worker issues after its loop never false-shares with a neighbor.
+const statShardStride = 8
 
 // ParallelRunner advances a grid with worker threads (Lab 10).
 type ParallelRunner struct {
@@ -403,14 +429,29 @@ type ParallelRunner struct {
 	Threads   int
 	Partition Partition
 
-	// OnRound, if non-nil, is called by the serial thread after each round
-	// with the freshly computed generation (used for visualization).
+	// OnRound, if non-nil, is called by the round's serial thread with the
+	// freshly computed generation (used for visualization). Successive
+	// callbacks are ordered (round r's callback happens before round
+	// r+1's), but other workers may already be computing the next
+	// generation while a callback runs; the grid state the callback
+	// observes is stable until it returns.
 	OnRound func(g *Grid)
+
+	// Reference selects the pre-tree runner — central Cond barrier, two
+	// crossings per generation, mutex-merged statistics — retained as the
+	// differential-test and benchmark baseline for the sharded runner.
+	Reference bool
 }
 
 // Run advances n generations in parallel: each thread owns a block of rows
-// (or columns), a barrier separates compute and swap phases each round, and
-// the round statistics are merged under a mutex.
+// (or columns) and runs the same row-sliced kernel as the serial engine
+// over it. One combining-tree barrier crossing separates generations: the
+// parity swap is thread-local (each worker alternates src/dst every
+// round), so no shared state needs a second protected phase — the round's
+// serial thread publishes the new generation on the Grid while the others
+// proceed. LiveUpdates accumulate in a register per worker and land in a
+// cache-line-padded shard once after the loop, reduced after join; the
+// per-generation hot path takes no lock and allocates nothing.
 func (pr *ParallelRunner) Run(n int) (*RunStats, error) {
 	if pr.Threads < 1 {
 		return nil, fmt.Errorf("life: need at least 1 thread")
@@ -426,7 +467,65 @@ func (pr *ParallelRunner) Run(n int) (*RunStats, error) {
 	if pr.Threads > extent {
 		pr.Threads = extent
 	}
+	if pr.Reference {
+		return pr.refRun(n, extent)
+	}
 	barrier, err := pthread.NewBarrier(pr.Threads)
+	if err != nil {
+		return nil, err
+	}
+	stats := &RunStats{}
+	shards := make([]int64, pr.Threads*statShardStride)
+	rows, cols, mode := g.Rows, g.Cols, g.Mode
+	zero := g.zeroRow
+	src0, dst0 := g.cells, g.next
+
+	worker := func(id int) interface{} {
+		lo, hi := pthread.BlockRange(id, pr.Threads, extent)
+		src, dst := src0, dst0
+		var updates int64
+		for round := 0; round < n; round++ {
+			if pr.Partition == ByRows {
+				updates += stepSlices(src, dst, zero, rows, cols, mode, lo, hi, 0, cols)
+			} else {
+				updates += stepSlices(src, dst, zero, rows, cols, mode, 0, rows, lo, hi)
+			}
+			// One barrier per generation: nobody may read dst as a source
+			// until every tile of it is written. The serial thread
+			// publishes the round on the Grid; that is safe against round
+			// r+2 overwriting dst because round r+2 cannot start before
+			// barrier r+1 completes, which needs the serial thread's
+			// arrival after its callback returns.
+			if barrier.WaitParty(id) {
+				g.cells, g.next = dst, src
+				g.Generation++
+				stats.Rounds++
+				if pr.OnRound != nil {
+					pr.OnRound(g)
+				}
+			}
+			src, dst = dst, src
+		}
+		shards[id*statShardStride] = updates
+		return nil
+	}
+
+	if err := runWorkers(pr.Threads, worker); err != nil {
+		return nil, err
+	}
+	for id := 0; id < pr.Threads; id++ {
+		stats.LiveUpdates += shards[id*statShardStride]
+	}
+	return stats, nil
+}
+
+// refRun is the pre-tree parallel path: a centralized barrier crossed
+// twice per generation (compute, then swap) and LiveUpdates merged under
+// the lab's shared-statistics mutex every round. The differential tests
+// and BenchmarkParallelLife hold the sharded runner to this baseline.
+func (pr *ParallelRunner) refRun(n, extent int) (*RunStats, error) {
+	g := pr.G
+	barrier, err := pthread.NewRefBarrier(pr.Threads)
 	if err != nil {
 		return nil, err
 	}
@@ -436,8 +535,6 @@ func (pr *ParallelRunner) Run(n int) (*RunStats, error) {
 	worker := func(id int) interface{} {
 		lo, hi := pthread.BlockRange(id, pr.Threads, extent)
 		for round := 0; round < n; round++ {
-			// Each tile runs the same row-sliced kernel as the serial
-			// engine, over its block of rows (or columns).
 			var changed int64
 			if pr.Partition == ByRows {
 				changed = g.stepBlock(lo, hi, 0, g.Cols)
@@ -468,21 +565,30 @@ func (pr *ParallelRunner) Run(n int) (*RunStats, error) {
 		return nil
 	}
 
-	threads := make([]*pthread.Thread, pr.Threads)
-	for id := 0; id < pr.Threads; id++ {
-		id := id
-		threads[id] = pthread.Create(func() interface{} { return worker(id) })
-	}
-	for _, t := range threads {
-		v, err := t.Join()
-		if err != nil {
-			return nil, err
-		}
-		if e, ok := v.(error); ok && e != nil {
-			return nil, e
-		}
+	if err := runWorkers(pr.Threads, worker); err != nil {
+		return nil, err
 	}
 	return stats, nil
+}
+
+// runWorkers spawns one pthread per id, joins them all, and surfaces the
+// first worker error.
+func runWorkers(threads int, worker func(id int) interface{}) error {
+	ts := make([]*pthread.Thread, threads)
+	for id := 0; id < threads; id++ {
+		id := id
+		ts[id] = pthread.Create(func() interface{} { return worker(id) })
+	}
+	for _, t := range ts {
+		v, err := t.Join()
+		if err != nil {
+			return err
+		}
+		if e, ok := v.(error); ok && e != nil {
+			return e
+		}
+	}
+	return nil
 }
 
 // Owner reports which thread owns cell (r, c) under the runner's

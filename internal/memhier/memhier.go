@@ -139,39 +139,75 @@ func AnalyzeLocality(trace []Access, window int, radius uint64) LocalityReport {
 	return rep
 }
 
+// The trace generators know their exact output length up front, so each
+// makes at most one allocation, and the Append* forms make none when the
+// destination has capacity — sweep grids that regenerate traces per case
+// reuse one buffer with dst[:0].
+
 // MatrixTraceRowMajor generates the access trace of the cache exercise's
 // "good" loop nest: for i { for j { sum += m[i][j] } } over a rows x cols
 // matrix of elemSize-byte elements at base — unit stride through memory.
 func MatrixTraceRowMajor(base uint64, rows, cols int, elemSize uint64) []Access {
-	trace := make([]Access, 0, rows*cols)
+	return AppendMatrixTraceRowMajor(make([]Access, 0, rows*cols), base, rows, cols, elemSize)
+}
+
+// AppendMatrixTraceRowMajor appends the row-major trace to dst and returns
+// the extended slice.
+func AppendMatrixTraceRowMajor(dst []Access, base uint64, rows, cols int, elemSize uint64) []Access {
+	dst = growTrace(dst, rows*cols)
 	for i := 0; i < rows; i++ {
+		rowBase := base + uint64(i)*uint64(cols)*elemSize
 		for j := 0; j < cols; j++ {
-			trace = append(trace, R(base+(uint64(i)*uint64(cols)+uint64(j))*elemSize))
+			dst = append(dst, R(rowBase+uint64(j)*elemSize))
 		}
 	}
-	return trace
+	return dst
 }
 
 // MatrixTraceColMajor generates the "bad" loop nest: for j { for i { ... } }
 // — stride of a full row between consecutive accesses.
 func MatrixTraceColMajor(base uint64, rows, cols int, elemSize uint64) []Access {
-	trace := make([]Access, 0, rows*cols)
+	return AppendMatrixTraceColMajor(make([]Access, 0, rows*cols), base, rows, cols, elemSize)
+}
+
+// AppendMatrixTraceColMajor appends the column-major trace to dst and
+// returns the extended slice.
+func AppendMatrixTraceColMajor(dst []Access, base uint64, rows, cols int, elemSize uint64) []Access {
+	dst = growTrace(dst, rows*cols)
 	for j := 0; j < cols; j++ {
 		for i := 0; i < rows; i++ {
-			trace = append(trace, R(base+(uint64(i)*uint64(cols)+uint64(j))*elemSize))
+			dst = append(dst, R(base+(uint64(i)*uint64(cols)+uint64(j))*elemSize))
 		}
 	}
-	return trace
+	return dst
 }
 
 // StrideTrace generates n accesses starting at base with a fixed byte
 // stride — the generic form of the exercise.
 func StrideTrace(base uint64, n int, stride uint64) []Access {
-	trace := make([]Access, n)
-	for i := range trace {
-		trace[i] = R(base + uint64(i)*stride)
+	return AppendStrideTrace(make([]Access, 0, n), base, n, stride)
+}
+
+// AppendStrideTrace appends the stride trace to dst and returns the
+// extended slice.
+func AppendStrideTrace(dst []Access, base uint64, n int, stride uint64) []Access {
+	dst = growTrace(dst, n)
+	for i := 0; i < n; i++ {
+		dst = append(dst, R(base+uint64(i)*stride))
 	}
-	return trace
+	return dst
+}
+
+// growTrace guarantees capacity for n more accesses with at most one
+// allocation (append's doubling could reallocate repeatedly for long
+// traces).
+func growTrace(dst []Access, n int) []Access {
+	if cap(dst)-len(dst) >= n {
+		return dst
+	}
+	grown := make([]Access, len(dst), len(dst)+n)
+	copy(grown, dst)
+	return grown
 }
 
 // RepeatTrace repeats a trace k times, modeling an outer loop over the same

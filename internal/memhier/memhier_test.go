@@ -235,3 +235,50 @@ func TestCacheLevelHelpsProperty(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// TestAppendTraceGeneratorsMatch pins the Append* forms to the allocating
+// forms, including appending onto a non-empty prefix.
+func TestAppendTraceGeneratorsMatch(t *testing.T) {
+	prefix := []Access{W(0xdead)}
+	checks := []struct {
+		name     string
+		direct   []Access
+		appended []Access
+	}{
+		{"rowmajor", MatrixTraceRowMajor(0x40, 5, 7, 4), AppendMatrixTraceRowMajor(append([]Access(nil), prefix...), 0x40, 5, 7, 4)},
+		{"colmajor", MatrixTraceColMajor(0x40, 5, 7, 4), AppendMatrixTraceColMajor(append([]Access(nil), prefix...), 0x40, 5, 7, 4)},
+		{"stride", StrideTrace(0x80, 9, 16), AppendStrideTrace(append([]Access(nil), prefix...), 0x80, 9, 16)},
+	}
+	for _, c := range checks {
+		if got, want := len(c.appended), len(prefix)+len(c.direct); got != want {
+			t.Errorf("%s: appended length %d, want %d", c.name, got, want)
+			continue
+		}
+		if c.appended[0] != prefix[0] {
+			t.Errorf("%s: prefix clobbered: %+v", c.name, c.appended[0])
+		}
+		for i, a := range c.direct {
+			if c.appended[len(prefix)+i] != a {
+				t.Fatalf("%s: access %d = %+v, want %+v", c.name, i, c.appended[len(prefix)+i], a)
+			}
+		}
+	}
+}
+
+// TestTraceGeneratorAllocations pins the allocation contract: one
+// allocation for a fresh trace, zero when regenerating into a buffer with
+// capacity (the sweep engine's per-case reuse pattern).
+func TestTraceGeneratorAllocations(t *testing.T) {
+	if avg := testing.AllocsPerRun(20, func() { MatrixTraceRowMajor(0, 64, 64, 4) }); avg != 1 {
+		t.Errorf("fresh row-major trace costs %.1f allocations, want 1", avg)
+	}
+	buf := make([]Access, 0, 64*64)
+	avg := testing.AllocsPerRun(20, func() {
+		buf = AppendMatrixTraceRowMajor(buf[:0], 0, 64, 64, 4)
+		buf = AppendMatrixTraceColMajor(buf[:0], 0, 64, 64, 4)
+		buf = AppendStrideTrace(buf[:0], 0, 64*64, 4)
+	})
+	if avg != 0 {
+		t.Errorf("buffer-reuse regeneration costs %.1f allocations, want 0", avg)
+	}
+}

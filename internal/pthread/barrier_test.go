@@ -1,0 +1,214 @@
+package pthread
+
+// Differential tests: the combining-tree Barrier must be observationally
+// identical to RefBarrier (the centralized mutex+Cond implementation it
+// replaced) — serial-thread convention, Rounds accounting, cyclic reuse,
+// and surplus-of-parties interleavings — and -race clean at every tree
+// shape (1 party = single root, 2 = one partial leaf, 16 = full two-level
+// tree, 33 = three levels with a ragged edge).
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// waiter is the surface the differential tests exercise on both
+// implementations.
+type waiter interface {
+	Wait() bool
+	Rounds() int64
+}
+
+func newBarriers(t *testing.T, parties int) map[string]waiter {
+	t.Helper()
+	tree, err := NewBarrier(parties)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := NewRefBarrier(parties)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return map[string]waiter{"tree": tree, "ref": ref}
+}
+
+var barrierParties = []int{1, 2, 16, 33}
+
+// TestBarrierDifferentialRounds drives parties goroutines through many
+// cyclic rounds on both implementations: every waiter must observe all
+// arrivals of its round before being released, exactly one waiter per
+// round is serial, and Rounds counts releases.
+func TestBarrierDifferentialRounds(t *testing.T) {
+	const rounds = 50
+	for _, parties := range barrierParties {
+		for name, b := range newBarriers(t, parties) {
+			b := b
+			t.Run(fmt.Sprintf("%s/parties-%d", name, parties), func(t *testing.T) {
+				arrivals := make([]atomic.Int64, rounds)
+				serials := make([]atomic.Int64, rounds)
+				var wg sync.WaitGroup
+				for p := 0; p < parties; p++ {
+					wg.Add(1)
+					go func() {
+						defer wg.Done()
+						for r := 0; r < rounds; r++ {
+							arrivals[r].Add(1)
+							serial := b.Wait()
+							if serial {
+								serials[r].Add(1)
+							}
+							if got := arrivals[r].Load(); got != int64(parties) {
+								t.Errorf("round %d released with %d/%d arrivals", r, got, parties)
+								return
+							}
+						}
+					}()
+				}
+				wg.Wait()
+				for r := 0; r < rounds; r++ {
+					if got := serials[r].Load(); got != 1 {
+						t.Errorf("round %d had %d serial threads, want 1", r, got)
+					}
+				}
+				if got := b.Rounds(); got != rounds {
+					t.Errorf("Rounds() = %d, want %d", got, rounds)
+				}
+			})
+		}
+	}
+}
+
+// TestBarrierDifferentialSurplus exercises cross-round thread
+// substitution: every round is completed by a fresh set of goroutines, so
+// over the test far more goroutines than parties use one barrier, and no
+// per-thread state can survive a round. (More than `parties` *concurrent*
+// waiters is outside the pthread_barrier_t contract — an anonymous
+// barrier can strand surplus waiters whose round never fills — so the
+// waves join between rounds, while TestBarrierDifferentialRounds covers
+// the overlap of one round's sleepers with the next round's arrivals.)
+func TestBarrierDifferentialSurplus(t *testing.T) {
+	const rounds = 12
+	for _, parties := range barrierParties {
+		for name, b := range newBarriers(t, parties) {
+			b := b
+			t.Run(fmt.Sprintf("%s/parties-%d", name, parties), func(t *testing.T) {
+				var serials atomic.Int64
+				for r := 0; r < rounds; r++ {
+					var wg sync.WaitGroup
+					for k := 0; k < parties; k++ {
+						wg.Add(1)
+						go func() {
+							defer wg.Done()
+							if b.Wait() {
+								serials.Add(1)
+							}
+						}()
+					}
+					wg.Wait()
+					if got := b.Rounds(); got != int64(r+1) {
+						t.Fatalf("after wave %d: Rounds() = %d, want %d", r, got, r+1)
+					}
+				}
+				if got := serials.Load(); got != rounds {
+					t.Errorf("serial tokens = %d, want %d (one per round)", got, rounds)
+				}
+			})
+		}
+	}
+}
+
+// TestBarrierWaitParty pins the fixed-identity path the parallel life
+// runner uses: per round exactly one party observes serial, rounds are
+// cyclic, and every party sees all arrivals of its round before release.
+func TestBarrierWaitParty(t *testing.T) {
+	const rounds = 40
+	for _, parties := range barrierParties {
+		parties := parties
+		t.Run(fmt.Sprintf("parties-%d", parties), func(t *testing.T) {
+			b, err := NewBarrier(parties)
+			if err != nil {
+				t.Fatal(err)
+			}
+			arrivals := make([]atomic.Int64, rounds)
+			serials := make([]atomic.Int64, rounds)
+			var wg sync.WaitGroup
+			for p := 0; p < parties; p++ {
+				p := p
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for r := 0; r < rounds; r++ {
+						arrivals[r].Add(1)
+						if b.WaitParty(p) {
+							serials[r].Add(1)
+						}
+						if got := arrivals[r].Load(); got != int64(parties) {
+							t.Errorf("round %d released with %d/%d arrivals", r, got, parties)
+							return
+						}
+					}
+				}()
+			}
+			wg.Wait()
+			for r := 0; r < rounds; r++ {
+				if got := serials[r].Load(); got != 1 {
+					t.Errorf("round %d had %d serial parties, want 1", r, got)
+				}
+			}
+			if got := b.Rounds(); got != rounds {
+				t.Errorf("Rounds() = %d, want %d", got, rounds)
+			}
+		})
+	}
+}
+
+func TestBarrierWaitPartyOutOfRange(t *testing.T) {
+	b, err := NewBarrier(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range []int{-1, 3} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("WaitParty(%d) did not panic", id)
+				}
+			}()
+			b.WaitParty(id)
+		}()
+	}
+}
+
+// TestRefBarrierValidation keeps the reference constructor contract in
+// lockstep with NewBarrier.
+func TestRefBarrierValidation(t *testing.T) {
+	if _, err := NewRefBarrier(0); err == nil {
+		t.Error("NewRefBarrier(0) succeeded, want error")
+	}
+	b, err := NewRefBarrier(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !b.Wait() {
+		t.Error("single-party reference barrier Wait() = false, want serial true")
+	}
+}
+
+// TestBarrierSingleThreadedReuse pins cheap cyclic reuse without any
+// concurrency: a 1-party barrier is a counter.
+func TestBarrierSingleThreadedReuse(t *testing.T) {
+	b, err := NewBarrier(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 1000; i++ {
+		if !b.Wait() {
+			t.Fatalf("round %d: Wait() = false, want serial true", i)
+		}
+	}
+	if got := b.Rounds(); got != 1000 {
+		t.Errorf("Rounds() = %d, want 1000", got)
+	}
+}

@@ -246,54 +246,6 @@ func (m *Mutex) Unlock() error {
 	}
 }
 
-// Barrier is a cyclic barrier for a fixed party count, the
-// pthread_barrier_t of the package. Wait blocks until all parties arrive;
-// exactly one waiter per round observes serial == true (the
-// PTHREAD_BARRIER_SERIAL_THREAD convention).
-type Barrier struct {
-	mu      sync.Mutex
-	cond    *sync.Cond
-	parties int
-	waiting int
-	round   int64
-}
-
-// NewBarrier creates a barrier for parties threads (>= 1).
-func NewBarrier(parties int) (*Barrier, error) {
-	if parties < 1 {
-		return nil, fmt.Errorf("pthread: barrier needs at least 1 party, got %d", parties)
-	}
-	b := &Barrier{parties: parties}
-	b.cond = sync.NewCond(&b.mu)
-	return b, nil
-}
-
-// Wait blocks until all parties have called Wait this round.
-func (b *Barrier) Wait() (serial bool) {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	round := b.round
-	b.waiting++
-	if b.waiting == b.parties {
-		// Last arrival releases the round.
-		b.waiting = 0
-		b.round++
-		b.cond.Broadcast()
-		return true
-	}
-	for round == b.round {
-		b.cond.Wait()
-	}
-	return false
-}
-
-// Rounds reports how many rounds have completed.
-func (b *Barrier) Rounds() int64 {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	return b.round
-}
-
 // Cond is a condition variable paired with a Mutex, matching
 // pthread_cond_t usage: lock, check predicate in a loop, wait.
 type Cond struct {
