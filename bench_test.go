@@ -24,6 +24,7 @@ import (
 
 	"cs31/internal/asm"
 	"cs31/internal/cache"
+	"cs31/internal/circuit"
 	"cs31/internal/cpu"
 	"cs31/internal/life"
 	"cs31/internal/memhier"
@@ -443,6 +444,149 @@ func BenchmarkMatrixTraceAlloc(b *testing.B) {
 	}
 	_ = sink
 	b.ReportMetric(float64(sink), "trace-len")
+}
+
+// circuitSettleSweep is the shared stimulus for BenchmarkCircuitSettle: 64
+// settles over a width-16 ALU cycling through all eight ops with operand B
+// incrementing — the incremental-stimulus shape an exhaustive verify sweep
+// produces, where consecutive settles differ in a few low input bits. It
+// returns a checksum of every result bus, so the compiled and reference
+// subbenches double as a differential test.
+func circuitSettleSweep(b *testing.B, c *circuit.Circuit, alu *circuit.ALU, ref bool) uint64 {
+	var sig uint64
+	if err := c.SetBus(alu.A, 0x5a33); err != nil {
+		b.Fatal(err)
+	}
+	for j := 0; j < 64; j++ {
+		if err := c.SetBus(alu.B, uint64(j)); err != nil {
+			b.Fatal(err)
+		}
+		if err := c.SetBus(alu.Op, uint64(j/8)); err != nil {
+			b.Fatal(err)
+		}
+		var err error
+		if ref {
+			err = c.RefSettle()
+		} else {
+			err = c.Settle()
+		}
+		if err != nil {
+			b.Fatal(err)
+		}
+		sig = sig*31 + c.GetBus(alu.Result)
+	}
+	return sig
+}
+
+// BenchmarkCircuitSettle times one 64-settle stimulus sweep over a width-16
+// gate-level ALU on the compiled plan engine (levelized, event-driven)
+// against the retained reference sweep. The result-sig metric is a
+// deterministic checksum identical across both subbenches, so the baseline
+// gate doubles as a compiled-vs-reference differential; the compiled engine
+// must stay allocation-free in steady state.
+func BenchmarkCircuitSettle(b *testing.B) {
+	for _, ref := range []bool{false, true} {
+		ref := ref
+		name := "compiled"
+		if ref {
+			name = "ref"
+		}
+		b.Run(name, func(b *testing.B) {
+			c := circuit.New()
+			alu := circuit.NewALU(c, 16)
+			var sig uint64
+			sig = circuitSettleSweep(b, c, alu, ref) // warm: compile, grow buffers
+			if !ref {
+				b.ReportAllocs()
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				sig = circuitSettleSweep(b, c, alu, ref)
+			}
+			b.ReportMetric(float64(sig%1e9), "result-sig")
+		})
+	}
+}
+
+// BenchmarkGateALU times the gate-level datapath executing a fixed
+// 8-instruction register-form program — the cpu.Machine GateALU execute
+// path. The register checksum is deterministic and doubles as a shape check
+// on datapath semantics; the hot path must not allocate (the circuit plan
+// is compiled once in NewDatapath).
+func BenchmarkGateALU(b *testing.B) {
+	prog := []cpu.Instr{
+		{Op: cpu.OpLoadI, Rd: 0, Imm: 0x1f3},
+		{Op: cpu.OpLoadI, Rd: 1, Imm: 0x2a},
+		{Op: cpu.OpAdd, Rd: 2, Rs: 0, Rt: 1},
+		{Op: cpu.OpXor, Rd: 3, Rs: 2, Rt: 0},
+		{Op: cpu.OpSub, Rd: 4, Rs: 3, Rt: 1},
+		{Op: cpu.OpShl, Rd: 5, Rs: 4},
+		{Op: cpu.OpOr, Rd: 6, Rs: 5, Rt: 2},
+		{Op: cpu.OpAnd, Rd: 7, Rs: 6, Rt: 3},
+	}
+	d, err := cpu.NewDatapath(3, 16)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := d.RunRType(prog); err != nil { // warm
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := d.RunRType(prog); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	var sum uint64
+	for r := 0; r < 8; r++ {
+		v, err := d.ReadReg(r)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sum = sum*31 + v
+	}
+	b.ReportMetric(float64(sum%1e9), "reg-sig")
+}
+
+// BenchmarkALUVerifyBatch times the logisim -verify workload: one op is the
+// full exhaustive check of a width-8 gate-level ALU — all 8 ops x 65536
+// operand pairs — through the 64-lane bit-parallel batch engine against the
+// functional reference. Both metrics are deterministic: vectors counts the
+// cases checked, mismatches must be zero.
+func BenchmarkALUVerifyBatch(b *testing.B) {
+	c := circuit.New()
+	alu := circuit.NewALU(c, 8)
+	batch := c.NewBatch()
+	as := make([]uint64, circuit.BatchLanes)
+	bs := make([]uint64, circuit.BatchLanes)
+	res := make([]uint64, circuit.BatchLanes)
+	vectors, mismatches := 0, 0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		vectors, mismatches = 0, 0
+		for op := circuit.ALUOp(0); op < 8; op++ {
+			for base := 0; base < 65536; base += circuit.BatchLanes {
+				for l := 0; l < circuit.BatchLanes; l++ {
+					as[l] = uint64(base+l) >> 8
+					bs[l] = uint64(base+l) & 0xff
+				}
+				if err := alu.RunBatch(batch, op, as, bs, res, nil); err != nil {
+					b.Fatal(err)
+				}
+				for l := 0; l < circuit.BatchLanes; l++ {
+					want, _ := circuit.RefALU(op, as[l], bs[l], 8)
+					if res[l] != want {
+						mismatches++
+					}
+					vectors++
+				}
+			}
+		}
+	}
+	b.ReportMetric(float64(vectors), "vectors")
+	b.ReportMetric(float64(mismatches), "mismatches")
 }
 
 // BenchmarkPipelineDepth evaluates the pipelining model (Claim C6),

@@ -141,6 +141,82 @@ func (alu *ALU) Run(c *Circuit, op ALUOp, a, b uint64) (uint64, Flags, error) {
 	}, nil
 }
 
+// RunBatch drives up to 64 operand pairs through the gate-level ALU in one
+// 64-lane settle: lane l computes op(as[l], bs[l]). Results land in
+// res[:len(as)] and, when flags is non-nil, flags[:len(as)]; the caller
+// provides both so the exhaustive-verify hot loop performs no allocations.
+// The batch must belong to the ALU's circuit.
+func (alu *ALU) RunBatch(b *Batch, op ALUOp, as, bs []uint64, res []uint64, flags []Flags) error {
+	k := len(as)
+	if k == 0 || k > BatchLanes {
+		return fmt.Errorf("circuit: batch of %d operand pairs out of range 1..%d", k, BatchLanes)
+	}
+	if len(bs) != k {
+		return fmt.Errorf("circuit: operand slices differ: %d vs %d", k, len(bs))
+	}
+	if len(res) < k {
+		return fmt.Errorf("circuit: result slice of %d too short for %d lanes", len(res), k)
+	}
+	if flags != nil && len(flags) < k {
+		return fmt.Errorf("circuit: flags slice of %d too short for %d lanes", len(flags), k)
+	}
+	if op < 0 || op > 7 {
+		return fmt.Errorf("circuit: invalid ALU op %d", int(op))
+	}
+	// Same op select on every lane.
+	for i, id := range alu.Op {
+		var m uint64
+		if uint64(op)&(1<<uint(i)) != 0 {
+			m = ^uint64(0)
+		}
+		if err := b.Set(id, m); err != nil {
+			return err
+		}
+	}
+	// Transpose lane-major operands into the engine's bit-major masks.
+	for i := 0; i < alu.width; i++ {
+		var ma, mb uint64
+		for l := 0; l < k; l++ {
+			ma |= as[l] >> uint(i) & 1 << uint(l)
+			mb |= bs[l] >> uint(i) & 1 << uint(l)
+		}
+		if err := b.Set(alu.A[i], ma); err != nil {
+			return err
+		}
+		if err := b.Set(alu.B[i], mb); err != nil {
+			return err
+		}
+	}
+	if err := b.Settle(); err != nil {
+		return err
+	}
+	for l := 0; l < k; l++ {
+		res[l] = 0
+	}
+	for i, id := range alu.Result {
+		m := b.Get(id)
+		for l := 0; l < k; l++ {
+			res[l] |= m >> uint(l) & 1 << uint(i)
+		}
+	}
+	if flags != nil {
+		zf, sf := b.Get(alu.ZeroFlag), b.Get(alu.SignFlag)
+		cf, of := b.Get(alu.CarryFlag), b.Get(alu.OverflowFlag)
+		eq := b.Get(alu.EqualFlag)
+		for l := 0; l < k; l++ {
+			bit := uint(l)
+			flags[l] = Flags{
+				Zero:     zf>>bit&1 != 0,
+				Sign:     sf>>bit&1 != 0,
+				Carry:    cf>>bit&1 != 0,
+				Overflow: of>>bit&1 != 0,
+				Equal:    eq>>bit&1 != 0,
+			}
+		}
+	}
+	return nil
+}
+
 // RefALU computes the same operation and flags functionally; it is the
 // specification the gate-level ALU is tested against, and it serves the
 // rest of the repository (the CPU and asm machine) as a fast ALU.

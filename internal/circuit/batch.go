@@ -1,0 +1,176 @@
+package circuit
+
+import (
+	"errors"
+	"fmt"
+)
+
+// BatchLanes is the number of independent stimulus lanes a Batch evaluates
+// per settle: net values are uint64 bitmasks, bit l belonging to lane l, so
+// every gate visit computes 64 input vectors at once (SWAR bit-level data
+// parallelism). Exhaustive sweeps — the logisim -verify workload — pay one
+// gate evaluation per 64 vectors instead of one per vector.
+const BatchLanes = 64
+
+// ErrBatchStale is returned by Batch.Settle after the underlying circuit's
+// netlist was mutated; create a new batch with NewBatch.
+var ErrBatchStale = errors.New("circuit: batch is stale (netlist was modified); create a new Batch")
+
+// Batch is a 64-lane bit-parallel evaluation context over a compiled
+// circuit. It owns its own value array, so batches and the scalar engine
+// never interfere; latch lanes start from the circuit's current scalar
+// state (see Reset).
+type Batch struct {
+	c    *Circuit
+	p    *plan
+	vals []uint64
+}
+
+// NewBatch compiles the circuit (if needed) and returns a lane engine with
+// every lane loaded from the circuit's current scalar values.
+func (c *Circuit) NewBatch() *Batch {
+	c.Compile()
+	b := &Batch{c: c, p: c.plan, vals: make([]uint64, len(c.vals))}
+	b.Reset()
+	return b
+}
+
+// Reset reloads all 64 lanes of every net from the circuit's current
+// scalar values: a true net becomes an all-ones mask. Gate-driven nets are
+// recomputed by the next Settle; for latch nets this seeds each lane's
+// stored state.
+func (b *Batch) Reset() {
+	for id, v := range b.c.vals {
+		if v {
+			b.vals[id] = ^uint64(0)
+		} else {
+			b.vals[id] = 0
+		}
+	}
+}
+
+// Set drives all 64 lanes of an input net from a mask (bit l = lane l).
+// Setting a gate-driven or constant net is an error, as with Circuit.Set.
+func (b *Batch) Set(id NetID, lanes uint64) error {
+	if b.c.driven[id] {
+		return fmt.Errorf("circuit: net %d is gate-driven; cannot set externally", id)
+	}
+	if b.c.consts[id] {
+		return fmt.Errorf("circuit: net %d is a constant; cannot set externally", id)
+	}
+	b.vals[id] = lanes
+	return nil
+}
+
+// Get reads all 64 lanes of a net as a mask.
+func (b *Batch) Get(id NetID) uint64 { return b.vals[id] }
+
+// GetLane reads one lane of a net.
+func (b *Batch) GetLane(id NetID, lane int) bool {
+	return b.vals[id]>>(uint(lane)&63)&1 != 0
+}
+
+// SetBusLane drives a bus (bit 0 first) in a single lane from the low bits
+// of v, leaving the other lanes untouched.
+func (b *Batch) SetBusLane(bus []NetID, lane int, v uint64) error {
+	l := uint(lane) & 63
+	for i, id := range bus {
+		if b.c.driven[id] {
+			return fmt.Errorf("circuit: net %d is gate-driven; cannot set externally", id)
+		}
+		if b.c.consts[id] {
+			return fmt.Errorf("circuit: net %d is a constant; cannot set externally", id)
+		}
+		b.vals[id] = b.vals[id]&^(1<<l) | (v >> uint(i) & 1 << l)
+	}
+	return nil
+}
+
+// BusLane reads a bus (bit 0 first) in a single lane as an integer.
+func (b *Batch) BusLane(bus []NetID, lane int) uint64 {
+	l := uint(lane) & 63
+	var v uint64
+	for i, id := range bus {
+		v |= b.vals[id] >> l & 1 << uint(i)
+	}
+	return v
+}
+
+// Settle propagates all 64 lanes to a fixed point on the compiled plan:
+// the levelized acyclic region is evaluated once per gate, and feedback
+// islands are swept in insertion order until no lane changes, preserving
+// per-lane last-written-wins latch resolution. Every lane's settled values
+// are bit-for-bit what the scalar engine would produce for that lane's
+// stimulus.
+func (b *Batch) Settle() error {
+	p := b.p
+	if p != b.c.plan {
+		return ErrBatchStale
+	}
+	vals, extra := b.vals, p.extra
+	for pos := 0; pos < p.islandLo; pos++ {
+		g := &p.gates[pos]
+		vals[g.out] = g.evalMask(vals, extra)
+	}
+	if p.islandHi > p.islandLo {
+		limit := len(vals) + 2
+		if limit > maxSettleIterations {
+			limit = maxSettleIterations
+		}
+		for sweep := 0; ; sweep++ {
+			changed := false
+			for pos := p.islandLo; pos < p.islandHi; pos++ {
+				g := &p.gates[pos]
+				v := g.evalMask(vals, extra)
+				if vals[g.out] != v {
+					vals[g.out] = v
+					changed = true
+				}
+			}
+			if !changed {
+				break
+			}
+			if sweep >= limit {
+				return ErrUnstable
+			}
+		}
+	}
+	for pos := p.islandHi; pos < len(p.gates); pos++ {
+		g := &p.gates[pos]
+		vals[g.out] = g.evalMask(vals, extra)
+	}
+	return nil
+}
+
+// EvalBatch is the lane-parallel analogue of Eval: each named input is
+// driven with a 64-lane mask (bit l = lane l), all lanes settle together,
+// and each named output comes back as a mask. The batch context is cached
+// on the circuit and rebuilt automatically after mutations.
+func (c *Circuit) EvalBatch(inputs map[string]uint64, outputs ...string) (map[string]uint64, error) {
+	if c.evalBatch == nil || c.evalBatch.p != c.plan || c.plan == nil {
+		c.Compile()
+		c.evalBatch = c.NewBatch()
+	}
+	b := c.evalBatch
+	for name, m := range inputs {
+		id, ok := c.names[name]
+		if !ok {
+			return nil, fmt.Errorf("circuit: no net named %q", name)
+		}
+		if err := b.Set(id, m); err != nil {
+			return nil, err
+		}
+	}
+	if err := b.Settle(); err != nil {
+		return nil, err
+	}
+	res := make(map[string]uint64, len(outputs))
+	for _, name := range outputs {
+		id, ok := c.names[name]
+		if !ok {
+			return nil, fmt.Errorf("circuit: no net named %q", name)
+		}
+		res[name] = b.vals[id]
+	}
+	return res, nil
+}

@@ -1,0 +1,280 @@
+package circuit
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestBatchLanesIndependent drives 64 distinct stimuli through one batch
+// settle and checks every lane against the scalar engine run one vector at
+// a time.
+func TestBatchLanesIndependent(t *testing.T) {
+	build := func(c *Circuit) *ALU { return NewALU(c, 6) }
+	cb, cs := New(), New()
+	alub := build(cb)
+	alus := build(cs)
+	b := cb.NewBatch()
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 4; trial++ {
+		op := ALUOp(trial * 3 % 8)
+		as := make([]uint64, BatchLanes)
+		bs := make([]uint64, BatchLanes)
+		for l := range as {
+			as[l] = uint64(rng.Intn(64))
+			bs[l] = uint64(rng.Intn(64))
+			if err := b.SetBusLane(alub.A, l, as[l]); err != nil {
+				t.Fatal(err)
+			}
+			if err := b.SetBusLane(alub.B, l, bs[l]); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for i, id := range alub.Op {
+			var m uint64
+			if uint64(op)&(1<<uint(i)) != 0 {
+				m = ^uint64(0)
+			}
+			if err := b.Set(id, m); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := b.Settle(); err != nil {
+			t.Fatal(err)
+		}
+		for l := 0; l < BatchLanes; l++ {
+			want, wf, err := alus.Run(cs, op, as[l], bs[l])
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := b.BusLane(alub.Result, l); got != want {
+				t.Fatalf("lane %d: %v(%d,%d) = %#x, want %#x", l, op, as[l], bs[l], got, want)
+			}
+			if got := b.GetLane(alub.ZeroFlag, l); got != wf.Zero {
+				t.Fatalf("lane %d: zero flag %v, want %v", l, got, wf.Zero)
+			}
+		}
+	}
+}
+
+// TestBatchALUExhaustiveWidth8 verifies the width-8 gate-level ALU
+// exhaustively — all 8 ops x 256 x 256 operand pairs — through the 64-lane
+// batch engine against the functional reference. This is the acceptance
+// workload for cmd/logisim -verify.
+func TestBatchALUExhaustiveWidth8(t *testing.T) {
+	c := New()
+	alu := NewALU(c, 8)
+	b := c.NewBatch()
+	as := make([]uint64, BatchLanes)
+	bs := make([]uint64, BatchLanes)
+	res := make([]uint64, BatchLanes)
+	flags := make([]Flags, BatchLanes)
+	for op := ALUOp(0); op < 8; op++ {
+		for base := 0; base < 65536; base += BatchLanes {
+			for l := 0; l < BatchLanes; l++ {
+				as[l] = uint64(base+l) >> 8
+				bs[l] = uint64(base+l) & 0xff
+			}
+			if err := alu.RunBatch(b, op, as, bs, res, flags); err != nil {
+				t.Fatal(err)
+			}
+			for l := 0; l < BatchLanes; l++ {
+				want, wf := RefALU(op, as[l], bs[l], 8)
+				if res[l] != want || flags[l] != wf {
+					t.Fatalf("%v(%d,%d) = %#x %+v, want %#x %+v",
+						op, as[l], bs[l], res[l], flags[l], want, wf)
+				}
+			}
+		}
+	}
+}
+
+// TestBatchRunBatchPartial covers k < 64 lanes and argument validation.
+func TestBatchRunBatchPartial(t *testing.T) {
+	c := New()
+	alu := NewALU(c, 4)
+	b := c.NewBatch()
+	as := []uint64{1, 2, 3}
+	bs := []uint64{4, 5, 6}
+	res := make([]uint64, 3)
+	if err := alu.RunBatch(b, OpAdd, as, bs, res, nil); err != nil {
+		t.Fatal(err)
+	}
+	for l := range as {
+		want, _ := RefALU(OpAdd, as[l], bs[l], 4)
+		if res[l] != want {
+			t.Fatalf("lane %d: got %#x, want %#x", l, res[l], want)
+		}
+	}
+	if err := alu.RunBatch(b, OpAdd, as, bs[:2], res, nil); err == nil {
+		t.Fatal("mismatched operand lengths accepted")
+	}
+	if err := alu.RunBatch(b, OpAdd, as, bs, res[:2], nil); err == nil {
+		t.Fatal("short result slice accepted")
+	}
+	if err := alu.RunBatch(b, 9, as, bs, res, nil); err == nil {
+		t.Fatal("invalid op accepted")
+	}
+	if err := alu.RunBatch(b, OpAdd, nil, nil, res, nil); err == nil {
+		t.Fatal("empty batch accepted")
+	}
+}
+
+// TestBatchLatchState checks per-lane latch behaviour: each lane of a D
+// latch holds its own stored bit across enable-low settles.
+func TestBatchLatchState(t *testing.T) {
+	c := New()
+	d := c.Input("d")
+	en := c.Input("en")
+	q, _ := DLatch(c, d, en)
+	b := c.NewBatch()
+	// Lanes alternate data: even lanes latch 0, odd lanes latch 1.
+	odd := uint64(0xaaaaaaaaaaaaaaaa)
+	if err := b.Set(d, odd); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Set(en, ^uint64(0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Settle(); err != nil {
+		t.Fatal(err)
+	}
+	if got := b.Get(q); got != odd {
+		t.Fatalf("transparent q = %#x, want %#x", got, odd)
+	}
+	// Close the latch, invert d: q must hold.
+	if err := b.Set(en, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Set(d, ^odd); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Settle(); err != nil {
+		t.Fatal(err)
+	}
+	if got := b.Get(q); got != odd {
+		t.Fatalf("held q = %#x, want %#x", got, odd)
+	}
+	// Open only the low 32 lanes: they follow the inverted data, the high
+	// lanes keep holding.
+	if err := b.Set(en, 0xffffffff); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Settle(); err != nil {
+		t.Fatal(err)
+	}
+	want := ^odd&0xffffffff | odd&^uint64(0xffffffff)
+	if got := b.Get(q); got != want {
+		t.Fatalf("split-enable q = %#x, want %#x", got, want)
+	}
+}
+
+// TestBatchResetSeedsFromScalar: NewBatch/Reset broadcast the circuit's
+// scalar latch state into every lane.
+func TestBatchResetSeedsFromScalar(t *testing.T) {
+	c := New()
+	d := c.Input("d")
+	en := c.Input("en")
+	q, _ := DLatch(c, d, en)
+	// Latch a 1 in the scalar engine.
+	for _, step := range [][2]bool{{true, true}, {true, false}, {false, false}} {
+		if err := c.Set(d, step[0]); err != nil {
+			t.Fatal(err)
+		}
+		if err := c.Set(en, step[1]); err != nil {
+			t.Fatal(err)
+		}
+		if err := c.Settle(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !c.Get(q) {
+		t.Fatal("scalar latch did not store 1")
+	}
+	b := c.NewBatch()
+	if err := b.Settle(); err != nil {
+		t.Fatal(err)
+	}
+	if got := b.Get(q); got != ^uint64(0) {
+		t.Fatalf("seeded q = %#x, want all-ones", got)
+	}
+}
+
+// TestBatchStaleAfterMutation: mutating the netlist invalidates existing
+// batches.
+func TestBatchStaleAfterMutation(t *testing.T) {
+	c := New()
+	a := c.Input("a")
+	_ = c.Gate(NOT, a)
+	b := c.NewBatch()
+	if err := b.Settle(); err != nil {
+		t.Fatal(err)
+	}
+	_ = c.Gate(BUF, a) // mutation
+	if err := b.Settle(); err != ErrBatchStale {
+		t.Fatalf("Settle on stale batch = %v, want ErrBatchStale", err)
+	}
+	// A fresh batch works again.
+	if err := c.NewBatch().Settle(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestBatchSetGuards: lane sets obey the same driven/constant rules as the
+// scalar engine.
+func TestBatchSetGuards(t *testing.T) {
+	c := New()
+	a := c.Input("a")
+	g := c.Gate(NOT, a)
+	k := c.Constant(true)
+	b := c.NewBatch()
+	if err := b.Set(g, 1); err == nil {
+		t.Fatal("Set on gate-driven net accepted")
+	}
+	if err := b.Set(k, 0); err == nil {
+		t.Fatal("Set on constant net accepted")
+	}
+	if err := b.SetBusLane([]NetID{g}, 0, 1); err == nil {
+		t.Fatal("SetBusLane on gate-driven net accepted")
+	}
+}
+
+// TestEvalBatchNamed exercises the named-pin convenience wrapper, including
+// transparent rebuild after a mutation.
+func TestEvalBatchNamed(t *testing.T) {
+	c := New()
+	a := c.Input("a")
+	bIn := c.Input("b")
+	c.Name("and", c.Gate(AND, a, bIn))
+	out, err := c.EvalBatch(map[string]uint64{"a": 0xff00, "b": 0xf0f0}, "and")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out["and"] != 0xf000 {
+		t.Fatalf("and = %#x, want 0xf000", out["and"])
+	}
+	c.Name("or", c.Gate(OR, a, bIn)) // mutation: wrapper must rebuild
+	out, err = c.EvalBatch(map[string]uint64{"a": 0xff00, "b": 0xf0f0}, "and", "or")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out["and"] != 0xf000 || out["or"] != 0xfff0 {
+		t.Fatalf("and=%#x or=%#x, want 0xf000 0xfff0", out["and"], out["or"])
+	}
+	if _, err := c.EvalBatch(map[string]uint64{"nope": 1}); err == nil {
+		t.Fatal("unknown input name accepted")
+	}
+	if _, err := c.EvalBatch(nil, "nope"); err == nil {
+		t.Fatal("unknown output name accepted")
+	}
+}
+
+// TestBatchOscillationDetected: an unstable loop is reported from the lane
+// engine too.
+func TestBatchOscillationDetected(t *testing.T) {
+	c := New()
+	loop := c.NewNet()
+	c.GateInto(loop, NOT, loop)
+	if err := c.NewBatch().Settle(); err != ErrUnstable {
+		t.Fatalf("Settle = %v, want ErrUnstable", err)
+	}
+}

@@ -102,6 +102,16 @@ type Circuit struct {
 	names  map[string]NetID
 	inputs map[NetID]bool // nets driven externally, not by a gate
 	driven map[NetID]bool // nets driven by a gate output
+	consts map[NetID]bool // nets held at a fixed value by Constant
+
+	// Compiled execution plan (see compile.go). The plan is built lazily on
+	// the first Settle and invalidated by any netlist mutation; between
+	// settles, Set records which input nets changed so Settle re-evaluates
+	// only the affected cone.
+	plan      *plan
+	dirty     []NetID
+	allDirty  bool
+	evalBatch *Batch // cached lane engine backing EvalBatch
 }
 
 // New returns an empty circuit.
@@ -110,11 +120,21 @@ func New() *Circuit {
 		names:  make(map[string]NetID),
 		inputs: make(map[NetID]bool),
 		driven: make(map[NetID]bool),
+		consts: make(map[NetID]bool),
 	}
+}
+
+// invalidate discards the compiled plan after a netlist mutation.
+func (c *Circuit) invalidate() {
+	c.plan = nil
+	c.dirty = c.dirty[:0]
+	c.allDirty = false
+	c.evalBatch = nil
 }
 
 // NewNet allocates an anonymous net, initially false.
 func (c *Circuit) NewNet() NetID {
+	c.invalidate()
 	id := NetID(len(c.vals))
 	c.vals = append(c.vals, false)
 	return id
@@ -172,25 +192,44 @@ func (c *Circuit) GateInto(out NetID, kind GateKind, in ...NetID) {
 	if c.driven[out] {
 		panic(fmt.Sprintf("circuit: net %d already has a driver", out))
 	}
+	if kind == NOT || kind == BUF {
+		if len(in) != 1 {
+			panic(fmt.Sprintf("circuit: %v takes exactly 1 input, got %d", kind, len(in)))
+		}
+	} else if len(in) < 2 {
+		panic(fmt.Sprintf("circuit: %v needs at least 2 inputs, got %d", kind, len(in)))
+	}
+	c.invalidate()
 	c.gates = append(c.gates, gate{kind: kind, in: in, out: out})
 	c.driven[out] = true
 }
 
-// Constant returns a net held at the given value. It is implemented as an
-// input pin set once, so Settle never overwrites it.
+// Constant returns a net held at the given value. It is an input pin set
+// once and locked: Settle never overwrites it, and Set rejects it.
 func (c *Circuit) Constant(v bool) NetID {
 	id := c.NewNet()
 	c.inputs[id] = true
+	c.consts[id] = true
 	c.vals[id] = v
 	return id
 }
 
-// Set drives an input net to a value. Setting a gate-driven net is an error.
+// Set drives an input net to a value. Setting a gate-driven or constant net
+// is an error.
 func (c *Circuit) Set(id NetID, v bool) error {
 	if c.driven[id] {
 		return fmt.Errorf("circuit: net %d is gate-driven; cannot set externally", id)
 	}
+	if c.consts[id] {
+		return fmt.Errorf("circuit: net %d is a constant; cannot set externally", id)
+	}
+	if c.vals[id] == v {
+		return nil
+	}
 	c.vals[id] = v
+	if c.plan != nil && !c.allDirty {
+		c.dirty = append(c.dirty, id)
+	}
 	return nil
 }
 
@@ -248,10 +287,40 @@ func (c *Circuit) NumNets() int { return len(c.vals) }
 const maxSettleIterations = 10000
 
 // Settle propagates values through the netlist until no net changes,
-// returning ErrUnstable if the circuit oscillates. Gates are evaluated in
-// insertion order, which gives latches deterministic (last-written-wins)
-// resolution exactly like Logisim's propagation.
+// returning ErrUnstable if the circuit oscillates. It runs on the compiled
+// execution plan (built lazily, invalidated by netlist mutation): the
+// acyclic region is evaluated once in levelized order, feedback loops
+// (latches) are confined to bounded fixed-point islands swept in insertion
+// order, and only gates whose inputs changed since the last Settle are
+// re-evaluated. The settled values are bit-for-bit those of RefSettle, the
+// retained teaching-fidelity sweep.
 func (c *Circuit) Settle() error {
+	p := c.plan
+	switch {
+	case p == nil:
+		p = c.compile()
+	case c.allDirty:
+		p.markAll()
+		c.allDirty = false
+		c.dirty = c.dirty[:0]
+	default:
+		for _, id := range c.dirty {
+			p.markNet(id)
+		}
+		c.dirty = c.dirty[:0]
+	}
+	return p.settle(c.vals)
+}
+
+// RefSettle is the original fixed-point sweep: every gate is re-evaluated,
+// in insertion order, on every pass until a pass changes nothing. It is the
+// reference the compiled Settle is differentially tested against, kept for
+// teaching fidelity — this loop is exactly Logisim's propagation as the
+// course presents it.
+func (c *Circuit) RefSettle() error {
+	// The sweep bypasses the plan's change tracking, so force the next
+	// compiled Settle to re-evaluate everything.
+	c.allDirty = c.plan != nil
 	limit := len(c.vals) + 2
 	if limit > maxSettleIterations {
 		limit = maxSettleIterations
@@ -275,23 +344,32 @@ func (c *Circuit) Settle() error {
 // Eval sets the named inputs, settles, and reads the named outputs — the
 // one-shot "poke and probe" workflow of the circuits homework.
 func (c *Circuit) Eval(inputs map[string]bool, outputs ...string) (map[string]bool, error) {
+	res := make(map[string]bool, len(outputs))
+	if err := c.EvalInto(res, inputs, outputs...); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// EvalInto is Eval writing its results into dst instead of allocating a map
+// per call; with a reused dst it performs no allocations in steady state.
+func (c *Circuit) EvalInto(dst map[string]bool, inputs map[string]bool, outputs ...string) error {
 	for name, v := range inputs {
 		if err := c.SetByName(name, v); err != nil {
-			return nil, err
+			return err
 		}
 	}
 	if err := c.Settle(); err != nil {
-		return nil, err
+		return err
 	}
-	res := make(map[string]bool, len(outputs))
 	for _, name := range outputs {
 		v, err := c.GetByName(name)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		res[name] = v
+		dst[name] = v
 	}
-	return res, nil
+	return nil
 }
 
 // TruthTable enumerates all assignments of the given input nets (first input
@@ -319,8 +397,9 @@ func (c *Circuit) BuildTruthTable(inputs, outputs []string) (*TruthTable, error)
 	}
 	tt := &TruthTable{Inputs: inputs, Outputs: outputs}
 	n := len(inputs)
+	assign := make(map[string]bool, n)
+	outMap := make(map[string]bool, len(outputs))
 	for row := 0; row < 1<<uint(n); row++ {
-		assign := make(map[string]bool, n)
 		inVals := make([]bool, n)
 		for i, name := range inputs {
 			// Leftmost input is the high-order bit of the row index.
@@ -328,8 +407,7 @@ func (c *Circuit) BuildTruthTable(inputs, outputs []string) (*TruthTable, error)
 			assign[name] = bit
 			inVals[i] = bit
 		}
-		outMap, err := c.Eval(assign, outputs...)
-		if err != nil {
+		if err := c.EvalInto(outMap, assign, outputs...); err != nil {
 			return nil, err
 		}
 		outVals := make([]bool, len(outputs))

@@ -1,0 +1,528 @@
+package circuit
+
+import "math/bits"
+
+// The execution-plan compiler. A finished netlist is turned into a plan
+// once, then every Settle runs on the plan instead of sweeping the whole
+// gate list to a fixed point:
+//
+//   - Nets are classified (externally driven vs. gate-driven) and a per-net
+//     fanout list maps each net to the gates that consume it.
+//   - The acyclic region is levelized with Kahn's algorithm over the gate
+//     graph, so one visit per gate in level order is guaranteed to settle
+//     it — no verification pass, no re-evaluation.
+//   - Feedback loops (the latches) are confined to a bounded fixed-point
+//     island evaluated in insertion order, preserving the reference
+//     sweep's last-written-wins latch resolution bit for bit. The island
+//     sits between the prefix (gates it depends on) and the suffix (gates
+//     that depend on it), each levelized independently.
+//   - Settling is event-driven: Set records which input nets changed, and
+//     only gates in the affected cone are re-evaluated. The pending set is
+//     a position-indexed bitset scanned word by word, so a settle's cost is
+//     proportional to the active cone, not the netlist.
+//
+// The plan is invalidated by any netlist mutation (NewNet, Gate, GateInto)
+// and rebuilt lazily on the next Settle.
+
+// Normalized gate bases: the eight GateKinds collapse to four base
+// operations plus an output inversion, which keeps the hot evaluation
+// switch small for both the scalar and the 64-lane engines.
+const (
+	baseAnd uint8 = iota
+	baseOr
+	baseXor
+	baseBuf
+)
+
+// cgate is one compiled gate: its first two input nets inline (the common
+// case — b duplicates a for single-input gates), any further inputs in the
+// plan's extra pool, and the normalized operation.
+type cgate struct {
+	a, b int32
+	out  int32
+	xOff int32 // extras start: plan.extra[xOff : xOff+xN]
+	xN   int32
+	base uint8
+	inv  bool
+}
+
+// plan is the compiled execution schedule for one netlist snapshot.
+type plan struct {
+	gates   []cgate  // evaluation order: levelized prefix, island, levelized suffix
+	extra   []int32  // input nets beyond the first two, pooled
+	fanIdx  []int32  // net -> offset into fanout (len = nets+1)
+	fanout  []int32  // consumer gate positions, grouped by net
+	pending []uint64 // bitset over gate positions awaiting evaluation
+
+	islandLo, islandHi int // position range of the feedback island
+	levels             int // levels in the acyclic region (diagnostics)
+}
+
+// eval computes the gate's output from scalar net values.
+func (g *cgate) eval(vals []bool, extra []int32) bool {
+	var v bool
+	switch g.base {
+	case baseAnd:
+		v = vals[g.a] && vals[g.b]
+		for _, x := range extra[g.xOff : g.xOff+g.xN] {
+			if !v {
+				break
+			}
+			v = vals[x]
+		}
+	case baseOr:
+		v = vals[g.a] || vals[g.b]
+		for _, x := range extra[g.xOff : g.xOff+g.xN] {
+			if v {
+				break
+			}
+			v = vals[x]
+		}
+	case baseXor:
+		v = vals[g.a] != vals[g.b]
+		for _, x := range extra[g.xOff : g.xOff+g.xN] {
+			v = v != vals[x]
+		}
+	default: // baseBuf
+		v = vals[g.a]
+	}
+	if g.inv {
+		return !v
+	}
+	return v
+}
+
+// evalMask computes the gate's output on 64 lanes at once: bit l of every
+// mask is stimulus lane l, so one visit evaluates 64 input vectors.
+func (g *cgate) evalMask(vals []uint64, extra []int32) uint64 {
+	var v uint64
+	switch g.base {
+	case baseAnd:
+		v = vals[g.a] & vals[g.b]
+		for _, x := range extra[g.xOff : g.xOff+g.xN] {
+			v &= vals[x]
+		}
+	case baseOr:
+		v = vals[g.a] | vals[g.b]
+		for _, x := range extra[g.xOff : g.xOff+g.xN] {
+			v |= vals[x]
+		}
+	case baseXor:
+		v = vals[g.a] ^ vals[g.b]
+		for _, x := range extra[g.xOff : g.xOff+g.xN] {
+			v ^= vals[x]
+		}
+	default: // baseBuf
+		v = vals[g.a]
+	}
+	if g.inv {
+		return ^v
+	}
+	return v
+}
+
+// normalize collapses a GateKind onto a base operation plus inversion.
+// Single-input gates become buffers (1-input AND/OR/XOR all pass through).
+func normalize(kind GateKind, n int) (base uint8, inv bool) {
+	if n == 1 {
+		switch kind {
+		case NOT, NAND, NOR, XNOR:
+			return baseBuf, true
+		default:
+			return baseBuf, false
+		}
+	}
+	switch kind {
+	case AND:
+		return baseAnd, false
+	case NAND:
+		return baseAnd, true
+	case OR:
+		return baseOr, false
+	case NOR:
+		return baseOr, true
+	case XOR:
+		return baseXor, false
+	case XNOR:
+		return baseXor, true
+	case NOT:
+		return baseBuf, true
+	case BUF:
+		return baseBuf, false
+	default:
+		panic("circuit: unknown gate kind")
+	}
+}
+
+// Compile builds the execution plan now instead of on the next Settle; the
+// cpu datapath and machine use it to front-load the one-time cost.
+func (c *Circuit) Compile() {
+	if c.plan == nil {
+		c.compile()
+	}
+}
+
+// PlanStats reports the compiled plan's shape: the number of levels in the
+// acyclic region and the number of gates confined to the feedback island.
+// compiled is false when no plan is current (before the first Settle or
+// after a mutation).
+func (c *Circuit) PlanStats() (levels, islandGates int, compiled bool) {
+	if c.plan == nil {
+		return 0, 0, false
+	}
+	return c.plan.levels, c.plan.islandHi - c.plan.islandLo, true
+}
+
+// compile levelizes the netlist and installs a fresh plan with every gate
+// pending, so the first settle evaluates the whole circuit once.
+func (c *Circuit) compile() *plan {
+	n := len(c.gates)
+	nets := len(c.vals)
+
+	// Per-net driver, and the gate graph (producer -> consumer edges,
+	// duplicates kept so degree counts stay consistent).
+	driver := make([]int32, nets)
+	for i := range driver {
+		driver[i] = -1
+	}
+	for gi, g := range c.gates {
+		driver[g.out] = int32(gi)
+	}
+	indeg := make([]int32, n)
+	consCnt := make([]int32, n)
+	for _, g := range c.gates {
+		for _, in := range g.in {
+			if d := driver[in]; d >= 0 {
+				consCnt[d]++
+			}
+		}
+	}
+	consIdx := make([]int32, n+1)
+	for i := 0; i < n; i++ {
+		consIdx[i+1] = consIdx[i] + consCnt[i]
+	}
+	cons := make([]int32, consIdx[n])
+	fill := make([]int32, n)
+	copy(fill, consIdx[:n])
+	for gi, g := range c.gates {
+		for _, in := range g.in {
+			if d := driver[in]; d >= 0 {
+				cons[fill[d]] = int32(gi)
+				fill[d]++
+				indeg[gi]++
+			}
+		}
+	}
+
+	// Kahn's algorithm peels the acyclic prefix — every gate that does not
+	// depend on a feedback loop — and assigns it levels.
+	level := make([]int32, n)
+	deg := make([]int32, n)
+	copy(deg, indeg)
+	prefix := make([]int32, 0, n)
+	for gi := 0; gi < n; gi++ {
+		if deg[gi] == 0 {
+			prefix = append(prefix, int32(gi))
+		}
+	}
+	inPrefix := make([]bool, n)
+	maxLevel := int32(-1)
+	for head := 0; head < len(prefix); head++ {
+		gi := prefix[head]
+		inPrefix[gi] = true
+		if level[gi] > maxLevel {
+			maxLevel = level[gi]
+		}
+		for _, q := range cons[consIdx[gi]:consIdx[gi+1]] {
+			if lv := level[gi] + 1; lv > level[q] {
+				level[q] = lv
+			}
+			deg[q]--
+			if deg[q] == 0 {
+				prefix = append(prefix, q)
+			}
+		}
+	}
+
+	// Reverse peel on the remainder separates the suffix — gates downstream
+	// of feedback but not inside it — from the island core.
+	inSuffix := make([]bool, n)
+	var suffix []int32
+	if len(prefix) < n {
+		outdeg := make([]int32, n)
+		for gi := 0; gi < n; gi++ {
+			if inPrefix[gi] {
+				continue
+			}
+			for _, q := range cons[consIdx[gi]:consIdx[gi+1]] {
+				if !inPrefix[q] {
+					outdeg[gi]++
+				}
+			}
+		}
+		for gi := 0; gi < n; gi++ {
+			if !inPrefix[gi] && outdeg[gi] == 0 {
+				suffix = append(suffix, int32(gi))
+			}
+		}
+		for head := 0; head < len(suffix); head++ {
+			gi := suffix[head]
+			inSuffix[gi] = true
+			for _, in := range c.gates[gi].in {
+				if d := driver[in]; d >= 0 && !inPrefix[d] {
+					outdeg[d]--
+					if outdeg[d] == 0 {
+						suffix = append(suffix, d)
+					}
+				}
+			}
+		}
+		// Levelize the suffix over its internal dependencies only (island
+		// and prefix producers are settled by the time it runs).
+		sdeg := make([]int32, n)
+		for gi := 0; gi < n; gi++ {
+			if !inSuffix[gi] {
+				continue
+			}
+			level[gi] = 0
+			for _, in := range c.gates[gi].in {
+				if d := driver[in]; d >= 0 && inSuffix[d] {
+					sdeg[gi]++
+				}
+			}
+		}
+		order := suffix[:0]
+		for gi := 0; gi < n; gi++ {
+			if inSuffix[gi] && sdeg[gi] == 0 {
+				order = append(order, int32(gi))
+			}
+		}
+		for head := 0; head < len(order); head++ {
+			gi := order[head]
+			for _, q := range cons[consIdx[gi]:consIdx[gi+1]] {
+				if !inSuffix[q] {
+					continue
+				}
+				if lv := level[gi] + 1; lv > level[q] {
+					level[q] = lv
+				}
+				sdeg[q]--
+				if sdeg[q] == 0 {
+					order = append(order, q)
+				}
+			}
+		}
+		suffix = order
+	}
+
+	// Assemble the evaluation order: prefix by (level, insertion index),
+	// island core in insertion order (last-written-wins, as the reference
+	// sweeps it), suffix by (level, insertion index). Counting sort keeps
+	// insertion order stable within a level.
+	p := &plan{levels: int(maxLevel + 1)}
+	orderOf := make([]int32, n)
+	ordered := make([]int32, 0, n)
+	sortByLevel := func(member func(gi int) bool) {
+		lo := len(ordered)
+		for gi := 0; gi < n; gi++ {
+			if member(gi) {
+				ordered = append(ordered, int32(gi))
+			}
+		}
+		seg := ordered[lo:]
+		// Stable counting sort by level (members were appended in
+		// insertion order).
+		if len(seg) > 1 {
+			maxLv := int32(0)
+			for _, gi := range seg {
+				if level[gi] > maxLv {
+					maxLv = level[gi]
+				}
+			}
+			cnt := make([]int32, maxLv+1)
+			for _, gi := range seg {
+				cnt[level[gi]]++
+			}
+			off := make([]int32, maxLv+1)
+			for i := int32(1); i <= maxLv; i++ {
+				off[i] = off[i-1] + cnt[i-1]
+			}
+			tmp := make([]int32, len(seg))
+			for _, gi := range seg {
+				tmp[off[level[gi]]] = gi
+				off[level[gi]]++
+			}
+			copy(seg, tmp)
+		}
+	}
+	sortByLevel(func(gi int) bool { return inPrefix[gi] })
+	p.islandLo = len(ordered)
+	for gi := 0; gi < n; gi++ {
+		if !inPrefix[gi] && !inSuffix[gi] {
+			ordered = append(ordered, int32(gi))
+		}
+	}
+	p.islandHi = len(ordered)
+	sortByLevel(func(gi int) bool { return inSuffix[gi] })
+	for i, gi := range ordered {
+		orderOf[gi] = int32(i)
+	}
+
+	// Compile gates in evaluation order and build per-net fanout position
+	// lists for event-driven marking.
+	p.gates = make([]cgate, n)
+	for i, gi := range ordered {
+		g := &c.gates[gi]
+		base, inv := normalize(g.kind, len(g.in))
+		cg := cgate{out: int32(g.out), base: base, inv: inv}
+		cg.a = int32(g.in[0])
+		if len(g.in) >= 2 {
+			cg.b = int32(g.in[1])
+		} else {
+			cg.b = cg.a
+		}
+		if len(g.in) > 2 {
+			cg.xOff = int32(len(p.extra))
+			cg.xN = int32(len(g.in) - 2)
+			for _, in := range g.in[2:] {
+				p.extra = append(p.extra, int32(in))
+			}
+		}
+		p.gates[i] = cg
+	}
+	fanCnt := make([]int32, nets)
+	countInput := func(in NetID) { fanCnt[in]++ }
+	for _, g := range c.gates {
+		for _, in := range g.in {
+			countInput(in)
+		}
+	}
+	p.fanIdx = make([]int32, nets+1)
+	for i := 0; i < nets; i++ {
+		p.fanIdx[i+1] = p.fanIdx[i] + fanCnt[i]
+	}
+	p.fanout = make([]int32, p.fanIdx[nets])
+	fill2 := make([]int32, nets)
+	copy(fill2, p.fanIdx[:nets])
+	for gi, g := range c.gates {
+		for _, in := range g.in {
+			p.fanout[fill2[in]] = orderOf[gi]
+			fill2[in]++
+		}
+	}
+	p.pending = make([]uint64, (n+63)/64)
+	p.markAll()
+
+	c.plan = p
+	c.dirty = c.dirty[:0]
+	c.allDirty = false
+	return p
+}
+
+// markAll flags every gate pending, for the first settle after compile and
+// after a RefSettle bypassed change tracking.
+func (p *plan) markAll() {
+	n := len(p.gates)
+	for i := range p.pending {
+		p.pending[i] = ^uint64(0)
+	}
+	if tail := uint(n) & 63; tail != 0 && len(p.pending) > 0 {
+		p.pending[len(p.pending)-1] = ^uint64(0) >> (64 - tail)
+	}
+}
+
+// markNet flags every consumer of a changed net pending.
+func (p *plan) markNet(id NetID) {
+	for _, q := range p.fanout[p.fanIdx[id]:p.fanIdx[id+1]] {
+		p.pending[q>>6] |= 1 << (uint(q) & 63)
+	}
+}
+
+// anyPending reports whether any gate position in [lo, hi) is pending.
+func (p *plan) anyPending(lo, hi int) bool {
+	if lo >= hi {
+		return false
+	}
+	wLo, wHi := lo>>6, (hi-1)>>6
+	loMask := ^uint64(0) << (uint(lo) & 63)
+	hiMask := ^uint64(0) >> (63 - uint(hi-1)&63)
+	for w := wLo; w <= wHi; w++ {
+		m := ^uint64(0)
+		if w == wLo {
+			m &= loMask
+		}
+		if w == wHi {
+			m &= hiMask
+		}
+		if p.pending[w]&m != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// settle runs the plan to a fixed point over the scalar values: prefix
+// once, island to a bounded fixed point, suffix once. Only pending gates
+// are evaluated.
+func (p *plan) settle(vals []bool) error {
+	p.run(vals, 0, p.islandLo)
+	if p.islandHi > p.islandLo {
+		limit := len(vals) + 2
+		if limit > maxSettleIterations {
+			limit = maxSettleIterations
+		}
+		sweeps := 0
+		for p.anyPending(p.islandLo, p.islandHi) {
+			if sweeps >= limit {
+				return ErrUnstable
+			}
+			sweeps++
+			p.run(vals, p.islandLo, p.islandHi)
+		}
+	}
+	p.run(vals, p.islandHi, len(p.gates))
+	return nil
+}
+
+// run performs one strict forward sweep over pending gates in [lo, hi):
+// gates are evaluated in ascending position order, and a gate marked
+// pending at or before the current position is left for the next sweep —
+// exactly the reference sweep's per-pass discipline, which is what makes
+// island (latch) resolution order-identical to RefSettle.
+func (p *plan) run(vals []bool, lo, hi int) {
+	if lo >= hi {
+		return
+	}
+	wLo, wHi := lo>>6, (hi-1)>>6
+	loMask := ^uint64(0) << (uint(lo) & 63)
+	hiMask := ^uint64(0) >> (63 - uint(hi-1)&63)
+	for w := wLo; w <= wHi; w++ {
+		rangeMask := ^uint64(0)
+		if w == wLo {
+			rangeMask &= loMask
+		}
+		if w == wHi {
+			rangeMask &= hiMask
+		}
+		var passed uint64
+		for {
+			bitsW := p.pending[w] & rangeMask &^ passed
+			if bitsW == 0 {
+				break
+			}
+			bit := uint(bits.TrailingZeros64(bitsW))
+			p.pending[w] &^= 1 << bit
+			// Everything at or below this position is behind the sweep
+			// front now; re-marks there wait for the next sweep.
+			passed |= uint64(2)<<bit - 1
+			g := &p.gates[w<<6|int(bit)]
+			v := g.eval(vals, p.extra)
+			if vals[g.out] != v {
+				vals[g.out] = v
+				for _, q := range p.fanout[p.fanIdx[g.out]:p.fanIdx[g.out+1]] {
+					p.pending[q>>6] |= 1 << (uint(q) & 63)
+				}
+			}
+		}
+	}
+}

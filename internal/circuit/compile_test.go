@@ -1,0 +1,525 @@
+package circuit
+
+// Differential tests for the compiled execution plan: every netlist is
+// built twice, one copy settled by the compiled engine (Settle) and one by
+// the retained reference sweep (RefSettle), and every net is compared
+// bit for bit after every stimulus — the repository's standard
+// reference-implementation discipline.
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// netlistBuilder builds the same netlist into any circuit so compiled and
+// reference copies are structurally identical.
+type netlistBuilder func(c *Circuit) (inputs []NetID)
+
+// diffSettle drives both circuits with the same stimulus and compares all
+// nets. setNets lists which inputs change this round (partial stimulus
+// exercises the event-driven path).
+func diffSettle(t *testing.T, cc, cr *Circuit, setNets []NetID, setVals []bool) {
+	t.Helper()
+	for i, id := range setNets {
+		if err := cc.Set(id, setVals[i]); err != nil {
+			t.Fatal(err)
+		}
+		if err := cr.Set(id, setVals[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	errC := cc.Settle()
+	errR := cr.RefSettle()
+	if (errC == nil) != (errR == nil) {
+		t.Fatalf("settle error mismatch: compiled %v, reference %v", errC, errR)
+	}
+	if errC != nil {
+		return
+	}
+	if cc.NumNets() != cr.NumNets() {
+		t.Fatalf("net counts differ: %d vs %d", cc.NumNets(), cr.NumNets())
+	}
+	for id := 0; id < cc.NumNets(); id++ {
+		if cc.Get(NetID(id)) != cr.Get(NetID(id)) {
+			t.Fatalf("net %d: compiled %v, reference %v", id, cc.Get(NetID(id)), cr.Get(NetID(id)))
+		}
+	}
+}
+
+// randomDAG returns a builder for a random acyclic netlist: numIn input
+// pins followed by numGates gates whose inputs are drawn from all earlier
+// nets, plus occasional forward-declared nets driven later via GateInto
+// (acyclic, but inserted out of topological order).
+func randomDAG(rng *rand.Rand, numIn, numGates int) netlistBuilder {
+	type gspec struct {
+		kind    GateKind
+		nin     int
+		forward bool
+	}
+	specs := make([]gspec, numGates)
+	for i := range specs {
+		k := GateKind(rng.Intn(8))
+		nin := 1
+		if k != NOT && k != BUF {
+			nin = 2 + rng.Intn(3)
+		}
+		specs[i] = gspec{kind: k, nin: nin, forward: rng.Intn(8) == 0}
+	}
+	// Input choices are made against the deterministic net-count sequence,
+	// so both copies wire identically.
+	choices := make([][]int, numGates)
+	nets := numIn
+	forwards := 0
+	for i, s := range specs {
+		if s.forward {
+			forwards++ // reserve a forward net now, drive it later
+			nets++
+		}
+		choices[i] = make([]int, s.nin)
+		for j := range choices[i] {
+			choices[i][j] = rng.Intn(nets)
+		}
+		if !s.forward {
+			nets++
+		}
+	}
+	return func(c *Circuit) []NetID {
+		ids := make([]NetID, 0, nets)
+		for i := 0; i < numIn; i++ {
+			ids = append(ids, c.Input(""))
+		}
+		for i, s := range specs {
+			var out NetID
+			if s.forward {
+				out = c.NewNet()
+				ids = append(ids, out)
+			}
+			in := make([]NetID, s.nin)
+			for j, pick := range choices[i] {
+				in[j] = ids[pick]
+			}
+			if s.forward {
+				c.GateInto(out, s.kind, in...)
+			} else {
+				ids = append(ids, c.Gate(s.kind, in...))
+			}
+		}
+		return ids[:numIn]
+	}
+}
+
+func TestRandomDAGDifferential(t *testing.T) {
+	for seed := int64(0); seed < 30; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		build := randomDAG(rng, 6, 40)
+		cc, cr := New(), New()
+		inC := build(cc)
+		inR := build(cr)
+		if len(inC) != len(inR) {
+			t.Fatal("builder not deterministic")
+		}
+		for round := 0; round < 12; round++ {
+			// Partial stimulus: change a random subset of inputs.
+			n := 1 + rng.Intn(len(inC))
+			setN := make([]NetID, n)
+			setV := make([]bool, n)
+			for i := 0; i < n; i++ {
+				setN[i] = inC[rng.Intn(len(inC))]
+				setV[i] = rng.Intn(2) == 0
+			}
+			diffSettle(t, cc, cr, setN, setV)
+		}
+	}
+}
+
+// TestLatchDifferential drives the sequential builders through
+// order-sensitive sequences — including the forbidden R=S=1 state and its
+// release, whose outcome depends on last-written-wins sweep order — and
+// checks the compiled island evaluation matches the reference bit for bit.
+func TestLatchDifferential(t *testing.T) {
+	t.Run("rs-latch", func(t *testing.T) {
+		build := func(c *Circuit) []NetID {
+			r := c.Input("r")
+			s := c.Input("s")
+			q, nq := RSLatch(c, r, s)
+			c.Name("q", q)
+			c.Name("nq", nq)
+			return []NetID{r, s}
+		}
+		cc, cr := New(), New()
+		inC := build(cc)
+		build(cr)
+		seq := [][2]bool{
+			{false, true},  // set
+			{false, false}, // hold
+			{true, false},  // reset
+			{false, false}, // hold
+			{true, true},   // forbidden: both outputs low
+			{false, false}, // release: resolution is order-defined
+			{false, true},
+			{true, true},
+			{true, false},
+			{false, false},
+		}
+		for _, rs := range seq {
+			diffSettle(t, cc, cr, inC, rs[:])
+		}
+	})
+	t.Run("d-latch", func(t *testing.T) {
+		build := func(c *Circuit) []NetID {
+			d := c.Input("d")
+			en := c.Input("en")
+			q, _ := DLatch(c, d, en)
+			c.Name("q", q)
+			return []NetID{d, en}
+		}
+		cc, cr := New(), New()
+		inC := build(cc)
+		build(cr)
+		seq := [][2]bool{
+			{true, true}, {true, false}, {false, false}, // latch 1, hold through D change
+			{false, true}, {false, false}, // latch 0
+			{true, false}, {true, true}, {false, true}, // transparent follow
+		}
+		for _, de := range seq {
+			diffSettle(t, cc, cr, inC, de[:])
+		}
+	})
+	t.Run("register-file", func(t *testing.T) {
+		build := func(c *Circuit) *RegisterFile {
+			return NewRegisterFile(c, 2, 4)
+		}
+		cc, cr := New(), New()
+		rfC := build(cc)
+		rfR := build(cr)
+		step := func(f func(rf *RegisterFile, c *Circuit) error) {
+			t.Helper()
+			if err := f(rfC, cc); err != nil {
+				t.Fatal(err)
+			}
+			if err := f(rfR, cr); err != nil {
+				t.Fatal(err)
+			}
+			for id := 0; id < cc.NumNets(); id++ {
+				if cc.Get(NetID(id)) != cr.Get(NetID(id)) {
+					t.Fatalf("net %d: compiled %v, reference %v", id, cc.Get(NetID(id)), cr.Get(NetID(id)))
+				}
+			}
+		}
+		// The reference copy must settle with RefSettle; RegisterFile's
+		// helpers call Settle, so drive the reference pins manually.
+		writeRef := func(rf *RegisterFile, c *Circuit, reg int, v uint64) error {
+			for i, id := range rf.WriteSel {
+				if err := c.Set(id, reg&(1<<uint(i)) != 0); err != nil {
+					return err
+				}
+			}
+			if err := c.SetBus(rf.WriteData, v); err != nil {
+				return err
+			}
+			if err := c.Set(rf.WriteEnable, true); err != nil {
+				return err
+			}
+			if err := c.RefSettle(); err != nil {
+				return err
+			}
+			if err := c.Set(rf.WriteEnable, false); err != nil {
+				return err
+			}
+			return c.RefSettle()
+		}
+		readRef := func(rf *RegisterFile, c *Circuit, reg int) (uint64, error) {
+			for i, id := range rf.ReadSel {
+				if err := c.Set(id, reg&(1<<uint(i)) != 0); err != nil {
+					return 0, err
+				}
+			}
+			if err := c.RefSettle(); err != nil {
+				return 0, err
+			}
+			return c.GetBus(rf.ReadData), nil
+		}
+		ops := []struct {
+			write bool
+			reg   int
+			val   uint64
+		}{
+			{true, 0, 0xa}, {true, 1, 0x5}, {true, 3, 0xf},
+			{false, 0, 0xa}, {false, 1, 0x5}, {false, 3, 0xf},
+			{true, 0, 0x3}, {false, 0, 0x3}, {true, 3, 0x0}, {false, 3, 0x0},
+			{true, 2, 0x6}, {false, 2, 0x6},
+		}
+		for _, op := range ops {
+			op := op
+			if op.write {
+				step(func(rf *RegisterFile, c *Circuit) error {
+					if c == cr {
+						return writeRef(rf, c, op.reg, op.val)
+					}
+					return rf.Write(c, op.reg, op.val)
+				})
+				continue
+			}
+			var gotC, gotR uint64
+			step(func(rf *RegisterFile, c *Circuit) error {
+				var err error
+				if c == cr {
+					gotR, err = readRef(rf, c, op.reg)
+				} else {
+					gotC, err = rf.Read(c, op.reg)
+				}
+				return err
+			})
+			if gotC != op.val || gotR != op.val {
+				t.Fatalf("read r%d: compiled %#x, reference %#x, want %#x", op.reg, gotC, gotR, op.val)
+			}
+		}
+	})
+}
+
+// TestALUDifferentialExhaustive checks the width-4 ALU exhaustively on both
+// engines against the functional reference.
+func TestALUDifferentialExhaustive(t *testing.T) {
+	cc, cr := New(), New()
+	aluC := NewALU(cc, 4)
+	aluR := NewALU(cr, 4)
+	for op := ALUOp(0); op < 8; op++ {
+		for a := uint64(0); a < 16; a++ {
+			for b := uint64(0); b < 16; b++ {
+				want, wf := RefALU(op, a, b, 4)
+				gotC, fC, err := aluC.Run(cc, op, a, b)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if gotC != want || fC != wf {
+					t.Fatalf("compiled %v(%d,%d) = %#x %+v, want %#x %+v", op, a, b, gotC, fC, want, wf)
+				}
+				if err := cr.SetBus(aluR.A, a); err != nil {
+					t.Fatal(err)
+				}
+				if err := cr.SetBus(aluR.B, b); err != nil {
+					t.Fatal(err)
+				}
+				if err := cr.SetBus(aluR.Op, uint64(op)); err != nil {
+					t.Fatal(err)
+				}
+				if err := cr.RefSettle(); err != nil {
+					t.Fatal(err)
+				}
+				if got := cr.GetBus(aluR.Result); got != want {
+					t.Fatalf("reference %v(%d,%d) = %#x, want %#x", op, a, b, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestSettleRefSettleInterleavedDifferential mixes the two engines on one
+// circuit: RefSettle bypasses the plan's change tracking, so the next
+// compiled Settle must re-evaluate everything rather than trust stale
+// pending state.
+func TestSettleRefSettleInterleavedDifferential(t *testing.T) {
+	c := New()
+	alu := NewALU(c, 8)
+	check := func(op ALUOp, a, b uint64) {
+		t.Helper()
+		if err := c.SetBus(alu.A, a); err != nil {
+			t.Fatal(err)
+		}
+		if err := c.SetBus(alu.B, b); err != nil {
+			t.Fatal(err)
+		}
+		if err := c.SetBus(alu.Op, uint64(op)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 16; i++ {
+		a, b := uint64(i*37%256), uint64(i*91%256)
+		op := ALUOp(i % 8)
+		want, _ := RefALU(op, a, b, 8)
+		check(op, a, b)
+		var err error
+		if i%3 == 1 {
+			err = c.RefSettle()
+		} else {
+			err = c.Settle()
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := c.GetBus(alu.Result); got != want {
+			t.Fatalf("step %d: %v(%d,%d) = %#x, want %#x", i, op, a, b, got, want)
+		}
+	}
+}
+
+// TestPlanInvalidationOnMutation grows a circuit between settles: mutating
+// the netlist must discard the plan and the next Settle must cover the new
+// gates.
+func TestPlanInvalidationOnMutation(t *testing.T) {
+	c := New()
+	a := c.Input("a")
+	b := c.Input("b")
+	x := c.Gate(AND, a, b)
+	if err := c.Set(a, true); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Set(b, true); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Settle(); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, compiled := c.PlanStats(); !compiled {
+		t.Fatal("expected a compiled plan after Settle")
+	}
+	if !c.Get(x) {
+		t.Fatal("AND(1,1) = 0")
+	}
+	y := c.Gate(XOR, x, b) // mutation: plan must be invalidated
+	if _, _, compiled := c.PlanStats(); compiled {
+		t.Fatal("plan survived a netlist mutation")
+	}
+	if err := c.Settle(); err != nil {
+		t.Fatal(err)
+	}
+	if c.Get(y) != false { // 1 XOR 1
+		t.Fatalf("XOR(x,b) = %v, want false", c.Get(y))
+	}
+	if err := c.Set(b, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Settle(); err != nil {
+		t.Fatal(err)
+	}
+	if c.Get(x) != false || c.Get(y) != false {
+		t.Fatalf("after b=0: x=%v y=%v, want false false", c.Get(x), c.Get(y))
+	}
+}
+
+// TestPlanStatsShape sanity-checks the plan classifier: the ALU is pure
+// combinational logic (no island), the register file keeps its latches in
+// an island.
+func TestPlanStatsShape(t *testing.T) {
+	c := New()
+	NewALU(c, 8)
+	if err := c.Settle(); err != nil {
+		t.Fatal(err)
+	}
+	levels, island, compiled := c.PlanStats()
+	if !compiled || levels < 4 || island != 0 {
+		t.Fatalf("ALU plan: levels=%d island=%d compiled=%v", levels, island, compiled)
+	}
+
+	c2 := New()
+	NewRegisterFile(c2, 2, 4)
+	if err := c2.Settle(); err != nil {
+		t.Fatal(err)
+	}
+	_, island2, _ := c2.PlanStats()
+	// 4 registers x 4 bits, each D latch a 2-gate cross-coupled NOR pair.
+	if island2 != 32 {
+		t.Fatalf("register-file island gates = %d, want 32", island2)
+	}
+}
+
+// TestOscillationDetectedCompiled: unstable feedback must surface as
+// ErrUnstable from the island's bounded fixed point, as it does from the
+// reference sweep, including when the oscillator hides behind stable logic.
+func TestOscillationDetectedCompiled(t *testing.T) {
+	c := New()
+	a := c.Input("a")
+	stable := c.Gate(AND, a, a) // acyclic prefix
+	loop := c.NewNet()
+	c.GateInto(loop, NOT, loop)
+	_ = c.Gate(OR, stable, loop) // suffix depends on the oscillator
+	if err := c.Set(a, true); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Settle(); err != ErrUnstable {
+		t.Fatalf("Settle = %v, want ErrUnstable", err)
+	}
+}
+
+// TestSetConstantGuarded: a stray Set must not overwrite a Constant net
+// (regression: it used to silently mutate it).
+func TestSetConstantGuarded(t *testing.T) {
+	c := New()
+	one := c.Constant(true)
+	c.Name("one", one)
+	if err := c.Set(one, false); err == nil {
+		t.Fatal("Set on a constant net should fail")
+	}
+	if err := c.SetByName("one", false); err == nil {
+		t.Fatal("SetByName on a constant net should fail")
+	}
+	if !c.Get(one) {
+		t.Fatal("constant value was mutated")
+	}
+	if err := c.Settle(); err != nil {
+		t.Fatal(err)
+	}
+	if !c.Get(one) {
+		t.Fatal("constant value lost after Settle")
+	}
+}
+
+// TestEvalIntoZeroAlloc: EvalInto with reused maps must not allocate in
+// steady state.
+func TestEvalIntoZeroAlloc(t *testing.T) {
+	c := New()
+	a := c.Input("a")
+	b := c.Input("b")
+	_ = a
+	_ = b
+	c.Name("y", c.Gate(XOR, a, b))
+	in := map[string]bool{"a": true, "b": false}
+	out := make(map[string]bool, 1)
+	if err := c.EvalInto(out, in, "y"); err != nil { // warm: compile + map growth
+		t.Fatal(err)
+	}
+	flip := false
+	allocs := testing.AllocsPerRun(100, func() {
+		flip = !flip
+		in["a"] = flip
+		if err := c.EvalInto(out, in, "y"); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("EvalInto allocated %.1f per run, want 0", allocs)
+	}
+}
+
+// TestSettleZeroAllocSteadyState: the compiled Set+Settle+GetBus hot path
+// must be allocation-free once warm — the property the bench harness
+// hard-gates.
+func TestSettleZeroAllocSteadyState(t *testing.T) {
+	c := New()
+	alu := NewALU(c, 16)
+	if err := c.Settle(); err != nil { // warm: compile, grow dirty list
+		t.Fatal(err)
+	}
+	i := uint64(0)
+	var sink uint64
+	allocs := testing.AllocsPerRun(200, func() {
+		i++
+		if err := c.SetBus(alu.A, i*0x9e37); err != nil {
+			t.Fatal(err)
+		}
+		if err := c.SetBus(alu.B, i*0x79b1); err != nil {
+			t.Fatal(err)
+		}
+		if err := c.SetBus(alu.Op, i%8); err != nil {
+			t.Fatal(err)
+		}
+		if err := c.Settle(); err != nil {
+			t.Fatal(err)
+		}
+		sink ^= c.GetBus(alu.Result)
+	})
+	_ = sink
+	if allocs != 0 {
+		t.Fatalf("steady-state Settle allocated %.1f per run, want 0", allocs)
+	}
+}

@@ -1,0 +1,124 @@
+package circuit
+
+// FuzzCircuitSettle interprets the fuzz input as a netlist-construction
+// program plus a stimulus script, builds the same netlist into two
+// circuits, and differentially settles one with the compiled plan and one
+// with the reference sweep. Any divergence on any net, any error mismatch,
+// or any panic is a bug in the compiled engine.
+
+import (
+	"testing"
+)
+
+// buildFuzzNetlist decodes gate-construction opcodes from data until it is
+// exhausted or the gate budget runs out, returning the input pins and how
+// many bytes were consumed. Opcode byte b: b%10 in 0..7 adds that GateKind
+// fed from existing nets picked by follow-up bytes; 8 adds an RSLatch; 9
+// adds a DLatch. The construction is fully determined by data, so calling
+// it twice yields structurally identical netlists.
+func buildFuzzNetlist(c *Circuit, data []byte) (inputs []NetID, consumed int) {
+	const maxGates = 200
+	inputs = make([]NetID, 4)
+	for i := range inputs {
+		inputs[i] = c.Input("")
+	}
+	nets := append([]NetID(nil), inputs...)
+	pick := func(b byte) NetID { return nets[int(b)%len(nets)] }
+	i := 0
+	gates := 0
+	for gates < maxGates && i < len(data) {
+		op := int(data[i]) % 10
+		i++
+		switch {
+		case op < 8:
+			kind := GateKind(op)
+			nin := 1
+			if kind != NOT && kind != BUF {
+				if i >= len(data) {
+					return inputs, i
+				}
+				nin = 2 + int(data[i])%3
+				i++
+			}
+			if i+nin > len(data) {
+				return inputs, i
+			}
+			in := make([]NetID, nin)
+			for j := range in {
+				in[j] = pick(data[i])
+				i++
+			}
+			nets = append(nets, c.Gate(kind, in...))
+			gates++
+		case op == 8:
+			if i+2 > len(data) {
+				return inputs, i
+			}
+			q, nq := RSLatch(c, pick(data[i]), pick(data[i+1]))
+			i += 2
+			nets = append(nets, q, nq)
+			gates += 2
+		default:
+			if i+2 > len(data) {
+				return inputs, i
+			}
+			q, nq := DLatch(c, pick(data[i]), pick(data[i+1]))
+			i += 2
+			nets = append(nets, q, nq)
+			gates += 5
+		}
+	}
+	return inputs, i
+}
+
+func FuzzCircuitSettle(f *testing.F) {
+	f.Add([]byte{0x00})
+	f.Add([]byte{0x02, 0x00, 0x00, 0x01, 0x05, 0x03, 0xff, 0x0f})             // AND+NOT then stimulus
+	f.Add([]byte{0x08, 0x00, 0x01, 0x11, 0x22, 0x33, 0x00, 0x0f, 0xf0})       // RS latch, order-sensitive drive
+	f.Add([]byte{0x09, 0x02, 0x03, 0x09, 0x00, 0x01, 0xaa, 0x55, 0x3c, 0xc3}) // two D latches
+	f.Add([]byte{0x04, 0x00, 0x01, 0x02, 0x06, 0x04, 0x08, 0x05, 0x06, 0x77}) // XOR fan-in, latch on gate outputs
+	f.Fuzz(func(t *testing.T, data []byte) {
+		cc, cr := New(), New()
+		inC, used := buildFuzzNetlist(cc, data)
+		inR, _ := buildFuzzNetlist(cr, data)
+		if cc.NumNets() != cr.NumNets() {
+			t.Fatalf("builder not deterministic: %d vs %d nets", cc.NumNets(), cr.NumNets())
+		}
+		// Remaining bytes are stimulus rounds: each byte's low 4 bits are
+		// the input-pin values, its high 4 bits select which pins change.
+		script := data[used:]
+		rounds := len(script)
+		if rounds > 32 {
+			rounds = 32
+		}
+		for r := 0; r < rounds; r++ {
+			b := script[r]
+			for bit := 0; bit < 4; bit++ {
+				if b>>(4+uint(bit))&1 == 0 {
+					continue // this pin unchanged: partial stimulus
+				}
+				v := b>>uint(bit)&1 != 0
+				if err := cc.Set(inC[bit], v); err != nil {
+					t.Fatal(err)
+				}
+				if err := cr.Set(inR[bit], v); err != nil {
+					t.Fatal(err)
+				}
+			}
+			errC := cc.Settle()
+			errR := cr.RefSettle()
+			if (errC == nil) != (errR == nil) {
+				t.Fatalf("round %d: compiled err %v, reference err %v", r, errC, errR)
+			}
+			if errC != nil {
+				return // both oscillate: consistent, nothing more to compare
+			}
+			for id := 0; id < cc.NumNets(); id++ {
+				if cc.Get(NetID(id)) != cr.Get(NetID(id)) {
+					t.Fatalf("round %d net %d: compiled %v, reference %v",
+						r, id, cc.Get(NetID(id)), cr.Get(NetID(id)))
+				}
+			}
+		}
+	})
+}

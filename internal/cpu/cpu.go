@@ -208,6 +208,7 @@ func New() *Machine { return &Machine{} }
 func (m *Machine) EnableGateALU() {
 	m.gateCkt = circuit.New()
 	m.gateALU = circuit.NewALU(m.gateCkt, 16)
+	m.gateCkt.Compile() // front-load plan construction off the Step hot path
 	m.GateALU = true
 }
 

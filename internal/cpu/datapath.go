@@ -37,6 +37,7 @@ func NewDatapath(selBits, width int) (*Datapath, error) {
 		alu:   circuit.NewALU(ckt, width),
 		width: width,
 	}
+	ckt.Compile() // front-load plan construction off the Execute hot path
 	return d, nil
 }
 

@@ -147,3 +147,33 @@ func BenchmarkDatapathExecute(b *testing.B) {
 		}
 	}
 }
+
+// TestDatapathExecuteZeroAlloc guards the gate-level hot path: once the
+// circuit's plan is compiled (NewDatapath does so eagerly), a full Execute
+// — two register reads, an ALU settle, a two-phase register write — must
+// not allocate.
+func TestDatapathExecuteZeroAlloc(t *testing.T) {
+	d, err := NewDatapath(3, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.WriteReg(1, 0x1234); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.WriteReg(2, 0x0fed); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Execute(circuit.OpAdd, 3, 1, 2); err != nil { // warm
+		t.Fatal(err)
+	}
+	i := 0
+	allocs := testing.AllocsPerRun(100, func() {
+		i++
+		if err := d.Execute(circuit.ALUOp(i%8), 3, 1, 2); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("Execute allocated %.1f per run, want 0", allocs)
+	}
+}
