@@ -28,6 +28,7 @@ import (
 	"cs31/internal/cpu"
 	"cs31/internal/life"
 	"cs31/internal/memhier"
+	"cs31/internal/msgpass"
 	"cs31/internal/pthread"
 	"cs31/internal/survey"
 	"cs31/internal/sweep"
@@ -360,6 +361,114 @@ func BenchmarkParallelLife(b *testing.B) {
 			b.ReportMetric(float64(updates), "live-updates")
 		})
 	}
+}
+
+// BenchmarkDistLife times the message-passing Game of Life engine at the
+// same 8-way point as BenchmarkParallelLife: one op is a 4-generation run
+// on a fresh clone of the same seeded 192x192 board, so the live-updates
+// metric must equal BenchmarkParallelLife's — a cross-engine differential
+// baked into the baseline gate. The comm-bytes metric prices the halo
+// exchange, block distribution/collection, and stats Allreduce of one op;
+// it is deterministic for a fixed board and rank count.
+func BenchmarkDistLife(b *testing.B) {
+	template, err := life.NewGrid(192, 192, life.Torus)
+	if err != nil {
+		b.Fatal(err)
+	}
+	template.Randomize(47, 0.3)
+	const gens = 4
+	b.Run("ranks-8", func(b *testing.B) {
+		var updates, bytes int64
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			g := template.Clone()
+			b.StartTimer()
+			dr := &life.DistRunner{G: g, Ranks: 8}
+			stats, err := dr.Run(gens)
+			if err != nil {
+				b.Fatal(err)
+			}
+			updates = stats.LiveUpdates
+			bytes = dr.CommStats.BytesSent
+		}
+		b.ReportMetric(float64(updates), "live-updates")
+		b.ReportMetric(float64(bytes), "comm-bytes")
+	})
+}
+
+// BenchmarkAllreduce times one combining-tree Allreduce across 8 ranks:
+// the world is created once, every rank runs b.N reductions back to back,
+// so ns/op is the latency of one collective (fan-in tree + broadcast). The
+// sum metric is the deterministic reference result (1+2+...+8).
+func BenchmarkAllreduce(b *testing.B) {
+	const ranks = 8
+	w, err := msgpass.NewWorld(ranks)
+	if err != nil {
+		b.Fatal(err)
+	}
+	add := func(a, b int64) int64 { return a + b }
+	var sum int64
+	b.ResetTimer()
+	err = w.Run(func(c *msgpass.Comm) error {
+		for i := 0; i < b.N; i++ {
+			v, err := msgpass.Allreduce(c, int64(c.Rank()+1), add)
+			if err != nil {
+				return err
+			}
+			if c.Rank() == 0 {
+				sum = v
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportMetric(float64(sum), "sum")
+}
+
+// BenchmarkHaloExchange times one ring halo-exchange round across 8 ranks
+// with 256-byte rows — the per-generation communication kernel of the
+// distributed Life engine in isolation (post both sends, then receive both
+// neighbors' rows; payloads copied at send time like the real runner). The
+// bytes-per-round metric is deterministic: 8 ranks x 2 rows x 256 bytes.
+func BenchmarkHaloExchange(b *testing.B) {
+	const ranks, rowLen = 8, 256
+	w, err := msgpass.NewWorld(ranks, msgpass.WithCapacity(4))
+	if err != nil {
+		b.Fatal(err)
+	}
+	before := w.Stats().BytesSent
+	b.ResetTimer()
+	err = w.Run(func(c *msgpass.Comm) error {
+		rank := c.Rank()
+		up := (rank + ranks - 1) % ranks
+		down := (rank + 1) % ranks
+		top := make([]uint8, rowLen)
+		bot := make([]uint8, rowLen)
+		for i := 0; i < b.N; i++ {
+			if err := msgpass.Send(c, up, 1, append([]uint8(nil), top...)); err != nil {
+				return err
+			}
+			if err := msgpass.Send(c, down, 2, append([]uint8(nil), bot...)); err != nil {
+				return err
+			}
+			if _, err := msgpass.Recv[[]uint8](c, up, 2); err != nil {
+				return err
+			}
+			if _, err := msgpass.Recv[[]uint8](c, down, 1); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.StopTimer()
+	perRound := float64(w.Stats().BytesSent-before) / float64(b.N)
+	b.ReportMetric(perRound, "bytes-per-round")
 }
 
 // BenchmarkSweepGrid times the concurrent experiment-sweep engine end to

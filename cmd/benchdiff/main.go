@@ -41,13 +41,15 @@ import (
 // defaultGate matches the optimized kernel benchmarks whose ns/op the CI
 // bench job gates: the original three simulator hot paths, the parallel
 // runtime added by the synchronization/sweep pass (combining-tree barrier,
-// sharded-stat life runner, and the sweep engine itself), and the compiled
+// sharded-stat life runner, and the sweep engine itself), the compiled
 // gate-level circuit engine (plan settle, gate-level datapath, 64-lane
-// batch verify).
+// batch verify), and the message-passing runtime (distributed life,
+// tree Allreduce, ring halo exchange).
 const defaultGate = `^BenchmarkLifeSpeedup/threads-1$|^BenchmarkMachineArithLoop$|^BenchmarkCacheLookup$` +
 	`|^BenchmarkBarrierWait/tree-4$|^BenchmarkBarrierWait/tree-16$` +
 	`|^BenchmarkParallelLife/sharded-8$|^BenchmarkSweepGrid$` +
-	`|^BenchmarkCircuitSettle/compiled$|^BenchmarkGateALU$|^BenchmarkALUVerifyBatch$`
+	`|^BenchmarkCircuitSettle/compiled$|^BenchmarkGateALU$|^BenchmarkALUVerifyBatch$` +
+	`|^BenchmarkDistLife/ranks-8$|^BenchmarkAllreduce$|^BenchmarkHaloExchange$`
 
 // BaselineEntry is one benchmark's committed expectations.
 type BaselineEntry struct {
@@ -236,7 +238,7 @@ func run() error {
 		if base.Note == "" {
 			base.Note = "Benchmark baseline for the CI bench gate. Regenerate with: " +
 				"go test -run '^$' -bench . -benchtime=1x -cpu 1 . | go run ./cmd/benchdiff -update; " +
-				"then go test -run '^$' -bench 'LifeSpeedup/threads-1$|MachineArithLoop|CacheLookup|BarrierWait/tree|ParallelLife/sharded|SweepGrid|CircuitSettle|GateALU$|ALUVerifyBatch' -benchtime 200ms -count 3 -cpu 1 . | go run ./cmd/benchdiff -update"
+				"then go test -run '^$' -bench 'LifeSpeedup/threads-1$|MachineArithLoop|CacheLookup|BarrierWait/tree|ParallelLife/sharded|SweepGrid|CircuitSettle|GateALU$|ALUVerifyBatch|DistLife|Allreduce|HaloExchange' -benchtime 200ms -count 3 -cpu 1 . | go run ./cmd/benchdiff -update"
 		}
 		update(&base, results, gate)
 		data, err := json.MarshalIndent(&base, "", "  ")

@@ -37,6 +37,7 @@ func run() error {
 	density := flag.Float64("density", 0.3, "initial live density (random mode)")
 	threads := flag.Int("threads", 1, "worker threads (1 = serial engine)")
 	partition := flag.String("partition", "rows", "parallel partition: rows or cols")
+	dist := flag.Bool("dist", false, "use the message-passing engine (threads become ranks)")
 	visual := flag.Bool("visual", false, "render each generation (ParaVis)")
 	color := flag.Bool("color", true, "color thread regions in visual mode")
 	bench := flag.Int("bench", 0, "measure speedup for 1..N threads and exit")
@@ -75,9 +76,28 @@ func run() error {
 	} else if *partition != "rows" {
 		return fmt.Errorf("unknown partition %q", *partition)
 	}
+	if *dist && part != life.ByRows {
+		return fmt.Errorf("-dist shards by rows only")
+	}
 
 	if *bench > 0 {
-		return runBench(g, *iters, *bench, part)
+		return runBench(g, *iters, *bench, part, *dist)
+	}
+
+	if *dist && *threads > 1 {
+		dr := &life.DistRunner{G: g, Ranks: *threads, Partition: part}
+		stats, err := dr.Run(*iters)
+		if err != nil {
+			return err
+		}
+		ws := dr.CommStats
+		fmt.Printf("ran %d rounds on %d ranks (message passing), %d cell updates\n",
+			stats.Rounds, dr.Ranks, stats.LiveUpdates)
+		fmt.Printf("comm: %d messages, %d bytes sent, %d collective calls\n",
+			ws.Sends, ws.BytesSent, ws.Collectives)
+		fmt.Printf("final population %d after %d generations\n%s",
+			g.Population(), g.Generation, g.String())
+		return nil
 	}
 
 	vis := paravis.New(*color)
@@ -115,7 +135,7 @@ func run() error {
 // in bench_test.go (ns/op, speedup, efficiency-%), and the whole table is
 // assembled before printing so measurement output never interleaves with
 // anything the workers write.
-func runBench(template *life.Grid, iters, maxThreads int, part life.Partition) error {
+func runBench(template *life.Grid, iters, maxThreads int, part life.Partition, dist bool) error {
 	counts := []int{1}
 	for t := 2; t <= maxThreads; t *= 2 {
 		counts = append(counts, t)
@@ -124,6 +144,13 @@ func runBench(template *life.Grid, iters, maxThreads int, part life.Partition) e
 		g := template.Clone()
 		if threads == 1 {
 			g.Run(iters)
+			return nil
+		}
+		if dist {
+			dr := &life.DistRunner{G: g, Ranks: threads, Partition: part}
+			if _, err := dr.Run(iters); err != nil {
+				return fmt.Errorf("%d ranks: %w", threads, err)
+			}
 			return nil
 		}
 		pr := &life.ParallelRunner{G: g, Threads: threads, Partition: part}
@@ -135,9 +162,13 @@ func runBench(template *life.Grid, iters, maxThreads int, part life.Partition) e
 	if err != nil {
 		return err
 	}
+	engine := "shared memory"
+	if dist {
+		engine = "message passing"
+	}
 	var out strings.Builder
-	fmt.Fprintf(&out, "Game of Life speedup: %dx%d grid, %d iterations, %v partition\n",
-		template.Rows, template.Cols, iters, part)
+	fmt.Fprintf(&out, "Game of Life speedup: %dx%d grid, %d iterations, %v partition, %s\n",
+		template.Rows, template.Cols, iters, part, engine)
 	fmt.Fprintf(&out, "%8s %14s %9s %13s\n", "threads", "ns/op", "speedup", "efficiency-%")
 	for _, p := range points {
 		// One op is one full-grid generation, matching BenchmarkLifeSpeedup.

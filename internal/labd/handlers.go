@@ -380,7 +380,9 @@ func (s *Server) vmSim(_ context.Context, req VMSimRequest) (VMSimResponse, erro
 // --- POST /v1/life/run ------------------------------------------------
 
 // LifeRunRequest advances a random Game of Life grid, serially or on a
-// worker pool, optionally measuring the Lab 10 speedup table.
+// worker pool, optionally measuring the Lab 10 speedup table. Engine
+// "dist" runs the message-passing DistRunner (Threads become ranks), so
+// the speedup table measures rank scaling with halo-exchange costs in.
 type LifeRunRequest struct {
 	Rows      int     `json:"rows,omitempty"`      // default 32
 	Cols      int     `json:"cols,omitempty"`      // default 32
@@ -389,6 +391,7 @@ type LifeRunRequest struct {
 	Density   float64 `json:"density,omitempty"`   // default 0.3
 	Threads   int     `json:"threads,omitempty"`   // <=1 runs the serial engine
 	Partition string  `json:"partition,omitempty"` // rows|cols
+	Engine    string  `json:"engine,omitempty"`    // parallel (default) | dist
 	Speedup   bool    `json:"speedup,omitempty"`   // measure 1..Threads scaling
 }
 
@@ -451,6 +454,17 @@ func (s *Server) lifeRun(ctx context.Context, req LifeRunRequest) (LifeRunRespon
 	default:
 		return resp, badReqf("unknown partition %q", req.Partition)
 	}
+	var dist bool
+	switch req.Engine {
+	case "", "parallel":
+	case "dist":
+		if part != life.ByRows {
+			return resp, badReqf("dist engine shards by rows only")
+		}
+		dist = true
+	default:
+		return resp, badReqf("unknown engine %q", req.Engine)
+	}
 
 	g, err := life.NewGrid(rows, cols, life.Torus)
 	if err != nil {
@@ -470,7 +484,7 @@ func (s *Server) lifeRun(ctx context.Context, req LifeRunRequest) (LifeRunRespon
 		// between them, so a canceled request stops mid-series.
 		points, err := sweep.MeasureScaling(ctx, counts, func(ctx context.Context, threads int) error {
 			gg := template.Clone()
-			_, err := runLifeCtx(ctx, gg, threads, part, iters)
+			_, err := runLifeCtx(ctx, gg, threads, part, dist, iters)
 			return err
 		})
 		if err != nil {
@@ -489,7 +503,7 @@ func (s *Server) lifeRun(ctx context.Context, req LifeRunRequest) (LifeRunRespon
 		}
 	}
 
-	live, err := runLifeCtx(ctx, g, req.Threads, part, iters)
+	live, err := runLifeCtx(ctx, g, req.Threads, part, dist, iters)
 	if err != nil {
 		if ctx.Err() != nil {
 			return resp, ctx.Err()
@@ -506,8 +520,8 @@ func (s *Server) lifeRun(ctx context.Context, req LifeRunRequest) (LifeRunRespon
 // runLifeCtx advances the grid by iters generations in chunks, polling ctx
 // between chunks so a timed-out or canceled request frees its worker
 // instead of simulating to completion. Returns accumulated live updates
-// (parallel runs only; the serial engine doesn't track them).
-func runLifeCtx(ctx context.Context, g *life.Grid, threads int, part life.Partition, iters int) (int64, error) {
+// (parallel/dist runs only; the serial engine doesn't track them).
+func runLifeCtx(ctx context.Context, g *life.Grid, threads int, part life.Partition, dist bool, iters int) (int64, error) {
 	const chunk = 8
 	var live int64
 	for done := 0; done < iters; {
@@ -518,9 +532,17 @@ func runLifeCtx(ctx context.Context, g *life.Grid, threads int, part life.Partit
 		if iters-done < n {
 			n = iters - done
 		}
-		if threads <= 1 {
+		switch {
+		case threads <= 1:
 			g.Run(n)
-		} else {
+		case dist:
+			dr := &life.DistRunner{G: g, Ranks: threads, Partition: part}
+			st, err := dr.Run(n)
+			if err != nil {
+				return live, err
+			}
+			live += st.LiveUpdates
+		default:
 			pr := &life.ParallelRunner{G: g, Threads: threads, Partition: part}
 			st, err := pr.Run(n)
 			if err != nil {

@@ -259,6 +259,54 @@ func TestLifeRunSpeedupReport(t *testing.T) {
 	}
 }
 
+// TestLifeRunDistEngine: the message-passing engine behind the endpoint
+// must agree with the serial and shared-memory runs of the same seed, and
+// its speedup table measures rank scaling.
+func TestLifeRunDistEngine(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	var pops [2]int
+	var lives [2]int64
+	for i, engine := range []string{"parallel", "dist"} {
+		resp, raw := postJSON(t, ts.URL+"/v1/life/run", LifeRunRequest{
+			Rows: 48, Cols: 48, Iters: 16, Seed: 7, Threads: 4, Engine: engine,
+		})
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("engine=%s: status %d: %s", engine, resp.StatusCode, raw)
+		}
+		out := decode[LifeRunResponse](t, raw)
+		pops[i] = out.Population
+		lives[i] = out.LiveUpdates
+	}
+	if pops[0] != pops[1] {
+		t.Errorf("parallel population %d != dist population %d", pops[0], pops[1])
+	}
+	if lives[0] != lives[1] {
+		t.Errorf("parallel live updates %d != dist live updates %d", lives[0], lives[1])
+	}
+
+	resp, raw := postJSON(t, ts.URL+"/v1/life/run", LifeRunRequest{
+		Rows: 64, Cols: 64, Iters: 8, Threads: 4, Engine: "dist", Speedup: true,
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("dist speedup: status %d: %s", resp.StatusCode, raw)
+	}
+	out := decode[LifeRunResponse](t, raw)
+	if len(out.Scaling) < 2 {
+		t.Fatalf("dist scaling table has %d rows, want >= 2", len(out.Scaling))
+	}
+
+	// Bad engine configurations are client errors.
+	for _, req := range []LifeRunRequest{
+		{Engine: "mpi"},
+		{Engine: "dist", Partition: "cols", Threads: 2},
+	} {
+		resp, raw := postJSON(t, ts.URL+"/v1/life/run", req)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%+v: status %d, want 400: %s", req, resp.StatusCode, raw)
+		}
+	}
+}
+
 func TestHomeworkEndpoint(t *testing.T) {
 	_, ts := newTestServer(t, Config{})
 	resp, raw := getURL(t, ts.URL+"/v1/homework")
@@ -352,10 +400,20 @@ func TestDebugVarsAndMetrics(t *testing.T) {
 		t.Fatalf("status %d", resp.StatusCode)
 	}
 	vars := decode[map[string]json.RawMessage](t, raw)
-	for _, key := range []string{"labd.scheduler", "labd.total_requests", "labd.endpoint.POST /v1/cache/sim"} {
+	for _, key := range []string{"labd.scheduler", "labd.total_requests", "labd.endpoint.POST /v1/cache/sim",
+		"labd.active_jobs", "labd.queue_hwm"} {
 		if _, ok := vars[key]; !ok {
 			t.Errorf("debug vars missing %q in %s", key, raw)
 		}
+	}
+	// The debug snapshot runs outside the worker pool, so nothing is active
+	// while it renders; the gauge must read 0 between requests.
+	var active int64
+	if err := json.Unmarshal(vars["labd.active_jobs"], &active); err != nil {
+		t.Fatalf("labd.active_jobs: %v", err)
+	}
+	if active != 0 {
+		t.Errorf("active_jobs = %d between requests, want 0", active)
 	}
 
 	snaps := s.Metrics().Snapshot()

@@ -41,6 +41,8 @@ type SchedStats struct {
 	Rejected  int64 // jobs refused with ErrQueueFull
 	Completed int64 // jobs a worker ran to completion
 	Skipped   int64 // jobs whose context expired before a worker got to them
+	Active    int64 // jobs a worker is running right now (live gauge)
+	QueueHWM  int64 // deepest the queue has ever been (high-watermark)
 	Workers   int
 	QueueCap  int
 	QueueLen  int
@@ -62,6 +64,8 @@ type Scheduler struct {
 	rejected  atomic.Int64
 	completed atomic.Int64
 	skipped   atomic.Int64
+	active    atomic.Int64 // jobs currently executing on a worker
+	queueHWM  atomic.Int64 // deepest observed queue length
 }
 
 // NewScheduler starts `workers` goroutines behind a queue of depth
@@ -94,7 +98,9 @@ func (s *Scheduler) worker() {
 			j.skipped = true
 			s.skipped.Add(1)
 		default:
+			s.active.Add(1)
 			j.run(j.ctx)
+			s.active.Add(-1)
 			s.completed.Add(1)
 		}
 		close(j.done)
@@ -120,6 +126,16 @@ func (s *Scheduler) Submit(ctx context.Context, fn func(ctx context.Context)) er
 	select {
 	case s.queue <- j:
 		s.submitted.Add(1)
+		// Ratchet the queue high-watermark (monotonic CAS-max): a post-send
+		// len is a depth the queue really reached, so operators can tell a
+		// queue that has been deep from one that is merely deep right now.
+		depth := int64(len(s.queue))
+		for {
+			cur := s.queueHWM.Load()
+			if depth <= cur || s.queueHWM.CompareAndSwap(cur, depth) {
+				break
+			}
+		}
 		s.mu.RUnlock()
 	default:
 		s.mu.RUnlock()
@@ -178,6 +194,8 @@ func (s *Scheduler) Stats() SchedStats {
 		Rejected:  s.rejected.Load(),
 		Completed: s.completed.Load(),
 		Skipped:   s.skipped.Load(),
+		Active:    s.active.Load(),
+		QueueHWM:  s.queueHWM.Load(),
 		Workers:   s.workers,
 		QueueCap:  cap(s.queue),
 		QueueLen:  len(s.queue),

@@ -81,6 +81,58 @@ func TestSchedulerQueueFull(t *testing.T) {
 	<-done
 }
 
+// TestSchedulerGauges pins the live load gauges: a wedged worker shows up
+// in Active, a queued job ratchets the high-watermark, and both settle once
+// the work drains (Active back to 0, QueueHWM sticky).
+func TestSchedulerGauges(t *testing.T) {
+	s := NewScheduler(1, 2)
+	defer s.Shutdown(context.Background())
+
+	if st := s.Stats(); st.Active != 0 || st.QueueHWM != 0 {
+		t.Fatalf("idle gauges %+v, want Active=0 QueueHWM=0", st)
+	}
+
+	// Wedge the single worker so it registers as an active job.
+	block := make(chan struct{})
+	started := make(chan struct{})
+	go s.Submit(context.Background(), func(context.Context) {
+		close(started)
+		<-block
+	})
+	<-started
+	if got := s.Stats().Active; got != 1 {
+		t.Errorf("active = %d with a wedged worker, want 1", got)
+	}
+
+	// Queue one more job behind it; the watermark must record the depth.
+	done := make(chan struct{})
+	go func() {
+		s.Submit(context.Background(), func(context.Context) {})
+		close(done)
+	}()
+	deadline := time.After(2 * time.Second)
+	for s.Stats().QueueLen == 0 {
+		select {
+		case <-deadline:
+			t.Fatal("second job never queued")
+		case <-time.After(time.Millisecond):
+		}
+	}
+	if got := s.Stats().QueueHWM; got < 1 {
+		t.Errorf("queue high-watermark = %d with a queued job, want >= 1", got)
+	}
+
+	close(block)
+	<-done
+	st := s.Stats()
+	if st.Active != 0 {
+		t.Errorf("active = %d after drain, want 0", st.Active)
+	}
+	if st.QueueHWM < 1 {
+		t.Errorf("queue high-watermark reset to %d after drain; it must be sticky", st.QueueHWM)
+	}
+}
+
 func TestSchedulerSkipsExpiredJobs(t *testing.T) {
 	s := NewScheduler(1, 4)
 	defer s.Shutdown(context.Background())

@@ -315,6 +315,8 @@ func (s *Server) debugVars(w http.ResponseWriter, _ *http.Request) {
 		"labd.workers":        sched.Workers,
 		"labd.queue_cap":      sched.QueueCap,
 		"labd.queue_len":      sched.QueueLen,
+		"labd.queue_hwm":      sched.QueueHWM,
+		"labd.active_jobs":    sched.Active,
 		"labd.uptime_ms":      s.metrics.Uptime().Milliseconds(),
 		"labd.total_requests": s.metrics.TotalRequests(),
 	}

@@ -1,0 +1,225 @@
+package life
+
+import (
+	"fmt"
+
+	"cs31/internal/msgpass"
+	"cs31/internal/pthread"
+)
+
+// Message tags of the distributed runner's little protocol. tagUp/tagDown
+// name the direction the halo row travels, so the two rows a rank exchanges
+// with one neighbor (P = 2 under torus wrapping makes the up and down
+// neighbor the same rank) never cross-match.
+const (
+	distTagBlock = 0 // initial row-block distribution and final gather
+	distTagUp    = 1 // a rank's top owned row, sent to the neighbor above
+	distTagDown  = 2 // a rank's bottom owned row, sent to the neighbor below
+)
+
+// distEagerCapacity is the inbox depth DistRunner worlds use: the halo
+// exchange posts both neighbor sends before receiving (the symmetric
+// pattern that deadlocks under rendezvous), so sends must buffer. Two
+// in-flight halos plus distribution traffic fit comfortably in 4.
+const distEagerCapacity = 4
+
+// DistRunner advances a grid with message-passing ranks — the distributed-
+// memory sibling of ParallelRunner. The grid is row-block sharded across a
+// msgpass world: each rank owns a contiguous band of rows in a private
+// local buffer, exchanges one-row halos with its neighbors by Send/Recv
+// each generation, and the per-rank live-update counts meet in an
+// Allreduce. No rank ever touches another rank's memory; every byte that
+// crosses a shard boundary is a message, and the world's counters price
+// exactly that traffic.
+type DistRunner struct {
+	G         *Grid
+	Ranks     int
+	Capacity  int       // per-rank inbox depth; < 2 selects the eager default
+	Partition Partition // accepted for symmetry; only ByRows is supported
+
+	// CommStats holds the world's traffic counters after Run returns.
+	CommStats msgpass.WorldStats
+}
+
+// Run advances n generations across the runner's ranks and returns the
+// same statistics as ParallelRunner.Run, bit-for-bit equal to the serial
+// engine's RunCounted on the same board.
+//
+// Protocol per rank: receive your row block from rank 0 (tagBlock), then
+// each generation send your top/bottom owned rows to your neighbors
+// (tagUp/tagDown), receive theirs into your halo rows, and advance your
+// band with the shared row-sliced kernel; after the last generation,
+// Allreduce the live-update counts and send your block back to rank 0.
+// Neighbor relationships wrap into a ring under Torus and fall off the ends
+// under DeadEdges, whose halo rows stay all-dead. A rank that is its own
+// neighbor (a single-rank torus) copies its edge rows locally instead of
+// messaging itself.
+func (dr *DistRunner) Run(n int) (*RunStats, error) {
+	if dr.Ranks < 1 {
+		return nil, fmt.Errorf("life: need at least 1 rank")
+	}
+	if dr.Partition != ByRows {
+		return nil, fmt.Errorf("life: distributed runner shards by rows only")
+	}
+	g := dr.G
+	// Clamp to the row extent, the same surplus-worker discipline as
+	// ParallelRunner: ranks beyond Rows would own empty bands and only add
+	// exchange traffic.
+	if dr.Ranks > g.Rows {
+		dr.Ranks = g.Rows
+	}
+	ranks := dr.Ranks
+	capacity := dr.Capacity
+	if capacity < 2 {
+		capacity = distEagerCapacity
+	}
+	world, err := msgpass.NewWorld(ranks, msgpass.WithCapacity(capacity))
+	if err != nil {
+		return nil, err
+	}
+
+	rows, cols, mode := g.Rows, g.Cols, g.Mode
+	stats := &RunStats{}
+
+	err = world.Run(func(c *msgpass.Comm) error {
+		rank := c.Rank()
+		lo, hi := pthread.BlockRange(rank, ranks, rows)
+		band := hi - lo
+
+		// Local shard: band rows plus one halo row above and below. Halo
+		// rows are index 0 and band+1; owned rows are 1..band. Both parity
+		// buffers start zeroed, which is exactly the all-dead halo DeadEdges
+		// boundary ranks need forever (the kernel never writes halo rows).
+		src := make([]uint8, (band+2)*cols)
+		dst := make([]uint8, (band+2)*cols)
+		zero := make([]uint8, cols)
+
+		// Distribute: rank 0 owns the grid and mails every other rank its
+		// band; its own band is a local copy.
+		if rank == 0 {
+			for r := 1; r < ranks; r++ {
+				rlo, rhi := pthread.BlockRange(r, ranks, rows)
+				block := append([]uint8(nil), g.cells[rlo*cols:rhi*cols]...)
+				if err := msgpass.Send(c, r, distTagBlock, block); err != nil {
+					return err
+				}
+			}
+			copy(src[cols:(band+1)*cols], g.cells[lo*cols:hi*cols])
+		} else {
+			block, err := msgpass.Recv[[]uint8](c, 0, distTagBlock)
+			if err != nil {
+				return err
+			}
+			if len(block) != band*cols {
+				return fmt.Errorf("rank %d: block of %d cells, want %d", rank, len(block), band*cols)
+			}
+			copy(src[cols:(band+1)*cols], block)
+		}
+
+		// Neighbor ranks: above owns row lo-1, below owns row hi. -1 means
+		// a DeadEdges boundary (halo stays all-dead).
+		up, down := rank-1, rank+1
+		if rank == 0 {
+			up = -1
+			if mode == Torus {
+				up = ranks - 1
+			}
+		}
+		if rank == ranks-1 {
+			down = -1
+			if mode == Torus {
+				down = 0
+			}
+		}
+
+		var updates int64
+		for gen := 0; gen < n; gen++ {
+			top := src[cols : 2*cols]                     // first owned row
+			bot := src[band*cols : (band+1)*cols]         // last owned row
+			haloTop := src[:cols]                         // row lo-1's image
+			haloBot := src[(band+1)*cols : (band+2)*cols] // row hi's image
+			if up == rank {                               // single-rank torus: both neighbors are us
+				copy(haloTop, bot)
+				copy(haloBot, top)
+			} else {
+				// Post both sends before either receive: under eager
+				// buffering the symmetric exchange cannot deadlock, and the
+				// payloads are copies, so a neighbor may apply them whenever
+				// it gets around to its own exchange. Then fill the halos —
+				// the neighbor above's bottom row arrives as tagDown, the
+				// one below's top row as tagUp.
+				if up >= 0 {
+					if err := msgpass.Send(c, up, distTagUp, append([]uint8(nil), top...)); err != nil {
+						return err
+					}
+				}
+				if down >= 0 {
+					if err := msgpass.Send(c, down, distTagDown, append([]uint8(nil), bot...)); err != nil {
+						return err
+					}
+				}
+				if up >= 0 {
+					row, err := msgpass.Recv[[]uint8](c, up, distTagDown)
+					if err != nil {
+						return err
+					}
+					copy(haloTop, row)
+				}
+				if down >= 0 {
+					row, err := msgpass.Recv[[]uint8](c, down, distTagUp)
+					if err != nil {
+						return err
+					}
+					copy(haloBot, row)
+				}
+			}
+			// The shared kernel over owned rows only. The local buffer is
+			// band+2 rows tall and the range [1, band+1) never reaches rows
+			// 0 or band+1 as a *computed* row, so rowIn never wraps — all
+			// vertical neighbor data comes from the exchanged halos, while
+			// column wrapping (mode) behaves exactly as on the full grid.
+			updates += stepSlices(src, dst, zero, band+2, cols, mode, 1, band+1, 0, cols)
+			src, dst = dst, src
+		}
+
+		// Stats meet in an Allreduce: every rank learns the global total,
+		// the root records it.
+		total, err := msgpass.Allreduce(c, updates, func(a, b int64) int64 { return a + b })
+		if err != nil {
+			return err
+		}
+
+		// Collect: everyone mails the final band home; rank 0 assembles the
+		// next generation buffer (promoted to current after the world joins).
+		if rank == 0 {
+			copy(g.next[lo*cols:hi*cols], src[cols:(band+1)*cols])
+			for r := 1; r < ranks; r++ {
+				rlo, rhi := pthread.BlockRange(r, ranks, rows)
+				block, err := msgpass.Recv[[]uint8](c, r, distTagBlock)
+				if err != nil {
+					return err
+				}
+				if len(block) != (rhi-rlo)*cols {
+					return fmt.Errorf("rank 0: block from %d has %d cells, want %d", r, len(block), (rhi-rlo)*cols)
+				}
+				copy(g.next[rlo*cols:rhi*cols], block)
+			}
+			stats.LiveUpdates = total
+			stats.Rounds = n
+		} else {
+			if err := msgpass.Send(c, 0, distTagBlock, append([]uint8(nil), src[cols:(band+1)*cols]...)); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	// Promote the assembled generation. One swap suffices: the Grid's
+	// buffers were never touched mid-run, only g.next at collection time.
+	g.cells, g.next = g.next, g.cells
+	g.Generation += n
+	dr.CommStats = world.Stats()
+	return stats, nil
+}

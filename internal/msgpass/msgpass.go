@@ -1,0 +1,325 @@
+// Package msgpass is an MPI-style message-passing runtime over goroutines:
+// a World of rank-addressed Comms with tagged point-to-point Send/Recv and
+// tree-based collectives (Barrier, Bcast, Reduce, Allreduce, Scatter,
+// Gather). It is the distributed-memory counterpart of internal/pthread —
+// where the shared-memory labs synchronize threads over one address space,
+// msgpass ranks share nothing and communicate only by messages, the model
+// the cited distributed-computing curricula (Tadonki's MPI module, Shafi
+// et al.'s MPJ send/recv teaching API) build their Life-style workloads on.
+//
+// Semantics follow MPI where a classroom-scale runtime can afford to:
+//
+//   - Point-to-point messages match by exact (source, tag) and are
+//     non-overtaking: two messages from the same sender with the same tag
+//     are received in send order.
+//   - Each rank's inbox is a buffered channel of configurable capacity.
+//     Capacity > 0 gives eager sends (Send returns once the message is
+//     buffered); capacity 0 gives rendezvous sends (Send blocks until the
+//     receiver is actively draining its inbox) — both semantics are
+//     testable, and symmetric exchanges that are safe under eager buffering
+//     deadlock under rendezvous exactly as they would under MPI_Ssend.
+//   - Collectives must be called by every rank of the world in the same
+//     order. They are built on the point-to-point layer in a reserved
+//     negative tag space, combining fan-in-barrierFanIn trees — the same
+//     discipline as internal/pthread.Barrier's combining tree, expressed
+//     with messages instead of shared counters.
+//
+// Every Comm keeps per-rank traffic counters (messages, bytes, collective
+// calls) so experiments can weigh communication against computation.
+package msgpass
+
+import (
+	"fmt"
+	"reflect"
+	"sync/atomic"
+
+	"cs31/internal/pthread"
+)
+
+// DefaultCapacity is the per-rank inbox depth a World gets when no explicit
+// capacity is configured: deep enough that the halo-exchange and collective
+// patterns in this repo run eagerly, small enough that backpressure is
+// reachable in tests.
+const DefaultCapacity = 16
+
+// envelope is one in-flight message.
+type envelope struct {
+	source  int
+	tag     int
+	payload any
+	bytes   int64
+}
+
+// World is a fixed set of ranks that can message each other — the
+// MPI_COMM_WORLD of a run. Create one with NewWorld, then either drive all
+// ranks with Run or hand individual Comms to your own goroutines (exactly
+// one goroutine may use a given Comm at a time).
+type World struct {
+	size     int
+	capacity int
+	comms    []*Comm
+}
+
+// Option configures a World.
+type Option func(*worldConfig)
+
+type worldConfig struct {
+	capacity int
+	hasCap   bool
+}
+
+// WithCapacity sets the per-rank inbox capacity. Zero selects rendezvous
+// sends: Send blocks until the destination rank pulls the message in Recv.
+func WithCapacity(n int) Option {
+	return func(c *worldConfig) {
+		c.capacity = n
+		c.hasCap = true
+	}
+}
+
+// NewWorld creates a world of size ranks.
+func NewWorld(size int, opts ...Option) (*World, error) {
+	if size < 1 {
+		return nil, fmt.Errorf("msgpass: world size %d invalid", size)
+	}
+	cfg := worldConfig{capacity: DefaultCapacity}
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	if cfg.hasCap && cfg.capacity < 0 {
+		return nil, fmt.Errorf("msgpass: inbox capacity %d invalid", cfg.capacity)
+	}
+	w := &World{size: size, capacity: cfg.capacity}
+	w.comms = make([]*Comm, size)
+	for r := 0; r < size; r++ {
+		w.comms[r] = &Comm{
+			world: w,
+			rank:  r,
+			inbox: make(chan envelope, cfg.capacity),
+		}
+	}
+	return w, nil
+}
+
+// Size reports the number of ranks.
+func (w *World) Size() int { return w.size }
+
+// Comm returns rank r's communicator. At most one goroutine may use it at a
+// time (MPI's one-process-per-rank discipline).
+func (w *World) Comm(r int) (*Comm, error) {
+	if r < 0 || r >= w.size {
+		return nil, fmt.Errorf("msgpass: rank %d outside world of %d", r, w.size)
+	}
+	return w.comms[r], nil
+}
+
+// Run spawns one thread per rank, invokes fn with that rank's Comm, joins
+// them all, and returns the lowest-rank error (so the outcome does not
+// depend on scheduling).
+func (w *World) Run(fn func(c *Comm) error) error {
+	if fn == nil {
+		return fmt.Errorf("msgpass: nil rank function")
+	}
+	threads := make([]*pthread.Thread, w.size)
+	for r := 0; r < w.size; r++ {
+		c := w.comms[r]
+		threads[r] = pthread.Create(func() interface{} {
+			return fn(c)
+		})
+	}
+	var firstErr error
+	for r, t := range threads {
+		v, err := t.Join()
+		if err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("msgpass: rank %d: %w", r, err)
+		}
+		if e, ok := v.(error); ok && e != nil && firstErr == nil {
+			firstErr = fmt.Errorf("msgpass: rank %d: %w", r, e)
+		}
+	}
+	return firstErr
+}
+
+// CommStats is one rank's traffic counters.
+type CommStats struct {
+	Rank        int
+	Sends       int64 // point-to-point messages sent (collective traffic included)
+	Recvs       int64 // point-to-point messages received
+	BytesSent   int64
+	BytesRecvd  int64
+	Collectives int64 // collective calls entered on this rank
+}
+
+// WorldStats aggregates every rank's counters.
+type WorldStats struct {
+	PerRank     []CommStats
+	Sends       int64
+	BytesSent   int64
+	Collectives int64
+}
+
+// Stats snapshots every rank's counters. Safe to call while ranks run.
+func (w *World) Stats() WorldStats {
+	ws := WorldStats{PerRank: make([]CommStats, w.size)}
+	for r, c := range w.comms {
+		s := c.Stats()
+		ws.PerRank[r] = s
+		ws.Sends += s.Sends
+		ws.BytesSent += s.BytesSent
+		ws.Collectives += s.Collectives
+	}
+	return ws
+}
+
+// Comm is one rank's endpoint: its identity in the world, its inbox, and
+// the pending queue of messages that arrived before anyone asked for them.
+type Comm struct {
+	world *World
+	rank  int
+	inbox chan envelope
+
+	// pending holds arrived-but-unmatched envelopes in arrival order. Only
+	// the rank's own goroutine touches it (Recv is single-consumer), so it
+	// needs no lock.
+	pending []envelope
+
+	// collSeq numbers this rank's collective calls. Collectives are called
+	// in the same order on every rank, so equal sequence numbers name the
+	// same logical operation world-wide; the tag -seq keeps collective
+	// traffic out of the non-negative user tag space.
+	collSeq int64
+
+	sends       atomic.Int64
+	recvs       atomic.Int64
+	bytesSent   atomic.Int64
+	bytesRecvd  atomic.Int64
+	collectives atomic.Int64
+}
+
+// Rank reports this communicator's rank.
+func (c *Comm) Rank() int { return c.rank }
+
+// Size reports the world size.
+func (c *Comm) Size() int { return c.world.size }
+
+// Stats snapshots this rank's counters.
+func (c *Comm) Stats() CommStats {
+	return CommStats{
+		Rank:        c.rank,
+		Sends:       c.sends.Load(),
+		Recvs:       c.recvs.Load(),
+		BytesSent:   c.bytesSent.Load(),
+		BytesRecvd:  c.bytesRecvd.Load(),
+		Collectives: c.collectives.Load(),
+	}
+}
+
+// payloadBytes estimates a payload's wire size for the traffic counters:
+// element bytes for slices and strings, shallow type size otherwise. The
+// figure feeds analysis, not allocation, so a deterministic estimate beats
+// a deep traversal.
+func payloadBytes(v any) int64 {
+	if v == nil {
+		return 0
+	}
+	t := reflect.TypeOf(v)
+	switch t.Kind() {
+	case reflect.Slice:
+		return int64(reflect.ValueOf(v).Len()) * int64(t.Elem().Size())
+	case reflect.String:
+		return int64(len(v.(string)))
+	default:
+		return int64(t.Size())
+	}
+}
+
+// Send delivers payload to rank dest under tag. User tags must be
+// non-negative (negative tags are the collectives' reserved space). With a
+// buffered inbox the send is eager; with capacity 0 it blocks until dest
+// drains it (rendezvous). Sending to yourself requires free inbox capacity
+// — a rendezvous self-send deadlocks, exactly as in MPI.
+func (c *Comm) Send(dest, tag int, payload any) error {
+	if err := c.checkRank("send", dest); err != nil {
+		return err
+	}
+	if tag < 0 {
+		return fmt.Errorf("msgpass: rank %d send: tag %d is reserved (user tags are >= 0)", c.rank, tag)
+	}
+	c.send(dest, tag, payload)
+	return nil
+}
+
+// send is the unchecked path shared with the collectives (which use the
+// negative tag space Send rejects).
+func (c *Comm) send(dest, tag int, payload any) {
+	n := payloadBytes(payload)
+	c.world.comms[dest].inbox <- envelope{source: c.rank, tag: tag, payload: payload, bytes: n}
+	c.sends.Add(1)
+	c.bytesSent.Add(n)
+}
+
+// Recv blocks until a message from source with exactly tag arrives and
+// returns its payload. Messages from other (source, tag) pairs that arrive
+// in the meantime are queued and left for their own Recv calls; for a fixed
+// pair, delivery order is send order.
+func (c *Comm) Recv(source, tag int) (any, error) {
+	if err := c.checkRank("recv", source); err != nil {
+		return nil, err
+	}
+	if tag < 0 {
+		return nil, fmt.Errorf("msgpass: rank %d recv: tag %d is reserved (user tags are >= 0)", c.rank, tag)
+	}
+	return c.recv(source, tag), nil
+}
+
+// recv is the unchecked matching loop: scan pending in arrival order, then
+// pull the inbox, queuing mismatches, until the wanted (source, tag) shows.
+func (c *Comm) recv(source, tag int) any {
+	for i, env := range c.pending {
+		if env.source == source && env.tag == tag {
+			c.pending = append(c.pending[:i], c.pending[i+1:]...)
+			c.recvs.Add(1)
+			c.bytesRecvd.Add(env.bytes)
+			return env.payload
+		}
+	}
+	for {
+		env := <-c.inbox
+		if env.source == source && env.tag == tag {
+			c.recvs.Add(1)
+			c.bytesRecvd.Add(env.bytes)
+			return env.payload
+		}
+		c.pending = append(c.pending, env)
+	}
+}
+
+func (c *Comm) checkRank(op string, r int) error {
+	if r < 0 || r >= c.world.size {
+		return fmt.Errorf("msgpass: rank %d %s: peer rank %d outside world of %d", c.rank, op, r, c.world.size)
+	}
+	return nil
+}
+
+// Send delivers a typed payload — the generic front door over Comm.Send
+// (methods cannot be generic, package functions can).
+func Send[T any](c *Comm, dest, tag int, v T) error {
+	return c.Send(dest, tag, v)
+}
+
+// Recv receives a typed payload, failing loudly when the arriving message's
+// type does not match (a type mismatch is a program bug, not data).
+func Recv[T any](c *Comm, source, tag int) (T, error) {
+	v, err := c.Recv(source, tag)
+	if err != nil {
+		var zero T
+		return zero, err
+	}
+	tv, ok := v.(T)
+	if !ok {
+		var zero T
+		return zero, fmt.Errorf("msgpass: rank %d recv from %d tag %d: payload is %T, want %T",
+			c.rank, source, tag, v, zero)
+	}
+	return tv, nil
+}

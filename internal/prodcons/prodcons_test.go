@@ -51,6 +51,41 @@ func TestChanBufferExactlyOnce(t *testing.T) {
 	checkExactlyOnce(t, res)
 }
 
+// TestManyProducersManyConsumersExactlyOnce drives both buffer
+// implementations through heavier N x M pools over a deliberately small
+// buffer, so every shape spends most of its time blocked on not-full or
+// not-empty: the high-contention regime where a lost wakeup or double
+// delivery would actually surface (and, under -race, where the mutex and
+// condition-variable discipline is checked on every handoff).
+func TestManyProducersManyConsumersExactlyOnce(t *testing.T) {
+	impls := []struct {
+		name string
+		mk   func(capacity int) (Buffer, error)
+	}{
+		{"bounded", func(c int) (Buffer, error) { return NewBounded(c) }},
+		{"chan", func(c int) (Buffer, error) { return NewChan(c) }},
+	}
+	shapes := []struct{ prod, cons, per int }{
+		{2, 8, 120}, {8, 2, 30}, {8, 8, 60}, {6, 3, 99},
+	}
+	for _, impl := range impls {
+		for _, shape := range shapes {
+			buf, err := impl.mk(4)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := Run(buf, shape.prod, shape.cons, shape.per)
+			if err != nil {
+				t.Fatalf("%s %+v: %v", impl.name, shape, err)
+			}
+			if res.Produced != shape.prod*shape.per {
+				t.Fatalf("%s %+v: produced %d, want %d", impl.name, shape, res.Produced, shape.prod*shape.per)
+			}
+			checkExactlyOnce(t, res)
+		}
+	}
+}
+
 func TestTinyBufferForcesBlocking(t *testing.T) {
 	// Capacity 1 forces producers and consumers to alternate.
 	buf, err := NewBounded(1)

@@ -20,9 +20,13 @@ type LifeCase struct {
 	Gens       int
 	Seed       int64
 	Density    float64
+	Dist       bool // run the message-passing DistRunner instead of shared-memory threads
 }
 
 func (c LifeCase) String() string {
+	if c.Dist {
+		return fmt.Sprintf("%dx%d/%v/ranks-%d/dist", c.Rows, c.Cols, c.Partition, c.Threads)
+	}
 	return fmt.Sprintf("%dx%d/%v/threads-%d", c.Rows, c.Cols, c.Partition, c.Threads)
 }
 
@@ -53,9 +57,23 @@ func LifeGrid(sizes [][2]int, threads []int, partitions []life.Partition, gens i
 	return cases
 }
 
+// DistLifeGrid is LifeGrid for the message-passing engine: the same
+// cartesian product, but every multi-worker point runs DistRunner ranks
+// instead of shared-memory threads (thread-count 1 stays the serial
+// baseline either way, so dist speedup curves share their denominator
+// with the shared-memory ones).
+func DistLifeGrid(sizes [][2]int, ranks []int, gens int, seed int64, density float64) []LifeCase {
+	cases := LifeGrid(sizes, ranks, []life.Partition{life.ByRows}, gens, seed, density)
+	for i := range cases {
+		cases[i].Dist = true
+	}
+	return cases
+}
+
 // RunLifeGrid fans the cases across workers. Thread-count 1 runs the
 // serial engine (the speedup baseline and the differential reference);
-// higher counts run the sharded ParallelRunner.
+// higher counts run the sharded ParallelRunner, or the message-passing
+// DistRunner for cases marked Dist.
 func RunLifeGrid(ctx context.Context, workers int, cases []LifeCase) ([]LifeResult, error) {
 	return Run(ctx, workers, cases, func(ctx context.Context, c LifeCase) (LifeResult, error) {
 		g, err := life.NewGrid(c.Rows, c.Cols, life.Torus)
@@ -64,9 +82,17 @@ func RunLifeGrid(ctx context.Context, workers int, cases []LifeCase) ([]LifeResu
 		}
 		g.Randomize(c.Seed, c.Density)
 		res := LifeResult{Case: c}
-		if c.Threads <= 1 {
+		switch {
+		case c.Threads <= 1:
 			res.LiveUpdates = g.RunCounted(c.Gens)
-		} else {
+		case c.Dist:
+			dr := &life.DistRunner{G: g, Ranks: c.Threads, Partition: c.Partition}
+			stats, err := dr.Run(c.Gens)
+			if err != nil {
+				return res, err
+			}
+			res.LiveUpdates = stats.LiveUpdates
+		default:
 			pr := &life.ParallelRunner{G: g, Threads: c.Threads, Partition: c.Partition}
 			stats, err := pr.Run(c.Gens)
 			if err != nil {

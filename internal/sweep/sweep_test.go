@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"strings"
 	"sync/atomic"
 	"testing"
 
@@ -167,6 +168,87 @@ func TestLifeGridDifferential(t *testing.T) {
 		}
 		if res.Generation != gens {
 			t.Errorf("%v: generation = %d, want %d", c, res.Generation, gens)
+		}
+	}
+}
+
+// TestDistLifeGridDifferential runs the message-passing engine's grid
+// through the sweep pool and checks every point against the serial engine —
+// the distributed counterpart of TestLifeGridDifferential. Rank count 33
+// over 16-row boards exercises the surplus-rank clamp inside a grid run.
+func TestDistLifeGridDifferential(t *testing.T) {
+	sizes := [][2]int{{16, 16}, {19, 23}}
+	ranks := []int{1, 2, 8, 33}
+	const (
+		gens    = 5
+		seed    = 11
+		density = 0.35
+	)
+	cases := DistLifeGrid(sizes, ranks, gens, seed, density)
+	if want := len(sizes) * len(ranks); len(cases) != want {
+		t.Fatalf("grid has %d cases, want %d", len(cases), want)
+	}
+	for _, c := range cases {
+		if !c.Dist {
+			t.Fatalf("case %v not marked Dist", c)
+		}
+		if c.Threads > 1 && !strings.HasSuffix(c.String(), "/dist") {
+			t.Fatalf("case label %q does not name the dist engine", c.String())
+		}
+	}
+	results, err := RunLifeGrid(context.Background(), 4, cases)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, res := range results {
+		c := cases[i]
+		serial, err := life.NewGrid(c.Rows, c.Cols, life.Torus)
+		if err != nil {
+			t.Fatal(err)
+		}
+		serial.Randomize(c.Seed, c.Density)
+		wantUpdates := serial.RunCounted(c.Gens)
+		if res.LiveUpdates != wantUpdates {
+			t.Errorf("%v: LiveUpdates = %d, serial engine counted %d", c, res.LiveUpdates, wantUpdates)
+		}
+		if res.Population != serial.Population() {
+			t.Errorf("%v: population = %d, serial engine has %d", c, res.Population, serial.Population())
+		}
+	}
+}
+
+// TestGridSurplusWorkersClampedDifferential is the regression test for the
+// PR-3 surplus-worker class at the grid level: cases whose worker count far
+// exceeds the partition extent (64 workers over boards with as few as 2
+// rows) must clamp and still match the serial engine bit-for-bit, on both
+// the shared-memory and the message-passing engine.
+func TestGridSurplusWorkersClampedDifferential(t *testing.T) {
+	sizes := [][2]int{{2, 9}, {3, 3}, {5, 17}}
+	const (
+		gens    = 6
+		seed    = 23
+		density = 0.4
+	)
+	shared := LifeGrid(sizes, []int{64}, []life.Partition{life.ByRows, life.ByCols}, gens, seed, density)
+	dist := DistLifeGrid(sizes, []int{64}, gens, seed, density)
+	cases := append(shared, dist...)
+	results, err := RunLifeGrid(context.Background(), 4, cases)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, res := range results {
+		c := cases[i]
+		serial, err := life.NewGrid(c.Rows, c.Cols, life.Torus)
+		if err != nil {
+			t.Fatal(err)
+		}
+		serial.Randomize(c.Seed, c.Density)
+		wantUpdates := serial.RunCounted(c.Gens)
+		if res.LiveUpdates != wantUpdates {
+			t.Errorf("%v: LiveUpdates = %d, serial engine counted %d", c, res.LiveUpdates, wantUpdates)
+		}
+		if res.Population != serial.Population() {
+			t.Errorf("%v: population = %d, serial engine has %d", c, res.Population, serial.Population())
 		}
 	}
 }
