@@ -7,6 +7,11 @@
 //	life -rows 64 -cols 64 -iters 100 -threads 4 -visual
 //	life -file oscillator.txt -threads 2
 //	life -rows 512 -cols 512 -iters 50 -bench 16     # speedup table
+//
+// The message-passing engine (-dist) exposes the fault-injection knobs of
+// the msgpass runtime: -chaos-seed/-chaos-delay/-chaos-stall perturb
+// message timing deterministically (a straggler demo in one flag), and
+// -watchdog turns a protocol hang into a structured deadlock report.
 package main
 
 import (
@@ -15,8 +20,10 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"cs31/internal/life"
+	"cs31/internal/msgpass"
 	"cs31/internal/paravis"
 	"cs31/internal/sweep"
 )
@@ -41,6 +48,11 @@ func run() error {
 	visual := flag.Bool("visual", false, "render each generation (ParaVis)")
 	color := flag.Bool("color", true, "color thread regions in visual mode")
 	bench := flag.Int("bench", 0, "measure speedup for 1..N threads and exit")
+	chaosSeed := flag.Int64("chaos-seed", 0, "fault-injection seed (dist engine; 0 = chaos off)")
+	chaosDelay := flag.Duration("chaos-delay", 0, "max injected delivery delay per message (dist engine)")
+	chaosStall := flag.Duration("chaos-stall", 0, "max injected stall per receive (dist engine)")
+	chaosRank := flag.Int("chaos-rank", -1, "restrict injection to one rank (-1 = all ranks)")
+	watchdog := flag.Duration("watchdog", 0, "deadlock watchdog timeout (dist engine; 0 = off)")
 	flag.Parse()
 
 	var g *life.Grid
@@ -80,13 +92,46 @@ func run() error {
 		return fmt.Errorf("-dist shards by rows only")
 	}
 
+	var chaos *msgpass.Chaos
+	if *chaosDelay > 0 || *chaosStall > 0 {
+		if !*dist {
+			return fmt.Errorf("-chaos-delay/-chaos-stall require -dist")
+		}
+		chaos = &msgpass.Chaos{
+			Seed:      *chaosSeed,
+			DelayProb: 1,
+			MaxDelay:  *chaosDelay,
+			StallProb: 1,
+			MaxStall:  *chaosStall,
+		}
+		if *chaosDelay == 0 {
+			chaos.DelayProb = 0
+		}
+		if *chaosStall == 0 {
+			chaos.StallProb = 0
+		}
+		if *chaosRank >= 0 {
+			chaos.Ranks = []int{*chaosRank}
+		}
+	}
+	if *watchdog > 0 && !*dist {
+		return fmt.Errorf("-watchdog requires -dist")
+	}
+
 	if *bench > 0 {
 		return runBench(g, *iters, *bench, part, *dist)
 	}
 
 	if *dist && *threads > 1 {
-		dr := &life.DistRunner{G: g, Ranks: *threads, Partition: part}
+		dr := &life.DistRunner{G: g, Ranks: *threads, Partition: part,
+			Chaos: chaos, Watchdog: *watchdog}
+		start := time.Now()
 		stats, err := dr.Run(*iters)
+		elapsed := time.Since(start)
+		if chaos != nil || *watchdog > 0 {
+			fmt.Printf("fault injection: seed %d, delay<=%v, stall<=%v, watchdog %v (elapsed %v)\n",
+				*chaosSeed, *chaosDelay, *chaosStall, *watchdog, elapsed.Round(time.Millisecond))
+		}
 		if err != nil {
 			return err
 		}

@@ -517,42 +517,45 @@ func (s *Server) lifeRun(ctx context.Context, req LifeRunRequest) (LifeRunRespon
 	return resp, nil
 }
 
-// runLifeCtx advances the grid by iters generations in chunks, polling ctx
-// between chunks so a timed-out or canceled request frees its worker
-// instead of simulating to completion. Returns accumulated live updates
+// runLifeCtx advances the grid by iters generations under the request
+// context. The parallel and dist engines take ctx directly — a timed-out
+// or canceled request aborts their worlds mid-run and joins every rank and
+// worker goroutine before returning, so the daemon sheds the whole
+// goroutine tree within roughly one generation of the deadline. The serial
+// engine has no internal cancellation points, so it still runs in chunks
+// with a ctx poll between them. Returns accumulated live updates
 // (parallel/dist runs only; the serial engine doesn't track them).
 func runLifeCtx(ctx context.Context, g *life.Grid, threads int, part life.Partition, dist bool, iters int) (int64, error) {
-	const chunk = 8
-	var live int64
-	for done := 0; done < iters; {
-		if err := ctx.Err(); err != nil {
-			return live, err
-		}
-		n := chunk
-		if iters-done < n {
-			n = iters - done
-		}
-		switch {
-		case threads <= 1:
+	switch {
+	case threads <= 1:
+		const chunk = 8
+		for done := 0; done < iters; {
+			if err := ctx.Err(); err != nil {
+				return 0, err
+			}
+			n := chunk
+			if iters-done < n {
+				n = iters - done
+			}
 			g.Run(n)
-		case dist:
-			dr := &life.DistRunner{G: g, Ranks: threads, Partition: part}
-			st, err := dr.Run(n)
-			if err != nil {
-				return live, err
-			}
-			live += st.LiveUpdates
-		default:
-			pr := &life.ParallelRunner{G: g, Threads: threads, Partition: part}
-			st, err := pr.Run(n)
-			if err != nil {
-				return live, err
-			}
-			live += st.LiveUpdates
+			done += n
 		}
-		done += n
+		return 0, nil
+	case dist:
+		dr := &life.DistRunner{G: g, Ranks: threads, Partition: part}
+		st, err := dr.RunCtx(ctx, iters)
+		if err != nil {
+			return 0, err
+		}
+		return st.LiveUpdates, nil
+	default:
+		pr := &life.ParallelRunner{G: g, Threads: threads, Partition: part}
+		st, err := pr.RunCtx(ctx, iters)
+		if err != nil {
+			return 0, err
+		}
+		return st.LiveUpdates, nil
 	}
-	return live, nil
 }
 
 // --- GET /v1/homework -------------------------------------------------

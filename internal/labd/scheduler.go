@@ -187,6 +187,24 @@ func (s *Scheduler) Shutdown(ctx context.Context) error {
 	}
 }
 
+// RetryAfter estimates, in whole seconds, how long a client rejected with
+// ErrQueueFull should wait before retrying — the value the server puts in
+// the 429 response's Retry-After header. The estimate is queue depth plus
+// the in-flight jobs, spread over the worker pool, assuming roughly a
+// second per job (generous for most endpoints); it is clamped to [1, 30]
+// so a deep queue never tells a client to go away for minutes.
+func (s *Scheduler) RetryAfter() int {
+	backlog := int64(len(s.queue)) + s.active.Load()
+	secs := (backlog + int64(s.workers) - 1) / int64(s.workers)
+	if secs < 1 {
+		secs = 1
+	}
+	if secs > 30 {
+		secs = 30
+	}
+	return int(secs)
+}
+
 // Stats snapshots the scheduler counters.
 func (s *Scheduler) Stats() SchedStats {
 	return SchedStats{

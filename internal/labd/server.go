@@ -239,7 +239,10 @@ func (s *Server) schedule(w http.ResponseWriter, r *http.Request, fn func(ctx co
 	if err != nil {
 		status := httpStatusFor(err)
 		if status == http.StatusTooManyRequests {
-			w.Header().Set("Retry-After", "1")
+			// Backpressure with guidance: derive the retry hint from the
+			// actual backlog so clients spread out proportionally to load
+			// instead of hammering back in lockstep one second later.
+			w.Header().Set("Retry-After", strconv.Itoa(s.sched.RetryAfter()))
 		}
 		writeJSON(w, status, errorBody{Error: err.Error()})
 		return

@@ -1,7 +1,9 @@
 package life
 
 import (
+	"context"
 	"fmt"
+	"time"
 
 	"cs31/internal/msgpass"
 	"cs31/internal/pthread"
@@ -37,6 +39,17 @@ type DistRunner struct {
 	Capacity  int       // per-rank inbox depth; < 2 selects the eager default
 	Partition Partition // accepted for symmetry; only ByRows is supported
 
+	// Chaos, when non-nil, arms seeded fault injection on the world: bounded
+	// delivery delays and rank stalls that perturb timing without touching
+	// message order, so the halo exchange can be stress-tested against
+	// stragglers while staying bit-for-bit equal to the serial engine.
+	Chaos *msgpass.Chaos
+
+	// Watchdog, when positive, arms the deadlock detector: a protocol bug
+	// (or a chaos schedule that exposes one) surfaces as a structured
+	// DeadlockError naming the blocked ranks instead of a hang.
+	Watchdog time.Duration
+
 	// CommStats holds the world's traffic counters after Run returns.
 	CommStats msgpass.WorldStats
 }
@@ -55,6 +68,15 @@ type DistRunner struct {
 // neighbor (a single-rank torus) copies its edge rows locally instead of
 // messaging itself.
 func (dr *DistRunner) Run(n int) (*RunStats, error) {
+	return dr.RunCtx(context.Background(), n)
+}
+
+// RunCtx is Run under a context: when ctx is canceled mid-run the world
+// aborts, every rank (including ones parked in halo receives or chaos
+// sleeps) unwinds promptly, all rank goroutines are joined, and the error
+// wraps ctx.Err(). The grid is left untouched on any error — generations
+// only commit after a clean collection.
+func (dr *DistRunner) RunCtx(ctx context.Context, n int) (*RunStats, error) {
 	if dr.Ranks < 1 {
 		return nil, fmt.Errorf("life: need at least 1 rank")
 	}
@@ -73,7 +95,14 @@ func (dr *DistRunner) Run(n int) (*RunStats, error) {
 	if capacity < 2 {
 		capacity = distEagerCapacity
 	}
-	world, err := msgpass.NewWorld(ranks, msgpass.WithCapacity(capacity))
+	opts := []msgpass.Option{msgpass.WithCapacity(capacity)}
+	if dr.Chaos != nil {
+		opts = append(opts, msgpass.WithChaos(*dr.Chaos))
+	}
+	if dr.Watchdog > 0 {
+		opts = append(opts, msgpass.WithWatchdog(dr.Watchdog))
+	}
+	world, err := msgpass.NewWorld(ranks, opts...)
 	if err != nil {
 		return nil, err
 	}
@@ -81,7 +110,7 @@ func (dr *DistRunner) Run(n int) (*RunStats, error) {
 	rows, cols, mode := g.Rows, g.Cols, g.Mode
 	stats := &RunStats{}
 
-	err = world.Run(func(c *msgpass.Comm) error {
+	err = world.RunCtx(ctx, func(c *msgpass.Comm) error {
 		rank := c.Rank()
 		lo, hi := pthread.BlockRange(rank, ranks, rows)
 		band := hi - lo
@@ -213,6 +242,9 @@ func (dr *DistRunner) Run(n int) (*RunStats, error) {
 		}
 		return nil
 	})
+	// Record traffic counters even on a failed run: a canceled or deadlocked
+	// run's partial traffic is exactly what fault diagnosis wants to see.
+	dr.CommStats = world.Stats()
 	if err != nil {
 		return nil, err
 	}
@@ -220,6 +252,5 @@ func (dr *DistRunner) Run(n int) (*RunStats, error) {
 	// buffers were never touched mid-run, only g.next at collection time.
 	g.cells, g.next = g.next, g.cells
 	g.Generation += n
-	dr.CommStats = world.Stats()
 	return stats, nil
 }

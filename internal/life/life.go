@@ -8,10 +8,13 @@
 package life
 
 import (
+	"context"
 	"fmt"
 	"io"
+	"math"
 	"math/rand"
 	"strings"
+	"sync/atomic"
 
 	"cs31/internal/pthread"
 )
@@ -453,8 +456,33 @@ type ParallelRunner struct {
 // cache-line-padded shard once after the loop, reduced after join; the
 // per-generation hot path takes no lock and allocates nothing.
 func (pr *ParallelRunner) Run(n int) (*RunStats, error) {
+	return pr.RunCtx(context.Background(), n)
+}
+
+// noStop is stopRound's armed-but-not-triggered sentinel.
+const noStop = math.MaxInt64
+
+// RunCtx is Run under a context. Cancellation must be *uniform*: every
+// worker has to leave the round loop at the same round boundary, or the
+// leavers strand the stayers at the next barrier forever. The round's
+// serial thread is the only cancellation observer: on a canceled context it
+// arms stopRound = r+2 (stop before round r+2) after publishing round r.
+// Every worker compares its finished round against stopRound at the bottom
+// of each iteration; the barrier's own synchronization guarantees that by
+// the time any worker finishes round r+1 it sees the arm (the serial thread
+// stored it before arriving at barrier r+1), so all workers break together
+// after round r+1. Cancellation therefore costs at most one extra
+// generation of latency, the grid is left on a whole-generation boundary,
+// and the error wraps ctx.Err().
+func (pr *ParallelRunner) RunCtx(ctx context.Context, n int) (*RunStats, error) {
 	if pr.Threads < 1 {
 		return nil, fmt.Errorf("life: need at least 1 thread")
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("life: parallel run not started: %w", err)
 	}
 	g := pr.G
 	extent := g.Rows
@@ -468,7 +496,7 @@ func (pr *ParallelRunner) Run(n int) (*RunStats, error) {
 		pr.Threads = extent
 	}
 	if pr.Reference {
-		return pr.refRun(n, extent)
+		return pr.refRun(ctx, n, extent)
 	}
 	barrier, err := pthread.NewBarrier(pr.Threads)
 	if err != nil {
@@ -479,6 +507,9 @@ func (pr *ParallelRunner) Run(n int) (*RunStats, error) {
 	rows, cols, mode := g.Rows, g.Cols, g.Mode
 	zero := g.zeroRow
 	src0, dst0 := g.cells, g.next
+	var stopRound atomic.Int64
+	stopRound.Store(noStop)
+	ctxDone := ctx.Done()
 
 	worker := func(id int) interface{} {
 		lo, hi := pthread.BlockRange(id, pr.Threads, extent)
@@ -503,8 +534,18 @@ func (pr *ParallelRunner) Run(n int) (*RunStats, error) {
 				if pr.OnRound != nil {
 					pr.OnRound(g)
 				}
+				// Arm the uniform stop. Round serial threads are totally
+				// ordered, so the CAS fires at most once; workers racing
+				// through this round's bottom check may miss the arm, but
+				// the barrier they cross next publishes it to everyone.
+				if ctxDone != nil && ctx.Err() != nil {
+					stopRound.CompareAndSwap(noStop, int64(round)+2)
+				}
 			}
 			src, dst = dst, src
+			if int64(round)+1 >= stopRound.Load() {
+				break
+			}
 		}
 		shards[id*statShardStride] = updates
 		return nil
@@ -516,6 +557,9 @@ func (pr *ParallelRunner) Run(n int) (*RunStats, error) {
 	for id := 0; id < pr.Threads; id++ {
 		stats.LiveUpdates += shards[id*statShardStride]
 	}
+	if stopRound.Load() != noStop {
+		return nil, fmt.Errorf("life: parallel run canceled after %d of %d rounds: %w", stats.Rounds, n, ctx.Err())
+	}
 	return stats, nil
 }
 
@@ -523,7 +567,10 @@ func (pr *ParallelRunner) Run(n int) (*RunStats, error) {
 // twice per generation (compute, then swap) and LiveUpdates merged under
 // the lab's shared-statistics mutex every round. The differential tests
 // and BenchmarkParallelLife hold the sharded runner to this baseline.
-func (pr *ParallelRunner) refRun(n, extent int) (*RunStats, error) {
+// Cancellation is simpler than the tree path's: the serial thread arms the
+// stop between the two barrier crossings, so the second crossing publishes
+// it to every worker and all of them leave at the end of the same round.
+func (pr *ParallelRunner) refRun(ctx context.Context, n, extent int) (*RunStats, error) {
 	g := pr.G
 	barrier, err := pthread.NewRefBarrier(pr.Threads)
 	if err != nil {
@@ -531,6 +578,9 @@ func (pr *ParallelRunner) refRun(n, extent int) (*RunStats, error) {
 	}
 	statsMu := pthread.NewMutex("life-stats")
 	stats := &RunStats{}
+	var stopRound atomic.Int64
+	stopRound.Store(noStop)
+	ctxDone := ctx.Done()
 
 	worker := func(id int) interface{} {
 		lo, hi := pthread.BlockRange(id, pr.Threads, extent)
@@ -559,14 +609,23 @@ func (pr *ParallelRunner) refRun(n, extent int) (*RunStats, error) {
 				if pr.OnRound != nil {
 					pr.OnRound(g)
 				}
+				if ctxDone != nil && ctx.Err() != nil {
+					stopRound.CompareAndSwap(noStop, int64(round)+1)
+				}
 			}
 			barrier.Wait()
+			if int64(round)+1 >= stopRound.Load() {
+				break
+			}
 		}
 		return nil
 	}
 
 	if err := runWorkers(pr.Threads, worker); err != nil {
 		return nil, err
+	}
+	if stopRound.Load() != noStop {
+		return nil, fmt.Errorf("life: parallel run canceled after %d of %d rounds: %w", stats.Rounds, n, ctx.Err())
 	}
 	return stats, nil
 }

@@ -1,0 +1,126 @@
+package msgpass
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// Chaos is the seeded fault-injection transport hook: it perturbs message
+// timing — never message content or order — so the runtime's failure
+// handling can be provoked deliberately instead of waited for. Two knobs:
+//
+//   - Delivery delays: before a message is enqueued at its destination,
+//     the sender sleeps a pseudorandom duration in (0, MaxDelay] with
+//     probability DelayProb. The delay happens in the sender's program
+//     order before the enqueue, so two messages on one (source, tag) pair
+//     still arrive in send order — the non-overtaking contract holds under
+//     any chaos schedule.
+//   - Rank stalls: before entering a receive, the rank sleeps a
+//     pseudorandom duration in (0, MaxStall] with probability StallProb —
+//     the straggler model (one slow rank holding up a halo exchange or a
+//     collective).
+//
+// Every rank draws from its own PRNG seeded from (Seed, rank), and draws
+// are consumed in the rank's program order, so a chaos schedule is
+// deterministic per (seed, rank program) regardless of goroutine
+// scheduling. Chaos sleeps are interruptible: an aborted world or a failed
+// rank wakes mid-sleep, so cancellation stays prompt under chaos.
+type Chaos struct {
+	Seed      int64
+	DelayProb float64       // probability a send's delivery is delayed
+	MaxDelay  time.Duration // delay drawn uniformly from (0, MaxDelay]
+	StallProb float64       // probability a rank stalls entering a recv
+	MaxStall  time.Duration // stall drawn uniformly from (0, MaxStall]
+	Ranks     []int         // restrict injection to these ranks; nil = all
+}
+
+// WithChaos arms the chaos hook on a world.
+func WithChaos(c Chaos) Option {
+	return func(cfg *worldConfig) {
+		cc := c
+		cfg.chaos = &cc
+	}
+}
+
+// WithWatchdog arms the deadlock watchdog: while World.Run drives the
+// ranks, a monitor samples every rank's wait-set and aborts the world with
+// a DeadlockError when a wait cycle (or a wait on an exited rank) stays
+// stable for roughly timeout. Detection latency is between one and two
+// timeouts; timeout must comfortably exceed any legitimate blocking span
+// (including chaos delays) or slow progress will be misread as deadlock —
+// the watchdog only trips on waits that made zero progress across two
+// consecutive samples, so the bound is on stall length, not total runtime.
+func WithWatchdog(timeout time.Duration) Option {
+	return func(cfg *worldConfig) {
+		cfg.watchdog = timeout
+	}
+}
+
+// validate checks the chaos configuration at NewWorld time.
+func (c *Chaos) validate(size int) error {
+	if c.DelayProb < 0 || c.DelayProb > 1 || c.StallProb < 0 || c.StallProb > 1 {
+		return fmt.Errorf("msgpass: chaos probabilities must be in [0,1], got delay %v stall %v",
+			c.DelayProb, c.StallProb)
+	}
+	if c.MaxDelay < 0 || c.MaxStall < 0 {
+		return fmt.Errorf("msgpass: chaos durations must be >= 0, got delay %v stall %v",
+			c.MaxDelay, c.MaxStall)
+	}
+	for _, r := range c.Ranks {
+		if r < 0 || r >= size {
+			return fmt.Errorf("msgpass: chaos rank %d outside world of %d", r, size)
+		}
+	}
+	return nil
+}
+
+// applies reports whether injection is armed for rank r.
+func (c *Chaos) applies(r int) bool {
+	if c.Ranks == nil {
+		return true
+	}
+	for _, cr := range c.Ranks {
+		if cr == r {
+			return true
+		}
+	}
+	return false
+}
+
+// chaosRNG builds rank r's injection PRNG. The mixing constants just
+// spread nearby (seed, rank) pairs; any fixed odd multipliers would do.
+func chaosRNG(seed int64, r int) *rand.Rand {
+	return rand.New(rand.NewSource(seed*1_000_003 + int64(r)*7919 + 1))
+}
+
+// chaosDelay performs one injection draw: with probability prob, sleep a
+// duration in (0, max]. The draw is consumed even when the sleep is
+// skipped only if prob > 0, so disabling one knob does not shift the other
+// knob's sequence.
+func (c *Comm) chaosDelay(prob float64, max time.Duration) error {
+	if c.rng == nil || prob <= 0 || max <= 0 {
+		return nil
+	}
+	if c.rng.Float64() >= prob {
+		return nil
+	}
+	d := time.Duration(c.rng.Int63n(int64(max))) + 1
+	return c.pause(d)
+}
+
+// pause is an interruptible sleep: it returns early (with the abort or
+// failure error) when the world aborts or this rank is failed, so injected
+// latency never delays cancellation.
+func (c *Comm) pause(d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-c.world.abort:
+		return c.world.abortError(c.rank, "chaos sleep", c.rank, 0)
+	case <-c.failed:
+		return &RankFailedError{Rank: c.rank}
+	}
+}

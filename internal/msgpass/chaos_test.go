@@ -1,0 +1,218 @@
+package msgpass
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+)
+
+// Tests for the chaos transport hook. The load-bearing property is that
+// chaos perturbs timing only: any program correct under the runtime's
+// semantics must produce bit-identical results under any chaos schedule,
+// because per-pair ordering and (source, tag) matching are untouched.
+
+// chaosMatchScript replays a fuzz-corpus matching script through a world
+// with the given options, so the differential tests can run the same
+// script with and without injection.
+func chaosMatchScript(s *matchScript, opts ...Option) ([]int, error) {
+	total := 0
+	for _, msgs := range s.senders {
+		total += len(msgs)
+	}
+	w, err := NewWorld(len(s.senders)+1, append([]Option{WithCapacity(total + 1)}, opts...)...)
+	if err != nil {
+		return nil, err
+	}
+	got := make([]int, 0, len(s.recvs))
+	err = w.Run(func(c *Comm) error {
+		if c.Rank() > 0 {
+			for _, m := range s.senders[c.Rank()-1] {
+				if err := Send(c, 0, m.tag, m.val); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+		for _, rq := range s.recvs {
+			v, err := Recv[int](c, rq[0]+1, rq[1])
+			if err != nil {
+				return err
+			}
+			got = append(got, v)
+		}
+		return nil
+	})
+	return got, err
+}
+
+// TestChaosPreservesMatching: the fuzz seed corpus, replayed under
+// aggressive delay and stall injection across several seeds, must deliver
+// exactly what the sequential reference matcher says — chaos shifts
+// timing, never matching.
+func TestChaosPreservesMatching(t *testing.T) {
+	for _, chaosSeed := range []int64{1, 2, 3} {
+		for i, seed := range matchSeeds() {
+			s := decodeMatchScript(seed)
+			if s == nil {
+				t.Fatalf("seed %d too short", i)
+			}
+			want := refMatch(s)
+			got, err := chaosMatchScript(s, WithChaos(Chaos{
+				Seed:      chaosSeed,
+				DelayProb: 0.8,
+				MaxDelay:  200 * time.Microsecond,
+				StallProb: 0.5,
+				MaxStall:  200 * time.Microsecond,
+			}))
+			if err != nil {
+				t.Fatalf("chaos seed %d script %d: %v", chaosSeed, i, err)
+			}
+			if fmt.Sprint(got) != fmt.Sprint(want) {
+				t.Errorf("chaos seed %d script %d: delivered %v, reference %v",
+					chaosSeed, i, got, want)
+			}
+		}
+	}
+}
+
+// TestChaosNonOvertaking: a same-(source, tag) message stream under heavy
+// delay injection must still arrive in send order — delays happen in the
+// sender's program order before the enqueue, so they cannot reorder a pair.
+func TestChaosNonOvertaking(t *testing.T) {
+	const n = 50
+	w, err := NewWorld(2, WithCapacity(4), WithChaos(Chaos{
+		Seed:      7,
+		DelayProb: 0.9,
+		MaxDelay:  100 * time.Microsecond,
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = w.Run(func(c *Comm) error {
+		if c.Rank() == 0 {
+			for i := 0; i < n; i++ {
+				if err := Send(c, 1, 0, i); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+		for i := 0; i < n; i++ {
+			got, err := Recv[int](c, 0, 0)
+			if err != nil {
+				return err
+			}
+			if got != i {
+				return fmt.Errorf("message %d arrived as %d: overtaking under chaos", i, got)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestChaosRankRestriction: with Ranks set, only the listed ranks draw
+// injection; the others must have no PRNG armed at all.
+func TestChaosRankRestriction(t *testing.T) {
+	w, err := NewWorld(4, WithChaos(Chaos{
+		Seed:      1,
+		DelayProb: 1,
+		MaxDelay:  time.Microsecond,
+		Ranks:     []int{2},
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r, c := range w.comms {
+		armed := c.rng != nil
+		if want := r == 2; armed != want {
+			t.Errorf("rank %d: chaos armed = %v, want %v", r, armed, want)
+		}
+	}
+}
+
+// TestChaosValidation: probabilities outside [0,1], negative durations, and
+// out-of-world ranks are rejected at NewWorld time.
+func TestChaosValidation(t *testing.T) {
+	bad := []Chaos{
+		{DelayProb: -0.1},
+		{DelayProb: 1.1},
+		{StallProb: 2},
+		{MaxDelay: -time.Second},
+		{MaxStall: -time.Second},
+		{Ranks: []int{3}},
+		{Ranks: []int{-1}},
+	}
+	for i, c := range bad {
+		if _, err := NewWorld(3, WithChaos(c)); err == nil {
+			t.Errorf("config %d (%+v) accepted", i, c)
+		}
+	}
+	ok := Chaos{Seed: 1, DelayProb: 0.5, MaxDelay: time.Millisecond, Ranks: []int{0, 2}}
+	if _, err := NewWorld(3, WithChaos(ok)); err != nil {
+		t.Errorf("valid config rejected: %v", err)
+	}
+}
+
+// TestChaosStallDoesNotTripWatchdog: stalls bounded well under the
+// watchdog timeout must never be reported as deadlock — the detector
+// requires zero progress across two consecutive samples.
+func TestChaosStallDoesNotTripWatchdog(t *testing.T) {
+	w, err := NewWorld(2,
+		WithChaos(Chaos{Seed: 3, StallProb: 1, MaxStall: 2 * time.Millisecond}),
+		WithWatchdog(200*time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = w.Run(func(c *Comm) error {
+		peer := 1 - c.Rank()
+		for i := 0; i < 20; i++ {
+			if err := Send(c, peer, 0, i); err != nil {
+				return err
+			}
+			if _, err := c.Recv(peer, 0); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("stalled-but-live exchange reported as fault: %v", err)
+	}
+}
+
+// TestChaosInterruptedByAbort: a rank parked in a chaos sleep must wake
+// promptly when the world aborts — injected latency never delays
+// cancellation.
+func TestChaosInterruptedByAbort(t *testing.T) {
+	w, err := NewWorld(2, WithChaos(Chaos{
+		Seed:      5,
+		StallProb: 1,
+		MaxStall:  30 * time.Second, // far beyond the test budget: must be interrupted
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() {
+		done <- w.Run(func(c *Comm) error {
+			if c.Rank() == 0 {
+				w.abortWith(errors.New("test abort"))
+				return nil
+			}
+			_, err := c.Recv(0, 0) // parks in the chaos stall first
+			return err
+		})
+	}()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("rank slept through the abort and returned nil")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("chaos sleep not interrupted by abort")
+	}
+}

@@ -13,6 +13,12 @@ const collFanIn = 4
 // number; because the order agrees world-wide, equal sequence numbers name
 // the same logical operation, and the negative tag -seq keeps collective
 // traffic from ever matching a user Recv.
+//
+// Every collective is built on the abortable point-to-point layer, so a
+// failed rank, a watchdog-detected deadlock, or a canceled RunCtx context
+// unwinds the whole tree promptly: the rank adjacent to the fault errors
+// first and its silence releases its neighbors through the same fault
+// machinery, instead of the collective hanging.
 func (c *Comm) collTag() int {
 	c.collSeq++
 	return -int(c.collSeq)
@@ -69,14 +75,22 @@ func (c *Comm) Barrier() error {
 	v := c.vrank(0)
 	kids := c.childrenOf(v, 0)
 	for _, k := range kids {
-		c.recv(k, tag)
+		if _, err := c.recvWait(k, tag, nil, 0); err != nil {
+			return err
+		}
 	}
 	if p := c.parentOf(v, 0); p >= 0 {
-		c.send(p, tag, struct{}{})
-		c.recv(p, tag)
+		if err := c.send(p, tag, struct{}{}); err != nil {
+			return err
+		}
+		if _, err := c.recvWait(p, tag, nil, 0); err != nil {
+			return err
+		}
 	}
 	for _, k := range kids {
-		c.send(k, tag, struct{}{})
+		if err := c.send(k, tag, struct{}{}); err != nil {
+			return err
+		}
 	}
 	return nil
 }
@@ -93,18 +107,23 @@ func Bcast[T any](c *Comm, root int, v T) (T, error) {
 }
 
 func bcast[T any](c *Comm, root, tag int, v T) (T, error) {
+	var zero T
 	vr := c.vrank(root)
 	if p := c.parentOf(vr, root); p >= 0 {
-		got := c.recv(p, tag)
+		got, err := c.recvWait(p, tag, nil, 0)
+		if err != nil {
+			return zero, err
+		}
 		tv, ok := got.(T)
 		if !ok {
-			var zero T
 			return zero, fmt.Errorf("msgpass: rank %d bcast: payload is %T, want %T", c.rank, got, zero)
 		}
 		v = tv
 	}
 	for _, k := range c.childrenOf(vr, root) {
-		c.send(k, tag, v)
+		if err := c.send(k, tag, v); err != nil {
+			return zero, err
+		}
 	}
 	return v, nil
 }
@@ -127,20 +146,24 @@ func Reduce[T any](c *Comm, root int, v T, op func(a, b T) T) (T, error) {
 }
 
 func reduce[T any](c *Comm, root, tag int, v T, op func(a, b T) T) (T, error) {
+	var zero T
 	vr := c.vrank(root)
 	acc := v
 	for _, k := range c.childrenOf(vr, root) {
-		got := c.recv(k, tag)
+		got, err := c.recvWait(k, tag, nil, 0)
+		if err != nil {
+			return zero, err
+		}
 		tv, ok := got.(T)
 		if !ok {
-			var zero T
 			return zero, fmt.Errorf("msgpass: rank %d reduce: payload is %T, want %T", c.rank, got, zero)
 		}
 		acc = op(acc, tv)
 	}
 	if p := c.parentOf(vr, root); p >= 0 {
-		c.send(p, tag, acc)
-		var zero T
+		if err := c.send(p, tag, acc); err != nil {
+			return zero, err
+		}
 		return zero, nil
 	}
 	return acc, nil
@@ -176,7 +199,10 @@ func Scatter[T any](c *Comm, root int, values []T) (T, error) {
 	c.collectives.Add(1)
 	tag := c.collTag()
 	if c.rank != root {
-		got := c.recv(root, tag)
+		got, err := c.recvWait(root, tag, nil, 0)
+		if err != nil {
+			return zero, err
+		}
 		tv, ok := got.(T)
 		if !ok {
 			return zero, fmt.Errorf("msgpass: rank %d scatter: payload is %T, want %T", c.rank, got, zero)
@@ -188,7 +214,9 @@ func Scatter[T any](c *Comm, root int, values []T) (T, error) {
 	}
 	for r, v := range values {
 		if r != root {
-			c.send(r, tag, v)
+			if err := c.send(r, tag, v); err != nil {
+				return zero, err
+			}
 		}
 	}
 	return values[root], nil
@@ -203,7 +231,9 @@ func Gather[T any](c *Comm, root int, v T) ([]T, error) {
 	c.collectives.Add(1)
 	tag := c.collTag()
 	if c.rank != root {
-		c.send(root, tag, v)
+		if err := c.send(root, tag, v); err != nil {
+			return nil, err
+		}
 		return nil, nil
 	}
 	out := make([]T, c.world.size)
@@ -212,7 +242,10 @@ func Gather[T any](c *Comm, root int, v T) ([]T, error) {
 		if r == root {
 			continue
 		}
-		got := c.recv(r, tag)
+		got, err := c.recvWait(r, tag, nil, 0)
+		if err != nil {
+			return nil, err
+		}
 		tv, ok := got.(T)
 		if !ok {
 			return nil, fmt.Errorf("msgpass: rank %d gather: payload from %d is %T, want %T", c.rank, r, got, tv)

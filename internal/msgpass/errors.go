@@ -1,0 +1,104 @@
+package msgpass
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"time"
+)
+
+// Sentinel failure classes. The structured errors below unwrap to these,
+// so callers can classify with errors.Is while the structured form names
+// the ranks, tags, and wait cycle involved.
+var (
+	// ErrTimeout classifies RecvTimeout/RecvDeadline expiries.
+	ErrTimeout = errors.New("msgpass: receive timed out")
+	// ErrRankFailed classifies operations on (or by) a failed rank.
+	ErrRankFailed = errors.New("msgpass: rank failed")
+	// ErrDeadlock classifies watchdog-detected wait cycles.
+	ErrDeadlock = errors.New("msgpass: deadlock")
+)
+
+// TimeoutError reports a RecvTimeout/RecvDeadline that expired before a
+// matching message arrived.
+type TimeoutError struct {
+	Rank    int // the waiting rank
+	Source  int // the (source, tag) pair it waited for
+	Tag     int
+	Timeout time.Duration // the budget that expired (0 for deadline form)
+}
+
+func (e *TimeoutError) Error() string {
+	return fmt.Sprintf("msgpass: rank %d recv from %d tag %d: timed out after %v",
+		e.Rank, e.Source, e.Tag, e.Timeout)
+}
+
+func (e *TimeoutError) Unwrap() error { return ErrTimeout }
+
+// RankFailedError reports an operation that could not complete because a
+// rank has been failed with World.Fail: a send to a dead peer, a receive
+// from one with nothing left in flight, or any operation by the dead rank
+// itself.
+type RankFailedError struct {
+	Rank int // the failed rank
+}
+
+func (e *RankFailedError) Error() string {
+	return fmt.Sprintf("msgpass: rank %d failed", e.Rank)
+}
+
+func (e *RankFailedError) Unwrap() error { return ErrRankFailed }
+
+// Wait is one blocked rank's wait-set entry: what it is blocked on. It is
+// the unit the watchdog snapshots and the DeadlockError cycle is made of.
+type Wait struct {
+	Rank int    // the blocked rank
+	Op   string // "recv" or "send"
+	Peer int    // recv: the awaited source; send: the destination
+	Tag  int    // negative tags are collective traffic
+}
+
+func (w Wait) String() string {
+	return fmt.Sprintf("rank %d %s(peer %d, tag %d)", w.Rank, w.Op, w.Peer, w.Tag)
+}
+
+// DeadlockError is the watchdog's report: a cycle of ranks each blocked
+// waiting on the next (Cycle[i] waits on Cycle[(i+1) % len]), observed
+// stable for a full watchdog period. Orphaned marks the degenerate case of
+// a rank blocked on a peer that has already returned from its rank
+// function and can never satisfy the wait — a one-entry "cycle".
+type DeadlockError struct {
+	Cycle    []Wait
+	Orphaned bool
+}
+
+func (e *DeadlockError) Error() string {
+	var sb strings.Builder
+	sb.WriteString("msgpass: deadlock detected: ")
+	if e.Orphaned {
+		sb.WriteString(e.Cycle[0].String())
+		sb.WriteString(" but the peer has exited")
+		return sb.String()
+	}
+	for i, w := range e.Cycle {
+		if i > 0 {
+			sb.WriteString(" -> ")
+		}
+		sb.WriteString(w.String())
+	}
+	sb.WriteString(" -> rank ")
+	fmt.Fprintf(&sb, "%d", e.Cycle[0].Rank)
+	return sb.String()
+}
+
+func (e *DeadlockError) Unwrap() error { return ErrDeadlock }
+
+// Ranks lists the ranks involved in the cycle, in cycle order — the
+// structured form labd logs and tests assert on.
+func (e *DeadlockError) Ranks() []int {
+	rs := make([]int, len(e.Cycle))
+	for i, w := range e.Cycle {
+		rs[i] = w.Rank
+	}
+	return rs
+}

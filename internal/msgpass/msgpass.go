@@ -24,14 +24,29 @@
 //     discipline as internal/pthread.Barrier's combining tree, expressed
 //     with messages instead of shared counters.
 //
+// Parallel programs fail in ways sequential ones cannot, so the runtime
+// carries a fault layer rather than documenting its hangs: every blocking
+// operation publishes a wait-set entry and listens for world-wide abort
+// and per-rank failure signals. On top of that sit a seeded Chaos
+// transport hook (WithChaos: bounded delivery delays and rank stalls), a
+// deadlock watchdog (WithWatchdog: wait-cycle detection returning a
+// structured DeadlockError), receive deadlines (RecvTimeout/RecvDeadline),
+// simulated rank death (World.Fail), and context cancellation (RunCtx) —
+// each hang the runtime used to be capable of is now a reported error.
+//
 // Every Comm keeps per-rank traffic counters (messages, bytes, collective
 // calls) so experiments can weigh communication against computation.
 package msgpass
 
 import (
+	"context"
+	"errors"
 	"fmt"
+	"math/rand"
 	"reflect"
+	"sync"
 	"sync/atomic"
+	"time"
 
 	"cs31/internal/pthread"
 )
@@ -54,11 +69,25 @@ type envelope struct {
 // MPI_COMM_WORLD of a run. Create one with NewWorld, then either drive all
 // ranks with Run or hand individual Comms to your own goroutines (exactly
 // one goroutine may use a given Comm at a time).
+//
+// A World aborts at most once — by watchdog-detected deadlock or by a
+// canceled RunCtx context — and an aborted World stays dead: every
+// subsequent blocking operation returns the abort cause.
 type World struct {
 	size     int
 	capacity int
 	comms    []*Comm
+	chaos    *Chaos
+	watchdog time.Duration
+
+	abort     chan struct{} // closed exactly once by abortWith
+	abortOnce sync.Once
+	abortErr  atomic.Pointer[abortCause]
+	running   atomic.Int64 // rank goroutines currently inside Run
 }
+
+// abortCause boxes the abort error for atomic publication.
+type abortCause struct{ err error }
 
 // Option configures a World.
 type Option func(*worldConfig)
@@ -66,6 +95,8 @@ type Option func(*worldConfig)
 type worldConfig struct {
 	capacity int
 	hasCap   bool
+	chaos    *Chaos
+	watchdog time.Duration
 }
 
 // WithCapacity sets the per-rank inbox capacity. Zero selects rendezvous
@@ -89,14 +120,34 @@ func NewWorld(size int, opts ...Option) (*World, error) {
 	if cfg.hasCap && cfg.capacity < 0 {
 		return nil, fmt.Errorf("msgpass: inbox capacity %d invalid", cfg.capacity)
 	}
-	w := &World{size: size, capacity: cfg.capacity}
+	if cfg.watchdog < 0 {
+		return nil, fmt.Errorf("msgpass: watchdog timeout %v invalid", cfg.watchdog)
+	}
+	if cfg.chaos != nil {
+		if err := cfg.chaos.validate(size); err != nil {
+			return nil, err
+		}
+	}
+	w := &World{
+		size:     size,
+		capacity: cfg.capacity,
+		chaos:    cfg.chaos,
+		watchdog: cfg.watchdog,
+		abort:    make(chan struct{}),
+	}
 	w.comms = make([]*Comm, size)
 	for r := 0; r < size; r++ {
-		w.comms[r] = &Comm{
-			world: w,
-			rank:  r,
-			inbox: make(chan envelope, cfg.capacity),
+		c := &Comm{
+			world:  w,
+			rank:   r,
+			inbox:  make(chan envelope, cfg.capacity),
+			failed: make(chan struct{}),
 		}
+		if cfg.chaos != nil && cfg.chaos.applies(r) &&
+			(cfg.chaos.DelayProb > 0 || cfg.chaos.StallProb > 0) {
+			c.rng = chaosRNG(cfg.chaos.Seed, r)
+		}
+		w.comms[r] = c
 	}
 	return w, nil
 }
@@ -113,17 +164,89 @@ func (w *World) Comm(r int) (*Comm, error) {
 	return w.comms[r], nil
 }
 
+// abortWith publishes the world's terminal error and releases every
+// blocked operation. First cause wins; later calls are no-ops.
+func (w *World) abortWith(err error) {
+	w.abortOnce.Do(func() {
+		w.abortErr.Store(&abortCause{err: err})
+		close(w.abort)
+	})
+}
+
+// AbortCause returns the error the world aborted with (deadlock, context
+// cancellation), or nil while it is healthy.
+func (w *World) AbortCause() error {
+	if c := w.abortErr.Load(); c != nil {
+		return c.err
+	}
+	return nil
+}
+
+// abortError renders the abort cause as one rank's operation error,
+// wrapping the cause so errors.Is/As see through to the DeadlockError or
+// the context error.
+func (w *World) abortError(rank int, op string, peer, tag int) error {
+	cause := w.AbortCause()
+	if cause == nil {
+		cause = errors.New("msgpass: world aborted")
+	}
+	return fmt.Errorf("msgpass: rank %d %s (peer %d, tag %d) aborted: %w", rank, op, peer, tag, cause)
+}
+
+// Fail simulates rank r's death. The rank's own operations (including any
+// it is currently blocked in) return RankFailedError, sends to it error
+// out promptly, and receives from it error once nothing it sent before
+// dying remains deliverable — so collectives spanning a dead rank fail
+// fast instead of hanging. Failing a rank twice is a no-op.
+func (w *World) Fail(r int) error {
+	if r < 0 || r >= w.size {
+		return fmt.Errorf("msgpass: fail: rank %d outside world of %d", r, w.size)
+	}
+	c := w.comms[r]
+	c.failOnce.Do(func() { close(c.failed) })
+	return nil
+}
+
 // Run spawns one thread per rank, invokes fn with that rank's Comm, joins
 // them all, and returns the lowest-rank error (so the outcome does not
 // depend on scheduling).
 func (w *World) Run(fn func(c *Comm) error) error {
+	return w.RunCtx(context.Background(), fn)
+}
+
+// RunCtx is Run under a context: when ctx is canceled the world aborts,
+// every blocked rank returns promptly with an error wrapping ctx.Err(),
+// and RunCtx still joins every rank thread before returning — a canceled
+// run leaves zero live rank goroutines behind. With WithWatchdog armed,
+// the deadlock monitor runs for the duration of the call.
+func (w *World) RunCtx(ctx context.Context, fn func(c *Comm) error) error {
 	if fn == nil {
 		return fmt.Errorf("msgpass: nil rank function")
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	joined := make(chan struct{})
+	defer close(joined)
+	if ctx.Done() != nil {
+		go func() {
+			select {
+			case <-ctx.Done():
+				w.abortWith(ctx.Err())
+			case <-joined:
+			}
+		}()
+	}
+	if w.watchdog > 0 {
+		go w.watchdogLoop(joined)
 	}
 	threads := make([]*pthread.Thread, w.size)
 	for r := 0; r < w.size; r++ {
 		c := w.comms[r]
 		threads[r] = pthread.Create(func() interface{} {
+			w.running.Add(1)
+			defer w.running.Add(-1)
+			defer c.done.Store(true)
 			return fn(c)
 		})
 	}
@@ -156,11 +279,12 @@ type WorldStats struct {
 	Sends       int64
 	BytesSent   int64
 	Collectives int64
+	Running     int64 // rank goroutines currently live inside Run/RunCtx
 }
 
 // Stats snapshots every rank's counters. Safe to call while ranks run.
 func (w *World) Stats() WorldStats {
-	ws := WorldStats{PerRank: make([]CommStats, w.size)}
+	ws := WorldStats{PerRank: make([]CommStats, w.size), Running: w.running.Load()}
 	for r, c := range w.comms {
 		s := c.Stats()
 		ws.PerRank[r] = s
@@ -171,6 +295,16 @@ func (w *World) Stats() WorldStats {
 	return ws
 }
 
+// Wait-state kinds published for the watchdog. Timed receives publish
+// waitRecvTimed, which the watchdog ignores: a wait with a deadline
+// resolves itself and must not be reported as a deadlock.
+const (
+	waitNone int32 = iota
+	waitRecv
+	waitSend
+	waitRecvTimed
+)
+
 // Comm is one rank's endpoint: its identity in the world, its inbox, and
 // the pending queue of messages that arrived before anyone asked for them.
 type Comm struct {
@@ -178,10 +312,32 @@ type Comm struct {
 	rank  int
 	inbox chan envelope
 
+	// failed is closed by World.Fail; every blocking select listens on its
+	// own and its peer's channel so rank death releases waiters promptly.
+	failed   chan struct{}
+	failOnce sync.Once
+	done     atomic.Bool // fn returned (set by Run's wrapper)
+
+	// rng drives this rank's chaos injection (nil when chaos is off or
+	// does not apply to this rank). Only the rank's goroutine touches it.
+	rng *rand.Rand
+
 	// pending holds arrived-but-unmatched envelopes in arrival order. Only
 	// the rank's own goroutine touches it (Recv is single-consumer), so it
 	// needs no lock.
 	pending []envelope
+
+	// Wait-state registry, a seqlock the watchdog samples without stopping
+	// the rank: waitSeq is odd while the rank is blocked in an operation
+	// and even while it runs; the payload fields are only meaningful when
+	// two seq reads around them agree on an odd value. Any progress inside
+	// a blocked operation (an envelope pended while waiting for another)
+	// bumps the seq by 2, so "same odd seq across two samples" means the
+	// wait made zero progress for a full watchdog period.
+	waitSeq  atomic.Uint64
+	waitKind atomic.Int32
+	waitPeer atomic.Int32
+	waitTag  atomic.Int64
 
 	// collSeq numbers this rank's collective calls. Collectives are called
 	// in the same order on every rank, so equal sequence numbers name the
@@ -202,6 +358,16 @@ func (c *Comm) Rank() int { return c.rank }
 // Size reports the world size.
 func (c *Comm) Size() int { return c.world.size }
 
+// Failed reports whether this rank has been failed with World.Fail.
+func (c *Comm) Failed() bool {
+	select {
+	case <-c.failed:
+		return true
+	default:
+		return false
+	}
+}
+
 // Stats snapshots this rank's counters.
 func (c *Comm) Stats() CommStats {
 	return CommStats{
@@ -213,6 +379,21 @@ func (c *Comm) Stats() CommStats {
 		Collectives: c.collectives.Load(),
 	}
 }
+
+// beginWait publishes a blocked state (seq goes odd).
+func (c *Comm) beginWait(kind int32, peer, tag int) {
+	c.waitKind.Store(kind)
+	c.waitPeer.Store(int32(peer))
+	c.waitTag.Store(int64(tag))
+	c.waitSeq.Add(1)
+}
+
+// endWait returns the wait-state to running (seq goes even).
+func (c *Comm) endWait() { c.waitSeq.Add(1) }
+
+// stirWait records progress within a blocked operation (seq stays odd but
+// changes value, so the watchdog never sees the wait as stable).
+func (c *Comm) stirWait() { c.waitSeq.Add(2) }
 
 // payloadBytes estimates a payload's wire size for the traffic counters:
 // element bytes for slices and strings, shallow type size otherwise. The
@@ -237,7 +418,8 @@ func payloadBytes(v any) int64 {
 // non-negative (negative tags are the collectives' reserved space). With a
 // buffered inbox the send is eager; with capacity 0 it blocks until dest
 // drains it (rendezvous). Sending to yourself requires free inbox capacity
-// — a rendezvous self-send deadlocks, exactly as in MPI.
+// — a rendezvous self-send deadlocks, exactly as in MPI, and is what the
+// watchdog reports as a one-rank cycle.
 func (c *Comm) Send(dest, tag int, payload any) error {
 	if err := c.checkRank("send", dest); err != nil {
 		return err
@@ -245,17 +427,70 @@ func (c *Comm) Send(dest, tag int, payload any) error {
 	if tag < 0 {
 		return fmt.Errorf("msgpass: rank %d send: tag %d is reserved (user tags are >= 0)", c.rank, tag)
 	}
-	c.send(dest, tag, payload)
-	return nil
+	return c.send(dest, tag, payload)
 }
 
 // send is the unchecked path shared with the collectives (which use the
-// negative tag space Send rejects).
-func (c *Comm) send(dest, tag int, payload any) {
+// negative tag space Send rejects). It blocks abortably: a full inbox
+// parks the sender in a select that also watches world abort and both
+// ranks' failure channels, publishing a send wait-set entry for the
+// watchdog while parked.
+func (c *Comm) send(dest, tag int, payload any) error {
+	if err := c.opEntry("send", dest, tag); err != nil {
+		return err
+	}
+	dst := c.world.comms[dest]
+	if dst.Failed() {
+		return &RankFailedError{Rank: dest}
+	}
+	if c.world.chaos != nil {
+		if err := c.chaosDelay(c.world.chaos.DelayProb, c.world.chaos.MaxDelay); err != nil {
+			return err
+		}
+	}
 	n := payloadBytes(payload)
-	c.world.comms[dest].inbox <- envelope{source: c.rank, tag: tag, payload: payload, bytes: n}
+	env := envelope{source: c.rank, tag: tag, payload: payload, bytes: n}
+	select {
+	case dst.inbox <- env:
+	default:
+		// Inbox full (or rendezvous with no receiver ready): park.
+		c.beginWait(waitSend, dest, tag)
+		err := c.sendBlocked(dst, env)
+		c.endWait()
+		if err != nil {
+			return err
+		}
+	}
 	c.sends.Add(1)
 	c.bytesSent.Add(n)
+	return nil
+}
+
+// sendBlocked is the parked half of send.
+func (c *Comm) sendBlocked(dst *Comm, env envelope) error {
+	select {
+	case dst.inbox <- env:
+		return nil
+	case <-c.world.abort:
+		return c.world.abortError(c.rank, "send", dst.rank, env.tag)
+	case <-dst.failed:
+		return &RankFailedError{Rank: dst.rank}
+	case <-c.failed:
+		return &RankFailedError{Rank: c.rank}
+	}
+}
+
+// opEntry is the fast-path health check every operation starts with.
+func (c *Comm) opEntry(op string, peer, tag int) error {
+	select {
+	case <-c.world.abort:
+		return c.world.abortError(c.rank, op, peer, tag)
+	default:
+	}
+	if c.Failed() {
+		return &RankFailedError{Rank: c.rank}
+	}
+	return nil
 }
 
 // Recv blocks until a message from source with exactly tag arrives and
@@ -263,35 +498,108 @@ func (c *Comm) send(dest, tag int, payload any) {
 // in the meantime are queued and left for their own Recv calls; for a fixed
 // pair, delivery order is send order.
 func (c *Comm) Recv(source, tag int) (any, error) {
-	if err := c.checkRank("recv", source); err != nil {
+	if err := c.checkRecvArgs(source, tag); err != nil {
 		return nil, err
 	}
-	if tag < 0 {
-		return nil, fmt.Errorf("msgpass: rank %d recv: tag %d is reserved (user tags are >= 0)", c.rank, tag)
-	}
-	return c.recv(source, tag), nil
+	return c.recvWait(source, tag, nil, 0)
 }
 
-// recv is the unchecked matching loop: scan pending in arrival order, then
-// pull the inbox, queuing mismatches, until the wanted (source, tag) shows.
-func (c *Comm) recv(source, tag int) any {
+// RecvTimeout is Recv with a budget: when no matching message arrives
+// within timeout it returns a TimeoutError (errors.Is ErrTimeout) instead
+// of blocking forever. A non-positive timeout is an already-expired
+// deadline — the pending queue and anything already buffered are still
+// drained, so it doubles as a poll.
+func (c *Comm) RecvTimeout(source, tag int, timeout time.Duration) (any, error) {
+	if err := c.checkRecvArgs(source, tag); err != nil {
+		return nil, err
+	}
+	t := time.NewTimer(timeout)
+	defer t.Stop()
+	return c.recvWait(source, tag, t.C, timeout)
+}
+
+// RecvDeadline is RecvTimeout against an absolute deadline.
+func (c *Comm) RecvDeadline(source, tag int, deadline time.Time) (any, error) {
+	return c.RecvTimeout(source, tag, time.Until(deadline))
+}
+
+func (c *Comm) checkRecvArgs(source, tag int) error {
+	if err := c.checkRank("recv", source); err != nil {
+		return err
+	}
+	if tag < 0 {
+		return fmt.Errorf("msgpass: rank %d recv: tag %d is reserved (user tags are >= 0)", c.rank, tag)
+	}
+	return nil
+}
+
+// recvWait is the unchecked matching loop shared by Recv, the timed
+// variants, and the collectives: scan pending in arrival order, then park
+// on the inbox — queuing mismatches — until the wanted (source, tag)
+// shows, the deadline fires, the source (or this rank) is failed, or the
+// world aborts. timeout is only for error reporting; deadline carries the
+// actual clock.
+func (c *Comm) recvWait(source, tag int, deadline <-chan time.Time, timeout time.Duration) (any, error) {
+	if err := c.opEntry("recv", source, tag); err != nil {
+		return nil, err
+	}
+	if c.world.chaos != nil {
+		if err := c.chaosDelay(c.world.chaos.StallProb, c.world.chaos.MaxStall); err != nil {
+			return nil, err
+		}
+	}
 	for i, env := range c.pending {
 		if env.source == source && env.tag == tag {
 			c.pending = append(c.pending[:i], c.pending[i+1:]...)
-			c.recvs.Add(1)
-			c.bytesRecvd.Add(env.bytes)
-			return env.payload
+			return c.deliver(env), nil
 		}
 	}
+	src := c.world.comms[source]
+	kind := waitRecv
+	if deadline != nil {
+		kind = waitRecvTimed
+	}
+	c.beginWait(kind, source, tag)
+	defer c.endWait()
 	for {
-		env := <-c.inbox
-		if env.source == source && env.tag == tag {
-			c.recvs.Add(1)
-			c.bytesRecvd.Add(env.bytes)
-			return env.payload
+		select {
+		case env := <-c.inbox:
+			if env.source == source && env.tag == tag {
+				return c.deliver(env), nil
+			}
+			c.pending = append(c.pending, env)
+			c.stirWait()
+		case <-c.world.abort:
+			return nil, c.world.abortError(c.rank, "recv", source, tag)
+		case <-c.failed:
+			return nil, &RankFailedError{Rank: c.rank}
+		case <-src.failed:
+			// The source is dead, but messages it sent before dying may
+			// still sit in the inbox: drain without blocking, deliver a
+			// match if one was in flight, and only then report the death.
+			for {
+				select {
+				case env := <-c.inbox:
+					if env.source == source && env.tag == tag {
+						return c.deliver(env), nil
+					}
+					c.pending = append(c.pending, env)
+					c.stirWait()
+				default:
+					return nil, &RankFailedError{Rank: source}
+				}
+			}
+		case <-deadline:
+			return nil, &TimeoutError{Rank: c.rank, Source: source, Tag: tag, Timeout: timeout}
 		}
-		c.pending = append(c.pending, env)
 	}
+}
+
+// deliver books a matched envelope into the traffic counters.
+func (c *Comm) deliver(env envelope) any {
+	c.recvs.Add(1)
+	c.bytesRecvd.Add(env.bytes)
+	return env.payload
 }
 
 func (c *Comm) checkRank(op string, r int) error {
@@ -311,6 +619,16 @@ func Send[T any](c *Comm, dest, tag int, v T) error {
 // type does not match (a type mismatch is a program bug, not data).
 func Recv[T any](c *Comm, source, tag int) (T, error) {
 	v, err := c.Recv(source, tag)
+	return typedPayload[T](c, source, tag, v, err)
+}
+
+// RecvTimeout is the typed form of Comm.RecvTimeout.
+func RecvTimeout[T any](c *Comm, source, tag int, timeout time.Duration) (T, error) {
+	v, err := c.RecvTimeout(source, tag, timeout)
+	return typedPayload[T](c, source, tag, v, err)
+}
+
+func typedPayload[T any](c *Comm, source, tag int, v any, err error) (T, error) {
 	if err != nil {
 		var zero T
 		return zero, err

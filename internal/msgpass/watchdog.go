@@ -1,0 +1,175 @@
+package msgpass
+
+import "time"
+
+// The deadlock watchdog. While World.Run drives ranks it samples every
+// rank's wait-set (the seqlock each blocking operation publishes) on a
+// half-timeout cadence and compares consecutive snapshots. A rank is
+// *stuck* when two samples a full tick apart show the same odd sequence
+// number — the wait existed the whole period and made zero progress (any
+// envelope pended, any retry, bumps the sequence). Each stuck rank waits
+// on exactly one peer, so the wait-for graph is functional and cycle
+// detection is a pointer walk:
+//
+//   - a cycle of stuck ranks (each waiting on the next) can never clear —
+//     channel semantics guarantee a blocked rank produces nothing — so it
+//     is reported as a DeadlockError naming the cycle;
+//   - a stuck rank whose peer has already returned from its rank function
+//     (and whose own inbox stayed drained) waits on a sender that will
+//     never send again — reported as an orphaned wait.
+//
+// Timed receives (RecvTimeout/RecvDeadline) are exempt: they resolve
+// themselves and must not trip the detector. Ranks failed with World.Fail
+// never appear blocked on the failed edge — the failure channel releases
+// their waiters directly — so the watchdog and the failure layer cannot
+// double-report. The detector is sound (it only trips on waits that
+// provably cannot clear) but not complete across deadlines: a cycle that
+// includes a timed receive is left to the timeout.
+func (w *World) watchdogLoop(stop <-chan struct{}) {
+	tick := w.watchdog / 2
+	if tick < time.Millisecond {
+		tick = time.Millisecond
+	}
+	timer := time.NewTicker(tick)
+	defer timer.Stop()
+	var prev []waitSample
+	for {
+		select {
+		case <-stop:
+			return
+		case <-w.abort:
+			return
+		case <-timer.C:
+		}
+		cur := w.sampleWaits()
+		if err := findDeadlock(prev, cur); err != nil {
+			w.abortWith(err)
+			return
+		}
+		prev = cur
+	}
+}
+
+// waitSample is one rank's wait-state at a sampling instant.
+type waitSample struct {
+	blocked  bool
+	seq      uint64
+	kind     int32
+	peer     int
+	tag      int
+	inboxLen int
+	done     bool
+}
+
+// sampleWaits snapshots every rank's seqlock. An inconsistent read (the
+// rank changed state mid-sample) is recorded as not blocked — the rank is
+// visibly making progress.
+func (w *World) sampleWaits() []waitSample {
+	out := make([]waitSample, w.size)
+	for r, c := range w.comms {
+		s := &out[r]
+		s.done = c.done.Load()
+		s.inboxLen = len(c.inbox)
+		seq1 := c.waitSeq.Load()
+		if seq1%2 == 0 {
+			continue // even: running, not blocked
+		}
+		kind := c.waitKind.Load()
+		peer := int(c.waitPeer.Load())
+		tag := int(c.waitTag.Load())
+		if c.waitSeq.Load() != seq1 {
+			continue // torn read; the rank moved, so it is not stuck
+		}
+		if kind == waitRecvTimed {
+			continue // deadline-bearing waits resolve themselves
+		}
+		s.blocked = true
+		s.seq = seq1
+		s.kind = kind
+		s.peer = peer
+		s.tag = tag
+	}
+	return out
+}
+
+// waitOf renders a sample as the structured wait-set entry errors carry.
+func waitOf(rank int, s waitSample) Wait {
+	op := "recv"
+	if s.kind == waitSend {
+		op = "send"
+	}
+	return Wait{Rank: rank, Op: op, Peer: s.peer, Tag: s.tag}
+}
+
+// findDeadlock compares consecutive snapshots and returns a DeadlockError
+// when a stuck cycle or orphaned wait is present, nil otherwise.
+func findDeadlock(prev, cur []waitSample) error {
+	if prev == nil {
+		return nil
+	}
+	n := len(cur)
+	stuck := make([]bool, n)
+	for r := 0; r < n; r++ {
+		stuck[r] = cur[r].blocked && prev[r].blocked && cur[r].seq == prev[r].seq
+	}
+
+	// Orphaned waits: the peer's rank function has returned, so nothing
+	// will ever satisfy the wait. For receives, also require the waiter's
+	// inbox to have been empty at both samples — a late envelope from the
+	// peer's final sends must get its chance to match before the wait is
+	// condemned (the pending queue cannot hide a match: a pended match
+	// would have been consumed before the rank ever blocked).
+	for r := 0; r < n; r++ {
+		if !stuck[r] {
+			continue
+		}
+		p := cur[r].peer
+		if p < 0 || p >= n || !cur[p].done {
+			continue
+		}
+		if cur[r].kind == waitSend || (cur[r].inboxLen == 0 && prev[r].inboxLen == 0) {
+			return &DeadlockError{Cycle: []Wait{waitOf(r, cur[r])}, Orphaned: true}
+		}
+	}
+
+	// Cycle detection over the functional wait-for graph restricted to
+	// stuck ranks: follow each rank's single successor, marking the path;
+	// revisiting a rank on the current path closes a cycle.
+	const (
+		unvisited = iota
+		active
+		finished
+	)
+	state := make([]int8, n)
+	for start := 0; start < n; start++ {
+		if !stuck[start] || state[start] != unvisited {
+			continue
+		}
+		var path []int
+		r := start
+		for {
+			if r < 0 || r >= n || !stuck[r] || state[r] == finished {
+				break // dead end: the chain leaves the stuck set
+			}
+			if state[r] == active {
+				// Cycle: the suffix of path starting at r.
+				i := 0
+				for path[i] != r {
+					i++
+				}
+				cyc := make([]Wait, 0, len(path)-i)
+				for _, pr := range path[i:] {
+					cyc = append(cyc, waitOf(pr, cur[pr]))
+				}
+				return &DeadlockError{Cycle: cyc}
+			}
+			state[r] = active
+			path = append(path, r)
+			r = cur[r].peer
+		}
+		for _, pr := range path {
+			state[pr] = finished
+		}
+	}
+	return nil
+}

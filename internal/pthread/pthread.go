@@ -51,13 +51,25 @@ type Thread struct {
 	detached atomic.Bool
 }
 
+// liveThreads counts threads created but not yet finished — the gauge
+// goroutine-leak assertions poll to prove a canceled run left nothing
+// behind.
+var liveThreads atomic.Int64
+
+// Live reports how many Create'd threads are still running. A thread
+// leaves the gauge before its done channel closes, so after Join returns
+// the joined thread is guaranteed to have been subtracted.
+func Live() int64 { return liveThreads.Load() }
+
 // Create starts fn in a new thread (goroutine). The value fn returns is
 // delivered to Join, like pthread_exit's value pointer.
 func Create(fn func() interface{}) *Thread {
 	t := &Thread{done: make(chan struct{})}
+	liveThreads.Add(1)
 	go func() {
+		defer close(t.done)
+		defer liveThreads.Add(-1)
 		t.result = fn()
-		close(t.done)
 	}()
 	return t
 }

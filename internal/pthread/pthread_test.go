@@ -323,3 +323,31 @@ func TestCondBroadcast(t *testing.T) {
 		t.Errorf("broadcast woke %d of %d", woke.Load(), n)
 	}
 }
+
+// TestLiveGauge: Create raises the live-thread gauge, Join observing the
+// thread's completion guarantees the decrement has landed — the contract
+// goroutine-leak assertions in the runner tests depend on.
+func TestLiveGauge(t *testing.T) {
+	base := Live()
+	release := make(chan struct{})
+	const n = 5
+	threads := make([]*Thread, n)
+	for i := 0; i < n; i++ {
+		threads[i] = Create(func() interface{} {
+			<-release
+			return nil
+		})
+	}
+	if got := Live(); got != base+n {
+		t.Errorf("Live() = %d with %d threads parked, want %d", got, n, base+n)
+	}
+	close(release)
+	for _, th := range threads {
+		if _, err := th.Join(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := Live(); got != base {
+		t.Errorf("Live() = %d after joining all threads, want %d", got, base)
+	}
+}

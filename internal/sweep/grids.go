@@ -84,17 +84,32 @@ func RunLifeGrid(ctx context.Context, workers int, cases []LifeCase) ([]LifeResu
 		res := LifeResult{Case: c}
 		switch {
 		case c.Threads <= 1:
-			res.LiveUpdates = g.RunCounted(c.Gens)
+			// The serial engine has no internal cancellation points, so
+			// poll the context between generation chunks: a canceled sweep
+			// abandons a long serial case within a bounded slice of work.
+			const chunk = 8
+			for done := 0; done < c.Gens; {
+				if err := ctx.Err(); err != nil {
+					return res, fmt.Errorf("life case %s canceled after %d of %d generations: %w",
+						c, done, c.Gens, err)
+				}
+				step := c.Gens - done
+				if step > chunk {
+					step = chunk
+				}
+				res.LiveUpdates += g.RunCounted(step)
+				done += step
+			}
 		case c.Dist:
 			dr := &life.DistRunner{G: g, Ranks: c.Threads, Partition: c.Partition}
-			stats, err := dr.Run(c.Gens)
+			stats, err := dr.RunCtx(ctx, c.Gens)
 			if err != nil {
 				return res, err
 			}
 			res.LiveUpdates = stats.LiveUpdates
 		default:
 			pr := &life.ParallelRunner{G: g, Threads: c.Threads, Partition: c.Partition}
-			stats, err := pr.Run(c.Gens)
+			stats, err := pr.RunCtx(ctx, c.Gens)
 			if err != nil {
 				return res, err
 			}

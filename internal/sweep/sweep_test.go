@@ -7,6 +7,7 @@ import (
 	"strings"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"cs31/internal/cache"
 	"cs31/internal/life"
@@ -302,5 +303,34 @@ func TestVMGridShape(t *testing.T) {
 	}
 	if tlb.EATNs >= noTLB.EATNs {
 		t.Errorf("EAT with TLB (%v ns) not below EAT without (%v ns)", tlb.EATNs, noTLB.EATNs)
+	}
+}
+
+// TestLifeGridCancellationTearsDown: canceling a life sweep mid-flight
+// must stop every engine class — serial cases at their next chunk poll,
+// parallel and dist cases through their runners' own context plumbing —
+// and surface the context error from the sweep.
+func TestLifeGridCancellationTearsDown(t *testing.T) {
+	// Big serial cases plus dist and parallel cases, enough generations
+	// that the sweep cannot finish before the cancel lands.
+	cases := []LifeCase{
+		{Rows: 256, Cols: 256, Threads: 1, Gens: 10_000, Seed: 1, Density: 0.3},
+		{Rows: 256, Cols: 256, Threads: 4, Gens: 10_000, Seed: 1, Density: 0.3},
+		{Rows: 256, Cols: 256, Threads: 4, Gens: 10_000, Seed: 1, Density: 0.3, Dist: true},
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := RunLifeGrid(ctx, 3, cases)
+		done <- err
+	}()
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("got %v, want context.Canceled", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("canceled life sweep did not return")
 	}
 }
