@@ -397,6 +397,115 @@ func BenchmarkDistLife(b *testing.B) {
 	})
 }
 
+// BenchmarkPackedLife times the bit-packed SWAR kernel (64 cells per word,
+// full-adder neighbor counting) through all three engines on the same seeded
+// 192x192 board as BenchmarkParallelLife/BenchmarkDistLife, so every
+// live-updates metric must agree across representations AND engines — a
+// cross-kernel differential baked into the baseline gate. One op is a
+// 4-generation run on a fresh clone. serial-byte is the byte kernel on the
+// identical workload: the serial/serial-byte ns/op ratio is the SWAR speedup
+// the EXPERIMENTS.md trajectory table quotes. The packed serial path must
+// not allocate (clones happen under StopTimer); dist-8 additionally reports
+// comm-bytes, pricing the ~8x packed halo/block traffic reduction.
+func BenchmarkPackedLife(b *testing.B) {
+	template, err := life.NewGrid(192, 192, life.Torus)
+	if err != nil {
+		b.Fatal(err)
+	}
+	template.Randomize(47, 0.3)
+	const gens = 4
+	b.Run("serial-byte", func(b *testing.B) {
+		var updates int64
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			g := template.Clone()
+			b.StartTimer()
+			updates = g.RunCounted(gens)
+		}
+		b.ReportMetric(float64(updates), "live-updates")
+	})
+	packed := template.Clone()
+	packed.SetPacked(true)
+	b.Run("serial", func(b *testing.B) {
+		var updates int64
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			g := packed.Clone()
+			b.StartTimer()
+			updates = g.RunCounted(gens)
+		}
+		b.ReportMetric(float64(updates), "live-updates")
+	})
+	b.Run("parallel-8", func(b *testing.B) {
+		var updates int64
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			g := packed.Clone()
+			b.StartTimer()
+			pr := &life.ParallelRunner{G: g, Threads: 8}
+			stats, err := pr.Run(gens)
+			if err != nil {
+				b.Fatal(err)
+			}
+			updates = stats.LiveUpdates
+		}
+		b.ReportMetric(float64(updates), "live-updates")
+	})
+	b.Run("dist-8", func(b *testing.B) {
+		var updates, bytes int64
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			g := packed.Clone()
+			b.StartTimer()
+			dr := &life.DistRunner{G: g, Ranks: 8}
+			stats, err := dr.Run(gens)
+			if err != nil {
+				b.Fatal(err)
+			}
+			updates = stats.LiveUpdates
+			bytes = dr.CommStats.BytesSent
+		}
+		b.ReportMetric(float64(updates), "live-updates")
+		b.ReportMetric(float64(bytes), "comm-bytes")
+	})
+}
+
+// BenchmarkPopulation times Grid.Population on both representations: the
+// byte walk against the packed per-word popcount. The population metric is
+// deterministic and identical across the two subbenches, so the baseline
+// gate doubles as a representation differential; the packed count must not
+// allocate.
+func BenchmarkPopulation(b *testing.B) {
+	template, err := life.NewGrid(192, 192, life.Torus)
+	if err != nil {
+		b.Fatal(err)
+	}
+	template.Randomize(47, 0.3)
+	b.Run("byte", func(b *testing.B) {
+		var pop int
+		for i := 0; i < b.N; i++ {
+			pop = template.Population()
+		}
+		b.ReportMetric(float64(pop), "population")
+	})
+	packed := template.Clone()
+	packed.SetPacked(true)
+	b.Run("packed", func(b *testing.B) {
+		var pop int
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			pop = packed.Population()
+		}
+		b.ReportMetric(float64(pop), "population")
+	})
+}
+
 // BenchmarkAllreduce times one combining-tree Allreduce across 8 ranks:
 // the world is created once, every rank runs b.N reductions back to back,
 // so ns/op is the latency of one collective (fan-in tree + broadcast). The
@@ -428,13 +537,11 @@ func BenchmarkAllreduce(b *testing.B) {
 	b.ReportMetric(float64(sum), "sum")
 }
 
-// BenchmarkHaloExchange times one ring halo-exchange round across 8 ranks
-// with 256-byte rows — the per-generation communication kernel of the
-// distributed Life engine in isolation (post both sends, then receive both
-// neighbors' rows; payloads copied at send time like the real runner). The
-// bytes-per-round metric is deterministic: 8 ranks x 2 rows x 256 bytes.
-func BenchmarkHaloExchange(b *testing.B) {
-	const ranks, rowLen = 8, 256
+// haloExchangeRound runs b.N ring halo-exchange rounds across a world (post
+// both sends, then receive both neighbors' rows; payloads copied at send
+// time like the real runner) and returns the wire bytes of ONE halo row —
+// total traffic divided by rounds, ranks, and the two directions.
+func haloExchangeRound[Row any](b *testing.B, ranks int, mkRow func() Row) float64 {
 	w, err := msgpass.NewWorld(ranks, msgpass.WithCapacity(4))
 	if err != nil {
 		b.Fatal(err)
@@ -445,19 +552,19 @@ func BenchmarkHaloExchange(b *testing.B) {
 		rank := c.Rank()
 		up := (rank + ranks - 1) % ranks
 		down := (rank + 1) % ranks
-		top := make([]uint8, rowLen)
-		bot := make([]uint8, rowLen)
+		top, bot := mkRow(), mkRow()
 		for i := 0; i < b.N; i++ {
-			if err := msgpass.Send(c, up, 1, append([]uint8(nil), top...)); err != nil {
+			if err := msgpass.Send(c, up, 1, top); err != nil {
 				return err
 			}
-			if err := msgpass.Send(c, down, 2, append([]uint8(nil), bot...)); err != nil {
+			if err := msgpass.Send(c, down, 2, bot); err != nil {
 				return err
 			}
-			if _, err := msgpass.Recv[[]uint8](c, up, 2); err != nil {
+			var err error
+			if top, err = msgpass.Recv[Row](c, up, 2); err != nil {
 				return err
 			}
-			if _, err := msgpass.Recv[[]uint8](c, down, 1); err != nil {
+			if bot, err = msgpass.Recv[Row](c, down, 1); err != nil {
 				return err
 			}
 		}
@@ -467,8 +574,26 @@ func BenchmarkHaloExchange(b *testing.B) {
 		b.Fatal(err)
 	}
 	b.StopTimer()
-	perRound := float64(w.Stats().BytesSent-before) / float64(b.N)
-	b.ReportMetric(perRound, "bytes-per-round")
+	return float64(w.Stats().BytesSent-before) / float64(b.N) / float64(ranks*2)
+}
+
+// BenchmarkHaloExchange times one ring halo-exchange round across 8 ranks at
+// cols=4096 — the per-generation communication kernel of the distributed
+// Life engine in isolation — for both row representations. The
+// bytes-per-round metric is the deterministic wire size of one halo row:
+// 4096 bytes for the byte protocol, 512 (64 uint64 words) for the packed
+// one — the 8x comm reduction the SWAR representation buys the distributed
+// engine.
+func BenchmarkHaloExchange(b *testing.B) {
+	const ranks, cols = 8, 4096
+	b.Run("byte-4096", func(b *testing.B) {
+		per := haloExchangeRound(b, ranks, func() []uint8 { return make([]uint8, cols) })
+		b.ReportMetric(per, "bytes-per-round")
+	})
+	b.Run("packed-4096", func(b *testing.B) {
+		per := haloExchangeRound(b, ranks, func() []uint64 { return make([]uint64, cols/64) })
+		b.ReportMetric(per, "bytes-per-round")
+	})
 }
 
 // BenchmarkSweepGrid times the concurrent experiment-sweep engine end to

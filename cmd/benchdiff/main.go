@@ -43,13 +43,19 @@ import (
 // runtime added by the synchronization/sweep pass (combining-tree barrier,
 // sharded-stat life runner, and the sweep engine itself), the compiled
 // gate-level circuit engine (plan settle, gate-level datapath, 64-lane
-// batch verify), and the message-passing runtime (distributed life,
-// tree Allreduce, ring halo exchange).
+// batch verify), the message-passing runtime (distributed life, tree
+// Allreduce, ring halo exchange in both row representations), and the
+// bit-packed SWAR life kernel across its three engines plus the popcount
+// Population path.
 const defaultGate = `^BenchmarkLifeSpeedup/threads-1$|^BenchmarkMachineArithLoop$|^BenchmarkCacheLookup$` +
 	`|^BenchmarkBarrierWait/tree-4$|^BenchmarkBarrierWait/tree-16$` +
 	`|^BenchmarkParallelLife/sharded-8$|^BenchmarkSweepGrid$` +
 	`|^BenchmarkCircuitSettle/compiled$|^BenchmarkGateALU$|^BenchmarkALUVerifyBatch$` +
-	`|^BenchmarkDistLife/ranks-8$|^BenchmarkAllreduce$|^BenchmarkHaloExchange$`
+	`|^BenchmarkDistLife/ranks-8$|^BenchmarkAllreduce$` +
+	`|^BenchmarkHaloExchange/byte-4096$|^BenchmarkHaloExchange/packed-4096$` +
+	`|^BenchmarkPackedLife/serial$|^BenchmarkPackedLife/serial-byte$` +
+	`|^BenchmarkPackedLife/parallel-8$|^BenchmarkPackedLife/dist-8$` +
+	`|^BenchmarkPopulation/packed$`
 
 // BaselineEntry is one benchmark's committed expectations.
 type BaselineEntry struct {
@@ -156,6 +162,28 @@ func compare(base *Baseline, run map[string]*RunResult, maxRegression, tol float
 	return nsFailures, shapeFailures, nsGated, shapesChecked
 }
 
+// geomeanSpeedup summarizes a run's wall time against the baseline as one
+// headline number: the geometric mean of baseline/run ns/op ratios over
+// every benchmark present in both with a recorded baseline time. Values
+// above 1 mean the run is faster than the baseline. Returns the count of
+// entries folded in (0 means nothing comparable, geomean 1).
+func geomeanSpeedup(base *Baseline, run map[string]*RunResult) (float64, int) {
+	var logSum float64
+	n := 0
+	for name, entry := range base.Benchmarks {
+		got, ok := run[name]
+		if !ok || entry.NsPerOp <= 0 || got.NsPerOp <= 0 {
+			continue
+		}
+		logSum += math.Log(entry.NsPerOp / got.NsPerOp)
+		n++
+	}
+	if n == 0 {
+		return 1, 0
+	}
+	return math.Exp(logSum / float64(n)), n
+}
+
 // relDiff is |a-b| scaled by the baseline magnitude (absolute near zero).
 func relDiff(a, b float64) float64 {
 	d := math.Abs(a - b)
@@ -238,7 +266,7 @@ func run() error {
 		if base.Note == "" {
 			base.Note = "Benchmark baseline for the CI bench gate. Regenerate with: " +
 				"go test -run '^$' -bench . -benchtime=1x -cpu 1 . | go run ./cmd/benchdiff -update; " +
-				"then go test -run '^$' -bench 'LifeSpeedup/threads-1$|MachineArithLoop|CacheLookup|BarrierWait/tree|ParallelLife/sharded|SweepGrid|CircuitSettle|GateALU$|ALUVerifyBatch|DistLife|Allreduce|HaloExchange' -benchtime 200ms -count 3 -cpu 1 . | go run ./cmd/benchdiff -update"
+				"then go test -run '^$' -bench 'LifeSpeedup/threads-1$|MachineArithLoop|CacheLookup|BarrierWait/tree|ParallelLife/sharded|SweepGrid|CircuitSettle|GateALU$|ALUVerifyBatch|DistLife|Allreduce|HaloExchange|PackedLife|Population' -benchtime 200ms -count 3 -cpu 1 . | go run ./cmd/benchdiff -update"
 		}
 		update(&base, results, gate)
 		data, err := json.MarshalIndent(&base, "", "  ")
@@ -250,6 +278,12 @@ func run() error {
 		}
 		fmt.Printf("benchdiff: recorded %d benchmarks into %s\n", len(results), *baselinePath)
 		return nil
+	}
+
+	// The headline number EXPERIMENTS.md trajectory tables quote: one
+	// geomean over every ns/op entry this invocation compared.
+	if sp, n := geomeanSpeedup(&base, results); n > 0 && !*shapesOnly {
+		fmt.Printf("benchdiff: geomean speedup vs baseline: %.2fx across %d ns/op entries\n", sp, n)
 	}
 
 	nsFailures, shapeFailures, nsGated, shapes := compare(&base, results, *maxRegression, *tol, *shapesOnly)

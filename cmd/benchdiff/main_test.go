@@ -116,6 +116,34 @@ func TestCompareSeparatesNsFromShape(t *testing.T) {
 	}
 }
 
+// TestGeomeanSpeedup: the headline number is the geometric mean of
+// baseline/run ratios over entries present in both with baseline timings —
+// entries without a recorded ns/op or absent from the run don't dilute it.
+func TestGeomeanSpeedup(t *testing.T) {
+	res := parseSample(t)
+	base := &Baseline{Benchmarks: map[string]BaselineEntry{
+		// run: 1200000 ns/op → 2x faster than this baseline
+		"BenchmarkMachineArithLoop": {NsPerOp: 2400000},
+		// run: 460628 ns/op → 2x slower
+		"BenchmarkCacheLookup": {NsPerOp: 230314},
+		// shape-only baseline: no ns/op recorded, must not count
+		"BenchmarkCacheStride/rowmajor": {Metrics: map[string]float64{"hit-%": 93.75}},
+		// not in this run, must not count
+		"BenchmarkNotRunThisTime": {NsPerOp: 1},
+	}}
+	sp, n := geomeanSpeedup(base, res)
+	if n != 2 {
+		t.Fatalf("folded %d entries, want 2", n)
+	}
+	// geomean(2, 0.5) = 1
+	if diff := sp - 1; diff > 1e-9 || diff < -1e-9 {
+		t.Errorf("geomean = %v, want 1", sp)
+	}
+	if sp, n := geomeanSpeedup(&Baseline{}, res); sp != 1 || n != 0 {
+		t.Errorf("empty baseline: got %v across %d, want 1 across 0", sp, n)
+	}
+}
+
 func TestUpdateGatesOnlyMatchingBenchmarks(t *testing.T) {
 	res := parseSample(t)
 	base := &Baseline{}

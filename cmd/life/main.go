@@ -4,14 +4,20 @@
 //
 // Usage:
 //
-//	life -rows 64 -cols 64 -iters 100 -threads 4 -visual
+//	life -rows 64 -cols 64 -iters 100 -engine parallel -threads 4 -visual
 //	life -file oscillator.txt -threads 2
-//	life -rows 512 -cols 512 -iters 50 -bench 16     # speedup table
+//	life -rows 512 -cols 512 -iters 50 -bench 16      # speedup table
+//	life -rows 512 -cols 512 -packed -bench 16        # SWAR kernel rows
 //
-// The message-passing engine (-dist) exposes the fault-injection knobs of
-// the msgpass runtime: -chaos-seed/-chaos-delay/-chaos-stall perturb
-// message timing deterministically (a straggler demo in one flag), and
-// -watchdog turns a protocol hang into a structured deadlock report.
+// The engine is one flag: -engine {serial,parallel,dist}. When omitted it
+// is inferred from -threads (1 = serial, more = parallel) and the
+// deprecated -dist alias. -packed composes with every engine, switching the
+// board to the bit-packed SWAR representation (64 cells per word).
+//
+// The message-passing engine (-engine dist) exposes the fault-injection
+// knobs of the msgpass runtime: -chaos-seed/-chaos-delay/-chaos-stall
+// perturb message timing deterministically (a straggler demo in one flag),
+// and -watchdog turns a protocol hang into a structured deadlock report.
 package main
 
 import (
@@ -35,6 +41,30 @@ func main() {
 	}
 }
 
+// resolveEngine folds the -engine flag and its deprecated aliases into one
+// of "serial", "parallel", or "dist". An empty -engine infers: the -dist
+// alias wins, otherwise the thread count decides. An explicit -engine that
+// contradicts -dist is an error rather than a silent override.
+func resolveEngine(engine string, dist bool, threads int) (string, error) {
+	switch engine {
+	case "":
+		if dist {
+			return "dist", nil
+		}
+		if threads > 1 {
+			return "parallel", nil
+		}
+		return "serial", nil
+	case "serial", "parallel", "dist":
+		if dist && engine != "dist" {
+			return "", fmt.Errorf("-dist (deprecated; use -engine dist) conflicts with -engine %s", engine)
+		}
+		return engine, nil
+	default:
+		return "", fmt.Errorf("unknown engine %q (want serial, parallel, or dist)", engine)
+	}
+}
+
 func run() error {
 	file := flag.String("file", "", "lab-format config file (rows cols iters, then live-cell pairs)")
 	rows := flag.Int("rows", 32, "grid rows (random mode)")
@@ -42,9 +72,11 @@ func run() error {
 	iters := flag.Int("iters", 20, "generations to run")
 	seed := flag.Int64("seed", 31, "random seed")
 	density := flag.Float64("density", 0.3, "initial live density (random mode)")
-	threads := flag.Int("threads", 1, "worker threads (1 = serial engine)")
+	threads := flag.Int("threads", 1, "worker threads (ranks for the dist engine)")
 	partition := flag.String("partition", "rows", "parallel partition: rows or cols")
-	dist := flag.Bool("dist", false, "use the message-passing engine (threads become ranks)")
+	engine := flag.String("engine", "", "engine: serial, parallel, or dist (default: inferred from -threads)")
+	dist := flag.Bool("dist", false, "deprecated: alias for -engine dist")
+	packed := flag.Bool("packed", false, "use the bit-packed SWAR kernel (64 cells per word)")
 	visual := flag.Bool("visual", false, "render each generation (ParaVis)")
 	color := flag.Bool("color", true, "color thread regions in visual mode")
 	bench := flag.Int("bench", 0, "measure speedup for 1..N threads and exit")
@@ -55,8 +87,12 @@ func run() error {
 	watchdog := flag.Duration("watchdog", 0, "deadlock watchdog timeout (dist engine; 0 = off)")
 	flag.Parse()
 
+	eng, err := resolveEngine(*engine, *dist, *threads)
+	if err != nil {
+		return err
+	}
+
 	var g *life.Grid
-	var err error
 	if *file != "" {
 		f, err := os.Open(*file)
 		if err != nil {
@@ -81,6 +117,9 @@ func run() error {
 		}
 		g.Randomize(*seed, *density)
 	}
+	if *packed {
+		g.SetPacked(true)
+	}
 
 	part := life.ByRows
 	if *partition == "cols" {
@@ -88,14 +127,14 @@ func run() error {
 	} else if *partition != "rows" {
 		return fmt.Errorf("unknown partition %q", *partition)
 	}
-	if *dist && part != life.ByRows {
-		return fmt.Errorf("-dist shards by rows only")
+	if eng == "dist" && part != life.ByRows {
+		return fmt.Errorf("the dist engine shards by rows only")
 	}
 
 	var chaos *msgpass.Chaos
 	if *chaosDelay > 0 || *chaosStall > 0 {
-		if !*dist {
-			return fmt.Errorf("-chaos-delay/-chaos-stall require -dist")
+		if eng != "dist" {
+			return fmt.Errorf("-chaos-delay/-chaos-stall require -engine dist")
 		}
 		chaos = &msgpass.Chaos{
 			Seed:      *chaosSeed,
@@ -114,16 +153,20 @@ func run() error {
 			chaos.Ranks = []int{*chaosRank}
 		}
 	}
-	if *watchdog > 0 && !*dist {
-		return fmt.Errorf("-watchdog requires -dist")
+	if *watchdog > 0 && eng != "dist" {
+		return fmt.Errorf("-watchdog requires -engine dist")
 	}
 
 	if *bench > 0 {
-		return runBench(g, *iters, *bench, part, *dist)
+		return runBench(g, *iters, *bench, part, eng == "dist")
 	}
 
-	if *dist && *threads > 1 {
-		dr := &life.DistRunner{G: g, Ranks: *threads, Partition: part,
+	if eng == "dist" {
+		ranks := *threads
+		if ranks < 1 {
+			ranks = 1
+		}
+		dr := &life.DistRunner{G: g, Ranks: ranks, Partition: part,
 			Chaos: chaos, Watchdog: *watchdog}
 		start := time.Now()
 		stats, err := dr.Run(*iters)
@@ -136,8 +179,8 @@ func run() error {
 			return err
 		}
 		ws := dr.CommStats
-		fmt.Printf("ran %d rounds on %d ranks (message passing), %d cell updates\n",
-			stats.Rounds, dr.Ranks, stats.LiveUpdates)
+		fmt.Printf("ran %d rounds on %d ranks (message passing%s), %d cell updates\n",
+			stats.Rounds, dr.Ranks, packedNote(g), stats.LiveUpdates)
 		fmt.Printf("comm: %d messages, %d bytes sent, %d collective calls\n",
 			ws.Sends, ws.BytesSent, ws.Collectives)
 		fmt.Printf("final population %d after %d generations\n%s",
@@ -146,7 +189,7 @@ func run() error {
 	}
 
 	vis := paravis.New(*color)
-	if *threads <= 1 {
+	if eng == "serial" {
 		for i := 0; i < *iters; i++ {
 			g.Step()
 			if *visual {
@@ -166,8 +209,8 @@ func run() error {
 		if err != nil {
 			return err
 		}
-		fmt.Printf("ran %d rounds on %d threads (%v partition), %d cell updates\n",
-			stats.Rounds, *threads, part, stats.LiveUpdates)
+		fmt.Printf("ran %d rounds on %d threads (%v partition%s), %d cell updates\n",
+			stats.Rounds, *threads, part, packedNote(g), stats.LiveUpdates)
 	}
 	if !*visual {
 		fmt.Printf("final population %d after %d generations\n%s",
@@ -176,10 +219,19 @@ func run() error {
 	return nil
 }
 
+// packedNote annotates engine banners when the SWAR kernel is active.
+func packedNote(g *life.Grid) string {
+	if g.Packed() {
+		return ", bit-packed"
+	}
+	return ""
+}
+
 // runBench measures the speedup table. Metric names match the bench harness
 // in bench_test.go (ns/op, speedup, efficiency-%), and the whole table is
 // assembled before printing so measurement output never interleaves with
-// anything the workers write.
+// anything the workers write. The template's representation carries through
+// Clone, so -packed benches the SWAR kernel at every thread count.
 func runBench(template *life.Grid, iters, maxThreads int, part life.Partition, dist bool) error {
 	counts := []int{1}
 	for t := 2; t <= maxThreads; t *= 2 {
@@ -212,8 +264,8 @@ func runBench(template *life.Grid, iters, maxThreads int, part life.Partition, d
 		engine = "message passing"
 	}
 	var out strings.Builder
-	fmt.Fprintf(&out, "Game of Life speedup: %dx%d grid, %d iterations, %v partition, %s\n",
-		template.Rows, template.Cols, iters, part, engine)
+	fmt.Fprintf(&out, "Game of Life speedup: %dx%d grid, %d iterations, %v partition, %s%s\n",
+		template.Rows, template.Cols, iters, part, engine, packedNote(template))
 	fmt.Fprintf(&out, "%8s %14s %9s %13s\n", "threads", "ns/op", "speedup", "efficiency-%")
 	for _, p := range points {
 		// One op is one full-grid generation, matching BenchmarkLifeSpeedup.

@@ -392,6 +392,7 @@ type LifeRunRequest struct {
 	Threads   int     `json:"threads,omitempty"`   // <=1 runs the serial engine
 	Partition string  `json:"partition,omitempty"` // rows|cols
 	Engine    string  `json:"engine,omitempty"`    // parallel (default) | dist
+	Packed    bool    `json:"packed,omitempty"`    // advance through the bit-packed SWAR kernel
 	Speedup   bool    `json:"speedup,omitempty"`   // measure 1..Threads scaling
 }
 
@@ -471,6 +472,12 @@ func (s *Server) lifeRun(ctx context.Context, req LifeRunRequest) (LifeRunRespon
 		return resp, errBadRequest{err}
 	}
 	g.Randomize(seed, density)
+	if req.Packed {
+		// Randomize fills the byte board first, so packed and byte requests
+		// with the same seed share a starting board; Clone preserves the
+		// representation, so the speedup series below inherits it.
+		g.SetPacked(true)
+	}
 
 	if req.Speedup && req.Threads > 1 {
 		counts := []int{1}

@@ -307,6 +307,38 @@ func TestLifeRunDistEngine(t *testing.T) {
 	}
 }
 
+// TestLifeRunPacked: packed:true must agree with the byte kernel for every
+// engine — population, generations, and live updates on the same seed.
+func TestLifeRunPacked(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	run := func(req LifeRunRequest) LifeRunResponse {
+		t.Helper()
+		resp, raw := postJSON(t, ts.URL+"/v1/life/run", req)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%+v: status %d: %s", req, resp.StatusCode, raw)
+		}
+		return decode[LifeRunResponse](t, raw)
+	}
+	base := LifeRunRequest{Rows: 48, Cols: 70, Iters: 16, Seed: 7}
+	byteOut := run(base)
+	for _, req := range []LifeRunRequest{
+		{Rows: 48, Cols: 70, Iters: 16, Seed: 7, Packed: true},
+		{Rows: 48, Cols: 70, Iters: 16, Seed: 7, Packed: true, Threads: 4},
+		{Rows: 48, Cols: 70, Iters: 16, Seed: 7, Packed: true, Threads: 4, Engine: "dist"},
+	} {
+		out := run(req)
+		if out.Population != byteOut.Population || out.Generations != byteOut.Generations {
+			t.Errorf("%+v: population %d gen %d, byte kernel got %d / %d",
+				req, out.Population, out.Generations, byteOut.Population, byteOut.Generations)
+		}
+	}
+	// Packed speedup tables work too: Clone preserves the representation.
+	out := run(LifeRunRequest{Rows: 64, Cols: 64, Iters: 8, Threads: 4, Packed: true, Speedup: true})
+	if len(out.Scaling) < 2 {
+		t.Fatalf("packed scaling table has %d rows, want >= 2", len(out.Scaling))
+	}
+}
+
 func TestHomeworkEndpoint(t *testing.T) {
 	_, ts := newTestServer(t, Config{})
 	resp, raw := getURL(t, ts.URL+"/v1/homework")

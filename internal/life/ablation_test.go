@@ -36,7 +36,7 @@ func BenchmarkPartitionAblation(b *testing.B) {
 // neighbor) against dead edges (bounds checks) — a second ablation on the
 // serial engine.
 func BenchmarkEdgeModes(b *testing.B) {
-	for _, mode := range []EdgeMode{Torus, DeadEdges} {
+	for _, mode := range allModes {
 		mode := mode
 		b.Run(mode.String(), func(b *testing.B) {
 			g, err := NewGrid(128, 128, mode)

@@ -11,6 +11,10 @@ import (
 	"testing"
 )
 
+// allModes enumerates every edge mode; the differential matrices sweep all
+// of them so ghost synthesis is pinned for each boundary behavior.
+var allModes = []EdgeMode{Torus, DeadEdges, AliveEdges, MirrorEdges}
+
 // referenceRun advances a clone of g through n generations of the per-cell
 // reference implementation.
 func referenceRun(g *Grid, n int) *Grid {
@@ -33,7 +37,7 @@ func gridsMatch(t *testing.T, label string, got, want *Grid) {
 
 func TestStepMatchesReference(t *testing.T) {
 	shapes := [][2]int{{1, 1}, {1, 7}, {7, 1}, {2, 2}, {2, 5}, {5, 2}, {3, 3}, {16, 16}, {13, 31}, {64, 17}}
-	for _, mode := range []EdgeMode{Torus, DeadEdges} {
+	for _, mode := range allModes {
 		for _, sh := range shapes {
 			rows, cols := sh[0], sh[1]
 			t.Run(fmt.Sprintf("%v/%dx%d", mode, rows, cols), func(t *testing.T) {
@@ -51,7 +55,7 @@ func TestStepMatchesReference(t *testing.T) {
 }
 
 func TestParallelMatchesReference(t *testing.T) {
-	for _, mode := range []EdgeMode{Torus, DeadEdges} {
+	for _, mode := range allModes {
 		for _, part := range []Partition{ByRows, ByCols} {
 			for _, threads := range []int{1, 2, 3, 7} {
 				mode, part, threads := mode, part, threads
@@ -111,7 +115,7 @@ func TestParallelStatsMatchSerialKernel(t *testing.T) {
 // and double-counting LiveUpdates. The grid is 9x5 so Threads=12 exceeds
 // both extents.
 func TestParallelSurplusThreads(t *testing.T) {
-	for _, mode := range []EdgeMode{Torus, DeadEdges} {
+	for _, mode := range allModes {
 		for _, part := range []Partition{ByRows, ByCols} {
 			mode, part := mode, part
 			t.Run(fmt.Sprintf("%v/%v", mode, part), func(t *testing.T) {
@@ -174,7 +178,7 @@ func TestStepBlockEmptyRange(t *testing.T) {
 // partition × thread count (including surplus threads that both paths
 // clamp identically).
 func TestRunnerMatchesReferenceRunner(t *testing.T) {
-	for _, mode := range []EdgeMode{Torus, DeadEdges} {
+	for _, mode := range allModes {
 		for _, part := range []Partition{ByRows, ByCols} {
 			for _, threads := range []int{1, 2, 3, 5, 12} {
 				mode, part, threads := mode, part, threads

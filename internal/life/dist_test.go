@@ -13,7 +13,7 @@ import (
 
 func TestDistMatchesReference(t *testing.T) {
 	shapes := [][2]int{{1, 1}, {1, 7}, {7, 1}, {2, 2}, {2, 5}, {5, 2}, {3, 3}, {16, 16}, {13, 31}, {64, 17}}
-	for _, mode := range []EdgeMode{Torus, DeadEdges} {
+	for _, mode := range allModes {
 		for _, ranks := range []int{1, 2, 8, 16} {
 			for _, sh := range shapes {
 				mode, ranks, rows, cols := mode, ranks, sh[0], sh[1]
@@ -58,7 +58,7 @@ func TestDistMatchesReference(t *testing.T) {
 // against each other: same board, same generations — shared-memory threads
 // and message-passing ranks must land on identical grids and statistics.
 func TestDistMatchesParallelRunner(t *testing.T) {
-	for _, mode := range []EdgeMode{Torus, DeadEdges} {
+	for _, mode := range allModes {
 		for _, workers := range []int{2, 3, 8} {
 			mode, workers := mode, workers
 			t.Run(fmt.Sprintf("%v/workers-%d", mode, workers), func(t *testing.T) {
@@ -95,7 +95,7 @@ func TestDistMatchesParallelRunner(t *testing.T) {
 // TestDistSurplusRanks: more ranks than rows must clamp to the row extent
 // (the PR-3 surplus-worker regression class) and still be bit-for-bit.
 func TestDistSurplusRanks(t *testing.T) {
-	for _, mode := range []EdgeMode{Torus, DeadEdges} {
+	for _, mode := range allModes {
 		for _, sh := range [][2]int{{1, 9}, {3, 5}, {5, 33}} {
 			mode, rows, cols := mode, sh[0], sh[1]
 			t.Run(fmt.Sprintf("%v/%dx%d/ranks-33", mode, rows, cols), func(t *testing.T) {

@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"math/bits"
 	"math/rand"
 	"strings"
 	"sync/atomic"
@@ -23,17 +24,29 @@ import (
 type EdgeMode int
 
 // Boundary modes: the lab uses a torus; dead edges are the simpler variant
-// students sometimes build first.
+// students sometimes build first. Alive edges (every out-of-bounds cell is
+// permanently live) and mirror edges (out-of-bounds coordinates clamp to the
+// nearest in-bounds row/column, so the board sees its own reflection) round
+// out the set the packed kernel synthesizes as ghost rows and columns.
 const (
 	Torus EdgeMode = iota
 	DeadEdges
+	AliveEdges
+	MirrorEdges
 )
 
 func (m EdgeMode) String() string {
-	if m == Torus {
+	switch m {
+	case Torus:
 		return "torus"
+	case DeadEdges:
+		return "dead-edges"
+	case AliveEdges:
+		return "alive-edges"
+	case MirrorEdges:
+		return "mirror"
 	}
-	return "dead-edges"
+	return fmt.Sprintf("EdgeMode(%d)", int(m))
 }
 
 // Partition selects how the parallel engine splits the grid (the lab asks
@@ -53,14 +66,28 @@ func (p Partition) String() string {
 	return "columns"
 }
 
-// Grid is a Game of Life board with double buffering.
+// Grid is a Game of Life board with double buffering. A grid normally keeps
+// one byte per cell; SetPacked(true) switches it to the bit-packed
+// representation (64 cells per uint64 word) and every engine — serial,
+// parallel, distributed — then runs the SWAR kernel in packed.go instead of
+// the byte kernel.
 type Grid struct {
 	Rows, Cols int
 	Mode       EdgeMode
-	cells      []uint8 // current generation
+	cells      []uint8 // current generation (byte representation)
 	next       []uint8 // scratch for the next generation
 	zeroRow    []uint8 // all-dead row standing in for out-of-bounds rows (DeadEdges)
+	oneRow     []uint8 // all-live row standing in for out-of-bounds rows (AliveEdges)
 	Generation int
+
+	// Bit-packed representation (authoritative iff packed is true). Each row
+	// is wpr words, bit j of word w = cell column w*64+j; slack bits of the
+	// last word are always zero.
+	packed        bool
+	pcells, pnext []uint64
+	wpr           int // words per row: (Cols+63)/64
+	zeroRowP      []uint64
+	oneRowP       []uint64
 }
 
 // NewGrid allocates an empty grid.
@@ -68,18 +95,33 @@ func NewGrid(rows, cols int, mode EdgeMode) (*Grid, error) {
 	if rows < 1 || cols < 1 {
 		return nil, fmt.Errorf("life: grid %dx%d invalid", rows, cols)
 	}
-	return &Grid{
+	g := &Grid{
 		Rows: rows, Cols: cols, Mode: mode,
 		cells:   make([]uint8, rows*cols),
 		next:    make([]uint8, rows*cols),
 		zeroRow: make([]uint8, cols),
-	}, nil
+		oneRow:  make([]uint8, cols),
+	}
+	for i := range g.oneRow {
+		g.oneRow[i] = 1
+	}
+	return g, nil
 }
 
 // Set makes cell (r, c) alive or dead.
 func (g *Grid) Set(r, c int, alive bool) error {
 	if r < 0 || r >= g.Rows || c < 0 || c >= g.Cols {
 		return fmt.Errorf("life: cell (%d,%d) outside %dx%d grid", r, c, g.Rows, g.Cols)
+	}
+	if g.packed {
+		bit := uint64(1) << (uint(c) & 63)
+		w := r*g.wpr + c>>6
+		if alive {
+			g.pcells[w] |= bit
+		} else {
+			g.pcells[w] &^= bit
+		}
+		return nil
 	}
 	if alive {
 		g.cells[r*g.Cols+c] = 1
@@ -91,43 +133,81 @@ func (g *Grid) Set(r, c int, alive bool) error {
 
 // Alive reports whether cell (r, c) is live.
 func (g *Grid) Alive(r, c int) bool {
+	if g.packed {
+		return g.pcells[r*g.wpr+c>>6]>>(uint(c)&63)&1 == 1
+	}
 	return g.cells[r*g.Cols+c] == 1
 }
 
-// Population counts live cells.
+// Population counts live cells: a popcount per word on the packed
+// representation, a byte walk otherwise.
 func (g *Grid) Population() int {
 	n := 0
+	if g.packed {
+		for _, w := range g.pcells {
+			n += bits.OnesCount64(w)
+		}
+		return n
+	}
 	for _, v := range g.cells {
 		n += int(v)
 	}
 	return n
 }
 
-// Clone deep-copies the grid.
+// Clone deep-copies the grid, preserving the active representation.
 func (g *Grid) Clone() *Grid {
 	ng := &Grid{
 		Rows: g.Rows, Cols: g.Cols, Mode: g.Mode, Generation: g.Generation,
 		cells:   append([]uint8(nil), g.cells...),
 		next:    make([]uint8, len(g.next)),
 		zeroRow: make([]uint8, g.Cols),
+		oneRow:  append([]uint8(nil), g.oneRow...),
+	}
+	if g.packed {
+		ng.packed = true
+		ng.wpr = g.wpr
+		ng.pcells = append([]uint64(nil), g.pcells...)
+		ng.pnext = make([]uint64, len(g.pnext))
+		ng.zeroRowP = make([]uint64, g.wpr)
+		ng.oneRowP = append([]uint64(nil), g.oneRowP...)
 	}
 	return ng
 }
 
-// Equal compares live-cell patterns.
+// Equal compares live-cell patterns across any mix of representations.
 func (g *Grid) Equal(o *Grid) bool {
 	if g.Rows != o.Rows || g.Cols != o.Cols {
 		return false
 	}
-	for i := range g.cells {
-		if g.cells[i] != o.cells[i] {
-			return false
+	switch {
+	case !g.packed && !o.packed:
+		for i := range g.cells {
+			if g.cells[i] != o.cells[i] {
+				return false
+			}
+		}
+	case g.packed && o.packed:
+		for i := range g.pcells {
+			if g.pcells[i] != o.pcells[i] {
+				return false
+			}
+		}
+	default:
+		for r := 0; r < g.Rows; r++ {
+			for c := 0; c < g.Cols; c++ {
+				if g.Alive(r, c) != o.Alive(r, c) {
+					return false
+				}
+			}
 		}
 	}
 	return true
 }
 
 // Randomize fills the grid from a seeded RNG with the given live density.
+// The byte buffer is filled first and re-packed if needed, so a packed and
+// an unpacked grid given the same seed hold the same board.
 func (g *Grid) Randomize(seed int64, density float64) {
 	rng := rand.New(rand.NewSource(seed))
 	for i := range g.cells {
@@ -136,6 +216,9 @@ func (g *Grid) Randomize(seed int64, density float64) {
 		} else {
 			g.cells[i] = 0
 		}
+	}
+	if g.packed {
+		g.packFromBytes()
 	}
 }
 
@@ -150,16 +233,44 @@ func (g *Grid) neighbors(r, c int) int {
 				continue
 			}
 			rr, cc := r+dr, c+dc
-			if g.Mode == Torus {
+			oob := rr < 0 || rr >= g.Rows || cc < 0 || cc >= g.Cols
+			switch g.Mode {
+			case Torus:
 				rr = (rr + g.Rows) % g.Rows
 				cc = (cc + g.Cols) % g.Cols
-			} else if rr < 0 || rr >= g.Rows || cc < 0 || cc >= g.Cols {
-				continue
+			case DeadEdges:
+				if oob {
+					continue
+				}
+			case AliveEdges:
+				// Any out-of-bounds coordinate — row, column, or both —
+				// makes the neighbor a permanently live ghost cell.
+				if oob {
+					n++
+					continue
+				}
+			case MirrorEdges:
+				// Row and column clamp independently to the nearest
+				// in-bounds index: the board sees its own reflection.
+				rr = clamp(rr, g.Rows)
+				cc = clamp(cc, g.Cols)
 			}
 			n += int(g.cells[rr*g.Cols+cc])
 		}
 	}
 	return n
+}
+
+// clamp maps an out-of-bounds index one step past either end back onto the
+// nearest in-bounds index (mirror reflection across the edge).
+func clamp(i, n int) int {
+	if i < 0 {
+		return 0
+	}
+	if i >= n {
+		return n - 1
+	}
+	return i
 }
 
 // stepCell computes the next state of one cell into the scratch buffer
@@ -188,44 +299,65 @@ func (g *Grid) stepReference() {
 	g.swap()
 }
 
-// rowIn returns row r of cells, wrapping under Torus and substituting the
-// all-dead row when r is outside a DeadEdges grid.
-func rowIn(cells, zeroRow []uint8, rows, cols int, mode EdgeMode, r int) []uint8 {
-	if r < 0 {
-		if mode != Torus {
+// rowIn returns row r of cells, synthesizing the mode's ghost row when r is
+// out of bounds: the wrapped row under Torus, the all-dead row under
+// DeadEdges, the all-live row under AliveEdges, and the clamped edge row
+// under MirrorEdges.
+func rowIn(cells, zeroRow, oneRow []uint8, rows, cols int, mode EdgeMode, r int) []uint8 {
+	if r < 0 || r >= rows {
+		switch mode {
+		case Torus:
+			if r < 0 {
+				r = rows - 1
+			} else {
+				r = 0
+			}
+		case DeadEdges:
 			return zeroRow
+		case AliveEdges:
+			return oneRow
+		case MirrorEdges:
+			r = clamp(r, rows)
 		}
-		r = rows - 1
-	} else if r >= rows {
-		if mode != Torus {
-			return zeroRow
-		}
-		r = 0
 	}
 	base := r * cols
 	return cells[base : base+cols]
 }
 
 // stepEdgeCell handles one cell in column 0 or cols-1, where the horizontal
-// neighbors need wrapping (Torus) or dropping (DeadEdges). It returns 1 if
-// the cell changed state.
+// neighbors need wrapping (Torus), dropping (DeadEdges), counting as live
+// ghosts (AliveEdges), or clamping back onto the edge column (MirrorEdges).
+// It returns 1 if the cell changed state.
 func stepEdgeCell(up, cur, down, out []uint8, cols int, mode EdgeMode, c int) int64 {
 	left, right := c-1, c+1
+	ghosts := 0
 	if left < 0 {
-		if mode == Torus {
+		switch mode {
+		case Torus:
 			left = cols - 1
-		} else {
+		case DeadEdges:
 			left = -1
+		case AliveEdges:
+			left = -1
+			ghosts += 3 // up-left, left, down-left are all live ghosts
+		case MirrorEdges:
+			left = 0
 		}
 	}
 	if right >= cols {
-		if mode == Torus {
+		switch mode {
+		case Torus:
 			right = 0
-		} else {
+		case DeadEdges:
 			right = -1
+		case AliveEdges:
+			right = -1
+			ghosts += 3
+		case MirrorEdges:
+			right = cols - 1
 		}
 	}
-	n := int(up[c]) + int(down[c])
+	n := int(up[c]) + int(down[c]) + ghosts
 	if left >= 0 {
 		n += int(up[left]) + int(cur[left]) + int(down[left])
 	}
@@ -249,7 +381,7 @@ func stepEdgeCell(up, cur, down, out []uint8, cols int, mode EdgeMode, c int) in
 // parameters rather than Grid fields so parallel workers can alternate
 // parity buffers locally without touching shared Grid state between
 // barrier rounds.
-func stepSlices(src, dst, zeroRow []uint8, rows, cols int, mode EdgeMode, loRow, hiRow, loCol, hiCol int) int64 {
+func stepSlices(src, dst, zeroRow, oneRow []uint8, rows, cols int, mode EdgeMode, loRow, hiRow, loCol, hiCol int) int64 {
 	// An empty range owns no cells. Without this guard a loCol==hiCol==Cols
 	// tile (a surplus ByCols worker) would still recompute the right edge
 	// column, racing with the owning tile and double-counting changes.
@@ -261,8 +393,8 @@ func stepSlices(src, dst, zeroRow []uint8, rows, cols int, mode EdgeMode, loRow,
 		base := r * cols
 		cur := src[base : base+cols]
 		out := dst[base : base+cols]
-		up := rowIn(src, zeroRow, rows, cols, mode, r-1)
-		down := rowIn(src, zeroRow, rows, cols, mode, r+1)
+		up := rowIn(src, zeroRow, oneRow, rows, cols, mode, r-1)
+		down := rowIn(src, zeroRow, oneRow, rows, cols, mode, r+1)
 		if loCol == 0 {
 			changed += stepEdgeCell(up, cur, down, out, cols, mode, 0)
 		}
@@ -293,20 +425,30 @@ func stepSlices(src, dst, zeroRow []uint8, rows, cols int, mode EdgeMode, loRow,
 
 // stepBlock runs the kernel over the grid's own current/scratch buffers.
 func (g *Grid) stepBlock(loRow, hiRow, loCol, hiCol int) int64 {
-	return stepSlices(g.cells, g.next, g.zeroRow, g.Rows, g.Cols, g.Mode, loRow, hiRow, loCol, hiCol)
+	return stepSlices(g.cells, g.next, g.zeroRow, g.oneRow, g.Rows, g.Cols, g.Mode, loRow, hiRow, loCol, hiCol)
 }
 
-// swap promotes the scratch buffer to current.
+// swap promotes the scratch buffer to current (whichever representation is
+// active).
 func (g *Grid) swap() {
-	g.cells, g.next = g.next, g.cells
+	if g.packed {
+		g.pcells, g.pnext = g.pnext, g.pcells
+	} else {
+		g.cells, g.next = g.next, g.cells
+	}
 	g.Generation++
 }
 
-// Step advances one generation serially (Lab 6) through the row-sliced
-// kernel — the same kernel the parallel tiles run, so measured speedups are
-// against a fast serial baseline.
+// Step advances one generation serially (Lab 6). An unpacked grid runs the
+// row-sliced byte kernel — the same kernel the parallel tiles run, so
+// measured speedups are against a fast serial baseline; a packed grid runs
+// the SWAR kernel over 64-cell words.
 func (g *Grid) Step() {
-	g.stepBlock(0, g.Rows, 0, g.Cols)
+	if g.packed {
+		g.stepPackedBlock(0, g.Rows, 0, g.wpr)
+	} else {
+		g.stepBlock(0, g.Rows, 0, g.Cols)
+	}
 	g.swap()
 }
 
@@ -320,11 +462,16 @@ func (g *Grid) Run(n int) {
 // RunCounted advances n generations serially and reports how many cells
 // changed state in total — the serial twin of the parallel runner's
 // LiveUpdates statistic, which the sweep engine's differential tests
-// compare per-shard reductions against.
+// compare per-shard reductions against. A packed grid recovers the count
+// from a popcount of the change mask per word.
 func (g *Grid) RunCounted(n int) int64 {
 	var changed int64
 	for i := 0; i < n; i++ {
-		changed += g.stepBlock(0, g.Rows, 0, g.Cols)
+		if g.packed {
+			changed += g.stepPackedBlock(0, g.Rows, 0, g.wpr)
+		} else {
+			changed += g.stepBlock(0, g.Rows, 0, g.Cols)
+		}
 		g.swap()
 	}
 	return changed
@@ -485,9 +632,18 @@ func (pr *ParallelRunner) RunCtx(ctx context.Context, n int) (*RunStats, error) 
 		return nil, fmt.Errorf("life: parallel run not started: %w", err)
 	}
 	g := pr.G
+	packed := g.packed
 	extent := g.Rows
 	if pr.Partition == ByCols {
-		extent = g.Cols
+		// A packed ByCols tile is a block of 64-cell words, not bit columns:
+		// word w needs only read-shared access to words w-1 and w+1 of the
+		// source parity buffer, so word tiles compose with the SWAR kernel
+		// with no intra-word edge handling.
+		if packed {
+			extent = g.wpr
+		} else {
+			extent = g.Cols
+		}
 	}
 	// Clamp to the partition extent (not Rows*Cols): surplus threads would
 	// own empty tiles, and spawning them only adds barrier traffic. This
@@ -496,6 +652,9 @@ func (pr *ParallelRunner) RunCtx(ctx context.Context, n int) (*RunStats, error) 
 		pr.Threads = extent
 	}
 	if pr.Reference {
+		if packed {
+			return nil, fmt.Errorf("life: the packed runner has no reference path; the byte kernel is the reference")
+		}
 		return pr.refRun(ctx, n, extent)
 	}
 	barrier, err := pthread.NewBarrier(pr.Threads)
@@ -506,7 +665,11 @@ func (pr *ParallelRunner) RunCtx(ctx context.Context, n int) (*RunStats, error) 
 	shards := make([]int64, pr.Threads*statShardStride)
 	rows, cols, mode := g.Rows, g.Cols, g.Mode
 	zero := g.zeroRow
+	one := g.oneRow
 	src0, dst0 := g.cells, g.next
+	wpr := g.wpr
+	psrc0, pdst0 := g.pcells, g.pnext
+	zeroP, oneP := g.zeroRowP, g.oneRowP
 	var stopRound atomic.Int64
 	stopRound.Store(noStop)
 	ctxDone := ctx.Done()
@@ -514,12 +677,18 @@ func (pr *ParallelRunner) RunCtx(ctx context.Context, n int) (*RunStats, error) 
 	worker := func(id int) interface{} {
 		lo, hi := pthread.BlockRange(id, pr.Threads, extent)
 		src, dst := src0, dst0
+		psrc, pdst := psrc0, pdst0
 		var updates int64
 		for round := 0; round < n; round++ {
-			if pr.Partition == ByRows {
-				updates += stepSlices(src, dst, zero, rows, cols, mode, lo, hi, 0, cols)
-			} else {
-				updates += stepSlices(src, dst, zero, rows, cols, mode, 0, rows, lo, hi)
+			switch {
+			case packed && pr.Partition == ByRows:
+				updates += stepPackedSlices(psrc, pdst, zeroP, oneP, rows, cols, wpr, mode, lo, hi, 0, wpr)
+			case packed:
+				updates += stepPackedSlices(psrc, pdst, zeroP, oneP, rows, cols, wpr, mode, 0, rows, lo, hi)
+			case pr.Partition == ByRows:
+				updates += stepSlices(src, dst, zero, one, rows, cols, mode, lo, hi, 0, cols)
+			default:
+				updates += stepSlices(src, dst, zero, one, rows, cols, mode, 0, rows, lo, hi)
 			}
 			// One barrier per generation: nobody may read dst as a source
 			// until every tile of it is written. The serial thread
@@ -528,7 +697,11 @@ func (pr *ParallelRunner) RunCtx(ctx context.Context, n int) (*RunStats, error) 
 			// barrier r+1 completes, which needs the serial thread's
 			// arrival after its callback returns.
 			if barrier.WaitParty(id) {
-				g.cells, g.next = dst, src
+				if packed {
+					g.pcells, g.pnext = pdst, psrc
+				} else {
+					g.cells, g.next = dst, src
+				}
 				g.Generation++
 				stats.Rounds++
 				if pr.OnRound != nil {
@@ -543,6 +716,7 @@ func (pr *ParallelRunner) RunCtx(ctx context.Context, n int) (*RunStats, error) 
 				}
 			}
 			src, dst = dst, src
+			psrc, pdst = pdst, psrc
 			if int64(round)+1 >= stopRound.Load() {
 				break
 			}
@@ -658,6 +832,12 @@ func (pr *ParallelRunner) Owner(r, c int) int {
 	if pr.Partition == ByCols {
 		extent = pr.G.Cols
 		pos = c
+		if pr.G.packed {
+			// Packed ByCols tiles are word blocks: ownership follows the
+			// 64-cell word the column lives in.
+			extent = pr.G.wpr
+			pos = c >> 6
+		}
 	}
 	threads := pr.Threads
 	if threads > extent {

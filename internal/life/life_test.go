@@ -88,6 +88,22 @@ func TestEdgeModes(t *testing.T) {
 	if Torus.String() != "torus" || DeadEdges.String() != "dead-edges" {
 		t.Error("mode names")
 	}
+	if AliveEdges.String() != "alive-edges" || MirrorEdges.String() != "mirror" {
+		t.Error("mode names")
+	}
+	// Alive edges feed the corner three live ghosts per out-of-bounds side;
+	// mirror edges reflect it back on itself. All four must disagree with at
+	// least one sibling at this corner.
+	alive := mk(AliveEdges)
+	mirror := mk(MirrorEdges)
+	alive.Step()
+	mirror.Step()
+	if alive.Equal(dead) {
+		t.Error("alive-edge and dead-edge grids should diverge at the corner")
+	}
+	if mirror.Equal(dead) {
+		t.Error("mirror and dead-edge grids should diverge at the corner")
+	}
 }
 
 func TestGridValidation(t *testing.T) {

@@ -1,0 +1,316 @@
+package life
+
+// Differential equivalence for the bit-packed SWAR kernel: every packed
+// engine — serial, parallel tiles, distributed bands — must be bit-for-bit
+// identical to the byte reference, boards AND live-update statistics, for
+// every edge mode, shape (especially ragged widths straddling word
+// boundaries), partition, thread count, and rank count. The byte kernel is
+// itself pinned to the per-cell reference in differential_test.go, so this
+// file closes the chain: per-cell → byte → packed.
+
+import (
+	"fmt"
+	"testing"
+)
+
+// byteRun advances a byte-representation clone of g through the byte kernel
+// and returns the resulting grid plus its live-update count — the reference
+// every packed engine is held to.
+func byteRun(t testing.TB, g *Grid, gens int) (*Grid, int64) {
+	t.Helper()
+	ref := g.Clone()
+	if ref.Packed() {
+		ref.SetPacked(false)
+	}
+	return ref, ref.RunCounted(gens)
+}
+
+func TestPackedStepMatchesReference(t *testing.T) {
+	shapes := [][2]int{
+		{1, 1}, {1, 7}, {7, 1}, {2, 2}, {2, 5}, {5, 2}, {3, 3}, {16, 16},
+		{13, 31}, {64, 17}, {5, 63}, {5, 64}, {5, 65}, {4, 127}, {3, 130},
+	}
+	for _, mode := range allModes {
+		for _, sh := range shapes {
+			mode, rows, cols := mode, sh[0], sh[1]
+			t.Run(fmt.Sprintf("%v/%dx%d", mode, rows, cols), func(t *testing.T) {
+				g, err := NewGrid(rows, cols, mode)
+				if err != nil {
+					t.Fatal(err)
+				}
+				g.Randomize(42, 0.35)
+				const gens = 8
+				want, wantUpdates := byteRun(t, g, gens)
+				g.SetPacked(true)
+				if got := g.RunCounted(gens); got != wantUpdates {
+					t.Errorf("packed live updates %d, byte kernel counted %d", got, wantUpdates)
+				}
+				gridsMatch(t, "packed serial kernel", g, want)
+			})
+		}
+	}
+}
+
+// TestPackedRaggedWidthsMatchesReference is the ragged-width property
+// sweep: widths sitting exactly on, one below, and one above the 64-lane
+// word boundary (plus multi-word raggeds) across every edge mode and
+// several densities. These widths exercise the last-word mask, the
+// slack-lane invariant, and the ghost-column injection at lastLane.
+func TestPackedRaggedWidthsMatchesReference(t *testing.T) {
+	for _, mode := range allModes {
+		for _, cols := range []int{1, 63, 64, 65, 127, 130} {
+			for _, density := range []float64{0.1, 0.5, 0.9} {
+				mode, cols, density := mode, cols, density
+				t.Run(fmt.Sprintf("%v/cols-%d/d%.0f", mode, cols, density*10), func(t *testing.T) {
+					g, err := NewGrid(9, cols, mode)
+					if err != nil {
+						t.Fatal(err)
+					}
+					g.Randomize(int64(cols)*31+int64(density*10), density)
+					const gens = 6
+					want, wantUpdates := byteRun(t, g, gens)
+					g.SetPacked(true)
+					if got := g.RunCounted(gens); got != wantUpdates {
+						t.Errorf("packed live updates %d, byte kernel counted %d", got, wantUpdates)
+					}
+					gridsMatch(t, "ragged width", g, want)
+				})
+			}
+		}
+	}
+}
+
+func TestPackedParallelMatchesReference(t *testing.T) {
+	for _, mode := range allModes {
+		for _, part := range []Partition{ByRows, ByCols} {
+			for _, threads := range []int{1, 2, 8, 16, 33} {
+				mode, part, threads := mode, part, threads
+				t.Run(fmt.Sprintf("%v/%v/threads-%d", mode, part, threads), func(t *testing.T) {
+					// 19x130 : three words per row, so ByCols word-block tiling
+					// has real interior seams; 33 threads exceeds both extents.
+					g, err := NewGrid(19, 130, mode)
+					if err != nil {
+						t.Fatal(err)
+					}
+					g.Randomize(7, 0.3)
+					const gens = 6
+					want, wantUpdates := byteRun(t, g, gens)
+					g.SetPacked(true)
+					pr := &ParallelRunner{G: g, Threads: threads, Partition: part}
+					stats, err := pr.Run(gens)
+					if err != nil {
+						t.Fatal(err)
+					}
+					gridsMatch(t, "packed parallel kernel", g, want)
+					if stats.LiveUpdates != wantUpdates {
+						t.Errorf("packed parallel live updates %d, byte kernel counted %d", stats.LiveUpdates, wantUpdates)
+					}
+					if stats.Rounds != gens {
+						t.Errorf("rounds = %d, want %d", stats.Rounds, gens)
+					}
+				})
+			}
+		}
+	}
+}
+
+func TestPackedDistMatchesReference(t *testing.T) {
+	shapes := [][2]int{{1, 1}, {7, 65}, {16, 16}, {37, 130}}
+	for _, mode := range allModes {
+		for _, ranks := range []int{1, 2, 8, 33} {
+			for _, sh := range shapes {
+				mode, ranks, rows, cols := mode, ranks, sh[0], sh[1]
+				t.Run(fmt.Sprintf("%v/ranks-%d/%dx%d", mode, ranks, rows, cols), func(t *testing.T) {
+					g, err := NewGrid(rows, cols, mode)
+					if err != nil {
+						t.Fatal(err)
+					}
+					g.Randomize(42, 0.35)
+					const gens = 8
+					want, wantUpdates := byteRun(t, g, gens)
+					g.SetPacked(true)
+					dr := &DistRunner{G: g, Ranks: ranks}
+					stats, err := dr.Run(gens)
+					if err != nil {
+						t.Fatal(err)
+					}
+					gridsMatch(t, "packed distributed kernel", g, want)
+					if stats.LiveUpdates != wantUpdates {
+						t.Errorf("packed dist live updates %d, byte kernel counted %d", stats.LiveUpdates, wantUpdates)
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestPackedDistHaloBytes pins the headline comm win: a packed halo row at
+// cols=4096 is 64 words = 512 bytes on the wire — 8x under the 4096-byte
+// byte row. The world's traffic counters must account for exactly the
+// packed protocol (halos + block distribution/collection + the 8-byte
+// allreduce payloads), proving no byte-representation traffic leaks in.
+func TestPackedDistHaloBytes(t *testing.T) {
+	const rows, cols, ranks, gens = 16, 4096, 4, 3
+	g, err := NewGrid(rows, cols, Torus)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.Randomize(5, 0.3)
+	g.SetPacked(true)
+	dr := &DistRunner{G: g, Ranks: ranks}
+	if _, err := dr.Run(gens); err != nil {
+		t.Fatal(err)
+	}
+	const rowBytes = (cols / 64) * 8 // 512: one packed halo row on the wire
+	if rowBytes != 512 {
+		t.Fatalf("packed halo row = %d bytes at cols=%d, want 512", rowBytes, cols)
+	}
+	haloBytes := int64(ranks * 2 * gens * rowBytes)
+	blockBytes := int64(2 * (ranks - 1) * (rows / ranks) * rowBytes)
+	wantMin := haloBytes + blockBytes
+	ws := dr.CommStats
+	if ws.BytesSent < wantMin {
+		t.Errorf("world sent %d bytes, want >= %d", ws.BytesSent, wantMin)
+	}
+	if ws.BytesSent > wantMin+int64(ranks*64) {
+		t.Errorf("world sent %d bytes, want close to %d (allreduce overhead only) — byte-width traffic leaked into the packed protocol?", ws.BytesSent, wantMin)
+	}
+}
+
+// TestPackRoundTrip: pack → unpack is the identity, and the packed accessors
+// (Set, Alive, Population) agree with the byte representation.
+func TestPackRoundTrip(t *testing.T) {
+	for _, cols := range []int{1, 63, 64, 65, 130} {
+		cols := cols
+		t.Run(fmt.Sprintf("cols-%d", cols), func(t *testing.T) {
+			g, err := NewGrid(11, cols, Torus)
+			if err != nil {
+				t.Fatal(err)
+			}
+			g.Randomize(3, 0.45)
+			want := g.Clone()
+			pop := g.Population()
+			g.SetPacked(true)
+			if g.Population() != pop {
+				t.Errorf("packed Population = %d, byte counted %d", g.Population(), pop)
+			}
+			g.Set(0, cols-1, true)
+			if !g.Alive(0, cols-1) {
+				t.Error("packed Set/Alive lost the last column")
+			}
+			g.Set(0, cols-1, want.Alive(0, cols-1))
+			g.SetPacked(false)
+			gridsMatch(t, "pack/unpack round trip", g, want)
+		})
+	}
+}
+
+// TestPackedSlackLanesStayZero guards the representation invariant every
+// shifted gather relies on: after stepping, the slack lanes of each row's
+// final word are zero.
+func TestPackedSlackLanesStayZero(t *testing.T) {
+	for _, cols := range []int{1, 63, 65, 130} {
+		g, err := NewGrid(8, cols, AliveEdges) // alive ghosts press hardest on the mask
+		if err != nil {
+			t.Fatal(err)
+		}
+		g.Randomize(9, 0.5)
+		g.SetPacked(true)
+		g.Run(5)
+		mask := lastWordMask(cols)
+		for r := 0; r < g.Rows; r++ {
+			if w := g.pcells[r*g.wpr+g.wpr-1]; w&^mask != 0 {
+				t.Fatalf("cols=%d row %d: slack lanes set in %#x (mask %#x)", cols, r, w, mask)
+			}
+		}
+	}
+}
+
+// TestPackedClonePreservesRepresentation: Clone of a packed grid is packed,
+// independent, and equal.
+func TestPackedClonePreservesRepresentation(t *testing.T) {
+	g, err := NewGrid(9, 70, Torus)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.Randomize(21, 0.4)
+	g.SetPacked(true)
+	c := g.Clone()
+	if !c.Packed() {
+		t.Fatal("clone of a packed grid is not packed")
+	}
+	gridsMatch(t, "packed clone", c, g)
+	c.Step()
+	if c.Equal(g) {
+		t.Error("stepping the clone mutated the original (shared packed buffers?)")
+	}
+}
+
+// TestPackedReferenceRunnerRejected: the byte kernel IS the packed path's
+// reference, so the retained two-barrier reference runner refuses packed
+// grids rather than silently comparing packed against packed.
+func TestPackedReferenceRunnerRejected(t *testing.T) {
+	g, err := NewGrid(8, 8, Torus)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.SetPacked(true)
+	pr := &ParallelRunner{G: g, Threads: 2, Reference: true}
+	if _, err := pr.Run(1); err == nil {
+		t.Error("reference runner accepted a packed grid")
+	}
+}
+
+// TestPackedStepAllocates pins the SWAR kernel's hot loop at zero
+// allocations, matching the byte kernel's guarantee.
+func TestPackedStepAllocates(t *testing.T) {
+	g, err := NewGrid(64, 130, Torus)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.Randomize(3, 0.3)
+	g.SetPacked(true)
+	if avg := testing.AllocsPerRun(50, func() { g.Step() }); avg != 0 {
+		t.Errorf("packed Step allocates %.1f objects per generation, want 0", avg)
+	}
+}
+
+// FuzzPackedLife round-trips pack/unpack on arbitrary boards and holds the
+// packed kernel bit-for-bit to the byte kernel — boards and stats — across
+// fuzzer-chosen shapes, modes, and densities.
+func FuzzPackedLife(f *testing.F) {
+	f.Add(uint8(3), uint8(3), uint8(0), int64(1), uint8(128))
+	f.Add(uint8(1), uint8(65), uint8(1), int64(42), uint8(64))
+	f.Add(uint8(9), uint8(127), uint8(2), int64(7), uint8(200))
+	f.Add(uint8(16), uint8(64), uint8(3), int64(99), uint8(25))
+	f.Fuzz(func(t *testing.T, rowsB, colsB, modeB uint8, seed int64, densityB uint8) {
+		rows := int(rowsB)%48 + 1
+		cols := int(colsB)%140 + 1
+		mode := EdgeMode(int(modeB) % 4)
+		density := float64(densityB) / 255
+		g, err := NewGrid(rows, cols, mode)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g.Randomize(seed, density)
+		orig := g.Clone()
+
+		// Round trip: pack then unpack must be the identity.
+		g.SetPacked(true)
+		g.SetPacked(false)
+		if !g.Equal(orig) {
+			t.Fatalf("pack/unpack round trip corrupted a %dx%d board", rows, cols)
+		}
+
+		// Differential step: packed vs byte kernel, boards and stats.
+		const gens = 3
+		want, wantUpdates := byteRun(t, g, gens)
+		g.SetPacked(true)
+		if got := g.RunCounted(gens); got != wantUpdates {
+			t.Errorf("%dx%d %v: packed live updates %d, byte kernel counted %d", rows, cols, mode, got, wantUpdates)
+		}
+		if !g.Equal(want) {
+			t.Errorf("%dx%d %v: packed board diverged from byte kernel", rows, cols, mode)
+		}
+	})
+}

@@ -21,13 +21,18 @@ type LifeCase struct {
 	Seed       int64
 	Density    float64
 	Dist       bool // run the message-passing DistRunner instead of shared-memory threads
+	Packed     bool // advance through the bit-packed SWAR kernel instead of the byte kernel
 }
 
 func (c LifeCase) String() string {
+	s := fmt.Sprintf("%dx%d/%v/threads-%d", c.Rows, c.Cols, c.Partition, c.Threads)
 	if c.Dist {
-		return fmt.Sprintf("%dx%d/%v/ranks-%d/dist", c.Rows, c.Cols, c.Partition, c.Threads)
+		s = fmt.Sprintf("%dx%d/%v/ranks-%d/dist", c.Rows, c.Cols, c.Partition, c.Threads)
 	}
-	return fmt.Sprintf("%dx%d/%v/threads-%d", c.Rows, c.Cols, c.Partition, c.Threads)
+	if c.Packed {
+		s += "/packed"
+	}
+	return s
 }
 
 // LifeResult is the deterministic outcome of one life case.
@@ -81,6 +86,12 @@ func RunLifeGrid(ctx context.Context, workers int, cases []LifeCase) ([]LifeResu
 			return LifeResult{}, err
 		}
 		g.Randomize(c.Seed, c.Density)
+		if c.Packed {
+			// Randomize fills the byte board first, so byte and packed cases
+			// with the same seed start from identical boards — the sweep's
+			// results double as a cross-representation differential.
+			g.SetPacked(true)
+		}
 		res := LifeResult{Case: c}
 		switch {
 		case c.Threads <= 1:

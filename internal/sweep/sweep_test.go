@@ -173,6 +173,43 @@ func TestLifeGridDifferential(t *testing.T) {
 	}
 }
 
+// TestPackedLifeGridDifferential marks grid points packed and holds every
+// engine the sweep dispatches — packed serial, packed ParallelRunner, packed
+// DistRunner — to the byte kernel's count on the same seeded board. Width 70
+// keeps a ragged final word in play.
+func TestPackedLifeGridDifferential(t *testing.T) {
+	const (
+		gens    = 5
+		seed    = 11
+		density = 0.35
+	)
+	cases := LifeGrid([][2]int{{16, 70}}, []int{1, 4, 33}, []life.Partition{life.ByRows, life.ByCols}, gens, seed, density)
+	dist := DistLifeGrid([][2]int{{16, 70}}, []int{4}, gens, seed, density)
+	cases = append(cases, dist...)
+	for i := range cases {
+		cases[i].Packed = true
+	}
+	results, err := RunLifeGrid(context.Background(), 4, cases)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, res := range results {
+		c := cases[i]
+		serial, err := life.NewGrid(c.Rows, c.Cols, life.Torus)
+		if err != nil {
+			t.Fatal(err)
+		}
+		serial.Randomize(c.Seed, c.Density)
+		wantUpdates := serial.RunCounted(c.Gens)
+		if res.LiveUpdates != wantUpdates {
+			t.Errorf("%v: LiveUpdates = %d, byte kernel counted %d", c, res.LiveUpdates, wantUpdates)
+		}
+		if res.Population != serial.Population() {
+			t.Errorf("%v: population = %d, byte kernel has %d", c, res.Population, serial.Population())
+		}
+	}
+}
+
 // TestDistLifeGridDifferential runs the message-passing engine's grid
 // through the sweep pool and checks every point against the serial engine —
 // the distributed counterpart of TestLifeGridDifferential. Rank count 33
