@@ -17,19 +17,30 @@
 package cs31_test
 
 import (
+	"bytes"
 	"context"
 	"fmt"
+	"math"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"sort"
 	"sync"
+	"sync/atomic"
 	"testing"
+	"time"
 
 	"cs31/internal/asm"
 	"cs31/internal/cache"
 	"cs31/internal/circuit"
 	"cs31/internal/cpu"
+	"cs31/internal/labd"
 	"cs31/internal/life"
 	"cs31/internal/memhier"
+	"cs31/internal/memo"
 	"cs31/internal/msgpass"
 	"cs31/internal/pthread"
+	"cs31/internal/sorting"
 	"cs31/internal/survey"
 	"cs31/internal/sweep"
 	"cs31/internal/vm"
@@ -836,6 +847,189 @@ func BenchmarkPipelineDepth(b *testing.B) {
 			}
 			b.ReportMetric(ipc, "ipc")
 			b.ReportMetric(m.Speedup(1_000_000), "speedup-vs-unpipelined")
+		})
+	}
+}
+
+// BenchmarkMemoHit times the memoization fast path in isolation: one op is
+// a resident-key lookup in a sharded memo.Cache — lock, LRU touch, return
+// the pre-encoded bytes. The hit path must stay allocation-free; allocs/op
+// and B/op are pinned at zero in the baseline.
+func BenchmarkMemoHit(b *testing.B) {
+	c := memo.New(1<<20, 8)
+	ctx := context.Background()
+	const key = 0x9e3779b97f4a7c15
+	payload := bytes.Repeat([]byte("x"), 512)
+	if _, _, err := c.Do(ctx, key, func() ([]byte, error) { return payload, nil }); err != nil {
+		b.Fatal(err)
+	}
+	poison := func() ([]byte, error) {
+		b.Fatal("hit path ran the computation")
+		return nil, nil
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		val, outcome, err := c.Do(ctx, key, poison)
+		if err != nil || outcome != memo.Hit || len(val) != len(payload) {
+			b.Fatalf("outcome %v err %v len %d", outcome, err, len(val))
+		}
+	}
+}
+
+// BenchmarkMemoCoalesce measures request coalescing: one op fans 8
+// goroutines onto the same fresh key, and the flight leader holds the
+// computation open until every goroutine has arrived at the cache, so the
+// whole fan-in lands on one in-flight computation. The computes metric is
+// the op's compute count and must be exactly 1 — that equality is the
+// gated claim, independent of scheduling order (late arrivals are served
+// the cached value; the flight still ran once).
+func BenchmarkMemoCoalesce(b *testing.B) {
+	const fanout = 8
+	c := memo.New(1<<20, 8)
+	ctx := context.Background()
+	var computes atomic.Int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		key := uint64(i) + 1
+		var arrived atomic.Int64
+		var wg sync.WaitGroup
+		for g := 0; g < fanout; g++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				arrived.Add(1)
+				_, _, err := c.Do(ctx, key, func() ([]byte, error) {
+					computes.Add(1)
+					for arrived.Load() < fanout {
+						// Single-core friendly wait; async preemption
+						// makes a bare spin safe, but yielding is faster.
+						time.Sleep(time.Microsecond)
+					}
+					return []byte("coalesced"), nil
+				})
+				if err != nil {
+					b.Error(err)
+				}
+			}()
+		}
+		wg.Wait()
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(computes.Load())/float64(b.N), "computes")
+}
+
+// benchLabd builds a quiet labd server for the cache benchmarks and tears
+// it down with the benchmark.
+func benchLabd(b *testing.B) http.Handler {
+	b.Helper()
+	s := labd.New(labd.Config{Workers: 1, QueueDepth: 64, DefaultTimeout: time.Minute})
+	b.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := s.Shutdown(ctx); err != nil {
+			b.Error(err)
+		}
+	})
+	return s.Handler()
+}
+
+// postLife drives one life request through the handler stack without a
+// network socket, returning the recorder for header/body checks.
+func postLife(h http.Handler, body []byte) *httptest.ResponseRecorder {
+	req := httptest.NewRequest(http.MethodPost, "/v1/life/run", bytes.NewReader(body))
+	req.Header.Set("Content-Type", "application/json")
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	return rec
+}
+
+// BenchmarkLabdCacheHit is the end-to-end hit path: one op is a full HTTP
+// round trip (decode, canonical key, cache lookup, pre-encoded bytes to
+// the wire) for a life request whose response is resident. The paired
+// BenchmarkLabdCacheMiss runs the same request cold; the ns/op ratio is
+// the memoization speedup EXPERIMENTS.md quotes. allocs-per-hit pins the
+// per-request allocation count of the hit path (request parsing and
+// recorder included — the cache layer itself adds none).
+func BenchmarkLabdCacheHit(b *testing.B) {
+	h := benchLabd(b)
+	body := []byte(`{"rows":192,"cols":192,"iters":4,"seed":31,"threads":1}`)
+	if rec := postLife(h, body); rec.Code != http.StatusOK {
+		b.Fatalf("prime status %d: %s", rec.Code, rec.Body)
+	}
+	if rec := postLife(h, body); rec.Header().Get("X-Labd-Cache") != "hit" {
+		b.Fatalf("want hit, got %q", rec.Header().Get("X-Labd-Cache"))
+	}
+	allocs := testing.AllocsPerRun(64, func() { postLife(h, body) })
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if rec := postLife(h, body); rec.Code != http.StatusOK {
+			b.Fatalf("status %d", rec.Code)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(math.Round(allocs), "allocs-per-hit")
+}
+
+// BenchmarkLabdCacheMiss is the cold side of the pair: every op carries a
+// distinct seed, so every request misses, runs the 192x192x4 life job
+// through the worker pool, and encodes a fresh response. Compare its ns/op
+// against BenchmarkLabdCacheHit for the hit-path speedup.
+func BenchmarkLabdCacheMiss(b *testing.B) {
+	h := benchLabd(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		body := fmt.Sprintf(`{"rows":192,"cols":192,"iters":4,"seed":%d,"threads":1}`, 100_000+i)
+		rec := postLife(h, []byte(body))
+		if rec.Code != http.StatusOK {
+			b.Fatalf("status %d: %s", rec.Code, rec.Body)
+		}
+		if got := rec.Header().Get("X-Labd-Cache"); got != "miss" {
+			b.Fatalf("want miss, got %q", got)
+		}
+	}
+}
+
+// BenchmarkParallelMergeSort times sorting.ParallelMerge on 64Ki ints at
+// 1, 2, and 8 threads. measured-speedup is wall-clock-derived (t1/tN) and
+// therefore volatile — benchdiff's -update skips measured-* units so the
+// baseline only pins the deterministic element count and timings on the
+// gated variants.
+func BenchmarkParallelMergeSort(b *testing.B) {
+	const n = 1 << 16
+	src := make([]int, n)
+	rng := rand.New(rand.NewSource(31))
+	for i := range src {
+		src[i] = rng.Intn(1<<20) - 1<<19
+	}
+	var serialNs float64
+	for _, threads := range []int{1, 2, 8} {
+		threads := threads
+		b.Run(fmt.Sprintf("threads-%d", threads), func(b *testing.B) {
+			buf := make([]int, n)
+			copy(buf, src)
+			if err := sorting.ParallelMerge(buf, threads); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				copy(buf, src)
+				if err := sorting.ParallelMerge(buf, threads); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			if !sort.IntsAreSorted(buf) {
+				b.Fatal("output not sorted")
+			}
+			nsPerOp := float64(b.Elapsed().Nanoseconds()) / float64(b.N)
+			if threads == 1 {
+				serialNs = nsPerOp
+			} else if serialNs > 0 && nsPerOp > 0 {
+				b.ReportMetric(serialNs/nsPerOp, "measured-speedup")
+			}
+			b.ReportMetric(n, "elements")
 		})
 	}
 }

@@ -162,3 +162,40 @@ func TestUpdateGatesOnlyMatchingBenchmarks(t *testing.T) {
 		t.Error("metric-less ungated benchmark was pinned")
 	}
 }
+
+// TestUpdateSkipsVolatileMetrics: wall-clock-derived measured-* series and
+// nonzero memory meters must never enter the baseline (they wobble past the
+// shape tolerance), while zero memory meters — the zero-alloc invariant —
+// and ordinary deterministic metrics are pinned as usual.
+func TestUpdateSkipsVolatileMetrics(t *testing.T) {
+	const run = `BenchmarkParallelMergeSort/threads-8         	      14	   8149252 ns/op	     65536 elements	         0.9534 measured-speedup	 1052184 B/op	      77 allocs/op
+BenchmarkMemoHit           	 3998719	        34.84 ns/op	       0 B/op	       0 allocs/op
+`
+	res, err := parseBench(strings.NewReader(run))
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := &Baseline{}
+	update(base, res, regexp.MustCompile(defaultGate))
+
+	ms := base.Benchmarks["BenchmarkParallelMergeSort/threads-8"]
+	for _, unit := range []string{"measured-speedup", "B/op", "allocs/op"} {
+		if _, ok := ms.Metrics[unit]; ok {
+			t.Errorf("volatile metric %q was pinned into the baseline", unit)
+		}
+	}
+	if ms.Metrics["elements"] != 65536 {
+		t.Errorf("elements = %v, want 65536", ms.Metrics["elements"])
+	}
+	if ms.NsPerOp != 8149252 {
+		t.Errorf("gated merge-sort ns/op = %v, want 8149252", ms.NsPerOp)
+	}
+
+	hit := base.Benchmarks["BenchmarkMemoHit"]
+	if v, ok := hit.Metrics["allocs/op"]; !ok || v != 0 {
+		t.Errorf("zero allocs/op invariant not pinned: %v (ok=%v)", v, ok)
+	}
+	if v, ok := hit.Metrics["B/op"]; !ok || v != 0 {
+		t.Errorf("zero B/op invariant not pinned: %v (ok=%v)", v, ok)
+	}
+}

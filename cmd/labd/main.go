@@ -5,13 +5,21 @@
 // queue into a fixed worker pool; a full queue answers 429, and SIGTERM
 // triggers a graceful drain of in-flight jobs.
 //
+// Deterministic endpoints are memoized: repeated identical requests are
+// served from pre-encoded response bytes, and concurrent identical
+// requests coalesce onto one computation (-cache-bytes sizes the budget,
+// 0 disables; -cache-off disables named endpoints; clients bypass with
+// Cache-Control: no-cache).
+//
 // Usage:
 //
 //	labd -addr :8031
 //	labd -workers 8 -queue 64 -timeout 5s
+//	labd -cache-bytes 67108864 -cache-off life,survey
 //
-// Observability: GET /healthz, GET /debug/vars, and a structured (JSON)
-// request log on stderr.
+// Observability: GET /healthz, GET /debug/vars, a structured (JSON)
+// request log on stderr, and -pprof to mount net/http/pprof under
+// /debug/pprof/ (off by default).
 package main
 
 import (
@@ -23,6 +31,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -44,9 +53,24 @@ func run() error {
 	maxSteps := flag.Int64("max", 10_000_000, "instruction budget cap for machine jobs")
 	drain := flag.Duration("drain", 30*time.Second, "shutdown drain budget")
 	quiet := flag.Bool("quiet", false, "disable the request log")
+	cacheBytes := flag.Int64("cache-bytes", labd.DefaultCacheBytes,
+		"response memoization budget in bytes, split across endpoints (0 disables)")
+	cacheOff := flag.String("cache-off", "",
+		"comma-separated endpoints to serve uncached (asm,minic,cache,vm,life,homework,survey)")
+	pprofOn := flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 	flag.Parse()
 	if flag.NArg() != 0 {
 		return fmt.Errorf("usage: labd [-addr :8031] [-workers N] [-queue N] [-timeout d]")
+	}
+
+	var cacheCfg labd.CacheConfig
+	if *cacheBytes <= 0 {
+		cacheCfg.Disable = true
+	} else {
+		cacheCfg.MaxBytes = *cacheBytes
+	}
+	if *cacheOff != "" {
+		cacheCfg.DisableEndpoints = strings.Split(*cacheOff, ",")
 	}
 
 	var logger *slog.Logger
@@ -59,6 +83,8 @@ func run() error {
 		DefaultTimeout: *timeout,
 		MaxSteps:       *maxSteps,
 		Logger:         logger,
+		Cache:          cacheCfg,
+		EnablePprof:    *pprofOn,
 	})
 
 	httpSrv := &http.Server{

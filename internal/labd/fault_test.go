@@ -83,14 +83,20 @@ func TestQueueFull429CarriesRetryAfter(t *testing.T) {
 	// Wedge the single worker with a slow asm request, fill the queue's
 	// single slot with another, then watch the third bounce. The spinners
 	// end at their own 1s deadline, so the test drains quickly afterwards.
-	spin := AsmRunRequest{Source: "main:\nloop:\n    jmp loop\n", MaxSteps: 9_000_000_000}
+	// Distinct step budgets (below the server cap, so normalization keeps
+	// them distinct) stop the memoization layer from coalescing the
+	// spinners: saturating the pool takes three separate jobs, not one
+	// flight with two waiters.
+	spinReq := func(i int64) AsmRunRequest {
+		return AsmRunRequest{Source: "main:\nloop:\n    jmp loop\n", MaxSteps: 8_000_000_000 + i}
+	}
 	var wg sync.WaitGroup
 	for i := 0; i < 2; i++ {
 		wg.Add(1)
-		go func() {
+		go func(i int) {
 			defer wg.Done()
-			postJSON(t, ts.URL+"/v1/asm/run", spin)
-		}()
+			postJSON(t, ts.URL+"/v1/asm/run", spinReq(int64(i)))
+		}(i)
 	}
 	deadline := time.After(10 * time.Second)
 	for {
@@ -105,7 +111,7 @@ func TestQueueFull429CarriesRetryAfter(t *testing.T) {
 		}
 	}
 
-	resp, raw := postJSON(t, ts.URL+"/v1/asm/run", spin)
+	resp, raw := postJSON(t, ts.URL+"/v1/asm/run", spinReq(2))
 	if resp.StatusCode != http.StatusTooManyRequests {
 		t.Fatalf("status %d (%s), want 429", resp.StatusCode, raw)
 	}

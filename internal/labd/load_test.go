@@ -10,6 +10,7 @@ package labd
 // parallel here.
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"fmt"
@@ -62,10 +63,15 @@ func loadRequest(t *testing.T, baseURL string, kind int) (status int, endpoint s
 func TestLoadMixedConcurrentRequests(t *testing.T) {
 	const totalRequests = 280
 
+	// Memoization off: this test's claims are about the scheduler — every
+	// request submits or is rejected, the queue overflows under pressure —
+	// and a cache would collapse the 7 identical request groups into 7
+	// computes. TestLoadCachedMixedRequests covers the memoized path.
 	s, ts := newTestServer(t, Config{
 		Workers:        4,
 		QueueDepth:     8,
 		DefaultTimeout: 30 * time.Second,
+		Cache:          CacheConfig{Disable: true},
 	})
 
 	type tally struct {
@@ -190,11 +196,16 @@ loop:
 	var wg sync.WaitGroup
 	for i := 0; i < jobs; i++ {
 		wg.Add(1)
-		go func() {
+		go func(i int) {
 			defer wg.Done()
-			resp, _ := postJSON(t, ts.URL+"/v1/asm/run", slow)
+			// A distinct step budget per job keeps the memoization layer
+			// from coalescing them: the drain claim is about ten separate
+			// jobs in the scheduler, not one flight with nine waiters.
+			req := slow
+			req.MaxSteps = int64(700_000 + i)
+			resp, _ := postJSON(t, ts.URL+"/v1/asm/run", req)
 			statuses <- resp.StatusCode
-		}()
+		}(i)
 	}
 
 	// Wait until every job is inside the scheduler, then pull the plug.
@@ -219,5 +230,155 @@ loop:
 	resp, _ := postJSON(t, ts.URL+"/v1/asm/run", slow)
 	if resp.StatusCode != http.StatusServiceUnavailable {
 		t.Errorf("post-drain status %d, want 503", resp.StatusCode)
+	}
+}
+
+// cachedLoadRequest issues one request of the given kind against baseURL.
+// Repeats (unique=false) use one fixed request per kind — the classroom
+// pattern of whole sections submitting identical work — while unique
+// requests fold the discriminator d into a request field so every one is
+// a genuine cache miss. Returns the HTTP status, the response body, and a
+// replay key identifying the request for the twin-server differential.
+func cachedLoadRequest(t *testing.T, baseURL string, kind int, unique bool, d int) (int, []byte, string) {
+	t.Helper()
+	post := func(path string, body any) (int, []byte, string) {
+		raw, err := json.Marshal(body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, got := postJSON(t, baseURL+path, body)
+		return resp.StatusCode, got, "POST " + path + " " + string(raw)
+	}
+	get := func(path string) (int, []byte, string) {
+		resp, got := getURL(t, baseURL+path)
+		return resp.StatusCode, got, "GET " + path
+	}
+	if !unique {
+		d = 0
+	}
+	switch kind % 7 {
+	case 0:
+		return post("/v1/asm/run", AsmRunRequest{
+			Source: fmt.Sprintf("main:\n    movl $%d, %%ebx\n    movl $1, %%eax\n    int $0x80\n", d%100),
+		})
+	case 1:
+		return post("/v1/minic/compile", MinicCompileRequest{
+			Source: fmt.Sprintf("int main() { return %d; }", d%100), Run: true,
+		})
+	case 2:
+		return post("/v1/cache/sim", CacheSimRequest{
+			Workload: "colmajor", Rows: 16 + d, Cols: 16,
+		})
+	case 3:
+		// d folds into the page index (64-page default address space).
+		return post("/v1/vm/sim", VMSimRequest{
+			Trace: []VMAccess{{Pid: 1, Addr: uint64(d%64) * 256}, {Pid: 2, Addr: 512}, {Pid: 1, Addr: 1024}},
+		})
+	case 4:
+		return post("/v1/life/run", LifeRunRequest{
+			Rows: 16, Cols: 16, Iters: 4, Threads: 2, Seed: int64(1000 + d),
+		})
+	case 5:
+		return get(fmt.Sprintf("/v1/homework?topic=binary-conversion&n=1&seed=%d", 1000+d))
+	default:
+		return get(fmt.Sprintf("/v1/survey/figure1?students=20&seed=%d", 1000+d))
+	}
+}
+
+// TestLoadCachedMixedRequests is the memoized counterpart of the mixed
+// load test: 280 concurrent requests, ~70% of them repeats of 7 fixed
+// requests, against a cache-enabled server. Every response must be
+// byte-identical to a cache-disabled twin's answer for the same request,
+// the aggregate hit ratio must clear 0.5, and the /debug/vars cache
+// counters must reconcile exactly with the requests issued.
+func TestLoadCachedMixedRequests(t *testing.T) {
+	const totalRequests = 280
+
+	// Queues deep enough that nothing bounces: this test's claims are
+	// about cache correctness under concurrency, and a 429 has no body to
+	// compare. Backpressure is TestLoadMixedConcurrentRequests's job.
+	s, ts := newTestServer(t, Config{
+		Workers: 4, QueueDepth: totalRequests, DefaultTimeout: 30 * time.Second,
+	})
+	_, twin := newTestServer(t, Config{
+		Workers: 4, QueueDepth: totalRequests, DefaultTimeout: 30 * time.Second,
+		Cache: CacheConfig{Disable: true},
+	})
+
+	type result struct {
+		key  string
+		body []byte
+	}
+	results := make([]result, totalRequests)
+	var wg sync.WaitGroup
+	for i := 0; i < totalRequests; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			unique := i%10 >= 7 // ~70% repeats
+			status, body, key := cachedLoadRequest(t, ts.URL, i%7, unique, i)
+			if status != http.StatusOK {
+				t.Errorf("request %d: status %d: %s", i, status, body)
+				return
+			}
+			results[i] = result{key: key, body: body}
+		}(i)
+	}
+	wg.Wait()
+
+	// Zero byte-level divergence: replay each distinct request once
+	// against the cache-disabled twin and hold every cached-server
+	// response to the twin's bytes.
+	reference := make(map[string][]byte)
+	for i := 0; i < totalRequests; i++ {
+		r := results[i]
+		if r.key == "" {
+			continue // already reported as a failed request
+		}
+		if _, ok := reference[r.key]; !ok {
+			unique := i%10 >= 7
+			status, body, _ := cachedLoadRequest(t, twin.URL, i%7, unique, i)
+			if status != http.StatusOK {
+				t.Fatalf("twin request %d: status %d: %s", i, status, body)
+			}
+			reference[r.key] = body
+		}
+		if !bytes.Equal(r.body, reference[r.key]) {
+			t.Errorf("request %d (%s): cached response diverges from twin recompute", i, r.key)
+		}
+	}
+
+	// Counters reconcile: every request consulted exactly one endpoint
+	// cache, so hits+misses+coalesced across /debug/vars equals the
+	// requests issued, and the hit ratio clears the repeat rate's floor.
+	resp, raw := getURL(t, ts.URL+"/debug/vars")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/debug/vars status %d", resp.StatusCode)
+	}
+	var vars map[string]json.RawMessage
+	if err := json.Unmarshal(raw, &vars); err != nil {
+		t.Fatalf("parse /debug/vars: %v", err)
+	}
+	var agg CacheSnapshot
+	if err := json.Unmarshal(vars["labd.cache"], &agg); err != nil {
+		t.Fatalf("parse labd.cache: %v", err)
+	}
+	if total := agg.Hits + agg.Misses + agg.Coalesced; total != totalRequests {
+		t.Errorf("hits %d + misses %d + coalesced %d = %d, want %d",
+			agg.Hits, agg.Misses, agg.Coalesced, total, totalRequests)
+	}
+	if agg.HitRatio <= 0.5 {
+		t.Errorf("aggregate hit ratio %.3f, want > 0.5 with ~70%% repeats", agg.HitRatio)
+	}
+
+	// The snapshot API agrees with the expvar surface.
+	var fromStats CacheSnapshot
+	for _, cs := range s.CacheStats() {
+		fromStats.Hits += cs.Hits
+		fromStats.Misses += cs.Misses
+		fromStats.Coalesced += cs.Coalesced
+	}
+	if fromStats.Hits != agg.Hits || fromStats.Misses != agg.Misses || fromStats.Coalesced != agg.Coalesced {
+		t.Errorf("CacheStats %+v disagrees with /debug/vars %+v", fromStats, agg)
 	}
 }

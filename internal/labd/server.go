@@ -7,19 +7,25 @@ import (
 	"fmt"
 	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"runtime"
 	"strconv"
 	"time"
+
+	"cs31/internal/memo"
 )
 
 // Config parameterizes the daemon. Zero values select defaults sized to
-// the host: GOMAXPROCS workers, a queue 4x as deep, 10s request budget.
+// the host: GOMAXPROCS workers, a queue 4x as deep, 10s request budget,
+// a DefaultCacheBytes memoization budget.
 type Config struct {
 	Workers        int           // worker pool size
 	QueueDepth     int           // bounded queue capacity
 	DefaultTimeout time.Duration // per-request deadline when the client sets none
 	MaxSteps       int64         // hard cap on machine instruction budgets
 	Logger         *slog.Logger  // structured request log; nil disables
+	Cache          CacheConfig   // response memoization sizing
+	EnablePprof    bool          // mount net/http/pprof under /debug/pprof/
 }
 
 func (c *Config) fillDefaults() {
@@ -35,6 +41,7 @@ func (c *Config) fillDefaults() {
 	if c.MaxSteps <= 0 {
 		c.MaxSteps = 10_000_000
 	}
+	c.Cache.fillDefaults()
 }
 
 // Server is the lab-service daemon: an http.Handler whose /v1 endpoints
@@ -44,6 +51,7 @@ type Server struct {
 	sched   *Scheduler
 	metrics *Metrics
 	mux     *http.ServeMux
+	caches  map[string]*memo.Cache // per-endpoint response memoization
 }
 
 // New builds a Server and starts its worker pool.
@@ -54,17 +62,19 @@ func New(cfg Config) *Server {
 		sched:   NewScheduler(cfg.Workers, cfg.QueueDepth),
 		metrics: NewMetrics(),
 		mux:     http.NewServeMux(),
+		caches:  make(map[string]*memo.Cache),
 	}
+	s.initCaches()
 	s.routes()
 	return s
 }
 
 func (s *Server) routes() {
-	registerJSON(s, "POST /v1/asm/run", s.asmRun)
-	registerJSON(s, "POST /v1/minic/compile", s.minicCompile)
-	registerJSON(s, "POST /v1/cache/sim", s.cacheSim)
-	registerJSON(s, "POST /v1/vm/sim", s.vmSim)
-	registerJSON(s, "POST /v1/life/run", s.lifeRun)
+	registerJSON(s, "POST /v1/asm/run", "asm", asmKey, s.asmRun)
+	registerJSON(s, "POST /v1/minic/compile", "minic", minicKey, s.minicCompile)
+	registerJSON(s, "POST /v1/cache/sim", "cache", cacheSimKey, s.cacheSim)
+	registerJSON(s, "POST /v1/vm/sim", "vm", vmSimKey, s.vmSim)
+	registerJSON(s, "POST /v1/life/run", "life", lifeKey, s.lifeRun)
 	s.mux.HandleFunc("GET /v1/homework", func(w http.ResponseWriter, r *http.Request) {
 		markPattern(w, "GET /v1/homework")
 		q := r.URL.Query()
@@ -80,7 +90,8 @@ func (s *Server) routes() {
 			return
 		}
 		answers := q.Get("answers") != "false"
-		s.schedule(w, r, func(ctx context.Context) (any, error) {
+		key := homeworkKey(topic, seed, int(n64), answers)
+		s.serveCached(w, r, "homework", key, true, func(ctx context.Context) (any, error) {
 			return s.homeworkGen(ctx, topic, seed, int(n64), answers)
 		})
 	})
@@ -96,7 +107,8 @@ func (s *Server) routes() {
 			writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error()})
 			return
 		}
-		s.schedule(w, r, func(ctx context.Context) (any, error) {
+		key := surveyKey(seed, int(st64))
+		s.serveCached(w, r, "survey", key, true, func(ctx context.Context) (any, error) {
 			return s.surveyFigure1(ctx, seed, int(st64))
 		})
 	})
@@ -108,6 +120,19 @@ func (s *Server) routes() {
 		markPattern(w, "GET /debug/vars")
 		s.debugVars(w, r)
 	})
+	if s.cfg.EnablePprof {
+		// Profiling is opt-in (-pprof): the handlers expose goroutine
+		// dumps and CPU profiles, which an open classroom deployment
+		// should not serve by default. Unregistered routes 404.
+		s.mux.HandleFunc("GET /debug/pprof/", func(w http.ResponseWriter, r *http.Request) {
+			markPattern(w, "GET /debug/pprof/")
+			pprof.Index(w, r)
+		})
+		s.mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+		s.mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+		s.mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+		s.mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	}
 }
 
 // queryInt64 parses an optional integer query parameter. A missing or
@@ -237,17 +262,22 @@ func (s *Server) schedule(w http.ResponseWriter, r *http.Request, fn func(ctx co
 		err = jobErr
 	}
 	if err != nil {
-		status := httpStatusFor(err)
-		if status == http.StatusTooManyRequests {
-			// Backpressure with guidance: derive the retry hint from the
-			// actual backlog so clients spread out proportionally to load
-			// instead of hammering back in lockstep one second later.
-			w.Header().Set("Retry-After", strconv.Itoa(s.sched.RetryAfter()))
-		}
-		writeJSON(w, status, errorBody{Error: err.Error()})
+		s.writeError(w, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// writeError renders err with its mapped status; queue-full responses
+// carry backpressure guidance: the retry hint derives from the actual
+// backlog so clients spread out proportionally to load instead of
+// hammering back in lockstep one second later.
+func (s *Server) writeError(w http.ResponseWriter, err error) {
+	status := httpStatusFor(err)
+	if status == http.StatusTooManyRequests {
+		w.Header().Set("Retry-After", strconv.Itoa(s.sched.RetryAfter()))
+	}
+	writeJSON(w, status, errorBody{Error: err.Error()})
 }
 
 // markPattern records the matched route on the middleware's recorder so
@@ -258,10 +288,11 @@ func markPattern(w http.ResponseWriter, pattern string) {
 	}
 }
 
-// registerJSON adapts a typed request/response handler onto the queued
-// path: decode the JSON body (1 MiB cap) up front, run the simulator work
-// through the pool, encode the reply.
-func registerJSON[Req, Resp any](s *Server, pattern string, fn func(ctx context.Context, req Req) (Resp, error)) {
+// registerJSON adapts a typed request/response handler onto the memoized
+// queued path: decode the JSON body (1 MiB cap) up front, derive the
+// request's canonical cache key, then serve from cache or run the
+// simulator work through the pool and encode the reply.
+func registerJSON[Req, Resp any](s *Server, pattern, endpoint string, keyFn func(*Server, Req) (uint64, bool), fn func(ctx context.Context, req Req) (Resp, error)) {
 	s.mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
 		markPattern(w, pattern)
 		var req Req
@@ -277,7 +308,8 @@ func registerJSON[Req, Resp any](s *Server, pattern string, fn func(ctx context.
 			writeJSON(w, status, errorBody{Error: "decode request: " + err.Error()})
 			return
 		}
-		s.schedule(w, r, func(ctx context.Context) (any, error) {
+		key, cacheable := keyFn(s, req)
+		s.serveCached(w, r, endpoint, key, cacheable, func(ctx context.Context) (any, error) {
 			return fn(ctx, req)
 		})
 	})
@@ -325,6 +357,25 @@ func (s *Server) debugVars(w http.ResponseWriter, _ *http.Request) {
 	}
 	for _, ep := range s.metrics.Snapshot() {
 		vars[fmt.Sprintf("labd.endpoint.%s", ep.Endpoint)] = ep
+	}
+	vars["labd.cache_enabled"] = len(s.caches) > 0
+	if snaps := s.CacheStats(); len(snaps) > 0 {
+		var total CacheSnapshot
+		for _, cs := range snaps {
+			vars["labd.cache."+cs.Endpoint] = cs
+			total.Hits += cs.Hits
+			total.Misses += cs.Misses
+			total.Coalesced += cs.Coalesced
+			total.Evictions += cs.Evictions
+			total.Entries += cs.Entries
+			total.Bytes += cs.Bytes
+			total.Capacity += cs.Capacity
+		}
+		if n := total.Hits + total.Misses + total.Coalesced; n > 0 {
+			total.HitRatio = float64(total.Hits+total.Coalesced) / float64(n)
+		}
+		total.Endpoint = "(all)"
+		vars["labd.cache"] = total
 	}
 	writeJSON(w, http.StatusOK, vars)
 }

@@ -1,0 +1,54 @@
+package memo
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzCanonicalKey drives the canonical encoder with arbitrary field
+// values and checks the two properties the cache depends on: building the
+// same logical request twice yields the same key (stability), and
+// changing any single field — value, tag, or salt — yields a different
+// key (sensitivity). A sensitivity failure is a 64-bit collision between
+// two encodings that differ in exactly one controlled way, which the
+// unambiguous length-prefixed encoding should make vanishingly unlikely.
+func FuzzCanonicalKey(f *testing.F) {
+	f.Add("labd/life/v1", "source", int64(32), uint64(31), true, 0.3, uint64(7))
+	f.Add("", "", int64(0), uint64(0), false, 0.0, uint64(0))
+	f.Add("salt", "a\x00b", int64(-1), uint64(1<<63), true, -0.0, uint64(1))
+	f.Fuzz(func(t *testing.T, salt, s string, i int64, u uint64, b bool, fl float64, elem uint64) {
+		build := func(salt, s string, i int64, u uint64, b bool, fl float64, elem uint64) uint64 {
+			k := NewKey(salt)
+			k.Str("s", s)
+			k.Int("i", i)
+			k.Uint("u", u)
+			k.Bool("b", b)
+			k.Float("f", fl)
+			k.Int("seq", 1)
+			k.Elem(elem)
+			return k.Sum()
+		}
+		ref := build(salt, s, i, u, b, fl, elem)
+		if again := build(salt, s, i, u, b, fl, elem); again != ref {
+			t.Fatalf("unstable: same request hashed %#x then %#x", ref, again)
+		}
+		for name, got := range map[string]uint64{
+			"salt":  build(salt+"x", s, i, u, b, fl, elem),
+			"str":   build(salt, s+"x", i, u, b, fl, elem),
+			"int":   build(salt, s, i+1, u, b, fl, elem),
+			"uint":  build(salt, s, i, u+1, b, fl, elem),
+			"bool":  build(salt, s, i, u, !b, fl, elem),
+			"float": build(salt, s, i, u, b, fl+1, elem),
+			"elem":  build(salt, s, i, u, b, fl, elem+1),
+		} {
+			// fl+1 can leave the IEEE bits unchanged (inf, NaN, huge
+			// magnitudes); only a bit change must change the key.
+			if name == "float" && math.Float64bits(fl+1) == math.Float64bits(fl) {
+				continue
+			}
+			if got == ref {
+				t.Fatalf("insensitive: changing %s did not change the key (%#x)", name, ref)
+			}
+		}
+	})
+}

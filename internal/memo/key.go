@@ -1,0 +1,119 @@
+package memo
+
+import "math"
+
+// Key builds a 64-bit hash of a canonical request encoding, field by
+// field. Callers write fields in a fixed order with normalized values
+// (defaults filled in), so two requests that mean the same thing hash
+// equal and any semantic difference hashes different. The encoding is
+// unambiguous: every field contributes a length-prefixed tag, a type
+// code, and a length- or width-delimited value, so no concatenation of
+// fields can imitate another ("ab"+"c" never collides with "a"+"bc").
+//
+// The hash is FNV-1a over the canonical byte stream, with whole words
+// folded through a splitmix-style finalizer so hashing a million-entry
+// trace costs nanoseconds per element instead of per byte. It is not
+// cryptographic — keys partition a cache, they don't authenticate — and
+// a 64-bit space makes accidental collisions negligible at cache scale.
+//
+// Construct with NewKey(salt); the salt versions the key space, so
+// changing it (a new kernel version, a different endpoint) invalidates
+// every previously issued key.
+type Key struct {
+	h uint64
+}
+
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+// NewKey starts a key in the key space named by salt. Use one salt per
+// endpoint and bump it whenever the computation behind the cache changes
+// observable output, so stale entries can never be served across versions.
+func NewKey(salt string) Key {
+	k := Key{h: fnvOffset64}
+	k.str(salt)
+	return k
+}
+
+// mix64 is the splitmix64 finalizer: full-avalanche diffusion of one word.
+func mix64(v uint64) uint64 {
+	v ^= v >> 30
+	v *= 0xbf58476d1ce4e5b9
+	v ^= v >> 27
+	v *= 0x94d049bb133111eb
+	v ^= v >> 31
+	return v
+}
+
+func (k *Key) oneByte(b byte) {
+	k.h = (k.h ^ uint64(b)) * fnvPrime64
+}
+
+// word folds one 64-bit value in a single multiply-xor step.
+func (k *Key) word(v uint64) {
+	k.h = (k.h ^ mix64(v)) * fnvPrime64
+}
+
+func (k *Key) str(s string) {
+	k.word(uint64(len(s)))
+	for i := 0; i < len(s); i++ {
+		k.oneByte(s[i])
+	}
+}
+
+func (k *Key) tag(tag string, code byte) {
+	k.str(tag)
+	k.oneByte(code)
+}
+
+// Str writes a tagged string field.
+func (k *Key) Str(tag, v string) {
+	k.tag(tag, 's')
+	k.str(v)
+}
+
+// Int writes a tagged signed integer field.
+func (k *Key) Int(tag string, v int64) {
+	k.tag(tag, 'i')
+	k.word(uint64(v))
+}
+
+// Uint writes a tagged unsigned integer field.
+func (k *Key) Uint(tag string, v uint64) {
+	k.tag(tag, 'u')
+	k.word(v)
+}
+
+// Bool writes a tagged boolean field.
+func (k *Key) Bool(tag string, v bool) {
+	k.tag(tag, 'b')
+	if v {
+		k.oneByte(1)
+	} else {
+		k.oneByte(0)
+	}
+}
+
+// Float writes a tagged float field by its IEEE-754 bits, so 0.3 and
+// 0.3 hash equal while 0.3 and 0.30000001 do not.
+func (k *Key) Float(tag string, v float64) {
+	k.tag(tag, 'f')
+	k.word(math.Float64bits(v))
+}
+
+// Elem writes one untagged element of a homogeneous sequence (a trace
+// entry, say). Write the sequence length with Int first — the length
+// prefix is what keeps [1,2]+[3] distinct from [1]+[2,3] — then one Elem
+// per item. One multiply-xor per element keeps million-entry traces cheap.
+func (k *Key) Elem(v uint64) {
+	k.word(v)
+}
+
+// Sum returns the 64-bit key for everything written so far.
+func (k *Key) Sum() uint64 {
+	// A final avalanche decorrelates the low bits (which pick the cache
+	// shard) from the last field written.
+	return mix64(k.h)
+}

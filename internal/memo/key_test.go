@@ -1,0 +1,139 @@
+package memo
+
+import "testing"
+
+func TestKeyDeterminism(t *testing.T) {
+	build := func() uint64 {
+		k := NewKey("labd/test/v1")
+		k.Str("prog", "add r0, r1")
+		k.Int("steps", 1000)
+		k.Bool("packed", true)
+		k.Float("density", 0.3)
+		k.Uint("seed", 31)
+		k.Int("trace", 3)
+		k.Elem(1)
+		k.Elem(2)
+		k.Elem(3)
+		return k.Sum()
+	}
+	if build() != build() {
+		t.Fatal("identical field sequences hashed differently")
+	}
+}
+
+func TestKeyFieldSensitivity(t *testing.T) {
+	base := func(mutate func(*Key)) uint64 {
+		k := NewKey("salt")
+		k.Str("a", "x")
+		k.Int("n", 7)
+		mutate(&k)
+		return k.Sum()
+	}
+	ref := base(func(*Key) {})
+	for name, mutate := range map[string]func(*Key){
+		"extra-str":   func(k *Key) { k.Str("b", "") },
+		"extra-int":   func(k *Key) { k.Int("m", 0) },
+		"extra-bool":  func(k *Key) { k.Bool("f", false) },
+		"extra-float": func(k *Key) { k.Float("d", 0) },
+		"extra-uint":  func(k *Key) { k.Uint("u", 0) },
+		"extra-elem":  func(k *Key) { k.Elem(0) },
+	} {
+		if got := base(mutate); got == ref {
+			t.Errorf("%s: appending a zero-valued field did not change the key", name)
+		}
+	}
+}
+
+func TestKeySaltVersioning(t *testing.T) {
+	k1 := NewKey("labd/life/v1")
+	k2 := NewKey("labd/life/v2")
+	k1.Int("rows", 32)
+	k2.Int("rows", 32)
+	if k1.Sum() == k2.Sum() {
+		t.Fatal("different salts produced equal keys")
+	}
+}
+
+// TestKeyUnambiguousBoundaries: field boundaries must be length-delimited
+// so adjacent strings cannot reassociate, and tag/value must not swap.
+func TestKeyUnambiguousBoundaries(t *testing.T) {
+	a := NewKey("s")
+	a.Str("ab", "c")
+	b := NewKey("s")
+	b.Str("a", "bc")
+	if a.Sum() == b.Sum() {
+		t.Fatal(`Str("ab","c") collides with Str("a","bc")`)
+	}
+
+	c := NewKey("s")
+	c.Str("t", "u")
+	d := NewKey("s")
+	d.Str("u", "t")
+	if c.Sum() == d.Sum() {
+		t.Fatal("tag and value are interchangeable")
+	}
+}
+
+// TestKeyTypeCodes: the same bit pattern written through different typed
+// writers must not collide (Int vs Uint, Bool vs Int 0/1).
+func TestKeyTypeCodes(t *testing.T) {
+	i := NewKey("s")
+	i.Int("v", 1)
+	u := NewKey("s")
+	u.Uint("v", 1)
+	if i.Sum() == u.Sum() {
+		t.Fatal("Int(1) collides with Uint(1)")
+	}
+
+	b := NewKey("s")
+	b.Bool("v", true)
+	one := NewKey("s")
+	one.Int("v", 1)
+	if b.Sum() == one.Sum() {
+		t.Fatal("Bool(true) collides with Int(1)")
+	}
+}
+
+// TestKeySequenceBoundaries: the length prefix keeps element sequences
+// from reassociating across adjacent fields.
+func TestKeySequenceBoundaries(t *testing.T) {
+	a := NewKey("s")
+	a.Int("xs", 2)
+	a.Elem(1)
+	a.Elem(2)
+	a.Int("ys", 1)
+	a.Elem(3)
+
+	b := NewKey("s")
+	b.Int("xs", 1)
+	b.Elem(1)
+	b.Int("ys", 2)
+	b.Elem(2)
+	b.Elem(3)
+	if a.Sum() == b.Sum() {
+		t.Fatal("[1,2]+[3] collides with [1]+[2,3]")
+	}
+}
+
+func TestKeyValueSensitivity(t *testing.T) {
+	mk := func(v int64) uint64 {
+		k := NewKey("s")
+		k.Int("n", v)
+		return k.Sum()
+	}
+	if mk(0) == mk(1) || mk(1) == mk(-1) || mk(1) == mk(2) {
+		t.Fatal("nearby integer values collide")
+	}
+
+	mf := func(v float64) uint64 {
+		k := NewKey("s")
+		k.Float("d", v)
+		return k.Sum()
+	}
+	if mf(0.3) == mf(0.30000001) {
+		t.Fatal("distinct floats collide")
+	}
+	if mf(0.3) != mf(0.3) {
+		t.Fatal("equal floats differ")
+	}
+}

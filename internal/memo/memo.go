@@ -1,0 +1,305 @@
+// Package memo is a sharded, byte-size-bounded result cache with
+// singleflight request coalescing — the serving-side counterpart of the
+// course's caching module. Where internal/cache simulates a hardware
+// cache for students, memo IS a cache on the daemon's hot path: repeated
+// deterministic requests are answered from pre-encoded bytes, and
+// concurrent identical requests collapse onto one in-flight computation
+// whose result every waiter shares (its error, by contrast, is never
+// cached).
+//
+// The structure mirrors the scalable-design playbook: the key space is
+// split across power-of-two shards so unrelated requests never contend
+// on one lock, and each shard pairs a map with an intrusive doubly-linked
+// recency list (like internal/cache's per-set recency list) for O(1) LRU
+// eviction under a per-shard byte budget.
+package memo
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// Outcome says how Do satisfied a request.
+type Outcome uint8
+
+// Outcomes, in the order a request tries them.
+const (
+	// Miss: this call led the computation (and cached its result).
+	Miss Outcome = iota
+	// Hit: the result was already resident; compute never ran.
+	Hit
+	// Coalesced: another call was already computing this key; this one
+	// waited and shared its result without holding any resources itself.
+	Coalesced
+)
+
+func (o Outcome) String() string {
+	switch o {
+	case Hit:
+		return "hit"
+	case Coalesced:
+		return "coalesced"
+	default:
+		return "miss"
+	}
+}
+
+// entryOverhead approximates the fixed per-entry cost (entry struct, map
+// bucket share, slice header) charged against the byte budget on top of
+// the value bytes, so a flood of tiny entries cannot blow past the bound.
+const entryOverhead = 128
+
+// entry is one cached value on a shard's intrusive recency list
+// (head = most recently used, tail = eviction victim).
+type entry struct {
+	key        uint64
+	val        []byte
+	prev, next *entry
+}
+
+// flight is one in-progress computation. done is closed exactly once,
+// after val/err are set, so waiters read them race-free.
+type flight struct {
+	done chan struct{}
+	val  []byte
+	err  error
+}
+
+// shard is one lock's worth of the cache.
+type shard struct {
+	mu      sync.Mutex
+	entries map[uint64]*entry
+	flights map[uint64]*flight
+	head    *entry // most recently used
+	tail    *entry // least recently used
+	bytes   int64  // resident cost (value bytes + overhead), guarded by mu
+
+	hits      atomic.Int64
+	misses    atomic.Int64
+	coalesced atomic.Int64
+	evictions atomic.Int64
+}
+
+// Stats is a point-in-time snapshot of cache counters. Every Do call is
+// counted under exactly one of Hits, Misses, or Coalesced (absent leader
+// cancellation, when a waiter legitimately retries and is counted again
+// for its second attempt), so Hits+Misses+Coalesced reconciles with the
+// number of requests routed through the cache.
+type Stats struct {
+	Hits      int64
+	Misses    int64
+	Coalesced int64
+	Evictions int64
+	Entries   int
+	Bytes     int64 // resident cost currently charged against Capacity
+	Capacity  int64 // total byte budget across shards
+}
+
+// Cache is a sharded memoization table. The zero value is not usable;
+// construct with New.
+type Cache struct {
+	shards   []shard
+	mask     uint64
+	perShard int64
+	capacity int64
+}
+
+// New builds a cache bounded to roughly maxBytes of resident values,
+// split evenly across shards (rounded up to a power of two; <= 0 selects
+// 8). A maxBytes of 0 yields a pure coalescing layer: nothing is ever
+// resident, but concurrent identical computations still collapse to one.
+func New(maxBytes int64, shards int) *Cache {
+	if shards <= 0 {
+		shards = 8
+	}
+	n := 1
+	for n < shards {
+		n <<= 1
+	}
+	if maxBytes < 0 {
+		maxBytes = 0
+	}
+	c := &Cache{
+		shards:   make([]shard, n),
+		mask:     uint64(n - 1),
+		perShard: maxBytes / int64(n),
+		capacity: maxBytes,
+	}
+	for i := range c.shards {
+		c.shards[i].entries = make(map[uint64]*entry)
+		c.shards[i].flights = make(map[uint64]*flight)
+	}
+	return c
+}
+
+// Do returns the cached value for key, or computes it. Exactly one caller
+// per key computes at a time: concurrent callers with the same key block
+// on that flight — without running compute or holding any slot of their
+// own — and all receive its value, or its error, which is never cached.
+//
+// The returned bytes are shared across callers and MUST NOT be mutated.
+//
+// ctx bounds only this caller's wait: a waiter whose context expires
+// returns ctx.Err() while the leader computes on. If the leader itself
+// fails with a context error (its request was canceled) while this
+// caller's context is still live, Do retries — the next attempt finds
+// the value, a fresh flight, or leads the computation itself; each retry
+// is counted as a fresh attempt in Stats.
+func (c *Cache) Do(ctx context.Context, key uint64, compute func() ([]byte, error)) ([]byte, Outcome, error) {
+	sh := &c.shards[key&c.mask]
+	for {
+		sh.mu.Lock()
+		if e, ok := sh.entries[key]; ok {
+			sh.moveToFront(e)
+			val := e.val
+			sh.mu.Unlock()
+			sh.hits.Add(1)
+			return val, Hit, nil
+		}
+		if f, ok := sh.flights[key]; ok {
+			sh.mu.Unlock()
+			sh.coalesced.Add(1)
+			select {
+			case <-f.done:
+			case <-ctx.Done():
+				return nil, Coalesced, ctx.Err()
+			}
+			if f.err != nil {
+				if isCtxErr(f.err) && ctx.Err() == nil {
+					continue // leader gave up, we have not: try again
+				}
+				return nil, Coalesced, f.err
+			}
+			return f.val, Coalesced, nil
+		}
+		// No value, no flight: this caller leads.
+		f := &flight{done: make(chan struct{})}
+		sh.flights[key] = f
+		sh.mu.Unlock()
+		sh.misses.Add(1)
+		val, err := c.lead(sh, key, f, compute)
+		return val, Miss, err
+	}
+}
+
+// lead runs compute for the flight, publishes the result, and caches
+// successful values. A panic in compute still resolves the flight (with
+// an error) before re-panicking, so waiters are never wedged.
+func (c *Cache) lead(sh *shard, key uint64, f *flight, compute func() ([]byte, error)) (val []byte, err error) {
+	finished := false
+	defer func() {
+		if !finished {
+			f.err = fmt.Errorf("memo: compute for key %#x panicked", key)
+			sh.mu.Lock()
+			delete(sh.flights, key)
+			sh.mu.Unlock()
+			close(f.done)
+		}
+	}()
+	val, err = compute()
+	f.val, f.err = val, err
+	finished = true
+	sh.mu.Lock()
+	delete(sh.flights, key)
+	if err == nil {
+		c.insertLocked(sh, key, val)
+	}
+	sh.mu.Unlock()
+	close(f.done)
+	return val, err
+}
+
+// insertLocked caches val under key and evicts from the recency-list tail
+// until the shard fits its budget again. Values too large to ever fit are
+// simply not cached. Caller holds sh.mu.
+func (c *Cache) insertLocked(sh *shard, key uint64, val []byte) {
+	cost := int64(len(val)) + entryOverhead
+	if cost > c.perShard {
+		return
+	}
+	if old, ok := sh.entries[key]; ok {
+		// Only reachable if an entry appeared while no flight existed —
+		// defensive: replace rather than double-link.
+		sh.unlink(old)
+		delete(sh.entries, key)
+		sh.bytes -= int64(len(old.val)) + entryOverhead
+	}
+	e := &entry{key: key, val: val}
+	sh.entries[key] = e
+	sh.pushFront(e)
+	sh.bytes += cost
+	for sh.bytes > c.perShard && sh.tail != nil && sh.tail != e {
+		victim := sh.tail
+		sh.unlink(victim)
+		delete(sh.entries, victim.key)
+		sh.bytes -= int64(len(victim.val)) + entryOverhead
+		sh.evictions.Add(1)
+	}
+}
+
+func (sh *shard) pushFront(e *entry) {
+	e.prev = nil
+	e.next = sh.head
+	if sh.head != nil {
+		sh.head.prev = e
+	}
+	sh.head = e
+	if sh.tail == nil {
+		sh.tail = e
+	}
+}
+
+func (sh *shard) unlink(e *entry) {
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else {
+		sh.head = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else {
+		sh.tail = e.prev
+	}
+	e.prev, e.next = nil, nil
+}
+
+func (sh *shard) moveToFront(e *entry) {
+	if sh.head == e {
+		return
+	}
+	sh.unlink(e)
+	sh.pushFront(e)
+}
+
+// Contains reports whether key is resident (without touching recency).
+func (c *Cache) Contains(key uint64) bool {
+	sh := &c.shards[key&c.mask]
+	sh.mu.Lock()
+	_, ok := sh.entries[key]
+	sh.mu.Unlock()
+	return ok
+}
+
+// Stats aggregates every shard's counters.
+func (c *Cache) Stats() Stats {
+	st := Stats{Capacity: c.capacity}
+	for i := range c.shards {
+		sh := &c.shards[i]
+		st.Hits += sh.hits.Load()
+		st.Misses += sh.misses.Load()
+		st.Coalesced += sh.coalesced.Load()
+		st.Evictions += sh.evictions.Load()
+		sh.mu.Lock()
+		st.Entries += len(sh.entries)
+		st.Bytes += sh.bytes
+		sh.mu.Unlock()
+	}
+	return st
+}
+
+func isCtxErr(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}

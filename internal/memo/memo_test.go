@@ -1,0 +1,422 @@
+package memo
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestDoMissThenHit(t *testing.T) {
+	c := New(1<<20, 4)
+	computes := 0
+	compute := func() ([]byte, error) {
+		computes++
+		return []byte("payload"), nil
+	}
+	v, out, err := c.Do(context.Background(), 42, compute)
+	if err != nil || out != Miss || string(v) != "payload" {
+		t.Fatalf("first Do = %q, %v, %v; want payload, Miss, nil", v, out, err)
+	}
+	v, out, err = c.Do(context.Background(), 42, compute)
+	if err != nil || out != Hit || string(v) != "payload" {
+		t.Fatalf("second Do = %q, %v, %v; want payload, Hit, nil", v, out, err)
+	}
+	if computes != 1 {
+		t.Fatalf("computes = %d, want 1", computes)
+	}
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Coalesced != 0 || st.Entries != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if st.Bytes != int64(len("payload"))+entryOverhead {
+		t.Fatalf("resident bytes = %d, want %d", st.Bytes, len("payload")+entryOverhead)
+	}
+}
+
+func TestErrorsNeverCached(t *testing.T) {
+	c := New(1<<20, 1)
+	boom := errors.New("boom")
+	computes := 0
+	for i := 0; i < 3; i++ {
+		_, out, err := c.Do(context.Background(), 7, func() ([]byte, error) {
+			computes++
+			return nil, boom
+		})
+		if !errors.Is(err, boom) || out != Miss {
+			t.Fatalf("Do %d = %v, %v; want Miss, boom", i, out, err)
+		}
+	}
+	if computes != 3 {
+		t.Fatalf("computes = %d, want 3 (errors must not be cached)", computes)
+	}
+	if st := c.Stats(); st.Entries != 0 || st.Bytes != 0 {
+		t.Fatalf("error left residue: %+v", st)
+	}
+	if c.Contains(7) {
+		t.Fatal("Contains(7) after error-only computes")
+	}
+}
+
+// TestCoalescing proves the singleflight contract deterministically: the
+// leader blocks inside compute until all waiters have registered on its
+// flight, so exactly one compute serves N concurrent callers.
+func TestCoalescing(t *testing.T) {
+	c := New(1<<20, 4)
+	const waiters = 16
+	var computes atomic.Int32
+	leaderIn := make(chan struct{})
+	release := make(chan struct{})
+
+	var wg sync.WaitGroup
+	results := make([]struct {
+		val []byte
+		out Outcome
+		err error
+	}, waiters+1)
+
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		results[0].val, results[0].out, results[0].err = c.Do(context.Background(), 99, func() ([]byte, error) {
+			computes.Add(1)
+			close(leaderIn)
+			<-release
+			return []byte("shared"), nil
+		})
+	}()
+	<-leaderIn // leader is mid-compute; its flight is registered
+
+	for i := 1; i <= waiters; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i].val, results[i].out, results[i].err = c.Do(context.Background(), 99, func() ([]byte, error) {
+				computes.Add(1)
+				return []byte("wrong"), nil
+			})
+		}(i)
+	}
+	// Wait until every waiter is parked on the flight before releasing.
+	deadline := time.Now().Add(5 * time.Second)
+	for c.Stats().Coalesced < waiters {
+		if time.Now().After(deadline) {
+			t.Fatalf("only %d/%d waiters coalesced", c.Stats().Coalesced, waiters)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(release)
+	wg.Wait()
+
+	if got := computes.Load(); got != 1 {
+		t.Fatalf("computes = %d, want exactly 1", got)
+	}
+	if results[0].out != Miss {
+		t.Fatalf("leader outcome = %v, want Miss", results[0].out)
+	}
+	for i := 1; i <= waiters; i++ {
+		r := results[i]
+		if r.err != nil || r.out != Coalesced || string(r.val) != "shared" {
+			t.Fatalf("waiter %d = %q, %v, %v; want shared, Coalesced, nil", i, r.val, r.out, r.err)
+		}
+	}
+	st := c.Stats()
+	if st.Misses != 1 || st.Coalesced != waiters {
+		t.Fatalf("stats = %+v; want misses=1 coalesced=%d", st, waiters)
+	}
+}
+
+// TestCoalescedError: an in-flight failure propagates to every waiter and
+// leaves nothing resident.
+func TestCoalescedError(t *testing.T) {
+	c := New(1<<20, 1)
+	boom := errors.New("boom")
+	leaderIn := make(chan struct{})
+	release := make(chan struct{})
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		_, _, _ = c.Do(context.Background(), 5, func() ([]byte, error) {
+			close(leaderIn)
+			<-release
+			return nil, boom
+		})
+	}()
+	<-leaderIn
+
+	errc := make(chan error, 1)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		_, out, err := c.Do(context.Background(), 5, func() ([]byte, error) {
+			t.Error("waiter compute ran")
+			return nil, nil
+		})
+		if out != Coalesced {
+			t.Errorf("outcome = %v, want Coalesced", out)
+		}
+		errc <- err
+	}()
+	for c.Stats().Coalesced < 1 {
+		time.Sleep(time.Millisecond)
+	}
+	close(release)
+	wg.Wait()
+	if err := <-errc; !errors.Is(err, boom) {
+		t.Fatalf("waiter err = %v, want boom", err)
+	}
+	if st := c.Stats(); st.Entries != 0 {
+		t.Fatalf("failed flight cached an entry: %+v", st)
+	}
+}
+
+// TestWaiterContextCancel: a waiter whose context dies mid-wait unblocks
+// with its own context error while the leader finishes normally.
+func TestWaiterContextCancel(t *testing.T) {
+	c := New(1<<20, 1)
+	leaderIn := make(chan struct{})
+	release := make(chan struct{})
+
+	go func() {
+		_, _, _ = c.Do(context.Background(), 3, func() ([]byte, error) {
+			close(leaderIn)
+			<-release
+			return []byte("late"), nil
+		})
+	}()
+	<-leaderIn
+
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, _, err := c.Do(ctx, 3, func() ([]byte, error) { return nil, nil })
+		done <- err
+	}()
+	for c.Stats().Coalesced < 1 {
+		time.Sleep(time.Millisecond)
+	}
+	cancel()
+	if err := <-done; !errors.Is(err, context.Canceled) {
+		t.Fatalf("waiter err = %v, want context.Canceled", err)
+	}
+	close(release)
+	// Leader still completes and caches.
+	deadline := time.Now().Add(5 * time.Second)
+	for !c.Contains(3) {
+		if time.Now().After(deadline) {
+			t.Fatal("leader result never cached")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestLeaderCancelRetry: when the leader fails with a context error, a
+// still-live waiter retries instead of inheriting the cancellation, and
+// may lead the second attempt itself.
+func TestLeaderCancelRetry(t *testing.T) {
+	c := New(1<<20, 1)
+	leaderIn := make(chan struct{})
+	release := make(chan struct{})
+
+	go func() {
+		_, _, _ = c.Do(context.Background(), 8, func() ([]byte, error) {
+			close(leaderIn)
+			<-release
+			return nil, context.Canceled // leader's own request was canceled
+		})
+	}()
+	<-leaderIn
+
+	done := make(chan struct{})
+	var val []byte
+	var err error
+	go func() {
+		defer close(done)
+		val, _, err = c.Do(context.Background(), 8, func() ([]byte, error) {
+			return []byte("retried"), nil
+		})
+	}()
+	for c.Stats().Coalesced < 1 {
+		time.Sleep(time.Millisecond)
+	}
+	close(release)
+	<-done
+	if err != nil || string(val) != "retried" {
+		t.Fatalf("retry = %q, %v; want retried, nil", val, err)
+	}
+}
+
+func TestLRUEvictionAndBudget(t *testing.T) {
+	// One shard, budget for exactly two entries of 100 value bytes.
+	perShard := int64(2 * (100 + entryOverhead))
+	c := New(perShard, 1)
+	val := bytes.Repeat([]byte("x"), 100)
+	put := func(key uint64) {
+		_, _, err := c.Do(context.Background(), key, func() ([]byte, error) { return val, nil })
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	put(1)
+	put(2)
+	// Touch 1 so it is MRU; inserting 3 must evict 2.
+	if _, out, _ := c.Do(context.Background(), 1, nil); out != Hit {
+		t.Fatalf("key 1 not resident before eviction round")
+	}
+	put(3)
+	if !c.Contains(1) || c.Contains(2) || !c.Contains(3) {
+		t.Fatalf("LRU order wrong: 1=%v 2=%v 3=%v (want true false true)",
+			c.Contains(1), c.Contains(2), c.Contains(3))
+	}
+	st := c.Stats()
+	if st.Evictions != 1 {
+		t.Fatalf("evictions = %d, want 1", st.Evictions)
+	}
+	if st.Bytes > perShard {
+		t.Fatalf("resident %d exceeds budget %d", st.Bytes, perShard)
+	}
+}
+
+func TestOversizeValueNotCached(t *testing.T) {
+	c := New(256, 1) // budget smaller than value+overhead
+	big := bytes.Repeat([]byte("y"), 512)
+	computes := 0
+	for i := 0; i < 2; i++ {
+		v, _, err := c.Do(context.Background(), 11, func() ([]byte, error) {
+			computes++
+			return big, nil
+		})
+		if err != nil || !bytes.Equal(v, big) {
+			t.Fatalf("Do %d failed: %v", i, err)
+		}
+	}
+	if computes != 2 {
+		t.Fatalf("computes = %d, want 2 (oversize must not cache)", computes)
+	}
+	if st := c.Stats(); st.Entries != 0 || st.Bytes != 0 {
+		t.Fatalf("oversize value resident: %+v", st)
+	}
+}
+
+func TestZeroBudgetCoalescesOnly(t *testing.T) {
+	c := New(0, 2)
+	computes := 0
+	for i := 0; i < 2; i++ {
+		_, _, err := c.Do(context.Background(), 1, func() ([]byte, error) {
+			computes++
+			return []byte("v"), nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if computes != 2 {
+		t.Fatalf("computes = %d, want 2 (zero budget never caches)", computes)
+	}
+}
+
+func TestShardRounding(t *testing.T) {
+	for _, tc := range []struct{ in, want int }{
+		{0, 8}, {-3, 8}, {1, 1}, {2, 2}, {3, 4}, {8, 8}, {9, 16},
+	} {
+		c := New(1<<20, tc.in)
+		if got := len(c.shards); got != tc.want {
+			t.Errorf("New(shards=%d): %d shards, want %d", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestPanicResolvesFlight(t *testing.T) {
+	c := New(1<<20, 1)
+	leaderIn := make(chan struct{})
+	release := make(chan struct{})
+
+	go func() {
+		defer func() { recover() }()
+		_, _, _ = c.Do(context.Background(), 2, func() ([]byte, error) {
+			close(leaderIn)
+			<-release
+			panic("compute exploded")
+		})
+	}()
+	<-leaderIn
+
+	done := make(chan error, 1)
+	go func() {
+		_, _, err := c.Do(context.Background(), 2, func() ([]byte, error) { return nil, nil })
+		done <- err
+	}()
+	for c.Stats().Coalesced < 1 {
+		time.Sleep(time.Millisecond)
+	}
+	close(release)
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("waiter got nil error from panicked flight")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("waiter wedged behind panicked flight")
+	}
+	if c.Contains(2) {
+		t.Fatal("panicked compute cached an entry")
+	}
+}
+
+// TestConcurrentMixedKeys hammers the cache from many goroutines over a
+// small key space; under -race this shakes out lock-discipline bugs, and
+// the final stats must reconcile exactly.
+func TestConcurrentMixedKeys(t *testing.T) {
+	c := New(1<<20, 4)
+	const (
+		goroutines = 8
+		perG       = 200
+		keySpace   = 10
+	)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				key := uint64((g + i) % keySpace)
+				v, _, err := c.Do(context.Background(), key, func() ([]byte, error) {
+					return []byte(fmt.Sprintf("value-%d", key)), nil
+				})
+				if err != nil {
+					t.Errorf("Do(%d): %v", key, err)
+					return
+				}
+				if want := fmt.Sprintf("value-%d", key); string(v) != want {
+					t.Errorf("Do(%d) = %q, want %q", key, v, want)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	st := c.Stats()
+	if got := st.Hits + st.Misses + st.Coalesced; got != goroutines*perG {
+		t.Fatalf("hits+misses+coalesced = %d, want %d", got, goroutines*perG)
+	}
+	if st.Entries != keySpace {
+		t.Fatalf("entries = %d, want %d", st.Entries, keySpace)
+	}
+}
+
+func TestOutcomeString(t *testing.T) {
+	for _, tc := range []struct {
+		o    Outcome
+		want string
+	}{{Hit, "hit"}, {Miss, "miss"}, {Coalesced, "coalesced"}} {
+		if got := tc.o.String(); got != tc.want {
+			t.Errorf("%d.String() = %q, want %q", tc.o, got, tc.want)
+		}
+	}
+}

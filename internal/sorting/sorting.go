@@ -11,6 +11,17 @@ import (
 	"cs31/internal/pthread"
 )
 
+// ThreadCountError reports a non-positive thread count passed to
+// ParallelMerge. Surplus threads are clamped, not rejected, so this is
+// the only thread-count condition callers can hit.
+type ThreadCountError struct {
+	Threads int
+}
+
+func (e *ThreadCountError) Error() string {
+	return fmt.Sprintf("sorting: thread count %d is not positive", e.Threads)
+}
+
 // Bubble sorts in place with adjacent swaps, O(N²) with early exit.
 func Bubble(a []int) {
 	for n := len(a); n > 1; {
@@ -93,11 +104,18 @@ func merge(a []int, mid int, scratch []int) {
 // partitioned, each block sorted in its own thread, then blocks are merged
 // pairwise in parallel rounds — a straightforward data-parallel
 // decomposition in the style of the course's Game of Life lab.
+//
+// threads <= 0 returns a *ThreadCountError; threads beyond len(a) is
+// clamped (same surplus-clamp discipline as pthread.ParallelRunner),
+// since a block partition can give at most one element per thread.
 func ParallelMerge(a []int, threads int) error {
-	if threads < 1 {
-		return fmt.Errorf("sorting: need at least 1 thread")
+	if threads <= 0 {
+		return &ThreadCountError{Threads: threads}
 	}
-	if threads == 1 || len(a) < 2*threads {
+	if threads > len(a) {
+		threads = len(a)
+	}
+	if threads <= 1 || len(a) < 2*threads {
 		Merge(a)
 		return nil
 	}

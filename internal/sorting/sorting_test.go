@@ -1,6 +1,7 @@
 package sorting
 
 import (
+	"errors"
 	"math/rand"
 	"sort"
 	"testing"
@@ -90,6 +91,41 @@ func TestParallelMergeMatchesSerial(t *testing.T) {
 	}
 	if err := ParallelMerge([]int{1}, 0); err == nil {
 		t.Error("0 threads should fail")
+	}
+}
+
+// Regression: non-positive thread counts return the typed error, and
+// thread counts beyond len(a) are clamped rather than spawning threads
+// with empty block ranges.
+func TestParallelMergeThreadBounds(t *testing.T) {
+	for _, threads := range []int{0, -1, -100} {
+		err := ParallelMerge([]int{3, 1, 2}, threads)
+		var tce *ThreadCountError
+		if !errors.As(err, &tce) {
+			t.Fatalf("threads=%d: err = %v, want *ThreadCountError", threads, err)
+		}
+		if tce.Threads != threads {
+			t.Errorf("threads=%d: error carries %d", threads, tce.Threads)
+		}
+	}
+
+	// Surplus threads: more threads than elements must clamp and sort.
+	for _, tc := range []struct {
+		n, threads int
+	}{{0, 5}, {1, 8}, {3, 64}, {7, 7}, {10, 1 << 20}} {
+		rng := rand.New(rand.NewSource(int64(tc.n)))
+		in := make([]int, tc.n)
+		for i := range in {
+			in[i] = rng.Intn(100)
+		}
+		want := append([]int(nil), in...)
+		sort.Ints(want)
+		if err := ParallelMerge(in, tc.threads); err != nil {
+			t.Fatalf("n=%d threads=%d: %v", tc.n, tc.threads, err)
+		}
+		if !equal(in, want) {
+			t.Errorf("n=%d threads=%d: not sorted: %v", tc.n, tc.threads, in)
+		}
 	}
 }
 

@@ -3,10 +3,12 @@ package sweep
 import (
 	"context"
 	"fmt"
+	"math/rand"
 
 	"cs31/internal/cache"
 	"cs31/internal/life"
 	"cs31/internal/memhier"
+	"cs31/internal/sorting"
 	"cs31/internal/vm"
 )
 
@@ -128,6 +130,67 @@ func RunLifeGrid(ctx context.Context, workers int, cases []LifeCase) ([]LifeResu
 		}
 		res.Generation = g.Generation
 		res.Population = g.Population()
+		return res, nil
+	})
+}
+
+// SortCase is one point of the parallel merge sort scaling grid: an input
+// size and a thread count, sorting a seeded random permutation.
+type SortCase struct {
+	N       int
+	Threads int
+	Seed    int64
+}
+
+func (c SortCase) String() string {
+	return fmt.Sprintf("n-%d/threads-%d", c.N, c.Threads)
+}
+
+// SortResult is the deterministic outcome of one sort case. Checksum is a
+// positional hash of the sorted output, so two cases over the same input
+// agree iff their outputs are element-for-element identical.
+type SortResult struct {
+	Case     SortCase
+	Sorted   bool
+	Checksum uint64
+}
+
+// SortGrid builds the cartesian product sizes × threads with a shared
+// seed, so every thread count at a given size sorts the same permutation
+// — the grid behind the BenchmarkParallelMergeSort scaling claims.
+func SortGrid(sizes, threads []int, seed int64) []SortCase {
+	cases := make([]SortCase, 0, len(sizes)*len(threads))
+	for _, n := range sizes {
+		for _, tc := range threads {
+			cases = append(cases, SortCase{N: n, Threads: tc, Seed: seed})
+		}
+	}
+	return cases
+}
+
+// RunSortGrid fans the sort cases across workers; each case regenerates
+// its input from the seed, sorts with its thread count, and reports a
+// checksum for cross-thread-count differential comparison.
+func RunSortGrid(ctx context.Context, workers int, cases []SortCase) ([]SortResult, error) {
+	return Run(ctx, workers, cases, func(ctx context.Context, c SortCase) (SortResult, error) {
+		if err := ctx.Err(); err != nil {
+			return SortResult{}, fmt.Errorf("sort case %s canceled: %w", c, err)
+		}
+		rng := rand.New(rand.NewSource(c.Seed))
+		a := make([]int, c.N)
+		for i := range a {
+			a[i] = rng.Intn(1<<20) - 1<<19
+		}
+		if err := sorting.ParallelMerge(a, c.Threads); err != nil {
+			return SortResult{}, fmt.Errorf("sort case %s: %w", c, err)
+		}
+		res := SortResult{Case: c, Sorted: sorting.IsSorted(a)}
+		const prime = 1099511628211
+		h := uint64(14695981039346656037)
+		for _, v := range a {
+			h = (h ^ uint64(v)) * prime
+		}
+		res.Checksum = h
 		return res, nil
 	})
 }

@@ -11,6 +11,7 @@ import (
 
 	"cs31/internal/cache"
 	"cs31/internal/life"
+	"cs31/internal/sorting"
 	"cs31/internal/vm"
 )
 
@@ -294,6 +295,54 @@ func TestGridSurplusWorkersClampedDifferential(t *testing.T) {
 // TestStrideGridShape is the engine-driven form of the C4 claim: a
 // row-major traversal against a small direct-mapped cache hits nearly
 // always, a column-major traversal of the same matrix almost never.
+// TestSortGridDifferential: every thread count at a given size sorts the
+// same seeded permutation, so all checksums in a size row must agree and
+// match a serial sorting.Merge reference.
+func TestSortGridDifferential(t *testing.T) {
+	sizes := []int{0, 1, 100, 4096}
+	threads := []int{1, 2, 3, 8, 16}
+	const seed = 13
+	cases := SortGrid(sizes, threads, seed)
+	if want := len(sizes) * len(threads); len(cases) != want {
+		t.Fatalf("grid has %d cases, want %d", len(cases), want)
+	}
+	results, err := RunSortGrid(context.Background(), 4, cases)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byN := make(map[int][]SortResult)
+	for i, res := range results {
+		if res.Case != cases[i] {
+			t.Fatalf("results[%d] is for case %v, want %v (ordering)", i, res.Case, cases[i])
+		}
+		if !res.Sorted {
+			t.Errorf("%v: output not sorted", res.Case)
+		}
+		byN[res.Case.N] = append(byN[res.Case.N], res)
+	}
+	for n, group := range byN {
+		// Serial reference: same generator, sorted with the plain kernel.
+		ref, err := RunSortGrid(context.Background(), 1, []SortCase{{N: n, Threads: 1, Seed: seed}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, res := range group {
+			if res.Checksum != ref[0].Checksum {
+				t.Errorf("%v: checksum %#x diverges from serial %#x", res.Case, res.Checksum, ref[0].Checksum)
+			}
+		}
+	}
+	// Grid propagates the kernel's typed error for bad thread counts.
+	if _, err := RunSortGrid(context.Background(), 1, []SortCase{{N: 10, Threads: 0, Seed: seed}}); err == nil {
+		t.Fatal("threads=0 case should fail")
+	} else {
+		var tce *sorting.ThreadCountError
+		if !errors.As(err, &tce) {
+			t.Fatalf("err = %v, want *sorting.ThreadCountError", err)
+		}
+	}
+}
+
 func TestStrideGridShape(t *testing.T) {
 	cfg := cache.Config{SizeBytes: 1024, BlockSize: 64, Assoc: 1}
 	cases := StrideGrid([]cache.Config{cfg}, 64, 64)
