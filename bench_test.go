@@ -25,6 +25,7 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -39,6 +40,7 @@ import (
 	"cs31/internal/memhier"
 	"cs31/internal/memo"
 	"cs31/internal/msgpass"
+	"cs31/internal/obs"
 	"cs31/internal/pthread"
 	"cs31/internal/sorting"
 	"cs31/internal/survey"
@@ -1032,4 +1034,107 @@ func BenchmarkParallelMergeSort(b *testing.B) {
 			b.ReportMetric(n, "elements")
 		})
 	}
+}
+
+// BenchmarkObsDisabled is the zero-overhead contract of internal/obs,
+// hard-gated in CI at 0 allocs/op: with no trace or histogram attached,
+// a fully instrumented hot-path iteration — span begin/end, a completed
+// span with args, a histogram observation, and the atomic-pointer check
+// every instrumented component (barrier, scheduler, msgpass) performs —
+// costs a handful of nil checks and one atomic load, and allocates
+// nothing.
+func BenchmarkObsDisabled(b *testing.B) {
+	var tr *obs.Trace
+	lane := tr.Lane("disabled") // nil: every method is a no-op
+	name := tr.Name("disabled") // zero handle
+	var h *obs.Histogram
+	var attached atomic.Pointer[obs.Histogram] // the component-side check
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if ah := attached.Load(); ah != nil {
+			ah.Observe(1)
+		}
+		lane.Begin(name)
+		lane.End(name)
+		lane.CompleteArgs(name, time.Time{}, int64(i), 0)
+		h.Observe(int64(i))
+	}
+}
+
+// BenchmarkMetricsScrape is the GET /metrics smoke test under the bench
+// gate: one op renders the full Prometheus text exposition of a labd
+// server with live traffic behind it. families pins the exposition's
+// shape — a family silently vanishing from the scrape is a regression
+// even if the endpoint still answers 200.
+func BenchmarkMetricsScrape(b *testing.B) {
+	h := benchLabd(b)
+	body := []byte(`{"rows":64,"cols":64,"iters":2,"seed":31,"threads":1}`)
+	if rec := postLife(h, body); rec.Code != http.StatusOK {
+		b.Fatalf("prime status %d: %s", rec.Code, rec.Body)
+	}
+	postLife(h, body) // a hit, so cache-outcome series exist too
+	scrape := func() *httptest.ResponseRecorder {
+		req := httptest.NewRequest(http.MethodGet, "/metrics", nil)
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, req)
+		return rec
+	}
+	rec := scrape()
+	if rec.Code != http.StatusOK {
+		b.Fatalf("scrape status %d", rec.Code)
+	}
+	families := strings.Count(rec.Body.String(), "# TYPE ")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if rec := scrape(); rec.Code != http.StatusOK {
+			b.Fatalf("scrape status %d", rec.Code)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(families), "families")
+}
+
+// BenchmarkObsOverhead measures what turning tracing and barrier-wait
+// histograms ON costs the hottest kernel in the repo: one op is a full
+// 256x256 packed-parallel generation, run dark and then fully
+// instrumented. The ns/op pair is the enabled-vs-disabled overhead
+// EXPERIMENTS.md quotes. (No shape metric: per-generation update counts
+// depend on how far the board has evolved, i.e. on b.N.)
+func BenchmarkObsOverhead(b *testing.B) {
+	const threads = 8
+	run := func(b *testing.B, traced bool) {
+		g, err := life.NewGrid(256, 256, life.Torus)
+		if err != nil {
+			b.Fatal(err)
+		}
+		g.Randomize(31, 0.3)
+		g.SetPacked(true)
+		pr := &life.ParallelRunner{G: g, Threads: threads}
+		if traced {
+			// A capacity generous enough that the ring never wraps:
+			// dropped events would understate the enabled cost.
+			pr.Trace = obs.New(obs.WithLaneCapacity(1 << 16))
+			pr.BarrierWaits = obs.NewHistogram(threads)
+		}
+		b.ResetTimer()
+		stats, err := pr.Run(b.N)
+		b.StopTimer()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if stats.Rounds != b.N {
+			b.Fatalf("ran %d rounds, want %d", stats.Rounds, b.N)
+		}
+		if traced {
+			if pr.Trace.Drops() > 0 {
+				b.Fatalf("trace dropped %d events", pr.Trace.Drops())
+			}
+			if got := pr.BarrierWaits.Snapshot().Count; got != int64(threads)*int64(b.N) {
+				b.Fatalf("histogram has %d waits, want %d", got, int64(threads)*int64(b.N))
+			}
+		}
+	}
+	b.Run(fmt.Sprintf("off-%d", threads), func(b *testing.B) { run(b, false) })
+	b.Run(fmt.Sprintf("on-%d", threads), func(b *testing.B) { run(b, true) })
 }

@@ -46,7 +46,10 @@ import (
 // batch verify), the message-passing runtime (distributed life, tree
 // Allreduce, ring halo exchange in both row representations), and the
 // bit-packed SWAR life kernel across its three engines plus the popcount
-// Population path.
+// Population path. The observability pass adds its own two: the
+// zero-overhead disabled path (also pinned at 0 allocs/op via the
+// allocs/op shape invariant) and the /metrics scrape (whose families
+// count pins the exposition's shape).
 const defaultGate = `^BenchmarkLifeSpeedup/threads-1$|^BenchmarkMachineArithLoop$|^BenchmarkCacheLookup$` +
 	`|^BenchmarkBarrierWait/tree-4$|^BenchmarkBarrierWait/tree-16$` +
 	`|^BenchmarkParallelLife/sharded-8$|^BenchmarkSweepGrid$` +
@@ -57,7 +60,8 @@ const defaultGate = `^BenchmarkLifeSpeedup/threads-1$|^BenchmarkMachineArithLoop
 	`|^BenchmarkPackedLife/parallel-8$|^BenchmarkPackedLife/dist-8$` +
 	`|^BenchmarkPopulation/packed$` +
 	`|^BenchmarkMemoHit$|^BenchmarkLabdCacheHit$|^BenchmarkLabdCacheMiss$` +
-	`|^BenchmarkParallelMergeSort/threads-1$|^BenchmarkParallelMergeSort/threads-8$`
+	`|^BenchmarkParallelMergeSort/threads-1$|^BenchmarkParallelMergeSort/threads-8$` +
+	`|^BenchmarkObsDisabled$|^BenchmarkMetricsScrape$`
 
 // BaselineEntry is one benchmark's committed expectations.
 type BaselineEntry struct {

@@ -17,9 +17,12 @@
 //	labd -workers 8 -queue 64 -timeout 5s
 //	labd -cache-bytes 67108864 -cache-off life,survey
 //
-// Observability: GET /healthz, GET /debug/vars, a structured (JSON)
-// request log on stderr, and -pprof to mount net/http/pprof under
-// /debug/pprof/ (off by default).
+// Observability: GET /healthz, GET /debug/vars, Prometheus text metrics
+// at GET /metrics (on by default; -metrics=false disables), a structured
+// (JSON) request log on stderr with per-request IDs (also returned as
+// X-Labd-Request-Id), -trace-dir to record a Chrome trace-event timeline
+// of the whole run (written on graceful shutdown), and -pprof to mount
+// net/http/pprof under /debug/pprof/ (off by default).
 package main
 
 import (
@@ -31,11 +34,13 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"strings"
 	"syscall"
 	"time"
 
 	"cs31/internal/labd"
+	"cs31/internal/obs"
 )
 
 func main() {
@@ -58,6 +63,8 @@ func run() error {
 	cacheOff := flag.String("cache-off", "",
 		"comma-separated endpoints to serve uncached (asm,minic,cache,vm,life,homework,survey)")
 	pprofOn := flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
+	metricsOn := flag.Bool("metrics", true, "serve Prometheus text metrics at GET /metrics")
+	traceDir := flag.String("trace-dir", "", "record a Chrome trace-event timeline and write it here on shutdown")
 	flag.Parse()
 	if flag.NArg() != 0 {
 		return fmt.Errorf("usage: labd [-addr :8031] [-workers N] [-queue N] [-timeout d]")
@@ -77,6 +84,13 @@ func run() error {
 	if !*quiet {
 		logger = slog.New(slog.NewJSONHandler(os.Stderr, nil))
 	}
+	var tr *obs.Trace
+	if *traceDir != "" {
+		if err := os.MkdirAll(*traceDir, 0o755); err != nil {
+			return err
+		}
+		tr = obs.New()
+	}
 	srv := labd.New(labd.Config{
 		Workers:        *workers,
 		QueueDepth:     *queue,
@@ -85,6 +99,8 @@ func run() error {
 		Logger:         logger,
 		Cache:          cacheCfg,
 		EnablePprof:    *pprofOn,
+		Trace:          tr,
+		DisableMetrics: !*metricsOn,
 	})
 
 	httpSrv := &http.Server{
@@ -122,6 +138,23 @@ func run() error {
 	}
 	if err := srv.Shutdown(drainCtx); err != nil {
 		return fmt.Errorf("scheduler drain: %w", err)
+	}
+	if tr != nil {
+		path := filepath.Join(*traceDir, fmt.Sprintf("labd-trace-%d.json", os.Getpid()))
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		if err := tr.WriteChromeTrace(f); err != nil {
+			f.Close()
+			return fmt.Errorf("export trace: %w", err)
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		if logger != nil {
+			logger.Info("trace written", slog.String("path", path), slog.Uint64("dropped", tr.Drops()))
+		}
 	}
 	if logger != nil {
 		logger.Info("drained, exiting")

@@ -21,6 +21,7 @@
 package main
 
 import (
+	"bytes"
 	"context"
 	"flag"
 	"fmt"
@@ -30,6 +31,7 @@ import (
 
 	"cs31/internal/life"
 	"cs31/internal/msgpass"
+	"cs31/internal/obs"
 	"cs31/internal/paravis"
 	"cs31/internal/sweep"
 )
@@ -85,6 +87,7 @@ func run() error {
 	chaosStall := flag.Duration("chaos-stall", 0, "max injected stall per receive (dist engine)")
 	chaosRank := flag.Int("chaos-rank", -1, "restrict injection to one rank (-1 = all ranks)")
 	watchdog := flag.Duration("watchdog", 0, "deadlock watchdog timeout (dist engine; 0 = off)")
+	traceOut := flag.String("trace", "", "write a Chrome trace-event timeline (chrome://tracing, Perfetto) to this file")
 	flag.Parse()
 
 	eng, err := resolveEngine(*engine, *dist, *threads)
@@ -158,7 +161,14 @@ func run() error {
 	}
 
 	if *bench > 0 {
+		if *traceOut != "" {
+			return fmt.Errorf("-trace does not compose with -bench (trace one run instead)")
+		}
 		return runBench(g, *iters, *bench, part, eng == "dist")
+	}
+	var tr *obs.Trace
+	if *traceOut != "" {
+		tr = obs.New()
 	}
 
 	if eng == "dist" {
@@ -167,7 +177,7 @@ func run() error {
 			ranks = 1
 		}
 		dr := &life.DistRunner{G: g, Ranks: ranks, Partition: part,
-			Chaos: chaos, Watchdog: *watchdog}
+			Chaos: chaos, Watchdog: *watchdog, Trace: tr}
 		start := time.Now()
 		stats, err := dr.Run(*iters)
 		elapsed := time.Since(start)
@@ -185,20 +195,30 @@ func run() error {
 			ws.Sends, ws.BytesSent, ws.Collectives)
 		fmt.Printf("final population %d after %d generations\n%s",
 			g.Population(), g.Generation, g.String())
-		return nil
+		return writeTrace(tr, *traceOut)
 	}
 
 	vis := paravis.New(*color)
 	if eng == "serial" {
+		// The serial engine gets one lane with a span per generation, so
+		// even a single-threaded run renders a timeline.
+		var lane *obs.Lane
+		var nGen obs.Name
+		if tr != nil {
+			lane = tr.Lane("serial")
+			nGen = tr.Name("generation")
+		}
 		for i := 0; i < *iters; i++ {
+			lane.Begin(nGen)
 			g.Step()
+			lane.End(nGen)
 			if *visual {
 				fmt.Printf("generation %d (population %d)\n%s\n", g.Generation, g.Population(),
 					vis.Render(g.Bools(), nil))
 			}
 		}
 	} else {
-		pr := &life.ParallelRunner{G: g, Threads: *threads, Partition: part}
+		pr := &life.ParallelRunner{G: g, Threads: *threads, Partition: part, Trace: tr}
 		if *visual {
 			pr.OnRound = func(g *life.Grid) {
 				fmt.Printf("generation %d (population %d)\n%s\n", g.Generation, g.Population(),
@@ -216,6 +236,29 @@ func run() error {
 		fmt.Printf("final population %d after %d generations\n%s",
 			g.Population(), g.Generation, g.String())
 	}
+	return writeTrace(tr, *traceOut)
+}
+
+// writeTrace exports the recorded timeline as Chrome trace-event JSON,
+// structurally validating it on the way out (the same checks the test
+// suite runs), and reports the lane/event totals.
+func writeTrace(tr *obs.Trace, path string) error {
+	if tr == nil {
+		return nil
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTrace(&buf); err != nil {
+		return fmt.Errorf("export trace: %w", err)
+	}
+	sum, err := obs.ValidateChromeTrace(buf.Bytes())
+	if err != nil {
+		return fmt.Errorf("exported trace failed validation: %w", err)
+	}
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("trace: wrote %s (%d events on %d lanes, %d dropped)\n",
+		path, sum.Events, len(sum.Lanes), tr.Drops())
 	return nil
 }
 

@@ -7,6 +7,7 @@ import (
 	"net/http"
 	"sort"
 	"strings"
+	"time"
 
 	"cs31/internal/memo"
 )
@@ -139,6 +140,7 @@ func (s *Server) serveCached(w http.ResponseWriter, r *http.Request, endpoint st
 
 	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.DefaultTimeout)
 	defer cancel()
+	t0 := time.Now()
 	body, outcome, err := c.Do(ctx, key, func() ([]byte, error) {
 		var resp any
 		var jobErr error
@@ -151,9 +153,18 @@ func (s *Server) serveCached(w http.ResponseWriter, r *http.Request, endpoint st
 		if err != nil {
 			return nil, err
 		}
-		return encodeBody(resp)
+		if s.obs == nil {
+			return encodeBody(resp)
+		}
+		m0 := time.Now()
+		b, encErr := encodeBody(resp)
+		s.obs.observeMarshal(m0)
+		return b, encErr
 	})
 	w.Header().Set(cacheHeader, outcome.String())
+	if s.obs != nil && err == nil {
+		s.obs.observeCacheOutcome(endpoint, outcome, time.Since(t0))
+	}
 	if err != nil {
 		s.writeError(w, err)
 		return

@@ -1,0 +1,211 @@
+package labd
+
+import (
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"cs31/internal/memo"
+	"cs31/internal/obs"
+)
+
+// requestIDHeader carries the per-request ID the access-log line also
+// records, so a log entry, a trace span, and a client-side error report
+// all join on one value.
+const requestIDHeader = "X-Labd-Request-Id"
+
+// serverObs bundles the daemon's observability state: a Prometheus-style
+// registry (nil when Config.DisableMetrics) and a trace recorder (nil
+// unless Config.Trace is set). The whole struct is nil when both are
+// off, so the request path pays a single pointer check.
+type serverObs struct {
+	reg   *obs.Registry
+	trace *obs.Trace
+
+	reqSeq atomic.Uint64 // request-ID source
+
+	// httpLane is the shared request timeline: every HTTP goroutine
+	// records Complete (X) events on it — the one event kind the MPSC
+	// lane supports from many writers (B/E nesting needs a single
+	// owner; see internal/obs).
+	httpLane *obs.Lane
+	nRequest obs.Name // "request", args: status, id
+	nMarshal obs.Name // "marshal"
+
+	marshal *obs.Histogram // encode+write time of cold responses
+
+	mu        sync.RWMutex
+	endpoints map[string]*endpointObs // by route pattern
+	outcomes  map[string]*cacheObs    // by cached-endpoint name
+}
+
+// endpointObs is one route's request-duration histogram plus response
+// counters by status class.
+type endpointObs struct {
+	dur    *obs.Histogram
+	status [6]*obs.Counter // index = status/100, clamped to [1,5]
+}
+
+// cacheObs is one cached endpoint's per-outcome latency histograms:
+// how long a hit, a miss, and a coalesced wait each take end to end.
+type cacheObs struct {
+	byOutcome [3]*obs.Histogram // indexed by memo.Outcome
+}
+
+func newServerObs(cfg *Config) *serverObs {
+	if cfg.DisableMetrics && cfg.Trace == nil {
+		return nil
+	}
+	o := &serverObs{
+		trace:     cfg.Trace,
+		endpoints: make(map[string]*endpointObs),
+		outcomes:  make(map[string]*cacheObs),
+	}
+	if !cfg.DisableMetrics {
+		o.reg = obs.NewRegistry()
+		o.marshal = o.reg.Histogram("labd_marshal_duration_seconds",
+			"Time to encode and write a cold response body.", "", 4)
+	}
+	if o.trace != nil {
+		o.httpLane = o.trace.Lane("http")
+		o.nRequest = o.trace.Name("request", "status", "id")
+		o.nMarshal = o.trace.Name("marshal")
+	}
+	return o
+}
+
+// nextRequestID mints the request's ID: a process-unique hex counter,
+// cheap enough to stamp on every request including cache hits.
+func (o *serverObs) nextRequestID() (uint64, string) {
+	n := o.reqSeq.Add(1)
+	return n, strconv.FormatUint(n, 16)
+}
+
+// endpoint returns (creating on first use) the route's metric series.
+// The read-locked fast path is one map lookup; creation registers the
+// duration histogram and the five status-class counters so scrapes see
+// every class from the first request on.
+func (o *serverObs) endpoint(pattern string) *endpointObs {
+	o.mu.RLock()
+	eo := o.endpoints[pattern]
+	o.mu.RUnlock()
+	if eo != nil {
+		return eo
+	}
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if eo = o.endpoints[pattern]; eo != nil {
+		return eo
+	}
+	eo = &endpointObs{}
+	route := obs.Label("route", pattern)
+	eo.dur = o.reg.Histogram("labd_request_duration_seconds",
+		"End-to-end request latency by route.", route, 4)
+	for c := 1; c <= 5; c++ {
+		eo.status[c] = o.reg.Counter("labd_responses_total",
+			"Responses by route and status class.",
+			route+","+obs.Label("status", strconv.Itoa(c)+"xx"))
+	}
+	o.endpoints[pattern] = eo
+	return eo
+}
+
+// observeRequest records one finished request: duration histogram,
+// status-class counter, and (when tracing) an X span on the shared
+// http lane carrying the status and request ID.
+func (o *serverObs) observeRequest(pattern string, status int, start time.Time, id uint64) {
+	if o.reg != nil {
+		eo := o.endpoint(pattern)
+		eo.dur.Observe(int64(time.Since(start)))
+		c := status / 100
+		if c < 1 {
+			c = 1
+		}
+		if c > 5 {
+			c = 5
+		}
+		eo.status[c].Inc()
+	}
+	o.httpLane.CompleteArgs(o.nRequest, start, int64(status), int64(id))
+}
+
+// observeMarshal records the encode+write time of a cold response.
+func (o *serverObs) observeMarshal(start time.Time) {
+	o.marshal.Observe(int64(time.Since(start)))
+	o.httpLane.Complete(o.nMarshal, start)
+}
+
+// observeCacheOutcome records how long a memoized request took, split
+// by how the cache served it (hit / miss / coalesced).
+func (o *serverObs) observeCacheOutcome(endpoint string, out memo.Outcome, d time.Duration) {
+	if o.reg == nil || out > memo.Coalesced {
+		return
+	}
+	o.mu.RLock()
+	co := o.outcomes[endpoint]
+	o.mu.RUnlock()
+	if co == nil {
+		o.mu.Lock()
+		if co = o.outcomes[endpoint]; co == nil {
+			co = &cacheObs{}
+			for i, name := range []string{"miss", "hit", "coalesced"} {
+				co.byOutcome[i] = o.reg.Histogram("labd_cache_request_duration_seconds",
+					"Memoized request latency by endpoint and cache outcome.",
+					obs.Label("endpoint", endpoint)+","+obs.Label("outcome", name), 4)
+			}
+			o.outcomes[endpoint] = co
+		}
+		o.mu.Unlock()
+	}
+	co.byOutcome[out].Observe(int64(d))
+}
+
+// registerScrapeFuncs exposes the daemon's existing counters — the same
+// numbers /debug/vars reports — as scrape-time Prometheus series, read
+// fresh on every GET /metrics with zero per-request cost.
+func (s *Server) registerScrapeFuncs() {
+	r := s.obs.reg
+	if r == nil {
+		return
+	}
+	sc := s.sched
+	r.CounterFunc("labd_scheduler_submitted_total", "Jobs accepted into the bounded queue.", "",
+		func() int64 { return sc.submitted.Load() })
+	r.CounterFunc("labd_scheduler_rejected_total", "Jobs refused with queue-full backpressure.", "",
+		func() int64 { return sc.rejected.Load() })
+	r.CounterFunc("labd_scheduler_completed_total", "Jobs a worker ran to completion.", "",
+		func() int64 { return sc.completed.Load() })
+	r.CounterFunc("labd_scheduler_skipped_total", "Jobs whose context expired while queued.", "",
+		func() int64 { return sc.skipped.Load() })
+	r.GaugeFunc("labd_scheduler_active_jobs", "Jobs executing on a worker right now.", "",
+		func() int64 { return sc.active.Load() })
+	r.GaugeFunc("labd_queue_len", "Jobs waiting in the bounded queue.", "",
+		func() int64 { return int64(len(sc.queue)) })
+	r.GaugeFunc("labd_queue_cap", "Bounded queue capacity.", "",
+		func() int64 { return int64(cap(sc.queue)) })
+	r.GaugeFunc("labd_queue_hwm", "Deepest the queue has ever been.", "",
+		func() int64 { return sc.queueHWM.Load() })
+	r.GaugeFunc("labd_workers", "Worker pool size.", "",
+		func() int64 { return int64(sc.workers) })
+	r.CounterFunc("labd_requests_total", "HTTP requests served.", "",
+		func() int64 { return s.metrics.TotalRequests() })
+	r.GaugeFunc("labd_uptime_seconds", "Seconds since the server started.", "",
+		func() int64 { return int64(s.metrics.Uptime() / time.Second) })
+	for name, c := range s.caches {
+		c := c
+		ep := obs.Label("endpoint", name)
+		r.CounterFunc("labd_cache_hits_total", "Memoization hits by endpoint.", ep,
+			func() int64 { return c.Stats().Hits })
+		r.CounterFunc("labd_cache_misses_total", "Memoization misses by endpoint.", ep,
+			func() int64 { return c.Stats().Misses })
+		r.CounterFunc("labd_cache_coalesced_total", "Requests that waited on another's computation.", ep,
+			func() int64 { return c.Stats().Coalesced })
+		r.CounterFunc("labd_cache_evictions_total", "LRU evictions by endpoint.", ep,
+			func() int64 { return c.Stats().Evictions })
+		r.GaugeFunc("labd_cache_entries", "Resident cache entries by endpoint.", ep,
+			func() int64 { return int64(c.Stats().Entries) })
+		r.GaugeFunc("labd_cache_bytes", "Resident cache bytes by endpoint.", ep,
+			func() int64 { return c.Stats().Bytes })
+	}
+}

@@ -10,8 +10,12 @@ package labd
 import (
 	"context"
 	"errors"
+	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
+
+	"cs31/internal/obs"
 )
 
 // Scheduler errors, mapped to HTTP statuses by the server.
@@ -26,10 +30,11 @@ var (
 // job has either run to completion or been skipped because its context
 // expired while it waited in the queue.
 type job struct {
-	ctx     context.Context
-	run     func(ctx context.Context)
-	done    chan struct{}
-	skipped bool // set before done is closed when the job never ran
+	ctx      context.Context
+	run      func(ctx context.Context)
+	done     chan struct{}
+	skipped  bool      // set before done is closed when the job never ran
+	enqueued time.Time // stamped at submit only while instrumentation is attached
 }
 
 // SchedStats is a point-in-time snapshot of scheduler counters. The
@@ -66,6 +71,47 @@ type Scheduler struct {
 	skipped   atomic.Int64
 	active    atomic.Int64 // jobs currently executing on a worker
 	queueHWM  atomic.Int64 // deepest observed queue length
+
+	// obs, when non-nil, routes queue-wait and handler timings into the
+	// observability layer. The disabled path costs one atomic load per
+	// dequeue and nothing per submit.
+	obs atomic.Pointer[schedObs]
+}
+
+// schedObs is the scheduler's instrumentation bundle: latency
+// histograms sharded by worker id and (when tracing) one timeline lane
+// per worker carrying queue-wait and handler X spans.
+type schedObs struct {
+	queueWait *obs.Histogram // submit -> dequeue
+	handler   *obs.Histogram // handler run time on the worker
+	lanes     []*obs.Lane    // per worker; nil when tracing is off
+	nWait     obs.Name
+	nHandler  obs.Name
+}
+
+// instrument attaches metrics and/or trace recording to the pool. Safe
+// to call before any traffic; jobs already queued keep their zero
+// enqueued stamp and are recorded without a queue-wait sample.
+func (s *Scheduler) instrument(reg *obs.Registry, trace *obs.Trace) {
+	if reg == nil && trace == nil {
+		return
+	}
+	o := &schedObs{}
+	if reg != nil {
+		o.queueWait = reg.Histogram("labd_queue_wait_seconds",
+			"Time a job spent in the bounded queue before a worker dequeued it.", "", s.workers)
+		o.handler = reg.Histogram("labd_handler_duration_seconds",
+			"Time a worker spent running a job's handler.", "", s.workers)
+	}
+	if trace != nil {
+		o.nWait = trace.Name("queue-wait")
+		o.nHandler = trace.Name("handler")
+		o.lanes = make([]*obs.Lane, s.workers)
+		for i := range o.lanes {
+			o.lanes[i] = trace.Lane(fmt.Sprintf("worker %d", i))
+		}
+	}
+	s.obs.Store(o)
 }
 
 // NewScheduler starts `workers` goroutines behind a queue of depth
@@ -83,12 +129,12 @@ func NewScheduler(workers, depth int) *Scheduler {
 	}
 	s.wg.Add(workers)
 	for i := 0; i < workers; i++ {
-		go s.worker()
+		go s.worker(i)
 	}
 	return s
 }
 
-func (s *Scheduler) worker() {
+func (s *Scheduler) worker(id int) {
 	defer s.wg.Done()
 	for j := range s.queue {
 		// A job that timed out or whose client vanished while it sat in
@@ -99,12 +145,36 @@ func (s *Scheduler) worker() {
 			s.skipped.Add(1)
 		default:
 			s.active.Add(1)
-			j.run(j.ctx)
+			if o := s.obs.Load(); o != nil {
+				s.runObserved(o, id, j)
+			} else {
+				j.run(j.ctx)
+			}
 			s.active.Add(-1)
 			s.completed.Add(1)
 		}
 		close(j.done)
 	}
+}
+
+// runObserved is the instrumented dequeue: record how long the job
+// queued (submit stamped enqueued only under instrumentation, so a
+// zero stamp — a job queued before instrument — yields no sample),
+// then time the handler, each as a histogram sample and, when tracing,
+// an X span on this worker's lane.
+func (s *Scheduler) runObserved(o *schedObs, id int, j *job) {
+	var lane *obs.Lane
+	if o.lanes != nil {
+		lane = o.lanes[id]
+	}
+	if !j.enqueued.IsZero() {
+		o.queueWait.ObserveShard(id, int64(time.Since(j.enqueued)))
+		lane.Complete(o.nWait, j.enqueued)
+	}
+	t0 := time.Now()
+	j.run(j.ctx)
+	o.handler.ObserveShard(id, int64(time.Since(t0)))
+	lane.Complete(o.nHandler, t0)
 }
 
 // Submit enqueues fn and blocks until a worker has run it or ctx is done.
@@ -115,6 +185,9 @@ func (s *Scheduler) worker() {
 // its context is done.
 func (s *Scheduler) Submit(ctx context.Context, fn func(ctx context.Context)) error {
 	j := &job{ctx: ctx, run: fn, done: make(chan struct{})}
+	if s.obs.Load() != nil {
+		j.enqueued = time.Now()
+	}
 
 	// The read lock pins the queue open: Shutdown takes the write lock
 	// before closing the channel, so a send can never hit a closed queue.

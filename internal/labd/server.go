@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"cs31/internal/memo"
+	"cs31/internal/obs"
 )
 
 // Config parameterizes the daemon. Zero values select defaults sized to
@@ -26,6 +27,15 @@ type Config struct {
 	Logger         *slog.Logger  // structured request log; nil disables
 	Cache          CacheConfig   // response memoization sizing
 	EnablePprof    bool          // mount net/http/pprof under /debug/pprof/
+
+	// Trace, when non-nil, records request/marshal spans on an "http"
+	// lane and per-worker queue-wait/handler spans, exportable as a
+	// Chrome trace-event timeline via obs.Trace.WriteChromeTrace.
+	Trace *obs.Trace
+
+	// DisableMetrics turns off the Prometheus registry and the
+	// GET /metrics endpoint (trace recording, if configured, stays on).
+	DisableMetrics bool
 }
 
 func (c *Config) fillDefaults() {
@@ -52,6 +62,7 @@ type Server struct {
 	metrics *Metrics
 	mux     *http.ServeMux
 	caches  map[string]*memo.Cache // per-endpoint response memoization
+	obs     *serverObs             // nil when metrics and tracing are both off
 }
 
 // New builds a Server and starts its worker pool.
@@ -65,6 +76,11 @@ func New(cfg Config) *Server {
 		caches:  make(map[string]*memo.Cache),
 	}
 	s.initCaches()
+	s.obs = newServerObs(&s.cfg)
+	if s.obs != nil {
+		s.registerScrapeFuncs()
+		s.sched.instrument(s.obs.reg, s.obs.trace)
+	}
 	s.routes()
 	return s
 }
@@ -120,6 +136,13 @@ func (s *Server) routes() {
 		markPattern(w, "GET /debug/vars")
 		s.debugVars(w, r)
 	})
+	if s.obs != nil && s.obs.reg != nil {
+		s.mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+			markPattern(w, "GET /metrics")
+			w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+			_ = s.obs.reg.WritePrometheus(w)
+		})
+	}
 	if s.cfg.EnablePprof {
 		// Profiling is opt-in (-pprof): the handlers expose goroutine
 		// dumps and CPU profiles, which an open classroom deployment
@@ -154,6 +177,15 @@ func queryInt64(name, s string, def int64) (int64, error) {
 func (s *Server) Handler() http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
+		var reqNum uint64
+		var reqID string
+		if s.obs != nil {
+			// Stamp the ID before the handler runs so cached responses
+			// carry it too and the log line, the response header, and
+			// the trace span all agree.
+			reqNum, reqID = s.obs.nextRequestID()
+			w.Header().Set(requestIDHeader, reqID)
+		}
 		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
 		s.mux.ServeHTTP(rec, r)
 		d := time.Since(start)
@@ -166,6 +198,9 @@ func (s *Server) Handler() http.Handler {
 			pattern = "(unmatched)"
 		}
 		s.metrics.Observe(pattern, rec.status, d)
+		if s.obs != nil {
+			s.obs.observeRequest(pattern, rec.status, start, reqNum)
+		}
 		if s.cfg.Logger != nil {
 			s.cfg.Logger.Info("request",
 				slog.String("method", r.Method),
@@ -175,6 +210,8 @@ func (s *Server) Handler() http.Handler {
 				slog.Int64("bytes", rec.bytes),
 				slog.Float64("duration_ms", float64(d)/float64(time.Millisecond)),
 				slog.String("remote", r.RemoteAddr),
+				slog.String("request_id", reqID),
+				slog.String("cache", rec.Header().Get(cacheHeader)),
 			)
 		}
 	})
@@ -263,6 +300,12 @@ func (s *Server) schedule(w http.ResponseWriter, r *http.Request, fn func(ctx co
 	}
 	if err != nil {
 		s.writeError(w, err)
+		return
+	}
+	if s.obs != nil {
+		t0 := time.Now()
+		writeJSON(w, http.StatusOK, resp)
+		s.obs.observeMarshal(t0)
 		return
 	}
 	writeJSON(w, http.StatusOK, resp)

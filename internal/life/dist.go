@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"cs31/internal/msgpass"
+	"cs31/internal/obs"
 	"cs31/internal/pthread"
 )
 
@@ -56,6 +57,13 @@ type DistRunner struct {
 	// DeadlockError naming the blocked ranks instead of a hang.
 	Watchdog time.Duration
 
+	// Trace, if non-nil, records one timeline lane per rank: "generation"
+	// and "halo-exchange" spans from the runner, plus the world's own
+	// send/recv/collective events (the world is built with
+	// msgpass.WithTrace), so a run renders halo traffic, stragglers, and
+	// the closing allreduce in chrome://tracing or Perfetto.
+	Trace *obs.Trace
+
 	// CommStats holds the world's traffic counters after Run returns.
 	CommStats msgpass.WorldStats
 }
@@ -98,6 +106,18 @@ func distNeighbors(rank, ranks int, mode EdgeMode) (up, down int) {
 	return up, down
 }
 
+// traceHandles resolves a rank's lane and the runner's span names —
+// nil lane and zero handles when tracing is off, so the per-generation
+// recording calls are no-ops.
+func (dr *DistRunner) traceHandles(c *msgpass.Comm) (lane *obs.Lane, nGen, nHalo obs.Name) {
+	lane = c.TraceLane()
+	if lane != nil {
+		nGen = dr.Trace.Name("generation")
+		nHalo = dr.Trace.Name("halo-exchange")
+	}
+	return lane, nGen, nHalo
+}
+
 // RunCtx is Run under a context: when ctx is canceled mid-run the world
 // aborts, every rank (including ones parked in halo receives or chaos
 // sleeps) unwinds promptly, all rank goroutines are joined, and the error
@@ -125,6 +145,9 @@ func (dr *DistRunner) RunCtx(ctx context.Context, n int) (*RunStats, error) {
 	opts := []msgpass.Option{msgpass.WithCapacity(capacity)}
 	if dr.Chaos != nil {
 		opts = append(opts, msgpass.WithChaos(*dr.Chaos))
+	}
+	if dr.Trace != nil {
+		opts = append(opts, msgpass.WithTrace(dr.Trace))
 	}
 	if dr.Watchdog > 0 {
 		opts = append(opts, msgpass.WithWatchdog(dr.Watchdog))
@@ -165,6 +188,7 @@ func (dr *DistRunner) byteRank(c *msgpass.Comm, n int, stats *RunStats) error {
 	g := dr.G
 	ranks := dr.Ranks
 	rows, cols, mode := g.Rows, g.Cols, g.Mode
+	lane, nGen, nHalo := dr.traceHandles(c)
 	rank := c.Rank()
 	lo, hi := pthread.BlockRange(rank, ranks, rows)
 	band := hi - lo
@@ -219,6 +243,8 @@ func (dr *DistRunner) byteRank(c *msgpass.Comm, n int, stats *RunStats) error {
 
 	var updates int64
 	for gen := 0; gen < n; gen++ {
+		lane.Begin(nGen)
+		lane.Begin(nHalo)
 		top := src[cols : 2*cols]                     // first owned row
 		bot := src[band*cols : (band+1)*cols]         // last owned row
 		haloTop := src[:cols]                         // row lo-1's image
@@ -269,6 +295,7 @@ func (dr *DistRunner) byteRank(c *msgpass.Comm, n int, stats *RunStats) error {
 				copy(haloBot, bot)
 			}
 		}
+		lane.End(nHalo)
 		// The shared kernel over owned rows only. The local buffer is
 		// band+2 rows tall and the range [1, band+1) never reaches rows
 		// 0 or band+1 as a *computed* row, so rowIn never synthesizes a
@@ -276,6 +303,7 @@ func (dr *DistRunner) byteRank(c *msgpass.Comm, n int, stats *RunStats) error {
 		// locally synthesized halos, while column edge behavior (mode)
 		// works exactly as on the full grid.
 		updates += stepSlices(src, dst, zero, one, band+2, cols, mode, 1, band+1, 0, cols)
+		lane.End(nGen)
 		src, dst = dst, src
 	}
 
@@ -319,6 +347,7 @@ func (dr *DistRunner) packedRank(c *msgpass.Comm, n int, stats *RunStats) error 
 	g := dr.G
 	ranks := dr.Ranks
 	rows, cols, mode, wpr := g.Rows, g.Cols, g.Mode, g.wpr
+	lane, nGen, nHalo := dr.traceHandles(c)
 	rank := c.Rank()
 	lo, hi := pthread.BlockRange(rank, ranks, rows)
 	band := hi - lo
@@ -366,6 +395,8 @@ func (dr *DistRunner) packedRank(c *msgpass.Comm, n int, stats *RunStats) error 
 
 	var updates int64
 	for gen := 0; gen < n; gen++ {
+		lane.Begin(nGen)
+		lane.Begin(nHalo)
 		top := src[wpr : 2*wpr]
 		bot := src[band*wpr : (band+1)*wpr]
 		haloTop := src[:wpr]
@@ -407,7 +438,9 @@ func (dr *DistRunner) packedRank(c *msgpass.Comm, n int, stats *RunStats) error 
 				copy(haloBot, bot)
 			}
 		}
+		lane.End(nHalo)
 		updates += stepPackedSlices(src, dst, zero, one, band+2, cols, wpr, mode, 1, band+1, 0, wpr)
+		lane.End(nGen)
 		src, dst = dst, src
 	}
 

@@ -17,6 +17,7 @@ import (
 	"strings"
 	"sync/atomic"
 
+	"cs31/internal/obs"
 	"cs31/internal/pthread"
 )
 
@@ -591,6 +592,18 @@ type ParallelRunner struct {
 	// crossings per generation, mutex-merged statistics — retained as the
 	// differential-test and benchmark baseline for the sharded runner.
 	Reference bool
+
+	// Trace, if non-nil, records one timeline lane per worker: a
+	// "generation" span around each kernel step and a "barrier-wait" span
+	// around each crossing. Lanes and name handles are registered before
+	// the workers spawn, so the per-round recording path allocates
+	// nothing; a nil Trace costs a few inlined nil checks per round.
+	Trace *obs.Trace
+
+	// BarrierWaits, if non-nil, receives the duration of every barrier
+	// crossing (one observation per worker per generation), sharded by
+	// party id.
+	BarrierWaits *obs.Histogram
 }
 
 // Run advances n generations in parallel: each thread owns a block of rows
@@ -661,6 +674,21 @@ func (pr *ParallelRunner) RunCtx(ctx context.Context, n int) (*RunStats, error) 
 	if err != nil {
 		return nil, err
 	}
+	if pr.BarrierWaits != nil {
+		barrier.ObserveWaits(pr.BarrierWaits)
+	}
+	// Pre-register trace lanes and name handles outside the hot path:
+	// workers record through fixed handles and never touch a string.
+	var lanes []*obs.Lane
+	var nGen, nBarrier obs.Name
+	if pr.Trace != nil {
+		nGen = pr.Trace.Name("generation")
+		nBarrier = pr.Trace.Name("barrier-wait")
+		lanes = make([]*obs.Lane, pr.Threads)
+		for i := range lanes {
+			lanes[i] = pr.Trace.Lane(fmt.Sprintf("worker %d", i))
+		}
+	}
 	stats := &RunStats{}
 	shards := make([]int64, pr.Threads*statShardStride)
 	rows, cols, mode := g.Rows, g.Cols, g.Mode
@@ -678,8 +706,13 @@ func (pr *ParallelRunner) RunCtx(ctx context.Context, n int) (*RunStats, error) 
 		lo, hi := pthread.BlockRange(id, pr.Threads, extent)
 		src, dst := src0, dst0
 		psrc, pdst := psrc0, pdst0
+		var lane *obs.Lane
+		if lanes != nil {
+			lane = lanes[id]
+		}
 		var updates int64
 		for round := 0; round < n; round++ {
+			lane.Begin(nGen)
 			switch {
 			case packed && pr.Partition == ByRows:
 				updates += stepPackedSlices(psrc, pdst, zeroP, oneP, rows, cols, wpr, mode, lo, hi, 0, wpr)
@@ -690,13 +723,17 @@ func (pr *ParallelRunner) RunCtx(ctx context.Context, n int) (*RunStats, error) 
 			default:
 				updates += stepSlices(src, dst, zero, one, rows, cols, mode, 0, rows, lo, hi)
 			}
+			lane.End(nGen)
 			// One barrier per generation: nobody may read dst as a source
 			// until every tile of it is written. The serial thread
 			// publishes the round on the Grid; that is safe against round
 			// r+2 overwriting dst because round r+2 cannot start before
 			// barrier r+1 completes, which needs the serial thread's
 			// arrival after its callback returns.
-			if barrier.WaitParty(id) {
+			lane.Begin(nBarrier)
+			serial := barrier.WaitParty(id)
+			lane.End(nBarrier)
+			if serial {
 				if packed {
 					g.pcells, g.pnext = pdst, psrc
 				} else {

@@ -71,6 +71,8 @@ func (c *Comm) checkRoot(op string, root int) error {
 // arrival counters replaced by child-to-parent messages.
 func (c *Comm) Barrier() error {
 	c.collectives.Add(1)
+	c.lane.Begin(c.world.tn.barrier)
+	defer c.lane.End(c.world.tn.barrier)
 	tag := c.collTag()
 	v := c.vrank(0)
 	kids := c.childrenOf(v, 0)
@@ -103,6 +105,8 @@ func Bcast[T any](c *Comm, root int, v T) (T, error) {
 		return zero, err
 	}
 	c.collectives.Add(1)
+	c.lane.Begin(c.world.tn.bcast)
+	defer c.lane.End(c.world.tn.bcast)
 	return bcast(c, root, c.collTag(), v)
 }
 
@@ -142,6 +146,8 @@ func Reduce[T any](c *Comm, root int, v T, op func(a, b T) T) (T, error) {
 		return zero, fmt.Errorf("msgpass: rank %d reduce: nil op", c.rank)
 	}
 	c.collectives.Add(1)
+	c.lane.Begin(c.world.tn.reduce)
+	defer c.lane.End(c.world.tn.reduce)
 	return reduce(c, root, c.collTag(), v, op)
 }
 
@@ -178,6 +184,8 @@ func Allreduce[T any](c *Comm, v T, op func(a, b T) T) (T, error) {
 		return zero, fmt.Errorf("msgpass: rank %d allreduce: nil op", c.rank)
 	}
 	c.collectives.Add(1)
+	c.lane.Begin(c.world.tn.allreduce)
+	defer c.lane.End(c.world.tn.allreduce)
 	redTag, bcastTag := c.collTag(), c.collTag()
 	red, err := reduce(c, 0, redTag, v, op)
 	if err != nil {
@@ -197,6 +205,8 @@ func Scatter[T any](c *Comm, root int, values []T) (T, error) {
 		return zero, err
 	}
 	c.collectives.Add(1)
+	c.lane.Begin(c.world.tn.scatter)
+	defer c.lane.End(c.world.tn.scatter)
 	tag := c.collTag()
 	if c.rank != root {
 		got, err := c.recvWait(root, tag, nil, 0)
@@ -229,6 +239,8 @@ func Gather[T any](c *Comm, root int, v T) ([]T, error) {
 		return nil, err
 	}
 	c.collectives.Add(1)
+	c.lane.Begin(c.world.tn.gather)
+	defer c.lane.End(c.world.tn.gather)
 	tag := c.collTag()
 	if c.rank != root {
 		if err := c.send(root, tag, v); err != nil {

@@ -48,6 +48,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"cs31/internal/obs"
 	"cs31/internal/pthread"
 )
 
@@ -84,6 +85,21 @@ type World struct {
 	abortOnce sync.Once
 	abortErr  atomic.Pointer[abortCause]
 	running   atomic.Int64 // rank goroutines currently inside Run
+
+	// trace and the pre-registered name handles below are set once in
+	// NewWorld (WithTrace) and read-only afterwards; a nil trace leaves
+	// every Comm's lane nil, making the recording path a nil check.
+	trace *obs.Trace
+	tn    traceNames
+}
+
+// traceNames is the world's pre-registered event-name table: handles
+// are resolved at NewWorld so the messaging hot paths never touch a
+// string. Send/recv events carry (peer, tag) args; a blocking or
+// chaos-delayed operation shows as a long X span on its rank's lane.
+type traceNames struct {
+	send, recv                                         obs.Name
+	barrier, bcast, reduce, allreduce, scatter, gather obs.Name
 }
 
 // abortCause boxes the abort error for atomic publication.
@@ -97,6 +113,16 @@ type worldConfig struct {
 	hasCap   bool
 	chaos    *Chaos
 	watchdog time.Duration
+	trace    *obs.Trace
+}
+
+// WithTrace records every rank's message traffic on an obs timeline:
+// one lane per rank ("rank 0", "rank 1", ...), an X span per completed
+// send/recv tagged with (peer, tag), and a B/E span around each
+// collective. Chaos delays and inbox backpressure surface as long
+// spans. A nil trace is the default (no recording).
+func WithTrace(t *obs.Trace) Option {
+	return func(c *worldConfig) { c.trace = t }
 }
 
 // WithCapacity sets the per-rank inbox capacity. Zero selects rendezvous
@@ -134,6 +160,19 @@ func NewWorld(size int, opts ...Option) (*World, error) {
 		chaos:    cfg.chaos,
 		watchdog: cfg.watchdog,
 		abort:    make(chan struct{}),
+		trace:    cfg.trace,
+	}
+	if t := cfg.trace; t != nil {
+		w.tn = traceNames{
+			send:      t.Name("send", "peer", "tag"),
+			recv:      t.Name("recv", "peer", "tag"),
+			barrier:   t.Name("barrier"),
+			bcast:     t.Name("bcast"),
+			reduce:    t.Name("reduce"),
+			allreduce: t.Name("allreduce"),
+			scatter:   t.Name("scatter"),
+			gather:    t.Name("gather"),
+		}
 	}
 	w.comms = make([]*Comm, size)
 	for r := 0; r < size; r++ {
@@ -142,6 +181,9 @@ func NewWorld(size int, opts ...Option) (*World, error) {
 			rank:   r,
 			inbox:  make(chan envelope, cfg.capacity),
 			failed: make(chan struct{}),
+		}
+		if cfg.trace != nil {
+			c.lane = cfg.trace.Lane(fmt.Sprintf("rank %d", r))
 		}
 		if cfg.chaos != nil && cfg.chaos.applies(r) &&
 			(cfg.chaos.DelayProb > 0 || cfg.chaos.StallProb > 0) {
@@ -322,6 +364,10 @@ type Comm struct {
 	// does not apply to this rank). Only the rank's goroutine touches it.
 	rng *rand.Rand
 
+	// lane is this rank's trace timeline (nil when the world has no
+	// trace — the disabled path is a nil check).
+	lane *obs.Lane
+
 	// pending holds arrived-but-unmatched envelopes in arrival order. Only
 	// the rank's own goroutine touches it (Recv is single-consumer), so it
 	// needs no lock.
@@ -354,6 +400,12 @@ type Comm struct {
 
 // Rank reports this communicator's rank.
 func (c *Comm) Rank() int { return c.rank }
+
+// TraceLane returns this rank's trace timeline, nil when the world was
+// built without WithTrace. Callers layer their own spans (generation,
+// halo exchange) onto the same lane the runtime's send/recv events use;
+// nil-lane recording calls are no-ops.
+func (c *Comm) TraceLane() *obs.Lane { return c.lane }
 
 // Size reports the world size.
 func (c *Comm) Size() int { return c.world.size }
@@ -431,11 +483,25 @@ func (c *Comm) Send(dest, tag int, payload any) error {
 }
 
 // send is the unchecked path shared with the collectives (which use the
-// negative tag space Send rejects). It blocks abortably: a full inbox
-// parks the sender in a select that also watches world abort and both
-// ranks' failure channels, publishing a send wait-set entry for the
-// watchdog while parked.
+// negative tag space Send rejects). When the world carries a trace, a
+// completed send records an X span — entry to delivery, chaos delays
+// and inbox backpressure included — tagged (peer, tag).
 func (c *Comm) send(dest, tag int, payload any) error {
+	if c.lane == nil {
+		return c.sendMsg(dest, tag, payload)
+	}
+	t0 := time.Now()
+	err := c.sendMsg(dest, tag, payload)
+	if err == nil {
+		c.lane.CompleteArgs(c.world.tn.send, t0, int64(dest), int64(tag))
+	}
+	return err
+}
+
+// sendMsg blocks abortably: a full inbox parks the sender in a select
+// that also watches world abort and both ranks' failure channels,
+// publishing a send wait-set entry for the watchdog while parked.
+func (c *Comm) sendMsg(dest, tag int, payload any) error {
 	if err := c.opEntry("send", dest, tag); err != nil {
 		return err
 	}
@@ -533,13 +599,28 @@ func (c *Comm) checkRecvArgs(source, tag int) error {
 	return nil
 }
 
-// recvWait is the unchecked matching loop shared by Recv, the timed
-// variants, and the collectives: scan pending in arrival order, then park
-// on the inbox — queuing mismatches — until the wanted (source, tag)
-// shows, the deadline fires, the source (or this rank) is failed, or the
-// world aborts. timeout is only for error reporting; deadline carries the
-// actual clock.
+// recvWait wraps the matching loop shared by Recv, the timed variants,
+// and the collectives; when the world carries a trace, a completed
+// receive records an X span — entry to match, blocking and chaos
+// stalls included — tagged (peer, tag).
 func (c *Comm) recvWait(source, tag int, deadline <-chan time.Time, timeout time.Duration) (any, error) {
+	if c.lane == nil {
+		return c.recvMatch(source, tag, deadline, timeout)
+	}
+	t0 := time.Now()
+	v, err := c.recvMatch(source, tag, deadline, timeout)
+	if err == nil {
+		c.lane.CompleteArgs(c.world.tn.recv, t0, int64(source), int64(tag))
+	}
+	return v, err
+}
+
+// recvMatch is the unchecked matching loop: scan pending in arrival
+// order, then park on the inbox — queuing mismatches — until the wanted
+// (source, tag) shows, the deadline fires, the source (or this rank) is
+// failed, or the world aborts. timeout is only for error reporting;
+// deadline carries the actual clock.
+func (c *Comm) recvMatch(source, tag int, deadline <-chan time.Time, timeout time.Duration) (any, error) {
 	if err := c.opEntry("recv", source, tag); err != nil {
 		return nil, err
 	}

@@ -1,0 +1,137 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+	"strconv"
+)
+
+// chromeEvent is one trace_event record in the exported JSON. Dur is a
+// pointer so B/E/i/M events omit it entirely rather than carrying a
+// meaningless zero.
+type chromeEvent struct {
+	Name string           `json:"name"`
+	Ph   string           `json:"ph"`
+	Ts   float64          `json:"ts"` // microseconds
+	Dur  *float64         `json:"dur,omitempty"`
+	Pid  int              `json:"pid"`
+	Tid  int              `json:"tid"`
+	S    string           `json:"s,omitempty"`
+	Args map[string]int64 `json:"args,omitempty"`
+}
+
+type chromeMeta struct {
+	Name string            `json:"name"`
+	Ph   string            `json:"ph"`
+	Pid  int               `json:"pid"`
+	Tid  int               `json:"tid"`
+	Args map[string]string `json:"args"`
+}
+
+type chromeTrace struct {
+	TraceEvents []json.RawMessage `json:"traceEvents"`
+	OtherData   map[string]string `json:"otherData,omitempty"`
+}
+
+const tracePid = 1
+
+// WriteChromeTrace drains every lane and writes the full event history
+// as Chrome trace_event JSON ("JSON Object Format" with a traceEvents
+// array), loadable in chrome://tracing and Perfetto. Each lane becomes
+// one thread (tid) named by thread_name metadata; events are globally
+// sorted by timestamp, ties broken by lane so each lane's program
+// order is preserved. Safe to call repeatedly and concurrently with
+// recording: each call exports everything drained so far plus whatever
+// has been published since.
+func (t *Trace) WriteChromeTrace(w io.Writer) error {
+	if t == nil {
+		_, err := w.Write([]byte(`{"traceEvents":[]}` + "\n"))
+		return err
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+
+	type laneEvent struct {
+		ev   Event
+		lane *Lane
+		seq  int // position within the lane, for a stable tie-break
+	}
+	var all []laneEvent
+	var drops uint64
+	for _, l := range t.lanes {
+		l.drain()
+		drops += l.drops.Load()
+		for i, ev := range l.hist {
+			all = append(all, laneEvent{ev: ev, lane: l, seq: i})
+		}
+	}
+	sort.Slice(all, func(i, j int) bool {
+		a, b := all[i], all[j]
+		if a.ev.Ts != b.ev.Ts {
+			return a.ev.Ts < b.ev.Ts
+		}
+		if a.lane.id != b.lane.id {
+			return a.lane.id < b.lane.id
+		}
+		return a.seq < b.seq
+	})
+
+	out := chromeTrace{}
+	raw := func(v any) {
+		b, err := json.Marshal(v)
+		if err == nil {
+			out.TraceEvents = append(out.TraceEvents, b)
+		}
+	}
+	raw(chromeMeta{Name: "process_name", Ph: "M", Pid: tracePid, Tid: 0,
+		Args: map[string]string{"name": "cs31"}})
+	for _, l := range t.lanes {
+		raw(chromeMeta{Name: "thread_name", Ph: "M", Pid: tracePid, Tid: l.id,
+			Args: map[string]string{"name": l.label}})
+	}
+	for _, le := range all {
+		ev := le.ev
+		name := "(unnamed)"
+		if int(ev.Name) < len(t.names) {
+			name = t.names[ev.Name].label
+		}
+		ce := chromeEvent{
+			Name: name,
+			Ts:   float64(ev.Ts) / 1e3,
+			Pid:  tracePid,
+			Tid:  le.lane.id,
+		}
+		switch ev.Kind {
+		case kindBegin:
+			ce.Ph = "B"
+		case kindEnd:
+			ce.Ph = "E"
+		case kindInstant:
+			ce.Ph = "i"
+			ce.S = "t"
+		case kindComplete:
+			ce.Ph = "X"
+			dur := float64(ev.Dur) / 1e3
+			ce.Dur = &dur
+		default:
+			continue
+		}
+		if ev.Argc > 0 && ev.Kind != kindEnd {
+			keys := t.names[ev.Name].argKeys
+			ce.Args = make(map[string]int64, ev.Argc)
+			if ev.Argc >= 1 && len(keys) >= 1 {
+				ce.Args[keys[0]] = ev.A0
+			}
+			if ev.Argc >= 2 && len(keys) >= 2 {
+				ce.Args[keys[1]] = ev.A1
+			}
+		}
+		raw(ce)
+	}
+	if drops > 0 {
+		out.OtherData = map[string]string{"droppedEvents": strconv.FormatUint(drops, 10)}
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(out)
+}

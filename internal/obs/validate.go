@@ -1,0 +1,123 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// TraceSummary is the structural digest ValidateChromeTrace returns:
+// the lane (thread) names and, per lane, the "name/ph" sequence of its
+// events in timestamp order. Tests golden-match PerLane because each
+// lane's sequence is its goroutine's deterministic program order even
+// though wall-clock interleaving across lanes is not.
+type TraceSummary struct {
+	Lanes   map[int]string      // tid -> thread_name
+	PerLane map[string][]string // lane label -> "name/ph" sequence
+	Events  int                 // non-metadata event count
+}
+
+type rawChromeEvent struct {
+	Name string          `json:"name"`
+	Ph   string          `json:"ph"`
+	Ts   float64         `json:"ts"`
+	Dur  *float64        `json:"dur"`
+	Pid  *int            `json:"pid"`
+	Tid  *int            `json:"tid"`
+	Args json.RawMessage `json:"args"`
+}
+
+// ValidateChromeTrace checks data against the Chrome trace_event
+// schema rules an importer relies on: a traceEvents array whose
+// non-metadata events carry a known ph, globally non-decreasing
+// timestamps, per-lane Begin/End pairs that nest and match by name and
+// close by end of trace, X events with a non-negative dur, and a
+// thread_name metadata record for every tid that emits events. On
+// success it returns the structural summary.
+func ValidateChromeTrace(data []byte) (*TraceSummary, error) {
+	var tr struct {
+		TraceEvents []rawChromeEvent `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &tr); err != nil {
+		return nil, fmt.Errorf("obs: trace is not valid JSON: %w", err)
+	}
+	if len(tr.TraceEvents) == 0 {
+		return nil, fmt.Errorf("obs: trace has no events")
+	}
+
+	sum := &TraceSummary{Lanes: make(map[int]string), PerLane: make(map[string][]string)}
+	type frame struct{ name string }
+	stacks := make(map[int][]frame)
+	lastTs := make(map[int]float64)
+	var prevTs float64
+	var sawEvent bool
+	pid := -1
+
+	for i, ev := range tr.TraceEvents {
+		if ev.Pid == nil || ev.Tid == nil {
+			return nil, fmt.Errorf("obs: event %d (%s/%s) missing pid/tid", i, ev.Name, ev.Ph)
+		}
+		if pid == -1 {
+			pid = *ev.Pid
+		} else if *ev.Pid != pid {
+			return nil, fmt.Errorf("obs: event %d has pid %d, want single pid %d", i, *ev.Pid, pid)
+		}
+		tid := *ev.Tid
+		if ev.Ph == "M" {
+			if ev.Name == "thread_name" {
+				var args struct {
+					Name string `json:"name"`
+				}
+				if err := json.Unmarshal(ev.Args, &args); err != nil || args.Name == "" {
+					return nil, fmt.Errorf("obs: thread_name metadata for tid %d has no name", tid)
+				}
+				sum.Lanes[tid] = args.Name
+			}
+			continue
+		}
+		switch ev.Ph {
+		case "B", "E", "X", "i":
+		default:
+			return nil, fmt.Errorf("obs: event %d (%s) has unknown ph %q", i, ev.Name, ev.Ph)
+		}
+		if sawEvent && ev.Ts < prevTs {
+			return nil, fmt.Errorf("obs: event %d (%s) ts %.3f precedes prior ts %.3f — not sorted", i, ev.Name, ev.Ts, prevTs)
+		}
+		prevTs, sawEvent = ev.Ts, true
+		if last, ok := lastTs[tid]; ok && ev.Ts < last {
+			return nil, fmt.Errorf("obs: tid %d ts regressed at event %d (%s)", tid, i, ev.Name)
+		}
+		lastTs[tid] = ev.Ts
+
+		label, ok := sum.Lanes[tid]
+		if !ok {
+			return nil, fmt.Errorf("obs: tid %d emits events but has no thread_name metadata", tid)
+		}
+		sum.PerLane[label] = append(sum.PerLane[label], ev.Name+"/"+ev.Ph)
+		sum.Events++
+
+		switch ev.Ph {
+		case "B":
+			stacks[tid] = append(stacks[tid], frame{name: ev.Name})
+		case "E":
+			st := stacks[tid]
+			if len(st) == 0 {
+				return nil, fmt.Errorf("obs: tid %d: E %q with empty span stack", tid, ev.Name)
+			}
+			top := st[len(st)-1]
+			if top.name != ev.Name {
+				return nil, fmt.Errorf("obs: tid %d: E %q does not match open span %q", tid, ev.Name, top.name)
+			}
+			stacks[tid] = st[:len(st)-1]
+		case "X":
+			if ev.Dur == nil || *ev.Dur < 0 {
+				return nil, fmt.Errorf("obs: event %d (%s): X without non-negative dur", i, ev.Name)
+			}
+		}
+	}
+	for tid, st := range stacks {
+		if len(st) > 0 {
+			return nil, fmt.Errorf("obs: tid %d ends with %d unclosed span(s), first %q", tid, len(st), st[0].name)
+		}
+	}
+	return sum, nil
+}

@@ -5,6 +5,9 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
+
+	"cs31/internal/obs"
 )
 
 // barrierFanIn is the combining-tree arity. Four children per node keeps
@@ -74,6 +77,20 @@ type Barrier struct {
 	parked   atomic.Int64
 	parkMu   sync.Mutex
 	parkCond *sync.Cond
+
+	// waitObs, when set, receives the wall-clock duration of every
+	// Wait/WaitParty call — arrival through release — so barrier stalls
+	// (stragglers) show up as a latency distribution. The disabled path
+	// is a single atomic load.
+	waitObs atomic.Pointer[obs.Histogram]
+}
+
+// ObserveWaits attaches a histogram that records how long each arrival
+// blocks in the barrier, in nanoseconds. WaitParty records on the
+// shard selected by the party id; anonymous Wait round-robins. Passing
+// nil detaches. Safe to call concurrently with waiters.
+func (b *Barrier) ObserveWaits(h *obs.Histogram) {
+	b.waitObs.Store(h)
 }
 
 // NewBarrier creates a barrier for parties threads (>= 1).
@@ -176,6 +193,16 @@ func (b *Barrier) await(round int64) {
 // through the barrier an arrival may complete a round other than the one
 // its ticket belongs to.
 func (b *Barrier) Wait() (serial bool) {
+	if h := b.waitObs.Load(); h != nil {
+		t0 := time.Now()
+		serial = b.wait()
+		h.Observe(int64(time.Since(t0)))
+		return serial
+	}
+	return b.wait()
+}
+
+func (b *Barrier) wait() (serial bool) {
 	ticket := b.tickets.Add(1) - 1
 	round := ticket / int64(b.parties)
 	idx := int(ticket % int64(b.parties))
@@ -193,6 +220,16 @@ func (b *Barrier) Wait() (serial bool) {
 // party cannot re-arrive before its current round is released, so no
 // cross-round substitution is possible.
 func (b *Barrier) WaitParty(id int) (serial bool) {
+	if h := b.waitObs.Load(); h != nil {
+		t0 := time.Now()
+		serial = b.waitParty(id)
+		h.ObserveShard(id, int64(time.Since(t0)))
+		return serial
+	}
+	return b.waitParty(id)
+}
+
+func (b *Barrier) waitParty(id int) (serial bool) {
 	if id < 0 || id >= b.parties {
 		panic(fmt.Sprintf("pthread: barrier party %d out of range [0,%d)", id, b.parties))
 	}

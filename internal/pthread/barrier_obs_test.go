@@ -1,0 +1,66 @@
+package pthread
+
+import (
+	"sync"
+	"testing"
+
+	"cs31/internal/obs"
+)
+
+// TestBarrierObserveWaits: with a histogram attached, every arrival —
+// fixed-identity and anonymous — is recorded exactly once, and
+// detaching stops recording without disturbing waiters.
+func TestBarrierObserveWaits(t *testing.T) {
+	const parties = 5
+	const rounds = 20
+	b, err := NewBarrier(parties)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := obs.NewHistogram(parties)
+	b.ObserveWaits(h)
+
+	var wg sync.WaitGroup
+	for id := 0; id < parties; id++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				b.WaitParty(id)
+			}
+		}(id)
+	}
+	wg.Wait()
+	if got := h.Snapshot().Count; got != parties*rounds {
+		t.Fatalf("observed %d waits, want %d", got, parties*rounds)
+	}
+
+	// Anonymous Wait records too.
+	for id := 0; id < parties; id++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			b.Wait()
+		}()
+	}
+	wg.Wait()
+	if got := h.Snapshot().Count; got != parties*(rounds+1) {
+		t.Fatalf("observed %d waits after anonymous round, want %d", got, parties*(rounds+1))
+	}
+
+	b.ObserveWaits(nil)
+	for id := 0; id < parties; id++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			b.WaitParty(id)
+		}(id)
+	}
+	wg.Wait()
+	if got := h.Snapshot().Count; got != parties*(rounds+1) {
+		t.Fatalf("detached histogram still recorded: %d", got)
+	}
+	if b.Rounds() != rounds+2 {
+		t.Fatalf("rounds = %d, want %d", b.Rounds(), rounds+2)
+	}
+}
